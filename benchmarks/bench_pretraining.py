@@ -1,0 +1,97 @@
+"""GraphSAGE-style unsupervised pretraining (Section III-E / future work).
+
+Measures whether pretraining the node-view DGCNN's conv stack with the
+GraphSAGE unsupervised objective helps a short supervised fine-tune — the
+scarce-label scenario the paper's "additional datasets for unsupervised
+model training" future-work item targets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models.dgcnn import DGCNNConfig
+from repro.train import (
+    DGCNNAdapter,
+    PretrainConfig,
+    TrainConfig,
+    evaluate_adapter,
+    pretrain_dgcnn,
+    train_model,
+)
+
+from benchmarks.common import banner, emit, get_context
+
+
+def _subsample(data, n, seed):
+    from repro.dataset.types import LoopDataset
+
+    rng = np.random.default_rng(seed)
+    picks = rng.choice(len(data), size=min(n, len(data)), replace=False)
+    return LoopDataset([data[int(i)] for i in picks], name="sub")
+
+
+@pytest.fixture(scope="module")
+def pretrain_comparison():
+    ctx = get_context()
+    # scarce-label regime: tiny supervised set, plenty of unlabeled graphs
+    supervised = _subsample(ctx.data.train, 80, seed=11)
+    unlabeled = _subsample(ctx.data.train, 300, seed=12)
+    test = ctx.data.test_suite("Generated")
+    fine_tune = TrainConfig(epochs=10, lr=1.5e-3, sortpool_k=16, seed=3)
+
+    def run(with_pretraining: bool) -> float:
+        adapter = DGCNNAdapter(
+            DGCNNConfig(in_features=ctx.semantic_dim, sortpool_k=16, dropout=0.3),
+            rng=5,
+        )
+        history = []
+        if with_pretraining:
+            history = pretrain_dgcnn(
+                adapter.model,
+                unlabeled,
+                PretrainConfig(epochs=3, max_graphs_per_epoch=80),
+                rng=7,
+            )
+        train_model(adapter, supervised, fine_tune)
+        return evaluate_adapter(adapter, test), history
+
+    plain_acc, _ = run(False)
+    pre_acc, history = run(True)
+    banner("Pretraining ablation — GraphSAGE unsupervised objective")
+    emit(f"  supervised-only ({len(supervised)} labels): accuracy {plain_acc:.3f}")
+    emit(f"  pretrained + fine-tuned:                    accuracy {pre_acc:.3f}")
+    emit(f"  pretraining loss trajectory: "
+         f"{' -> '.join(f'{h:.3f}' for h in history)}")
+    return plain_acc, pre_acc, history
+
+
+def test_pretraining_speed(benchmark, pretrain_comparison):
+    ctx = get_context()
+    unlabeled = _subsample(ctx.data.train, 40, seed=13)
+    from repro.models.dgcnn import DGCNN
+
+    dgcnn = DGCNN(
+        DGCNNConfig(in_features=ctx.semantic_dim, sortpool_k=16), rng=1
+    )
+    benchmark.pedantic(
+        lambda: pretrain_dgcnn(
+            dgcnn, unlabeled, PretrainConfig(epochs=1, max_graphs_per_epoch=40)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_pretraining_loss_decreases(benchmark, pretrain_comparison):
+    _plain, _pre, history = benchmark.pedantic(
+        lambda: pretrain_comparison, rounds=1, iterations=1
+    )
+    assert history[-1] <= history[0] + 0.05
+
+
+def test_pretraining_not_harmful(benchmark, pretrain_comparison):
+    """In the scarce-label regime pretraining must not hurt materially."""
+    plain, pre, _history = benchmark.pedantic(
+        lambda: pretrain_comparison, rounds=1, iterations=1
+    )
+    assert pre >= plain - 0.08

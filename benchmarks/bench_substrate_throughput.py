@@ -1,0 +1,74 @@
+"""Substrate micro-benchmarks: interpreter, profiler, PEG, embeddings.
+
+These are the equivalents of a simulator's instructions-per-second table —
+not in the paper, but what a downstream user of the library needs to budget
+dataset generation.
+"""
+
+import numpy as np
+
+from repro.dataset.extraction import extract_loop_samples
+from repro.embeddings.anonwalk import AnonymousWalkSpace
+from repro.embeddings.inst2vec import Inst2Vec
+from repro.ir.lowering import lower_program
+from repro.ir.passes import apply_pipeline
+from repro.peg import build_peg
+from repro.profiler import Interpreter, profile_program
+
+import sys
+import os
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+from tests.helpers import build_mixed_program, lower_and_verify  # noqa: E402
+
+
+def test_interpreter_throughput(benchmark):
+    ir = lower_and_verify(build_mixed_program())
+
+    def run():
+        return Interpreter(ir, record=False, rng=0).run()
+
+    report = benchmark(run)
+    assert report.steps > 100
+
+
+def test_profiler_overhead(benchmark):
+    """Full dependence recording costs a small multiple of plain execution."""
+    ir = lower_and_verify(build_mixed_program())
+    report = benchmark(lambda: profile_program(ir))
+    assert report.deps
+
+
+def test_lowering_speed(benchmark):
+    program = build_mixed_program()
+    ir = benchmark(lambda: lower_program(program))
+    assert ir.instruction_count() > 50
+
+
+def test_pipeline_application_speed(benchmark):
+    ir = lower_and_verify(build_mixed_program())
+    out = benchmark(lambda: apply_pipeline(ir, "O2-unroll"))
+    assert out.instruction_count() >= ir.instruction_count()
+
+
+def test_peg_construction_speed(benchmark):
+    ir = lower_and_verify(build_mixed_program())
+    report = profile_program(ir)
+    peg = benchmark(lambda: build_peg(ir, report))
+    assert len(peg.loop_nodes()) == 4
+
+
+def test_sample_extraction_speed(benchmark):
+    program = build_mixed_program()
+    inst2vec = Inst2Vec(dim=25).train(
+        [lower_and_verify(program)], epochs=1, rng=0
+    )
+    space = AnonymousWalkSpace(4)
+
+    def extract():
+        return extract_loop_samples(
+            program, None, inst2vec, space,
+            suite="bench", app="mixed", gamma=20, rng=0,
+        )
+
+    samples = benchmark(extract)
+    assert len(samples) == 4

@@ -1,0 +1,23 @@
+"""Table II: statistics of evaluated datasets.
+
+Regenerates the per-application loop counts, checks them against the paper,
+and times the application-composition path.
+"""
+
+from repro.benchsuite.registry import build_all_apps
+from repro.experiments.table2 import format_table2, table2_dataset_statistics
+
+from benchmarks.common import banner, emit
+
+
+def test_table2_regeneration(benchmark):
+    rows = benchmark(table2_dataset_statistics)
+    banner("Table II — statistics of evaluated datasets (loops per app)")
+    emit(format_table2(rows))
+    for app, _suite, built, paper in rows:
+        assert built == paper, f"{app}: {built} != paper {paper}"
+
+
+def test_benchsuite_composition_speed(benchmark):
+    apps = benchmark(build_all_apps)
+    assert sum(a.loop_count for a in apps) == 840

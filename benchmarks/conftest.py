@@ -1,0 +1,21 @@
+"""Benchmark harness configuration.
+
+Makes repo-root imports resolvable and hands the pytest config to
+benchmarks.common so result tables can bypass output capture.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def pytest_configure(config):
+    from benchmarks import common
+
+    common.PYTEST_CONFIG = config
+    # start each session with fresh result files
+    mode = "full" if os.environ.get("REPRO_FULL", "0") not in ("0", "", "false") else "fast"
+    path = common.RESULTS_DIR / f"results_{mode}.txt"
+    if path.exists():
+        path.unlink()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Data-augmentation walkthrough: six pipelines x three source transforms.
+
+Shows how one source kernel becomes the family of labeled examples the
+paper's "Transformed dataset" section describes: six compiler-optimization
+IR variants (structure changes, semantics preserved) and three source-level
+transforms (op substitution, loop interchange, dependence injection —
+the last one flips labels, which the dynamic oracle re-derives).
+
+Run:  python examples/compiler_pipelines.py
+"""
+
+from repro.analysis import classify_all_loops
+from repro.dataset.transforms import (
+    TRANSFORM_NAMES,
+    apply_transform,
+    dependence_injection,
+)
+from repro.ir import ProgramBuilder
+from repro.ir.lowering import lower_program
+from repro.ir.passes import apply_pipeline, pipeline_names
+from repro.ir.printer import statement_text
+from repro.ir.verify import verify_program
+from repro.profiler import profile_program
+
+
+def build_kernel():
+    pb = ProgramBuilder("saxpy_kernel")
+    pb.array("x", 16)
+    pb.array("y", 16)
+    with pb.function("main") as fb:
+        fb.assign("alpha", 3.0)
+        fb.assign("n", 16.0)
+        with fb.loop("i", 0, "n") as i:
+            fb.store(
+                "y", i,
+                fb.add(fb.mul("alpha", fb.load("x", i)), fb.load("y", i)),
+            )
+    return pb.build()
+
+
+def main() -> None:
+    program = build_kernel()
+    base_ir = lower_program(program)
+    verify_program(base_ir)
+    base_report = profile_program(base_ir)
+    loop_id = next(iter(base_ir.all_loops()))
+
+    print("=== the six compiler pipelines (semantics-preserving) ===")
+    print(f"{'pipeline':<12}{'instrs':>8}{'steps':>8}{'distinct stmts':>16}{'oracle':>9}")
+    for name in pipeline_names():
+        variant = apply_pipeline(base_ir, name)
+        verify_program(variant)
+        report = profile_program(variant)
+        verdict = classify_all_loops(variant, report)[loop_id]
+        tokens = {
+            statement_text(i)
+            for fn in variant.functions.values()
+            for i in fn.instructions()
+        }
+        print(
+            f"{name:<12}{variant.instruction_count():>8}{report.steps:>8}"
+            f"{len(tokens):>16}{'P' if verdict.parallel else 'seq':>9}"
+        )
+
+    print("\n=== the source-level transforms (labels re-derived) ===")
+    variants = [
+        (name, apply_transform(program, name, rng=0))
+        for name in dict.fromkeys(TRANSFORM_NAMES)
+        if name != "dep"
+    ]
+    # demonstrate the label flip deterministically: inject into every loop
+    variants.append(("dep", dependence_injection(program, rng=0, fraction=1.0)))
+    for transform, variant in variants:
+        ir = lower_program(variant)
+        verify_program(ir)
+        report = profile_program(ir)
+        results = classify_all_loops(ir, report)
+        labels = {
+            lid.split(":")[-1]: ("P" if r.parallel else "seq")
+            for lid, r in results.items()
+        }
+        print(f"{transform:<8} -> loops {labels}")
+
+    print(
+        "\nthe 'dep' transform injects an escaping accumulator, flipping the"
+        "\nDoALL loop to sequential — the pipeline's main source of negative"
+        "\nexamples when balancing to the paper's 3100 + 3100 dataset."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Figure 1 as a runnable demo: structural patterns of stencil vs reduction.
+
+The paper's motivating figure shows that stencil and reduction loops leave
+visibly different footprints in the dependence graph.  This example renders
+both footprints as ASCII + DOT, and quantifies their separability with
+anonymous-walk distributions.
+
+Run:  python examples/stencil_reduction.py
+"""
+
+from collections import Counter
+
+import numpy as np
+
+from repro.analysis.critical_path import dependence_dag
+from repro.embeddings.anonwalk import AnonymousWalkSpace, anonymize_walk
+from repro.experiments.fig1 import fig1_structural_patterns
+from repro.ir import ProgramBuilder
+from repro.ir.lowering import lower_program
+from repro.peg import build_peg, loop_subpeg, to_dot
+from repro.profiler import profile_program
+
+
+def build_stencil():
+    pb = ProgramBuilder("stencil_demo")
+    pb.array("a", 16)
+    pb.array("b", 16)
+    with pb.function("main") as fb:
+        with fb.loop("i", 1, 15) as i:
+            total = fb.add(
+                fb.add(fb.load("a", fb.sub(i, 1.0)), fb.load("a", i)),
+                fb.load("a", fb.add(i, 1.0)),
+            )
+            fb.store("b", i, fb.div(total, 3.0))
+    return pb.build()
+
+
+def build_reduction():
+    pb = ProgramBuilder("reduction_demo")
+    pb.array("a", 16)
+    with pb.function("main") as fb:
+        fb.assign("s", 0.0)
+        with fb.loop("i", 0, 16) as i:
+            fb.assign("s", fb.add("s", fb.load("a", i)))
+        fb.ret("s")
+    return pb.build()
+
+
+def describe(program) -> None:
+    ir = lower_program(program)
+    report = profile_program(ir)
+    loop_id = next(iter(ir.all_loops()))
+    nodes, adjacency = dependence_dag(ir.function("main"), loop_id, report)
+
+    fan_in = Counter()
+    for src, dsts in adjacency.items():
+        for dst in dsts:
+            fan_in[dst] += 1
+    max_fan_in = max(fan_in.values(), default=0)
+    carried = report.symbols_carried_by(loop_id)
+
+    print(f"--- {program.name} ---")
+    print(f"  per-iteration dependence DAG: {len(nodes)} nodes")
+    print(f"  max fan-in: {max_fan_in}  "
+          f"({'gather shape: many reads -> one write' if max_fan_in >= 3 else 'chain shape'})")
+    print(f"  symbols with loop-carried deps: {sorted(carried) or 'none'}")
+
+    peg = build_peg(ir, report)
+    sub = loop_subpeg(peg, loop_id)
+    dot = to_dot(sub, title=program.name)
+    print(f"  sub-PEG DOT ({len(sub)} nodes):")
+    for line in dot.splitlines()[:8]:
+        print(f"    {line}")
+    print("    ...")
+
+
+def main() -> None:
+    stencil = build_stencil()
+    reduction = build_reduction()
+    describe(stencil)
+    describe(reduction)
+
+    print("\nquantified separability (anonymous-walk distributions):")
+    result = fig1_structural_patterns(n_instances=8, seed=5)
+    print(result.format())
+
+    print("\ninterpretation: the stencil's iterations are independent "
+          "(no carried symbol), while the\nreduction carries its accumulator "
+          "across iterations — and the two classes' walk\ndistributions "
+          "separate, which is exactly why the paper adds a structural view.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""Synthetic re-creations of the paper's benchmark applications (Table II).
+
+The 14 applications (NPB BT/SP/LU/IS/EP/CG/MG/FT, PolyBench 2mm/jacobi-2d/
+syr2k/trmm, BOTS fib/nqueens) are composed from a library of loop-nest
+templates whose dependence structures mirror the originals' (stencils,
+reductions, triangular solves, recurrences, indirect accesses, task-style
+recursion).  Per-application loop counts match Table II exactly, enforced by
+a registry check.
+"""
+
+from repro.benchsuite.base import AppSpec, LabeledLoop
+from repro.benchsuite.templates import TEMPLATES, TemplateContext
+from repro.benchsuite.registry import (
+    TABLE_II_COUNTS,
+    SUITE_OF_APP,
+    build_app,
+    build_suite,
+    build_all_apps,
+    app_names,
+)
+
+__all__ = [
+    "AppSpec", "LabeledLoop",
+    "TEMPLATES", "TemplateContext",
+    "TABLE_II_COUNTS", "SUITE_OF_APP",
+    "build_app", "build_suite", "build_all_apps", "app_names",
+]

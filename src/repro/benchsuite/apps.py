@@ -1,0 +1,181 @@
+"""Application plans: which templates, how many, per benchmark application.
+
+Each plan mirrors the loop-population character of the original application:
+BT/SP are stencil-and-solve dominated, LU adds wavefronts and triangular
+sweeps (and the call-bearing loops behind the paper's LU.setiv anecdote), IS
+is bucket/histogram code, EP is reductions, CG is sparse (indirect) algebra,
+MG is multigrid smoothing, FT is strided butterflies; the PolyBench four are
+pure polyhedral nests; the BOTS two are small programs around recursive
+task functions.  Template call counts are chosen so per-app loop totals
+match Table II exactly (checked by the registry).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.benchsuite.base import AppSpec, LabeledLoop
+from repro.benchsuite.templates import TEMPLATES, TemplateContext
+from repro.errors import DatasetError
+from repro.ir.builder import ProgramBuilder
+
+#: template plan per app: list of (template_name, call_count)
+APP_PLANS: Dict[str, List[Tuple[str, int]]] = {
+    # ---- NPB ----------------------------------------------------------
+    "BT": [
+        ("stencil2d", 15), ("stencil3", 12), ("stencil5", 8), ("init", 16),
+        ("copy", 8), ("scale", 6), ("vadd", 10), ("saxpy", 8), ("matmul", 6),
+        ("triangular_solve", 5), ("jacobi_step", 4), ("reduction_sum", 5),
+        ("reduction_max", 3),
+        ("dot", 6), ("norm_loop", 5), ("doall_call", 4), ("recurrence", 3),
+        ("gauss_seidel", 2), ("strided", 5), ("reverse_copy", 4),
+        ("argmax", 2), ("fft_stride", 2),
+    ],
+    "SP": [
+        ("stencil2d", 20), ("stencil3", 16), ("stencil5", 10), ("init", 22),
+        ("copy", 12), ("scale", 8), ("vadd", 19), ("saxpy", 10), ("matmul", 8),
+        ("triangular_solve", 6), ("jacobi_step", 5), ("reduction_sum", 6),
+        ("reduction_max", 4),
+        ("dot", 8), ("norm_loop", 6), ("doall_call", 5), ("recurrence", 4),
+        ("strided", 6), ("reverse_copy", 5), ("fft_stride", 4), ("argmax", 3),
+        ("gauss_seidel", 2), ("anti_dep", 1), ("wavefront", 2),
+    ],
+    "LU": [
+        ("stencil2d", 12), ("init", 14), ("copy", 8), ("vadd", 10),
+        ("saxpy", 6), ("matmul", 5), ("triangular_solve", 8),
+        ("triangular_gemm", 4), ("wavefront", 3), ("jacobi_step", 4),
+        ("reduction_sum", 5), ("reduction_max", 3), ("dot", 5), ("doall_call", 5),
+        ("recurrence", 4), ("gauss_seidel", 2), ("strided", 4),
+        ("reverse_copy", 4), ("norm_loop", 4), ("scale", 4), ("stencil3", 6),
+    ],
+    "IS": [
+        ("histogram", 4), ("scatter_collide", 2), ("gather", 2),
+        ("scatter_perm", 2), ("init", 3), ("prefix_sum", 2),
+    ],
+    "EP": [
+        ("reduction_sum", 3), ("dot", 2), ("init", 2), ("doall_call", 1),
+        ("argmax", 1), ("reduction_max", 1),
+    ],
+    "CG": [
+        ("gather", 4), ("dot", 4), ("reduction_sum", 3), ("saxpy", 4),
+        ("init", 3), ("norm_loop", 2), ("scatter_perm", 1),
+        ("recurrence", 1), ("prefix_sum", 1), ("triangular_solve", 1),
+    ],
+    "MG": [
+        ("stencil2d", 10), ("stencil3", 8), ("stencil5", 6),
+        ("jacobi_step", 4), ("init", 6), ("copy", 5), ("vadd", 4),
+        ("reduction_sum", 2), ("reduction_max", 2), ("norm_loop", 3), ("gauss_seidel", 2),
+        ("reverse_copy", 1),
+    ],
+    "FT": [
+        ("fft_stride", 8), ("strided", 4), ("init", 2), ("copy", 3),
+        ("scale", 3), ("reduction_sum", 1), ("reduction_max", 1), ("dot", 2), ("matmul", 1),
+        ("jacobi_step", 1), ("reverse_copy", 2), ("gather", 2), ("argmax", 1),
+    ],
+    # ---- PolyBench -------------------------------------------------------
+    "2mm": [("matmul", 4), ("init", 3), ("scale", 2)],
+    "jacobi-2d": [("jacobi_step", 2), ("stencil2d", 1), ("init", 2)],
+    "syr2k": [("triangular_gemm", 2), ("matmul", 1), ("init", 2)],
+    "trmm": [("triangular_gemm", 2), ("triangular_solve", 1), ("init", 1)],
+    # ---- BOTS ------------------------------------------------------------
+    "fib": [("init", 1), ("fib_loop", 1)],
+    "nqueens": [("flag_search", 1), ("argmax", 1), ("init", 1),
+                ("doall_call", 1)],
+}
+
+#: apps whose programs additionally define and call a recursive task function
+_RECURSIVE_APPS = {"fib", "nqueens"}
+
+#: fraction of loops whose authored label is flipped (annotation noise; the
+#: paper's Section IV-D attributes misclassifications to exactly this)
+ANNOTATION_QUIRK_FRACTION = 0.05
+
+#: template calls per generated program
+_CALLS_PER_PROGRAM = 5
+
+
+def _interleave_plan(
+    plan: List[Tuple[str, int]], rng: np.random.Generator
+) -> List[str]:
+    """Flatten a plan into a deterministic shuffled call sequence."""
+    calls: List[str] = []
+    for name, count in plan:
+        if name not in TEMPLATES:
+            raise DatasetError(f"unknown template {name!r} in plan")
+        calls.extend([name] * count)
+    order = rng.permutation(len(calls))
+    return [calls[i] for i in order]
+
+
+def _add_recursive_task(pb: ProgramBuilder, fb, app: str) -> None:
+    """Give BOTS programs their recursive task function + a driver call."""
+    if app == "fib":
+        with pb.function("fib_rec", params=("n",)) as rf:
+            with rf.if_block(rf.cmp("<", "n", 2.0)):
+                rf.ret(rf.var("n"))
+            rf.ret(
+                rf.add(
+                    rf.call("fib_rec", rf.sub("n", 1.0)),
+                    rf.call("fib_rec", rf.sub("n", 2.0)),
+                )
+            )
+        fb.assign("fib_result", fb.call("fib_rec", 8.0))
+    else:  # nqueens-style: recursive descent with a depth bound
+        pb.array("board", 8)
+        with pb.function("place_rec", params=("depth",)) as rf:
+            with rf.if_block(rf.cmp(">=", "depth", 4.0)):
+                rf.ret(1.0)
+            rf.store("board", rf.var("depth"), rf.mul("depth", 2.0))
+            rf.ret(rf.call("place_rec", rf.add("depth", 1.0)))
+        fb.assign("solutions", fb.call("place_rec", 0.0))
+
+
+def compose_app(
+    app: str,
+    suite: str,
+    seed: int,
+    size: int = 16,
+    side: int = 6,
+) -> AppSpec:
+    """Build the AppSpec for ``app`` deterministically from ``seed``."""
+    if app not in APP_PLANS:
+        raise DatasetError(f"no plan for application {app!r}")
+    rng = np.random.default_rng(seed)
+    calls = _interleave_plan(APP_PLANS[app], rng)
+    spec = AppSpec(name=app, suite=suite)
+
+    quirk_candidates: List[str] = []
+    program_no = 0
+    for start in range(0, len(calls), _CALLS_PER_PROGRAM):
+        chunk = calls[start : start + _CALLS_PER_PROGRAM]
+        program_name = f"{app.lower()}_p{program_no}"
+        program_no += 1
+        pb = ProgramBuilder(program_name)
+        with pb.function("main") as fb:
+            ctx = TemplateContext(pb, fb, rng, size=size, side=side)
+            if app in _RECURSIVE_APPS and start == 0:
+                _add_recursive_task(pb, fb, app)
+            for template_name in chunk:
+                TEMPLATES[template_name][0](ctx)
+        program = pb.build()
+        spec.programs.append(program)
+        for loop_id, label, template in ctx.emitted:
+            spec.loops[loop_id] = LabeledLoop(
+                loop_id=loop_id,
+                label=label,
+                template=template,
+                program_name=program_name,
+            )
+            quirk_candidates.append(loop_id)
+
+    # deterministic annotation noise (cf. the paper's IS loop-452 anecdote)
+    n_quirks = int(round(ANNOTATION_QUIRK_FRACTION * len(quirk_candidates)))
+    if n_quirks:
+        picks = rng.choice(len(quirk_candidates), size=n_quirks, replace=False)
+        for pos in picks:
+            loop = spec.loops[quirk_candidates[int(pos)]]
+            loop.label = 1 - loop.label
+            loop.annotation_quirk = True
+    return spec

@@ -1,0 +1,53 @@
+"""Benchmark application containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import DatasetError
+from repro.ir.ast_nodes import Program, count_loops
+
+
+@dataclass
+class LabeledLoop:
+    """One annotated loop of a benchmark application."""
+
+    loop_id: str
+    label: int               # 1 = parallelizable (authored OpenMP annotation)
+    template: str            # template the loop came from
+    program_name: str
+    annotation_quirk: bool = False   # deliberately noisy label (cf. IS #452)
+
+
+@dataclass
+class AppSpec:
+    """A benchmark application: programs + authored loop labels."""
+
+    name: str
+    suite: str
+    programs: List[Program] = field(default_factory=list)
+    loops: Dict[str, LabeledLoop] = field(default_factory=dict)
+
+    @property
+    def loop_count(self) -> int:
+        return len(self.loops)
+
+    def validate(self, expected_loops: int) -> None:
+        actual_in_programs = sum(count_loops(p) for p in self.programs)
+        if actual_in_programs != len(self.loops):
+            raise DatasetError(
+                f"{self.name}: {actual_in_programs} loops in programs but "
+                f"{len(self.loops)} labeled"
+            )
+        if len(self.loops) != expected_loops:
+            raise DatasetError(
+                f"{self.name}: built {len(self.loops)} loops, Table II "
+                f"requires {expected_loops}"
+            )
+
+    def label_counts(self) -> Dict[int, int]:
+        counts = {0: 0, 1: 0}
+        for loop in self.loops.values():
+            counts[loop.label] += 1
+        return counts

@@ -1,0 +1,159 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``table2``
+    Print Table II (loop counts per application) from the composed suite.
+``classify --app NAME``
+    Profile one benchmark application and print per-loop oracle verdicts,
+    pattern classes, and tool votes.
+``suggest --app NAME [--program N]``
+    Print one program of an application as annotated C-like source with
+    OpenMP pragma suggestions.
+``patterns --app NAME``
+    Summarize the parallel-pattern distribution of an application.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+from typing import List, Optional
+
+from repro.analysis import (
+    classify_all_loops,
+    classify_all_patterns,
+    render_report,
+    suggest_parallelization,
+)
+from repro.benchsuite import build_app, app_names
+from repro.experiments.table2 import format_table2, table2_dataset_statistics
+from repro.ir.lowering import lower_program
+from repro.ir.source_printer import program_to_source
+from repro.ir.verify import verify_program
+from repro.profiler import profile_program
+from repro.tools import AutoParLite, DiscoPoPClassifier, PlutoLite
+
+
+def _cmd_table2(_args) -> int:
+    print(format_table2(table2_dataset_statistics()))
+    return 0
+
+
+def _cmd_classify(args) -> int:
+    spec = build_app(args.app)
+    print(f"{args.app} ({spec.suite}): {spec.loop_count} loops, "
+          f"{len(spec.programs)} programs")
+    header = (
+        f"{'loop':<22}{'label':>6}{'oracle':>8}{'pattern':>12}"
+        f"{'Pluto':>7}{'AutoPar':>9}{'DiscoPoP':>10}"
+    )
+    print(header)
+    tools = (PlutoLite(), AutoParLite(), DiscoPoPClassifier())
+    for program in spec.programs:
+        ir = lower_program(program)
+        verify_program(ir)
+        report = profile_program(ir)
+        oracle = classify_all_loops(ir, report)
+        patterns = classify_all_patterns(program, ir, report)
+        votes = {t.name: t.predict(program, ir, report) for t in tools}
+        for loop_id, loop in spec.loops.items():
+            if loop.program_name != program.name:
+                continue
+            short = "/".join(loop_id.split(":")[::2])
+            print(
+                f"{short:<22}"
+                f"{'P' if loop.label else '-':>6}"
+                f"{'P' if oracle[loop_id].parallel else '-':>8}"
+                f"{patterns[loop_id].pattern.value:>12}"
+                f"{'P' if votes['Pluto'].get(loop_id) else '-':>7}"
+                f"{'P' if votes['AutoPar'].get(loop_id) else '-':>9}"
+                f"{'P' if votes['DiscoPoP'].get(loop_id) else '-':>10}"
+            )
+    return 0
+
+
+def _cmd_suggest(args) -> int:
+    spec = build_app(args.app)
+    if not 0 <= args.program < len(spec.programs):
+        print(
+            f"error: {args.app} has programs 0..{len(spec.programs) - 1}",
+            file=sys.stderr,
+        )
+        return 2
+    program = spec.programs[args.program]
+    ir = lower_program(program)
+    verify_program(ir)
+    report = profile_program(ir)
+    suggestions = suggest_parallelization(program, ir, report)
+    print(render_report(suggestions))
+    print()
+    annotations = {lid: s.pragma for lid, s in suggestions.items() if s.pragma}
+    print(program_to_source(program, annotations))
+    return 0
+
+
+def _cmd_patterns(args) -> int:
+    spec = build_app(args.app)
+    counts: Counter = Counter()
+    for program in spec.programs:
+        ir = lower_program(program)
+        report = profile_program(ir)
+        for result in classify_all_patterns(program, ir, report).values():
+            counts[result.pattern.value] += 1
+    print(f"{args.app}: parallel-pattern distribution over "
+          f"{sum(counts.values())} loops")
+    for pattern, count in counts.most_common():
+        print(f"  {pattern:<12} {count:>4}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MV-GNN parallelism-discovery reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table2", help="print Table II").set_defaults(
+        fn=_cmd_table2
+    )
+
+    classify = sub.add_parser(
+        "classify", help="per-loop verdicts for one application"
+    )
+    classify.add_argument("--app", required=True, choices=app_names())
+    classify.set_defaults(fn=_cmd_classify)
+
+    suggest = sub.add_parser(
+        "suggest", help="OpenMP suggestions for one program"
+    )
+    suggest.add_argument("--app", required=True, choices=app_names())
+    suggest.add_argument("--program", type=int, default=0)
+    suggest.set_defaults(fn=_cmd_suggest)
+
+    patterns = sub.add_parser(
+        "patterns", help="pattern distribution of one application"
+    )
+    patterns.add_argument("--app", required=True, choices=app_names())
+    patterns.set_defaults(fn=_cmd_patterns)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # output piped into a pager/head that closed early: not an error
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

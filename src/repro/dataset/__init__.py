@@ -1,0 +1,32 @@
+"""Dataset pipeline: loop extraction, augmentation, balancing, splits."""
+
+from repro.dataset.types import LoopSample, LoopDataset
+from repro.dataset.extraction import extract_loop_samples
+from repro.dataset.transforms import (
+    op_substitution,
+    loop_order_modification,
+    dependence_injection,
+    TRANSFORM_NAMES,
+    apply_transform,
+)
+from repro.dataset.assemble import (
+    DatasetConfig,
+    assemble_dataset,
+    balanced_subset,
+    train_test_split,
+)
+from repro.dataset.stats import (
+    DatasetStats,
+    dataset_stats,
+    template_label_breakdown,
+    quirk_report,
+)
+
+__all__ = [
+    "LoopSample", "LoopDataset",
+    "extract_loop_samples",
+    "op_substitution", "loop_order_modification", "dependence_injection",
+    "TRANSFORM_NAMES", "apply_transform",
+    "DatasetConfig", "assemble_dataset", "balanced_subset", "train_test_split",
+    "DatasetStats", "dataset_stats", "template_label_breakdown", "quirk_report",
+]

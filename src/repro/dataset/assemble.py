@@ -1,0 +1,350 @@
+"""Dataset assembly: benchmark + transformed pools, balancing, splitting.
+
+Reproduces Section IV-A/IV-B: the 840 benchmark loops (authored labels) are
+augmented with source transforms and six compiler-pipeline IR variants
+(oracle labels), balanced to ``n_per_class`` parallel and non-parallel
+examples, and split 75:25 with *no common objects* across the split — all
+variants of one source program land on the same side.
+
+Assembly is expensive (thousands of profiled interpretations); results are
+cached on disk keyed by the configuration hash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.features import FEATURE_NAMES
+from repro.benchsuite.base import AppSpec
+from repro.benchsuite.registry import build_all_apps
+from repro.dataset.extraction import extract_loop_samples
+from repro.dataset.transforms import apply_transform
+from repro.dataset.types import LoopDataset, LoopSample
+from repro.embeddings.anonwalk import AnonymousWalkSpace
+from repro.embeddings.inst2vec import Inst2Vec
+from repro.errors import DatasetError, InterpreterError
+from repro.ir.lowering import lower_program
+from repro.ir.passes import apply_pipeline
+from repro.ir.verify import verify_program
+from repro.utils.cache import DiskCache, stable_hash
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+#: bump when extraction/assembly semantics change; invalidates disk caches
+_PIPELINE_VERSION = 2
+
+
+@dataclass
+class DatasetConfig:
+    """Dataset pipeline configuration (paper defaults)."""
+
+    seed: int = 7
+    semantic_dim: int = 200            # inst2vec + 7 dynamic features
+    walk_length: int = 4
+    gamma: int = 30
+    n_per_class: int = 3100
+    pipelines: Tuple[str, ...] = (
+        "O0", "O1-fold", "O1-dce", "O2-cse", "O2-licm", "O2-unroll",
+    )
+    transforms: Tuple[str, ...] = ("ops", "order", "dep", "dep")
+    train_fraction: float = 0.75
+    inst2vec_epochs: int = 3
+    use_cache: bool = True
+
+    @classmethod
+    def fast(cls, seed: int = 7) -> "DatasetConfig":
+        """CPU-friendly configuration for tests and default benchmark runs."""
+        return cls(
+            seed=seed,
+            gamma=12,
+            n_per_class=400,
+            pipelines=("O0", "O2-licm"),
+            transforms=("ops", "dep"),
+            inst2vec_epochs=2,
+        )
+
+    @property
+    def inst2vec_dim(self) -> int:
+        return self.semantic_dim - len(FEATURE_NAMES)
+
+    def cache_key(self) -> str:
+        payload = asdict(self)
+        payload.pop("use_cache")
+        payload["pipeline_version"] = _PIPELINE_VERSION
+        return "dataset-" + stable_hash(payload)
+
+
+@dataclass
+class AssembledData:
+    """Everything the training and evaluation harnesses consume."""
+
+    config: DatasetConfig
+    benchmark: LoopDataset          # the 840 Table II loops (authored labels)
+    generated: LoopDataset          # transformed pool (oracle labels)
+    train: LoopDataset              # balanced 75% split
+    test: LoopDataset               # balanced 25% split
+    inst2vec: Inst2Vec
+    walk_space: AnonymousWalkSpace
+
+    def train_groups(self) -> set:
+        """Base-program groups present in the training split."""
+        return {_base_program_key(s) for s in self.train}
+
+    def test_suite(self, suite: str) -> LoopDataset:
+        """Test-split samples of one evaluation suite (Table III rows)."""
+        return LoopDataset(
+            [s for s in self.test if s.suite == suite], name=f"test/{suite}"
+        )
+
+    def benchmark_eval(self, suite: str) -> LoopDataset:
+        """Held-out benchmark loops of one suite (Table III evaluation set):
+        all Table II samples of the suite whose source program contributed
+        nothing to training."""
+        held = self.train_groups()
+        return LoopDataset(
+            [
+                s
+                for s in self.benchmark
+                if s.suite == suite and _base_program_key(s) not in held
+            ],
+            name=f"eval/{suite}",
+        )
+
+
+def assemble_dataset(config: Optional[DatasetConfig] = None) -> AssembledData:
+    """Build (or load from cache) the full classification dataset."""
+    config = config or DatasetConfig()
+    cache = DiskCache() if config.use_cache else None
+    if cache is not None:
+        cached = cache.get(config.cache_key())
+        if cached is not None:
+            return cached
+    data = _assemble(config)
+    if cache is not None:
+        cache.put(config.cache_key(), data)
+    return data
+
+
+def _assemble(config: DatasetConfig) -> AssembledData:
+    rng = ensure_rng(config.seed)
+    extract_rng, balance_rng, split_rng, transform_rng, i2v_rng = spawn_rngs(
+        rng, 5
+    )
+
+    apps = build_all_apps()
+
+    # -- inst2vec trained on the base-program IR corpus --------------------
+    base_irs = []
+    for app in apps:
+        for program in app.programs:
+            ir = lower_program(program)
+            verify_program(ir)
+            base_irs.append(ir)
+    inst2vec = Inst2Vec(dim=config.inst2vec_dim).train(
+        base_irs, epochs=config.inst2vec_epochs, rng=i2v_rng
+    )
+    walk_space = AnonymousWalkSpace(config.walk_length)
+
+    # -- benchmark pool: authored labels, O0 variant -----------------------------
+    benchmark_samples: List[LoopSample] = []
+    for app in apps:
+        for program in app.programs:
+            labels = {
+                loop_id: loop.label
+                for loop_id, loop in app.loops.items()
+                if loop.program_name == program.name
+            }
+            benchmark_samples.extend(
+                extract_loop_samples(
+                    program,
+                    labels,
+                    inst2vec,
+                    walk_space,
+                    suite=app.suite,
+                    app=app.name,
+                    gamma=config.gamma,
+                    variant="O0",
+                    rng=extract_rng,
+                )
+            )
+
+    # -- generated pool: pipeline variants + source transforms, oracle labels --
+    generated_samples: List[LoopSample] = []
+    for app in apps:
+        for program in app.programs:
+            base_ir = lower_program(program)
+            for pipeline_name in config.pipelines:
+                if pipeline_name == "O0":
+                    continue  # the O0 view of the source is the benchmark pool
+                variant_ir = apply_pipeline(base_ir, pipeline_name)
+                generated_samples.extend(
+                    _safe_extract(
+                        program, variant_ir, pipeline_name, app, inst2vec,
+                        walk_space, config, extract_rng,
+                    )
+                )
+            for t_pos, transform_name in enumerate(config.transforms):
+                transformed = apply_transform(
+                    program, transform_name, rng=transform_rng
+                )
+                transformed.name = f"{program.name}+{transform_name}{t_pos}"
+                try:
+                    t_ir = lower_program(transformed)
+                    verify_program(t_ir)
+                except Exception:
+                    continue
+                # transformed sources also go through the compiler pipelines
+                # ("six different LLVM-IR intermediary representations of
+                # each source code", Section IV-A)
+                for pipeline_name in config.pipelines:
+                    variant_ir = (
+                        t_ir
+                        if pipeline_name == "O0"
+                        else apply_pipeline(t_ir, pipeline_name)
+                    )
+                    generated_samples.extend(
+                        _safe_extract(
+                            transformed, variant_ir, pipeline_name, app,
+                            inst2vec, walk_space, config, extract_rng,
+                        )
+                    )
+
+    benchmark = LoopDataset(benchmark_samples, name="benchmark")
+    generated = LoopDataset(generated_samples, name="generated")
+
+    train, test = _balance_and_split(
+        benchmark, generated, config, balance_rng, split_rng
+    )
+    return AssembledData(
+        config=config,
+        benchmark=benchmark,
+        generated=generated,
+        train=train,
+        test=test,
+        inst2vec=inst2vec,
+        walk_space=walk_space,
+    )
+
+
+def _safe_extract(
+    program, ir_program, variant, app, inst2vec, walk_space, config, rng
+) -> List[LoopSample]:
+    """Extract with oracle labels; a variant that fails to run is skipped
+    (e.g. an interchanged nest that walks out of bounds)."""
+    try:
+        return extract_loop_samples(
+            program,
+            None,
+            inst2vec,
+            walk_space,
+            suite="Generated",
+            app=app.name,
+            gamma=config.gamma,
+            variant=variant,
+            ir_program=ir_program,
+            rng=rng,
+        )
+    except InterpreterError:
+        return []
+
+
+def _base_program_key(sample: LoopSample) -> str:
+    """Group key: all variants of one source program share it."""
+    return sample.program_name.split("+")[0]
+
+
+def _balance_and_split(
+    benchmark: LoopDataset,
+    generated: LoopDataset,
+    config: DatasetConfig,
+    balance_rng: np.random.Generator,
+    split_rng: np.random.Generator,
+) -> Tuple[LoopDataset, LoopDataset]:
+    pool = list(benchmark) + list(generated)
+    positives = [s for s in pool if s.label == 1]
+    negatives = [s for s in pool if s.label == 0]
+    n = min(config.n_per_class, len(positives), len(negatives))
+    if n == 0:
+        raise DatasetError("dataset pool has an empty class")
+
+    chosen = balanced_subset(positives, negatives, n, balance_rng)
+    return train_test_split(
+        chosen, config.train_fraction, split_rng, group_key=_base_program_key
+    )
+
+
+def balanced_subset(
+    positives: Sequence[LoopSample],
+    negatives: Sequence[LoopSample],
+    n_per_class: int,
+    rng: np.random.Generator,
+) -> List[LoopSample]:
+    """Deterministically sample n examples of each class."""
+    if n_per_class > len(positives) or n_per_class > len(negatives):
+        raise DatasetError(
+            f"requested {n_per_class} per class but pools are "
+            f"{len(positives)}/{len(negatives)}"
+        )
+    pos_idx = rng.choice(len(positives), size=n_per_class, replace=False)
+    neg_idx = rng.choice(len(negatives), size=n_per_class, replace=False)
+    return [positives[int(i)] for i in pos_idx] + [
+        negatives[int(i)] for i in neg_idx
+    ]
+
+
+def train_test_split(
+    samples: Sequence[LoopSample],
+    train_fraction: float,
+    rng: np.random.Generator,
+    group_key=_base_program_key,
+) -> Tuple[LoopDataset, LoopDataset]:
+    """Grouped, app-stratified split.
+
+    Every group (a source program and all its variants) lands entirely in
+    train or test ("no common objects", Section IV-B), and the split is
+    stratified per application so every Table III evaluation suite retains
+    held-out loops.  Within each app, at least one group goes to test; apps
+    with a single source program (the small BOTS codes) go entirely to test
+    — their handful of loops contributes evaluation signal, not training
+    signal, exactly as a held-out suite should.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise DatasetError("train_fraction must be in (0, 1)")
+    # app -> group name -> samples
+    by_app: Dict[str, Dict[str, List[LoopSample]]] = {}
+    for sample in samples:
+        by_app.setdefault(sample.app, {}).setdefault(
+            group_key(sample), []
+        ).append(sample)
+
+    train: List[LoopSample] = []
+    test: List[LoopSample] = []
+    for app in sorted(by_app):
+        groups = by_app[app]
+        names = sorted(groups)
+        if len(names) == 1:
+            test.extend(groups[names[0]])
+            continue
+        order = rng.permutation(len(names))
+        app_total = sum(len(groups[n]) for n in names)
+        target = train_fraction * app_total
+        filled = 0
+        sent_to_test = 0
+        for rank, pos in enumerate(order):
+            group = groups[names[int(pos)]]
+            remaining = len(order) - rank
+            # leave at least one group for the test side
+            if filled < target and remaining > max(1 - sent_to_test, 0):
+                train.extend(group)
+                filled += len(group)
+            else:
+                test.extend(group)
+                sent_to_test += 1
+    if not train or not test:
+        raise DatasetError("degenerate split: one side is empty")
+    return (
+        LoopDataset(train, name="train"),
+        LoopDataset(test, name="test"),
+    )

@@ -1,0 +1,101 @@
+"""Dataset statistics and diagnostics.
+
+Reporting helpers used by documentation, the benchmark harness, and anyone
+auditing what the dataset pipeline produced: per-template label breakdowns,
+label-source agreement (authored vs oracle vs tools), and sub-PEG size
+distributions.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.benchsuite.base import AppSpec
+from repro.dataset.types import LoopDataset
+
+
+@dataclass
+class DatasetStats:
+    """Aggregate statistics of one LoopDataset."""
+
+    n_samples: int
+    class_counts: Tuple[int, int]
+    suites: Dict[str, int]
+    apps: Dict[str, int]
+    node_count_quantiles: Tuple[float, float, float]  # p10, p50, p90
+    statement_length_quantiles: Tuple[float, float, float]
+    tool_agreement: Dict[str, float]   # tool -> fraction matching labels
+
+    def format(self) -> str:
+        neg, pos = self.class_counts
+        lines = [
+            f"samples: {self.n_samples}  ({pos} parallel / {neg} not)",
+            f"suites:  {dict(sorted(self.suites.items()))}",
+            f"sub-PEG nodes (p10/p50/p90): "
+            f"{self.node_count_quantiles[0]:.0f} / "
+            f"{self.node_count_quantiles[1]:.0f} / "
+            f"{self.node_count_quantiles[2]:.0f}",
+            f"statement sequence length (p10/p50/p90): "
+            f"{self.statement_length_quantiles[0]:.0f} / "
+            f"{self.statement_length_quantiles[1]:.0f} / "
+            f"{self.statement_length_quantiles[2]:.0f}",
+        ]
+        for tool, agreement in sorted(self.tool_agreement.items()):
+            lines.append(f"{tool} agreement with labels: {agreement:.3f}")
+        return "\n".join(lines)
+
+
+def dataset_stats(data: LoopDataset) -> DatasetStats:
+    """Compute aggregate statistics of ``data``."""
+    if not len(data):
+        return DatasetStats(0, (0, 0), {}, {}, (0, 0, 0), (0, 0, 0), {})
+    suites = Counter(s.suite for s in data)
+    apps = Counter(s.app for s in data)
+    nodes = np.array([s.num_nodes for s in data], dtype=np.float64)
+    lengths = np.array([len(s.statements) for s in data], dtype=np.float64)
+    labels = data.labels()
+
+    agreement: Dict[str, float] = {}
+    tool_names = set()
+    for sample in data:
+        tool_names.update(sample.tool_votes)
+    for tool in tool_names:
+        votes = np.array(
+            [s.tool_votes.get(tool, 0) for s in data], dtype=np.int64
+        )
+        agreement[tool] = float((votes == labels).mean())
+
+    def quantiles(values: np.ndarray) -> Tuple[float, float, float]:
+        return tuple(np.percentile(values, (10, 50, 90)))
+
+    return DatasetStats(
+        n_samples=len(data),
+        class_counts=data.class_counts(),
+        suites=dict(suites),
+        apps=dict(apps),
+        node_count_quantiles=quantiles(nodes),
+        statement_length_quantiles=quantiles(lengths),
+        tool_agreement=agreement,
+    )
+
+
+def template_label_breakdown(spec: AppSpec) -> Dict[str, Tuple[int, int]]:
+    """Per-template (negative, positive) authored-label counts of one app."""
+    out: Dict[str, List[int]] = defaultdict(lambda: [0, 0])
+    for loop in spec.loops.values():
+        out[loop.template][loop.label] += 1
+    return {k: (v[0], v[1]) for k, v in sorted(out.items())}
+
+
+def quirk_report(spec: AppSpec) -> Tuple[int, List[str]]:
+    """(number of annotation quirks, their loop ids) for one application."""
+    quirks = [
+        loop_id
+        for loop_id, loop in spec.loops.items()
+        if loop.annotation_quirk
+    ]
+    return len(quirks), sorted(quirks)

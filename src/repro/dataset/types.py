@@ -1,0 +1,104 @@
+"""Dataset item types.
+
+A :class:`LoopSample` is one classification example: everything every model
+family needs, precomputed once —
+
+* the sub-PEG's undirected adjacency (GNN views),
+* semantic node features (inst2vec mean + dynamic features, 200-d),
+* structural node features (anonymous-walk distributions),
+* the flat statement sequence (NCC's LSTM input),
+* the Table I loop feature vector (classical ML baselines and tools),
+* the oracle/annotation label and provenance metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+
+@dataclass
+class LoopSample:
+    """One labeled loop example."""
+
+    sample_id: str                  # unique: program/pipeline/loop
+    loop_id: str
+    program_name: str               # source program (augmentation-invariant)
+    app: str                        # benchmark application (e.g. "BT")
+    suite: str                      # "NPB" | "PolyBench" | "BOTS" | "Generated"
+    label: int                      # 1 = parallelizable
+    adjacency: np.ndarray           # (n, n) undirected {0,1}
+    x_semantic: np.ndarray          # (n, d_sem)
+    x_structural: np.ndarray        # (n, n_walk_types)
+    statements: List[str]           # flat statement token sequence
+    loop_features: np.ndarray       # Table I vector (7,)
+    tool_votes: Dict[str, int] = field(default_factory=dict)
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.adjacency.shape[0])
+
+    def validate(self) -> None:
+        n = self.adjacency.shape[0]
+        if self.adjacency.shape != (n, n):
+            raise DatasetError(f"{self.sample_id}: adjacency not square")
+        if self.x_semantic.shape[0] != n or self.x_structural.shape[0] != n:
+            raise DatasetError(
+                f"{self.sample_id}: node feature row counts do not match "
+                f"adjacency ({self.x_semantic.shape[0]}, "
+                f"{self.x_structural.shape[0]} vs {n})"
+            )
+        if self.label not in (0, 1):
+            raise DatasetError(f"{self.sample_id}: label must be 0/1")
+
+
+@dataclass
+class LoopDataset:
+    """A list of samples with split bookkeeping."""
+
+    samples: List[LoopSample]
+    name: str = "dataset"
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __iter__(self):
+        return iter(self.samples)
+
+    def __getitem__(self, index: int) -> LoopSample:
+        return self.samples[index]
+
+    def labels(self) -> np.ndarray:
+        return np.array([s.label for s in self.samples], dtype=np.int64)
+
+    def by_suite(self, suite: str) -> "LoopDataset":
+        return LoopDataset(
+            [s for s in self.samples if s.suite == suite],
+            name=f"{self.name}/{suite}",
+        )
+
+    def by_app(self, app: str) -> "LoopDataset":
+        return LoopDataset(
+            [s for s in self.samples if s.app == app], name=f"{self.name}/{app}"
+        )
+
+    def class_counts(self) -> Tuple[int, int]:
+        labels = self.labels()
+        return int((labels == 0).sum()), int((labels == 1).sum())
+
+    def feature_matrix(self) -> np.ndarray:
+        """(n_samples, 7) Table I feature matrix for classical baselines."""
+        return np.stack([s.loop_features for s in self.samples])
+
+    def summary(self) -> str:
+        neg, pos = self.class_counts()
+        suites = sorted({s.suite for s in self.samples})
+        return (
+            f"LoopDataset({self.name}: {len(self)} samples, "
+            f"{pos} parallel / {neg} non-parallel, suites={suites})"
+        )

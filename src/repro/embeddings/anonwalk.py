@@ -1,0 +1,176 @@
+"""Anonymous random-walk structural embeddings (Section III-C, Eq. 3-4).
+
+Following Ivanov & Burnaev (2018) and the paper's Definition 1: a random
+walk ``w = (w1..wn)`` maps to its *anonymous* form by replacing each node
+with the index of its first occurrence — ``(v1,v2,v3,v2)`` becomes
+``(0,1,2,1)``.  For each node we sample ``gamma`` walks of ``length`` edges
+over the undirected PEG topology and build the empirical distribution
+``p̂(ω | v)`` over the finite space of anonymous walk types (Eq. 3); the
+graph-level distribution is the node mean (Eq. 4).
+
+Walks from nodes whose component is too small to sustain ``length`` steps
+terminate early; each truncated pattern is mapped to the type of its padded
+completion by self-repetition, keeping the distribution a proper probability
+vector without a blow-up of the type space.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import EmbeddingError
+from repro.peg.graph import PEG
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def anonymize_walk(walk: Sequence) -> Tuple[int, ...]:
+    """Map a walk to its anonymous form (first-occurrence indices)."""
+    mapping: Dict = {}
+    out: List[int] = []
+    for node in walk:
+        if node not in mapping:
+            mapping[node] = len(mapping)
+        out.append(mapping[node])
+    return tuple(out)
+
+
+@lru_cache(maxsize=16)
+def enumerate_anonymous_walks(length: int) -> Tuple[Tuple[int, ...], ...]:
+    """All anonymous walk types of ``length`` edges (``length+1`` nodes).
+
+    A valid type is a sequence starting at 0 where each element is at most
+    ``max(prefix)+1`` and consecutive elements differ (graph walks never
+    repeat a node immediately because edges connect distinct nodes).
+    """
+    if length < 0:
+        raise EmbeddingError("walk length must be non-negative")
+    walks: List[Tuple[int, ...]] = []
+
+    def extend(prefix: Tuple[int, ...], highest: int) -> None:
+        if len(prefix) == length + 1:
+            walks.append(prefix)
+            return
+        for nxt in range(highest + 2):
+            if nxt != prefix[-1]:
+                extend(prefix + (nxt,), max(highest, nxt))
+
+    extend((0,), 0)
+    return tuple(walks)
+
+
+class AnonymousWalkSpace:
+    """Index of anonymous walk types for a fixed walk length."""
+
+    def __init__(self, length: int = 4) -> None:
+        self.length = length
+        self.types = enumerate_anonymous_walks(length)
+        self.index: Dict[Tuple[int, ...], int] = {
+            t: i for i, t in enumerate(self.types)
+        }
+
+    @property
+    def num_types(self) -> int:
+        return len(self.types)
+
+    def type_of(self, walk: Sequence) -> int:
+        """Type index of a (possibly truncated) walk."""
+        anonymous = anonymize_walk(walk)
+        if len(anonymous) < self.length + 1:
+            # pad truncated walks by oscillating on the final step so the
+            # padded pattern is a valid anonymous type
+            padded = list(anonymous)
+            while len(padded) < self.length + 1:
+                padded.append(
+                    padded[-2] if len(padded) >= 2 else max(padded) + 1
+                )
+            anonymous = tuple(padded)
+        type_id = self.index.get(anonymous)
+        if type_id is None:
+            raise EmbeddingError(f"invalid anonymous walk {anonymous}")
+        return type_id
+
+
+def _undirected_adjacency(peg: PEG) -> Dict[str, List[str]]:
+    adj: Dict[str, List[str]] = {nid: [] for nid in peg.nodes}
+    for edge in peg.edges:
+        if edge.src == edge.dst:
+            continue
+        adj[edge.src].append(edge.dst)
+        adj[edge.dst].append(edge.src)
+    return adj
+
+
+def node_walk_distribution(
+    peg: PEG,
+    node_id: str,
+    space: AnonymousWalkSpace,
+    gamma: int = 30,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Empirical anonymous-walk distribution p̂(ω | v) of one node (Eq. 3)."""
+    rng = ensure_rng(rng)
+    adj = _undirected_adjacency(peg)
+    return _node_distribution(adj, node_id, space, gamma, rng)
+
+
+def _node_distribution(
+    adj: Dict[str, List[str]],
+    node_id: str,
+    space: AnonymousWalkSpace,
+    gamma: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    counts = np.zeros(space.num_types)
+    neighbors = adj.get(node_id)
+    if neighbors is None:
+        raise EmbeddingError(f"node {node_id!r} not in graph")
+    # pre-draw all step randomness at once (one Generator call per node,
+    # not one per step — the walks dominate dataset-extraction time)
+    draws = rng.random((gamma, space.length))
+    for row in range(gamma):
+        walk = [node_id]
+        current = node_id
+        for step in range(space.length):
+            nbrs = adj[current]
+            if not nbrs:
+                break
+            current = nbrs[int(draws[row, step] * len(nbrs))]
+            walk.append(current)
+        counts[space.type_of(walk)] += 1.0
+    return counts / gamma
+
+
+def structural_node_features(
+    peg: PEG,
+    space: AnonymousWalkSpace,
+    gamma: int = 30,
+    rng: RngLike = None,
+) -> Tuple[List[str], np.ndarray]:
+    """Walk distributions for every node: (node ids, (n, num_types) matrix).
+
+    This is the structural-view input; the model projects it through a
+    learned walk-type embedding table (the paper's 400-unit layer).
+    """
+    rng = ensure_rng(rng)
+    adj = _undirected_adjacency(peg)
+    node_ids = list(peg.nodes)
+    features = np.zeros((len(node_ids), space.num_types))
+    for row, node_id in enumerate(node_ids):
+        features[row] = _node_distribution(adj, node_id, space, gamma, rng)
+    return node_ids, features
+
+
+def graph_walk_distribution(
+    peg: PEG,
+    space: AnonymousWalkSpace,
+    gamma: int = 30,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Graph-level mean anonymous-walk distribution p̂(ω | G) (Eq. 4)."""
+    _ids, features = structural_node_features(peg, space, gamma, rng)
+    if features.shape[0] == 0:
+        return np.zeros(space.num_types)
+    return features.mean(axis=0)

@@ -1,0 +1,72 @@
+"""Statement vocabulary for inst2vec.
+
+Tokens are the normalized LinearIR statement strings produced by
+:func:`repro.ir.printer.statement_text` — identifier-abstracted, the same
+normalization inst2vec applies to LLVM IR statements.  ``<unk>`` covers
+statements outside the trained vocabulary, ``loop`` / ``func`` cover the
+non-CU PEG node kinds.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence
+
+from repro.errors import EmbeddingError
+
+UNK = "<unk>"
+
+
+class Vocabulary:
+    """Token <-> id mapping with an ``<unk>`` fallback at id 0."""
+
+    def __init__(self, tokens: Sequence[str]) -> None:
+        unique: List[str] = [UNK]
+        seen = {UNK}
+        for token in tokens:
+            if token not in seen:
+                seen.add(token)
+                unique.append(token)
+        self._tokens = unique
+        self._ids: Dict[str, int] = {t: i for i, t in enumerate(unique)}
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._ids
+
+    def id_of(self, token: str) -> int:
+        return self._ids.get(token, 0)
+
+    def token_of(self, token_id: int) -> str:
+        if not 0 <= token_id < len(self._tokens):
+            raise EmbeddingError(f"token id {token_id} out of range")
+        return self._tokens[token_id]
+
+    def encode(self, tokens: Iterable[str]) -> List[int]:
+        ids = self._ids
+        return [ids.get(t, 0) for t in tokens]
+
+    @property
+    def tokens(self) -> List[str]:
+        return list(self._tokens)
+
+
+def build_vocabulary(
+    corpus: Iterable[Sequence[str]], min_count: int = 1
+) -> Vocabulary:
+    """Build a vocabulary from an iterable of statement sequences.
+
+    ``min_count`` drops rare statements to ``<unk>`` like word2vec's
+    frequency cutoff.  The special node-kind tokens ``loop`` and ``func``
+    are always included.
+    """
+    counts: Counter = Counter()
+    for sequence in corpus:
+        counts.update(sequence)
+    kept = [t for t, c in counts.most_common() if c >= min_count]
+    for special in ("loop", "func"):
+        if special not in kept:
+            kept.append(special)
+    return Vocabulary(kept)

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class IRError(ReproError):
+    """Malformed MiniC AST or LinearIR (failed verification, bad operands)."""
+
+
+class LoweringError(IRError):
+    """The AST -> LinearIR lowering encountered an unsupported construct."""
+
+
+class InterpreterError(ReproError):
+    """Runtime failure while executing LinearIR (bad memory access, etc.)."""
+
+
+class ProfilingError(ReproError):
+    """Dynamic profiling could not produce a dependence report."""
+
+
+class GraphError(ReproError):
+    """Invalid PEG construction or query."""
+
+
+class EmbeddingError(ReproError):
+    """Vocabulary / embedding failure (unknown statement, bad dimensions)."""
+
+
+class ModelError(ReproError):
+    """Neural-network model misconfiguration or shape mismatch."""
+
+
+class DatasetError(ReproError):
+    """Dataset assembly failure (bad split, unbalanced classes, etc.)."""
+
+
+class ToolError(ReproError):
+    """A tool baseline (pluto_lite / autopar_lite / discopop_cls) failed."""
+
+
+class ConfigError(ReproError):
+    """Invalid experiment or training configuration."""

@@ -1,0 +1,119 @@
+"""Shared experiment plumbing: dataset context + configured adapters.
+
+``REPRO_FULL=1`` in the environment switches every experiment from the
+CPU-friendly fast configuration to the paper-fidelity one (3100+3100
+dataset, six pipelines, 200 epochs, SortPooling k=135) — hours of CPU time;
+EXPERIMENTS.md records results from both.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.dataset.assemble import AssembledData, DatasetConfig, assemble_dataset
+from repro.models.dgcnn import DGCNNConfig
+from repro.models.mvgnn import MVGNNConfig
+from repro.models.ncc import NCCConfig
+from repro.train.adapters import (
+    MVGNNAdapter,
+    NCCAdapter,
+    SingleViewAdapter,
+    StaticGNNAdapter,
+)
+from repro.train.config import TrainConfig
+from repro.utils.rng import RngLike
+
+
+def full_mode() -> bool:
+    return os.environ.get("REPRO_FULL", "0") not in ("0", "", "false")
+
+
+@dataclass
+class ExperimentContext:
+    """Dataset + configs shared by all experiments in one run."""
+
+    data: AssembledData
+    train_config: TrainConfig
+    seed: int = 17
+
+    @property
+    def walk_types(self) -> int:
+        return self.data.walk_space.num_types
+
+    @property
+    def semantic_dim(self) -> int:
+        return self.data.config.semantic_dim
+
+
+def build_context(
+    seed: int = 17,
+    dataset_config: Optional[DatasetConfig] = None,
+    train_config: Optional[TrainConfig] = None,
+) -> ExperimentContext:
+    if dataset_config is None:
+        dataset_config = (
+            DatasetConfig() if full_mode() else DatasetConfig.fast()
+        )
+    if train_config is None:
+        train_config = TrainConfig.paper() if full_mode() else TrainConfig.fast()
+    data = assemble_dataset(dataset_config)
+    return ExperimentContext(data=data, train_config=train_config, seed=seed)
+
+
+def _dgcnn_config(ctx: ExperimentContext, in_features: int) -> DGCNNConfig:
+    return DGCNNConfig(
+        in_features=in_features,
+        sortpool_k=ctx.train_config.sortpool_k,
+        # paper uses 0.5 on a 6200-example dataset; the fast configuration
+        # trains on far fewer examples and needs less regularization
+        dropout=0.5 if full_mode() else 0.3,
+    )
+
+
+def make_mvgnn_adapter(ctx: ExperimentContext, rng: RngLike = None) -> MVGNNAdapter:
+    config = MVGNNConfig(
+        semantic_features=ctx.semantic_dim,
+        walk_types=ctx.walk_types,
+        node_view=_dgcnn_config(ctx, ctx.semantic_dim),
+        struct_view=_dgcnn_config(ctx, 200),
+        temperature=ctx.train_config.temperature,
+    )
+    return MVGNNAdapter(config, rng=rng if rng is not None else ctx.seed)
+
+
+def make_static_gnn_adapter(
+    ctx: ExperimentContext, rng: RngLike = None
+) -> StaticGNNAdapter:
+    return StaticGNNAdapter(
+        _dgcnn_config(ctx, ctx.semantic_dim),
+        rng=rng if rng is not None else ctx.seed + 1,
+    )
+
+
+def make_ncc_adapter(ctx: ExperimentContext, rng: RngLike = None) -> NCCAdapter:
+    config = NCCConfig(
+        embedding_dim=ctx.data.inst2vec.dim,
+        lstm_units=200 if full_mode() else 64,
+        max_length=160 if full_mode() else 48,
+    )
+    return NCCAdapter(
+        config, ctx.data.inst2vec, rng=rng if rng is not None else ctx.seed + 2
+    )
+
+
+def make_view_adapters(
+    ctx: ExperimentContext, rng: RngLike = None
+) -> Tuple[SingleViewAdapter, SingleViewAdapter]:
+    base = ctx.seed if rng is None else rng
+    node = SingleViewAdapter(
+        "node", _dgcnn_config(ctx, ctx.semantic_dim), rng=base
+    )
+    struct = SingleViewAdapter(
+        "structural",
+        _dgcnn_config(ctx, 64),
+        walk_types=ctx.walk_types,
+        rng=base,
+    )
+    return node, struct

@@ -1,0 +1,116 @@
+"""Figure 1 (as a runnable experiment): stencil vs reduction patterns are
+separable from graph structure alone.
+
+The paper's Fig. 1 argues that for parallelization patterns like stencil and
+reduction, "graph structure patterns can be easily captured for
+classification".  We make that quantitative: anonymous-walk distributions of
+stencil sub-PEGs and reduction sub-PEGs form well-separated clusters —
+the between-class distance exceeds the within-class spread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.benchsuite.templates import TEMPLATES, TemplateContext
+from repro.embeddings.anonwalk import AnonymousWalkSpace
+from repro.ir.builder import ProgramBuilder
+from repro.ir.lowering import lower_program
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class Fig1Result:
+    within_stencil: float
+    within_reduction: float
+    between: float
+
+    @property
+    def separable(self) -> bool:
+        return self.between > max(self.within_stencil, self.within_reduction)
+
+    def format(self) -> str:
+        return (
+            f"anonymous-walk distribution distances (L1):\n"
+            f"  within stencil loops    {self.within_stencil:.3f}\n"
+            f"  within reduction loops  {self.within_reduction:.3f}\n"
+            f"  between the two classes {self.between:.3f}\n"
+            f"  separable: {self.separable} (paper Fig. 1: structure alone "
+            f"distinguishes these patterns)"
+        )
+
+
+def _pattern_distributions(
+    template: str, n_instances: int, walk_space: AnonymousWalkSpace, seed: int
+) -> List[np.ndarray]:
+    """Anonymous-walk distributions of each instance's per-iteration
+    dependence graph (the granularity of the paper's Fig. 1 diagrams)."""
+    from repro.analysis.critical_path import dependence_dag
+    from repro.profiler.interpreter import profile_program
+
+    rng = ensure_rng(seed)
+    distributions: List[np.ndarray] = []
+    for instance in range(n_instances):
+        pb = ProgramBuilder(f"fig1_{template}_{instance}")
+        with pb.function("main") as fb:
+            ctx = TemplateContext(pb, fb, rng)
+            TEMPLATES[template][0](ctx)
+        program = pb.build()
+        ir = lower_program(program)
+        report = profile_program(ir)
+        loop_id = ctx.emitted[-1][0]
+        nodes, adjacency = dependence_dag(
+            ir.function("main"), loop_id, report
+        )
+        # undirected neighbor lists over the dependence DAG
+        neighbors = {node: [] for node in nodes}
+        for src, dsts in adjacency.items():
+            for dst in dsts:
+                if src != dst:
+                    neighbors[src].append(dst)
+                    neighbors[dst].append(src)
+        dist = np.zeros(walk_space.num_types)
+        draws = rng.random((len(nodes) * 20, walk_space.length))
+        row = 0
+        for node in nodes:
+            for _ in range(20):
+                walk = [node]
+                current = node
+                for step in range(walk_space.length):
+                    nbrs = neighbors[current]
+                    if not nbrs:
+                        break
+                    current = nbrs[int(draws[row, step] * len(nbrs))]
+                    walk.append(current)
+                dist[walk_space.type_of(walk)] += 1.0
+                row += 1
+        distributions.append(dist / max(dist.sum(), 1.0))
+    return distributions
+
+
+def _mean_pairwise_l1(group_a: List[np.ndarray], group_b: List[np.ndarray]) -> float:
+    distances = [
+        float(np.abs(a - b).sum())
+        for pos, a in enumerate(group_a)
+        for b in (group_b[pos + 1 :] if group_a is group_b else group_b)
+    ]
+    return float(np.mean(distances)) if distances else 0.0
+
+
+def fig1_structural_patterns(
+    n_instances: int = 8, walk_length: int = 4, seed: int = 5
+) -> Fig1Result:
+    """Measure structural separability of stencil vs reduction loops."""
+    space = AnonymousWalkSpace(walk_length)
+    stencil = _pattern_distributions("stencil3", n_instances, space, seed)
+    reduction = _pattern_distributions(
+        "reduction_sum", n_instances, space, seed + 1
+    )
+    return Fig1Result(
+        within_stencil=_mean_pairwise_l1(stencil, stencil),
+        within_reduction=_mean_pairwise_l1(reduction, reduction),
+        between=_mean_pairwise_l1(stencil, reduction),
+    )

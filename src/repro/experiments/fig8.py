@@ -1,0 +1,64 @@
+"""Figure 8: importance of the two views per benchmark suite.
+
+Paper findings to reproduce in shape: the views agree broadly (multi-view
+beats either alone) and the node-feature view is the more important one on
+all three suites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.train.importance import view_importance
+from repro.train.trainer import train_model
+from repro.experiments.common import (
+    ExperimentContext,
+    make_mvgnn_adapter,
+    make_view_adapters,
+)
+
+#: Approximate values read off the paper's Fig. 8 bar chart.
+PAPER_FIG_8: Dict[str, Dict[str, float]] = {
+    "NPB": {"IMP_n": 0.96, "IMP_s": 0.88},
+    "PolyBench": {"IMP_n": 0.94, "IMP_s": 0.90},
+    "BOTS": {"IMP_n": 0.90, "IMP_s": 0.82},
+}
+
+
+@dataclass
+class Fig8Result:
+    importance: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def format(self) -> str:
+        lines = [
+            f"{'Benchmark':<12}{'IMP_n':>8}{'IMP_s':>8}"
+            f"{'paper n':>9}{'paper s':>9}"
+        ]
+        for suite, values in self.importance.items():
+            paper = PAPER_FIG_8.get(suite, {})
+            lines.append(
+                f"{suite:<12}{values['IMP_n']:>8.2f}{values['IMP_s']:>8.2f}"
+                f"{paper.get('IMP_n', float('nan')):>9.2f}"
+                f"{paper.get('IMP_s', float('nan')):>9.2f}"
+            )
+        return "\n".join(lines)
+
+
+def fig8_view_importance(
+    ctx: ExperimentContext, verbose: bool = False
+) -> Fig8Result:
+    """Train the multi-view model and both single-view models, then compute
+    IMP_n / IMP_s per suite."""
+    multi = make_mvgnn_adapter(ctx)
+    node_view, struct_view = make_view_adapters(ctx)
+    for adapter in (multi, node_view, struct_view):
+        train_model(adapter, ctx.data.train, ctx.train_config, verbose=verbose)
+
+    suites = {
+        suite: ctx.data.benchmark.by_suite(suite)
+        for suite in ("NPB", "PolyBench", "BOTS")
+    }
+    return Fig8Result(
+        importance=view_importance(multi, node_view, struct_view, suites)
+    )

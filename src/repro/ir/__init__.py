@@ -1,0 +1,57 @@
+"""MiniC AST frontend, LinearIR, lowering, and optimization passes.
+
+This subpackage is the compiler substrate standing in for LLVM/clang in the
+original paper's pipeline (see DESIGN.md).  Kernels are authored as MiniC
+ASTs (:mod:`repro.ir.ast_nodes`, :mod:`repro.ir.builder`), lowered to a
+register-based CFG IR (:mod:`repro.ir.linear`, :mod:`repro.ir.lowering`) that
+the dynamic profiler interprets and that inst2vec embeds, and transformed by
+six optimization pipelines (:mod:`repro.ir.passes`) standing in for the six
+clang option builds used for data augmentation in the paper.
+"""
+
+from repro.ir.ast_nodes import (
+    Assign,
+    BinOp,
+    Break,
+    CallExpr,
+    CallStmt,
+    Const,
+    Expr,
+    For,
+    Function,
+    If,
+    Load,
+    Program,
+    Return,
+    Stmt,
+    Store,
+    UnOp,
+    Var,
+    While,
+)
+from repro.ir.builder import ProgramBuilder, FunctionBuilder
+from repro.ir.linear import (
+    BasicBlock,
+    Imm,
+    Instr,
+    IRFunction,
+    IRProgram,
+    LoopInfo,
+    Opcode,
+    Reg,
+)
+from repro.ir.lowering import lower_program
+from repro.ir.printer import print_function, print_program, statement_text
+from repro.ir.verify import verify_program
+
+__all__ = [
+    "Assign", "BinOp", "Break", "CallExpr", "CallStmt", "Const", "Expr",
+    "For", "Function", "If", "Load", "Program", "Return", "Stmt", "Store",
+    "UnOp", "Var", "While",
+    "ProgramBuilder", "FunctionBuilder",
+    "BasicBlock", "Imm", "Instr", "IRFunction", "IRProgram", "LoopInfo",
+    "Opcode", "Reg",
+    "lower_program",
+    "print_function", "print_program", "statement_text",
+    "verify_program",
+]

@@ -1,0 +1,310 @@
+"""Fluent builders for authoring MiniC programs.
+
+The benchmark suite (``repro.benchsuite``) authors hundreds of kernels; the
+builder keeps that code compact, assigns synthetic source line numbers, and
+allocates stable loop ids.
+
+Example::
+
+    pb = ProgramBuilder("demo")
+    pb.array("a", 64)
+    with pb.function("main") as fb:
+        with fb.loop("i", 0, 64) as i:
+            fb.store("a", i, fb.mul(i, Const(2.0)))
+    program = pb.build()
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import IRError
+from repro.ir.ast_nodes import (
+    Assign,
+    BinOp,
+    Break,
+    CallExpr,
+    CallStmt,
+    Const,
+    Expr,
+    For,
+    Function,
+    If,
+    Load,
+    Program,
+    Return,
+    Stmt,
+    Store,
+    UnOp,
+    Var,
+    While,
+)
+
+ExprLike = Union[Expr, float, int, str]
+
+
+def as_expr(value: ExprLike) -> Expr:
+    """Coerce a Python number / variable name / Expr into an Expr."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        return Const(1.0 if value else 0.0)
+    if isinstance(value, (int, float)):
+        return Const(float(value))
+    if isinstance(value, str):
+        return Var(value)
+    raise IRError(f"cannot convert {value!r} to a MiniC expression")
+
+
+class ProgramBuilder:
+    """Builds a :class:`~repro.ir.ast_nodes.Program`."""
+
+    def __init__(self, name: str = "program", entry: str = "main") -> None:
+        self.name = name
+        self.entry = entry
+        self._arrays: Dict[str, int] = {}
+        self._functions: Dict[str, Function] = {}
+        self._next_line = 1
+        self._next_loop = 0
+
+    # -- declarations -----------------------------------------------------
+
+    def array(self, name: str, size: int) -> str:
+        """Declare a global array with ``size`` elements."""
+        if size <= 0:
+            raise IRError(f"array {name!r} must have positive size, got {size}")
+        if name in self._arrays and self._arrays[name] != size:
+            raise IRError(f"array {name!r} redeclared with different size")
+        self._arrays[name] = int(size)
+        return name
+
+    def function(self, name: str, params: Sequence[str] = ()) -> "FunctionBuilder":
+        """Open a function builder (usable as a context manager)."""
+        if name in self._functions:
+            raise IRError(f"function {name!r} already defined")
+        return FunctionBuilder(self, name, tuple(params))
+
+    # -- internal id allocation -------------------------------------------
+
+    def _alloc_line(self) -> int:
+        line = self._next_line
+        self._next_line += 1
+        return line
+
+    def _alloc_loop_id(self, fn_name: str) -> str:
+        loop_id = f"{self.name}:{fn_name}:L{self._next_loop}"
+        self._next_loop += 1
+        return loop_id
+
+    def _install(self, fn: Function) -> None:
+        self._functions[fn.name] = fn
+
+    # -- finalize -----------------------------------------------------------
+
+    def build(self) -> Program:
+        if self.entry not in self._functions:
+            raise IRError(
+                f"program {self.name!r} is missing entry function {self.entry!r}"
+            )
+        return Program(
+            functions=dict(self._functions),
+            arrays=dict(self._arrays),
+            entry=self.entry,
+            name=self.name,
+        )
+
+
+class FunctionBuilder:
+    """Builds one function; statements append to the innermost open scope."""
+
+    def __init__(self, program: ProgramBuilder, name: str, params: Tuple[str, ...]):
+        self._pb = program
+        self.name = name
+        self.params = params
+        self._scopes: List[List[Stmt]] = [[]]
+
+    # -- context management -------------------------------------------------
+
+    def __enter__(self) -> "FunctionBuilder":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+
+    def close(self) -> None:
+        if len(self._scopes) != 1:
+            raise IRError(f"function {self.name!r} closed with open blocks")
+        self._pb._install(Function(self.name, self.params, self._scopes[0]))
+
+    # -- expression helpers ---------------------------------------------------
+
+    @staticmethod
+    def const(value: float) -> Const:
+        return Const(float(value))
+
+    @staticmethod
+    def var(name: str) -> Var:
+        return Var(name)
+
+    @staticmethod
+    def load(array: str, index: ExprLike) -> Load:
+        return Load(array, as_expr(index))
+
+    @staticmethod
+    def add(a: ExprLike, b: ExprLike) -> BinOp:
+        return BinOp("+", as_expr(a), as_expr(b))
+
+    @staticmethod
+    def sub(a: ExprLike, b: ExprLike) -> BinOp:
+        return BinOp("-", as_expr(a), as_expr(b))
+
+    @staticmethod
+    def mul(a: ExprLike, b: ExprLike) -> BinOp:
+        return BinOp("*", as_expr(a), as_expr(b))
+
+    @staticmethod
+    def div(a: ExprLike, b: ExprLike) -> BinOp:
+        return BinOp("/", as_expr(a), as_expr(b))
+
+    @staticmethod
+    def mod(a: ExprLike, b: ExprLike) -> BinOp:
+        return BinOp("%", as_expr(a), as_expr(b))
+
+    @staticmethod
+    def cmp(op: str, a: ExprLike, b: ExprLike) -> BinOp:
+        return BinOp(op, as_expr(a), as_expr(b))
+
+    @staticmethod
+    def call(fn: str, *args: ExprLike) -> CallExpr:
+        return CallExpr(fn, tuple(as_expr(a) for a in args))
+
+    @staticmethod
+    def neg(a: ExprLike) -> UnOp:
+        return UnOp("-", as_expr(a))
+
+    # -- statements ----------------------------------------------------------
+
+    def _append(self, stmt: Stmt) -> Stmt:
+        stmt.line = self._pb._alloc_line()
+        self._scopes[-1].append(stmt)
+        return stmt
+
+    def assign(self, name: str, expr: ExprLike) -> Stmt:
+        return self._append(Assign(name, as_expr(expr)))
+
+    def store(self, array: str, index: ExprLike, expr: ExprLike) -> Stmt:
+        return self._append(Store(array, as_expr(index), as_expr(expr)))
+
+    def call_stmt(self, fn: str, *args: ExprLike) -> Stmt:
+        return self._append(CallStmt(fn, tuple(as_expr(a) for a in args)))
+
+    def ret(self, expr: Optional[ExprLike] = None) -> Stmt:
+        return self._append(Return(None if expr is None else as_expr(expr)))
+
+    def brk(self) -> Stmt:
+        return self._append(Break())
+
+    # -- structured blocks -----------------------------------------------------
+
+    def loop(
+        self,
+        var: str,
+        lo: ExprLike,
+        hi: ExprLike,
+        step: ExprLike = 1,
+    ) -> "_LoopScope":
+        """Open a counted loop scope; yields the loop variable as a Var."""
+        stmt = For(
+            var=var,
+            lo=as_expr(lo),
+            hi=as_expr(hi),
+            step=as_expr(step),
+            body=[],
+            loop_id=self._pb._alloc_loop_id(self.name),
+        )
+        self._append(stmt)
+        return _LoopScope(self, stmt)
+
+    def while_loop(self, cond: ExprLike) -> "_WhileScope":
+        stmt = While(cond=as_expr(cond), body=[])
+        self._append(stmt)
+        return _WhileScope(self, stmt)
+
+    def if_block(self, cond: ExprLike) -> "_IfScope":
+        stmt = If(cond=as_expr(cond), then_body=[], else_body=[])
+        self._append(stmt)
+        return _IfScope(self, stmt)
+
+    # -- scope plumbing ----------------------------------------------------------
+
+    def _push(self, body: List[Stmt]) -> None:
+        self._scopes.append(body)
+
+    def _pop(self) -> None:
+        if len(self._scopes) <= 1:
+            raise IRError("scope underflow in FunctionBuilder")
+        self._scopes.pop()
+
+
+class _LoopScope:
+    def __init__(self, fb: FunctionBuilder, stmt: For) -> None:
+        self._fb = fb
+        self.stmt = stmt
+
+    def __enter__(self) -> Var:
+        self._fb._push(self.stmt.body)
+        return Var(self.stmt.var)
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._fb._pop()
+
+
+class _WhileScope:
+    def __init__(self, fb: FunctionBuilder, stmt: While) -> None:
+        self._fb = fb
+        self.stmt = stmt
+
+    def __enter__(self) -> While:
+        self._fb._push(self.stmt.body)
+        return self.stmt
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._fb._pop()
+
+
+class _IfScope:
+    """``with fb.if_block(cond) as blk: ...`` builds the then-branch.
+
+    After that block closes, open the else-branch with::
+
+        with blk.otherwise():
+            ...
+    """
+
+    def __init__(self, fb: FunctionBuilder, stmt: If) -> None:
+        self._fb = fb
+        self.stmt = stmt
+
+    def __enter__(self) -> "_IfScope":
+        self._fb._push(self.stmt.then_body)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._fb._pop()
+
+    def otherwise(self) -> "_ElseScope":
+        return _ElseScope(self._fb, self.stmt)
+
+
+class _ElseScope:
+    def __init__(self, fb: FunctionBuilder, stmt: If) -> None:
+        self._fb = fb
+        self.stmt = stmt
+
+    def __enter__(self) -> "_ElseScope":
+        self._fb._push(self.stmt.else_body)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._fb._pop()

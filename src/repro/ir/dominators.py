@@ -1,0 +1,75 @@
+"""Dominator analysis on LinearIR CFGs (iterative dataflow algorithm).
+
+Used by the verifier (defs must dominate uses) and by LICM (hoisting is only
+legal into a block that dominates the loop body).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.ir.linear import IRFunction
+
+
+def compute_dominators(fn: IRFunction) -> Dict[str, Set[str]]:
+    """Map block label -> set of labels dominating it (including itself).
+
+    Unreachable blocks dominate nothing and are reported as dominated only
+    by themselves so the verifier still accepts dead blocks a pass left
+    behind (DCE cleans them separately).
+    """
+    labels = [b.label for b in fn.blocks]
+    if not labels:
+        return {}
+    entry = labels[0]
+    preds: Dict[str, List[str]] = {label: [] for label in labels}
+    for block in fn.blocks:
+        for succ in block.successors():
+            # branches to unknown labels are the verifier's concern; ignore
+            # them here so it can produce its own diagnostic
+            if succ in preds:
+                preds[succ].append(block.label)
+
+    # reachable set
+    reachable: Set[str] = set()
+    stack = [entry]
+    succs = {b.label: b.successors() for b in fn.blocks}
+    while stack:
+        label = stack.pop()
+        if label in reachable:
+            continue
+        reachable.add(label)
+        stack.extend(s for s in succs[label] if s in succs)
+
+    all_reachable = set(l for l in labels if l in reachable)
+    dom: Dict[str, Set[str]] = {}
+    for label in labels:
+        if label == entry:
+            dom[label] = {entry}
+        elif label in reachable:
+            dom[label] = set(all_reachable)
+        else:
+            dom[label] = {label}
+
+    changed = True
+    while changed:
+        changed = False
+        for label in labels:
+            if label == entry or label not in reachable:
+                continue
+            pred_doms = [
+                dom[p] for p in preds[label] if p in reachable
+            ]
+            if not pred_doms:
+                continue
+            new = set.intersection(*pred_doms)
+            new.add(label)
+            if new != dom[label]:
+                dom[label] = new
+                changed = True
+    return dom
+
+
+def dominates(dom: Dict[str, Set[str]], a: str, b: str) -> bool:
+    """Does block ``a`` dominate block ``b``?"""
+    return a in dom.get(b, ())

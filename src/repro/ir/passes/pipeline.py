@@ -1,0 +1,55 @@
+"""The six optimization pipelines standing in for the paper's six clang
+option builds (Section IV-A, "Transformed dataset").
+
+Each pipeline is a named sequence of semantics-preserving passes.  Applying
+all six to one kernel yields six structurally distinct LinearIR variants —
+different instruction mixes, different CU shapes, different dependence
+surfaces — with identical run-time behaviour and identical loop labels.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.errors import ConfigError
+from repro.ir.linear import IRProgram
+from repro.ir.passes.clone import clone_program
+from repro.ir.passes.constfold import constant_fold
+from repro.ir.passes.cse import common_subexpression_elimination
+from repro.ir.passes.dce import dead_code_elimination
+from repro.ir.passes.licm import loop_invariant_code_motion
+from repro.ir.passes.strength import strength_reduction
+from repro.ir.passes.unroll import unroll_by_two
+
+Pass = Callable[[IRProgram], IRProgram]
+
+#: The six pipelines (analogues of -O0 ... -O2-ish clang option sets).
+OPT_PIPELINES: Dict[str, Tuple[Pass, ...]] = {
+    "O0": (),
+    "O1-fold": (constant_fold,),
+    "O1-dce": (constant_fold, dead_code_elimination),
+    "O2-cse": (constant_fold, common_subexpression_elimination,
+               dead_code_elimination),
+    "O2-licm": (loop_invariant_code_motion, constant_fold, strength_reduction,
+                dead_code_elimination),
+    "O2-unroll": (unroll_by_two, constant_fold,
+                  common_subexpression_elimination, dead_code_elimination),
+}
+
+
+def pipeline_names() -> List[str]:
+    return list(OPT_PIPELINES)
+
+
+def apply_pipeline(program: IRProgram, name: str) -> IRProgram:
+    """Apply the named pipeline to a copy of ``program``."""
+    try:
+        passes = OPT_PIPELINES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown pipeline {name!r}; choose from {pipeline_names()}"
+        ) from None
+    out = clone_program(program)
+    for pipeline_pass in passes:
+        out = pipeline_pass(out)
+    return out

@@ -1,0 +1,102 @@
+"""Textual rendering of LinearIR.
+
+Two renderings are provided:
+
+* :func:`statement_text` — the *normalized* single-instruction string used as
+  the inst2vec token (identifiers abstracted, like inst2vec's preprocessing
+  of LLVM IR statements);
+* :func:`print_function` / :func:`print_program` — human-readable dumps with
+  concrete registers and symbols, used in tests and examples.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.linear import (
+    BasicBlock,
+    Imm,
+    Instr,
+    IRFunction,
+    IRProgram,
+    Opcode,
+    Operand,
+    Reg,
+)
+
+
+def _operand_str(op: Operand) -> str:
+    if isinstance(op, Reg):
+        return f"%{op.name}"
+    if isinstance(op, Imm):
+        return f"{op.value:g}"
+    return str(op)
+
+
+def _operand_token(op: Operand) -> str:
+    """Normalized operand for vocabulary purposes: registers and symbols are
+    abstracted to kinds, small integer immediates are kept (they carry
+    semantic signal, e.g. stride 1 vs 2), other immediates become <imm>."""
+    if isinstance(op, Reg):
+        return "<reg>"
+    if isinstance(op, Imm):
+        if float(op.value).is_integer() and abs(op.value) <= 4:
+            return f"{int(op.value)}"
+        return "<imm>"
+    return "<sym>"
+
+
+def statement_text(instr: Instr) -> str:
+    """Normalized statement string for one instruction (the inst2vec token)."""
+    opcode = instr.opcode.value
+    if instr.opcode is Opcode.CMP:
+        opcode = f"cmp.{instr.meta.get('pred', '??')}"
+    elif instr.opcode is Opcode.CALL or instr.opcode is Opcode.CALLFN:
+        # Keep intrinsic names (they are few and meaningful); abstract user
+        # function names so the vocabulary stays program-independent.
+        target = instr.operands[0] if instr.operands else "?"
+        name = target if instr.opcode is Opcode.CALL else "<fn>"
+        rest = " ".join(_operand_token(a) for a in instr.operands[1:])
+        return f"{opcode} {name} {rest}".rstrip()
+    elif instr.opcode in (Opcode.BR, Opcode.CONDBR):
+        # Branch targets are control flow, not semantics; drop labels.
+        kinds = " ".join(
+            _operand_token(o) for o in instr.operands if isinstance(o, (Reg, Imm))
+        )
+        return f"{opcode} {kinds}".rstrip()
+    elif instr.opcode in (Opcode.LOOPENTER, Opcode.LOOPNEXT, Opcode.LOOPEXIT):
+        return opcode
+    operands = " ".join(_operand_token(o) for o in instr.operands)
+    return f"{opcode} {operands}".rstrip()
+
+
+def instr_str(instr: Instr) -> str:
+    """Concrete, human-readable rendering of one instruction."""
+    parts: List[str] = []
+    if instr.result is not None:
+        parts.append(f"%{instr.result.name} =")
+    opcode = instr.opcode.value
+    if instr.opcode is Opcode.CMP:
+        opcode = f"cmp.{instr.meta.get('pred', '??')}"
+    parts.append(opcode)
+    parts.extend(_operand_str(o) for o in instr.operands)
+    text = " ".join(parts)
+    return f"{text}  ; iid={instr.iid} line={instr.line}"
+
+
+def print_block(block: BasicBlock) -> str:
+    lines = [f"{block.label}:"]
+    lines.extend(f"  {instr_str(i)}" for i in block.instrs)
+    return "\n".join(lines)
+
+
+def print_function(fn: IRFunction) -> str:
+    header = f"func @{fn.name}({', '.join(fn.params)})"
+    body = "\n".join(print_block(b) for b in fn.blocks)
+    return f"{header} {{\n{body}\n}}"
+
+
+def print_program(program: IRProgram) -> str:
+    decls = "\n".join(f"array @{n}[{s}]" for n, s in sorted(program.arrays.items()))
+    fns = "\n\n".join(print_function(f) for f in program.functions.values())
+    return f"; program {program.name}\n{decls}\n\n{fns}\n"

@@ -1,0 +1,120 @@
+"""C-like source rendering of MiniC programs.
+
+Gives examples, documentation, and suggestion reports something readable to
+show next to loop ids and pragma lines — the inverse direction of the
+(authoring-only) builder API.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir import ast_nodes as ast
+from repro.ir.ast_nodes import Program
+
+_PRECEDENCE = {
+    "||": 1, "&&": 2,
+    "==": 3, "!=": 3, "<": 4, "<=": 4, ">": 4, ">=": 4,
+    "+": 5, "-": 5,
+    "*": 6, "/": 6, "%": 6,
+}
+
+
+def expr_to_source(expr: ast.Expr, parent_prec: int = 0) -> str:
+    if isinstance(expr, ast.Const):
+        value = expr.value
+        return str(int(value)) if float(value).is_integer() else f"{value:g}"
+    if isinstance(expr, ast.Var):
+        return expr.name
+    if isinstance(expr, ast.Load):
+        return f"{expr.array}[{expr_to_source(expr.index)}]"
+    if isinstance(expr, ast.UnOp):
+        inner = expr_to_source(expr.operand, 7)
+        return f"{expr.op}{inner}"
+    if isinstance(expr, ast.CallExpr):
+        args = ", ".join(expr_to_source(a) for a in expr.args)
+        return f"{expr.fn}({args})"
+    if isinstance(expr, ast.BinOp):
+        if expr.op in ("min", "max"):
+            return (
+                f"{expr.op}({expr_to_source(expr.lhs)}, "
+                f"{expr_to_source(expr.rhs)})"
+            )
+        prec = _PRECEDENCE.get(expr.op, 5)
+        lhs = expr_to_source(expr.lhs, prec)
+        rhs = expr_to_source(expr.rhs, prec + 1)
+        text = f"{lhs} {expr.op} {rhs}"
+        return f"({text})" if prec < parent_prec else text
+    return "<?>"
+
+
+def _stmt_lines(stmt: ast.Stmt, indent: int, annotations) -> List[str]:
+    pad = "    " * indent
+    if isinstance(stmt, ast.Assign):
+        return [f"{pad}{stmt.name} = {expr_to_source(stmt.expr)};"]
+    if isinstance(stmt, ast.Store):
+        return [
+            f"{pad}{stmt.array}[{expr_to_source(stmt.index)}] = "
+            f"{expr_to_source(stmt.expr)};"
+        ]
+    if isinstance(stmt, ast.For):
+        lines = []
+        note = annotations.get(stmt.loop_id) if annotations else None
+        if note:
+            lines.append(f"{pad}{note}")
+        header = (
+            f"{pad}for ({stmt.var} = {expr_to_source(stmt.lo)}; "
+            f"{stmt.var} < {expr_to_source(stmt.hi)}; "
+            f"{stmt.var} += {expr_to_source(stmt.step)}) {{"
+        )
+        lines.append(header)
+        for inner in stmt.body:
+            lines.extend(_stmt_lines(inner, indent + 1, annotations))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ast.While):
+        lines = [f"{pad}while ({expr_to_source(stmt.cond)}) {{"]
+        for inner in stmt.body:
+            lines.extend(_stmt_lines(inner, indent + 1, annotations))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ast.If):
+        lines = [f"{pad}if ({expr_to_source(stmt.cond)}) {{"]
+        for inner in stmt.then_body:
+            lines.extend(_stmt_lines(inner, indent + 1, annotations))
+        if stmt.else_body:
+            lines.append(f"{pad}}} else {{")
+            for inner in stmt.else_body:
+                lines.extend(_stmt_lines(inner, indent + 1, annotations))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ast.CallStmt):
+        args = ", ".join(expr_to_source(a) for a in stmt.args)
+        return [f"{pad}{stmt.fn}({args});"]
+    if isinstance(stmt, ast.Return):
+        if stmt.expr is None:
+            return [f"{pad}return;"]
+        return [f"{pad}return {expr_to_source(stmt.expr)};"]
+    if isinstance(stmt, ast.Break):
+        return [f"{pad}break;"]
+    return [f"{pad}/* ? */"]
+
+
+def program_to_source(program: Program, annotations=None) -> str:
+    """Render a MiniC program as C-like source.
+
+    ``annotations`` optionally maps loop_id -> a line to print immediately
+    above the loop (e.g. an OpenMP pragma from
+    :mod:`repro.analysis.suggestions`).
+    """
+    lines: List[str] = [f"/* program: {program.name} */"]
+    for name, size in sorted(program.arrays.items()):
+        lines.append(f"double {name}[{size}];")
+    for fn in program.functions.values():
+        params = ", ".join(f"double {p}" for p in fn.params)
+        lines.append("")
+        lines.append(f"double {fn.name}({params}) {{")
+        for stmt in fn.body:
+            lines.extend(_stmt_lines(stmt, 1, annotations or {}))
+        lines.append("}")
+    return "\n".join(lines)

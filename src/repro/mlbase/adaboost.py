@@ -1,0 +1,80 @@
+"""AdaBoost (discrete SAMME) over shallow decision trees.
+
+Fried et al. report AdaBoost as the strongest hand-crafted classifier on the
+Table I features (92% on NPB); this matches the classic formulation: each
+round fits a depth-limited tree on reweighted data, and the ensemble votes
+with log-odds weights.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.mlbase.tree import DecisionTree
+
+
+class AdaBoost:
+    """Binary AdaBoost with decision-tree weak learners (labels 0/1)."""
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        max_depth: int = 2,
+        learning_rate: float = 1.0,
+    ) -> None:
+        if n_estimators < 1:
+            raise ModelError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.learning_rate = learning_rate
+        self.estimators_: List[DecisionTree] = []
+        self.alphas_: List[float] = []
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "AdaBoost":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if x.ndim != 2 or y.shape != (x.shape[0],):
+            raise ModelError("AdaBoost.fit expects (n, d) features, (n,) labels")
+        n = y.shape[0]
+        signs = np.where(y == 1, 1.0, -1.0)
+        weights = np.full(n, 1.0 / n)
+        self.estimators_ = []
+        self.alphas_ = []
+
+        for _round in range(self.n_estimators):
+            tree = DecisionTree(max_depth=self.max_depth, min_samples_leaf=1)
+            tree.fit(x, y, weights)
+            pred = tree.predict(x)
+            miss = pred != y
+            err = float(weights[miss].sum())
+            if err >= 0.5:
+                if not self.estimators_:
+                    # degenerate data: keep one stump anyway
+                    self.estimators_.append(tree)
+                    self.alphas_.append(1.0)
+                break
+            err = max(err, 1e-12)
+            alpha = self.learning_rate * 0.5 * np.log((1.0 - err) / err)
+            self.estimators_.append(tree)
+            self.alphas_.append(float(alpha))
+            pred_signs = np.where(pred == 1, 1.0, -1.0)
+            weights *= np.exp(-alpha * signs * pred_signs)
+            weights /= weights.sum()
+            if err < 1e-10:
+                break
+        return self
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        if not self.estimators_:
+            raise ModelError("AdaBoost used before fit()")
+        x = np.asarray(x, dtype=np.float64)
+        score = np.zeros(x.shape[0])
+        for alpha, tree in zip(self.alphas_, self.estimators_):
+            score += alpha * np.where(tree.predict(x) == 1, 1.0, -1.0)
+        return score
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return (self.decision_function(x) >= 0.0).astype(np.int64)

@@ -1,0 +1,35 @@
+"""Feature preprocessing for the classical baselines."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+
+class StandardScaler:
+    """Zero-mean / unit-variance scaling fitted on the training split."""
+
+    def __init__(self) -> None:
+        self.mean_: Optional[np.ndarray] = None
+        self.scale_: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray) -> "StandardScaler":
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise DatasetError("StandardScaler expects a 2-D feature matrix")
+        self.mean_ = x.mean(axis=0)
+        std = x.std(axis=0)
+        std[std == 0.0] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise DatasetError("StandardScaler used before fit()")
+        return (np.asarray(x, dtype=np.float64) - self.mean_) / self.scale_
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)

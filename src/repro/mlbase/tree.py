@@ -1,0 +1,149 @@
+"""CART decision tree (Gini impurity, binary splits on numeric features)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    prediction: int = 0
+    probability: float = 0.5    # P(class 1) at this node
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    probs = counts / total
+    return float(1.0 - (probs**2).sum())
+
+
+class DecisionTree:
+    """Binary classification tree with depth / leaf-size regularization."""
+
+    def __init__(
+        self,
+        max_depth: int = 6,
+        min_samples_leaf: int = 2,
+        min_impurity_decrease: float = 1e-7,
+    ) -> None:
+        if max_depth < 1:
+            raise ModelError("max_depth must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.min_impurity_decrease = min_impurity_decrease
+        self._root: Optional[_Node] = None
+
+    def fit(
+        self, x: np.ndarray, y: np.ndarray, weights: Optional[np.ndarray] = None
+    ) -> "DecisionTree":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if x.ndim != 2 or y.shape != (x.shape[0],):
+            raise ModelError("DecisionTree.fit expects (n, d) features, (n,) labels")
+        if weights is None:
+            weights = np.ones(y.shape[0])
+        weights = np.asarray(weights, dtype=np.float64)
+        self._root = self._build(x, y, weights, depth=0)
+        return self
+
+    def _build(
+        self, x: np.ndarray, y: np.ndarray, w: np.ndarray, depth: int
+    ) -> _Node:
+        counts = np.array(
+            [w[y == 0].sum(), w[y == 1].sum()], dtype=np.float64
+        )
+        prob1 = counts[1] / counts.sum() if counts.sum() > 0 else 0.5
+        node = _Node(prediction=int(prob1 >= 0.5), probability=float(prob1))
+        if (
+            depth >= self.max_depth
+            or y.size < 2 * self.min_samples_leaf
+            or counts.min() == 0.0
+        ):
+            return node
+
+        best = self._best_split(x, y, w, _gini(counts))
+        if best is None:
+            return node
+        feature, threshold = best
+        mask = x[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(x[mask], y[mask], w[mask], depth + 1)
+        node.right = self._build(x[~mask], y[~mask], w[~mask], depth + 1)
+        return node
+
+    def _best_split(self, x, y, w, parent_gini):
+        n, d = x.shape
+        total_w = w.sum()
+        best_gain = self.min_impurity_decrease
+        best = None
+        for feature in range(d):
+            order = np.argsort(x[:, feature], kind="stable")
+            values = x[order, feature]
+            labels = y[order]
+            weights = w[order]
+            # cumulative weighted class counts left of each split point
+            w1 = np.cumsum(weights * (labels == 1))
+            w_all = np.cumsum(weights)
+            total_1 = w1[-1]
+            # candidate split between distinct consecutive values
+            distinct = np.nonzero(values[1:] > values[:-1])[0]
+            for idx in distinct:
+                left_n = idx + 1
+                right_n = n - left_n
+                if left_n < self.min_samples_leaf or right_n < self.min_samples_leaf:
+                    continue
+                lw = w_all[idx]
+                rw = total_w - lw
+                if lw <= 0 or rw <= 0:
+                    continue
+                l1 = w1[idx]
+                r1 = total_1 - l1
+                gini_left = 1.0 - ((l1 / lw) ** 2 + ((lw - l1) / lw) ** 2)
+                gini_right = 1.0 - ((r1 / rw) ** 2 + ((rw - r1) / rw) ** 2)
+                gain = parent_gini - (lw / total_w) * gini_left - (
+                    rw / total_w
+                ) * gini_right
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (feature, float((values[idx] + values[idx + 1]) / 2.0))
+        return best
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(x) >= 0.5).astype(np.int64)
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """P(class 1) per row."""
+        if self._root is None:
+            raise ModelError("DecisionTree used before fit()")
+        x = np.asarray(x, dtype=np.float64)
+        out = np.empty(x.shape[0])
+        for pos, row in enumerate(x):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[pos] = node.probability
+        return out
+
+    def depth(self) -> int:
+        def walk(node: Optional[_Node]) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)

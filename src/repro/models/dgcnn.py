@@ -1,0 +1,147 @@
+"""Deep Graph Convolutional Neural Network (Zhang et al. 2018, paper Fig. 6).
+
+Architecture: a stack of graph convolutions with tanh activations whose
+outputs are concatenated channel-wise; SortPooling to a fixed ``k`` rows;
+two 1-D convolutions (the first with kernel = total channels and equal
+stride so each output position corresponds to one sorted node); max pooling;
+and a dense layer.  ``embed()`` returns the input of the final dense
+classifier — the vector the multi-view model consumes ("We take the input of
+the fully connected layer into the multi-view model", Section III-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.nn.layers import (
+    Conv1D,
+    Dense,
+    Dropout,
+    GraphConv,
+    MaxPool1D,
+    Module,
+    SortPooling,
+    normalized_adjacency,
+)
+from repro.nn.tensor import Tensor, concat
+from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
+
+
+@dataclass
+class DGCNNConfig:
+    """Hyper-parameters (defaults follow Zhang et al. / the paper)."""
+
+    in_features: int = 200
+    conv_channels: Tuple[int, ...] = (32, 32, 32, 1)
+    sortpool_k: int = 135            # paper Section IV-B
+    conv1d_channels: Tuple[int, int] = (16, 32)
+    conv1d_kernel: int = 5
+    dense_units: int = 128
+    dropout: float = 0.5
+    num_classes: int = 2
+
+    @property
+    def total_channels(self) -> int:
+        return sum(self.conv_channels)
+
+
+class DGCNN(Module):
+    """End-to-end DGCNN graph classifier."""
+
+    def __init__(self, config: DGCNNConfig, rng: RngLike = None) -> None:
+        super().__init__()
+        rng = ensure_rng(rng)
+        rngs = spawn_rngs(rng, len(config.conv_channels) + 4)
+        self.config = config
+
+        self.graph_convs: List[GraphConv] = []
+        in_dim = config.in_features
+        for pos, channels in enumerate(config.conv_channels):
+            self.graph_convs.append(
+                GraphConv(in_dim, channels, activation="tanh", rng=rngs[pos])
+            )
+            in_dim = channels
+
+        self.sortpool = SortPooling(config.sortpool_k)
+        total = config.total_channels
+        base = len(config.conv_channels)
+        self.conv1 = Conv1D(
+            1,
+            config.conv1d_channels[0],
+            kernel_size=total,
+            stride=total,
+            activation="relu",
+            rng=rngs[base],
+        )
+        self.pool = MaxPool1D(2)
+        self.conv2 = Conv1D(
+            config.conv1d_channels[0],
+            config.conv1d_channels[1],
+            kernel_size=config.conv1d_kernel,
+            stride=1,
+            activation="relu",
+            rng=rngs[base + 1],
+        )
+        conv2_len = max(1, config.sortpool_k // 2 - config.conv1d_kernel + 1)
+        self.flat_dim = conv2_len * config.conv1d_channels[1]
+        self.dense = Dense(
+            self.flat_dim, config.dense_units, activation="relu", rng=rngs[base + 2]
+        )
+        self.dropout = Dropout(config.dropout, rng=rngs[base + 3])
+        self.classifier = Dense(
+            config.dense_units, config.num_classes, rng=rngs[base + 3]
+        )
+
+    # -- forward pieces -----------------------------------------------------
+
+    def node_representations(self, x, adjacency: np.ndarray) -> Tensor:
+        """Concatenated graph-conv outputs, shape (n, total_channels).
+
+        ``x`` may be an ndarray or a Tensor (the multi-view model feeds the
+        structural view's learned projection in as a live Tensor).
+        """
+        if x.shape[1] != self.config.in_features:
+            raise ModelError(
+                f"DGCNN expected {self.config.in_features} input features, "
+                f"got {x.shape[1]}"
+            )
+        adj_norm = normalized_adjacency(adjacency)
+        h = x if isinstance(x, Tensor) else Tensor(x)
+        outputs: List[Tensor] = []
+        for conv in self.graph_convs:
+            h = conv(h, adj_norm)
+            outputs.append(h)
+        return concat(outputs, axis=1)
+
+    def pooled_sequence(self, x, adjacency: np.ndarray) -> Tensor:
+        """SortPooled node sequence, shape (k, total_channels)."""
+        return self.sortpool(self.node_representations(x, adjacency))
+
+    def embed(self, x, adjacency: np.ndarray) -> Tensor:
+        """The dense-layer output consumed by the multi-view model."""
+        pooled = self.pooled_sequence(x, adjacency)
+        k, channels = pooled.shape
+        flat = pooled.reshape(k * channels, 1)
+        c1 = self.conv1(flat)          # (k, 16)
+        p1 = self.pool(c1)             # (k//2, 16)
+        if p1.shape[0] < self.config.conv1d_kernel:
+            p1 = p1.pad_rows(self.config.conv1d_kernel)
+        c2 = self.conv2(p1)            # (k//2 - 4, 32)
+        flat2 = c2.reshape(1, c2.shape[0] * c2.shape[1])
+        if flat2.shape[1] != self.flat_dim:
+            raise ModelError(
+                f"DGCNN flatten mismatch: got {flat2.shape[1]}, "
+                f"expected {self.flat_dim} (check sortpool_k)"
+            )
+        hidden = self.dense(flat2)     # (1, dense_units)
+        return self.dropout(hidden).reshape(self.config.dense_units)
+
+    def forward(self, x: np.ndarray, adjacency: np.ndarray) -> Tensor:
+        """Class logits for one graph."""
+        return self.classifier(self.embed(x, adjacency))
+
+    __call__ = forward

@@ -1,0 +1,90 @@
+"""Single-view models: the view-importance ablation (Fig. 8) and the
+Static-GNN baseline (Shen et al. 2021, "GNNs with Static Information").
+
+For Fig. 8 the paper evaluates each view alone "by putting the output of
+each view into an LSTM layer, followed by a fully connected layer": we feed
+the view's SortPooled node sequence through an LSTM and classify from the
+final hidden state.
+
+The Static-GNN baseline is the node-feature view restricted to *static*
+information only — the dataset pipeline zeroes the dynamic feature columns —
+matching Shen et al.'s inst2vec-only graph model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.models.dgcnn import DGCNN, DGCNNConfig
+from repro.nn.layers import Dense, Module
+from repro.nn.rnn import LSTM
+from repro.nn.tensor import Tensor
+from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
+
+
+class SingleViewModel(Module):
+    """One view's DGCNN front-end + LSTM + dense classifier (Fig. 8 setup).
+
+    ``view`` selects which input the model consumes: ``"node"`` uses the
+    semantic features, ``"structural"`` the walk distributions (after a
+    projection supplied by the caller via ``project`` or raw if None).
+    """
+
+    def __init__(
+        self,
+        view: str,
+        dgcnn_config: DGCNNConfig,
+        lstm_units: int = 64,
+        num_classes: int = 2,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__()
+        if view not in ("node", "structural"):
+            raise ModelError(f"view must be 'node' or 'structural', got {view!r}")
+        rng = ensure_rng(rng)
+        rngs = spawn_rngs(rng, 4)
+        self.view = view
+        self.dgcnn = DGCNN(dgcnn_config, rng=rngs[0])
+        self.projection: Optional[Dense] = None
+        self.lstm = LSTM(dgcnn_config.total_channels, lstm_units, rng=rngs[1])
+        self.classifier = Dense(lstm_units, num_classes, rng=rngs[2])
+
+    def with_projection(self, in_dim: int, rng: RngLike = None) -> "SingleViewModel":
+        """Attach an input projection (structural view: walk types -> dims)."""
+        self.projection = Dense(
+            in_dim, self.dgcnn.config.in_features, activation="tanh",
+            rng=ensure_rng(rng),
+        )
+        return self
+
+    def forward(self, x: np.ndarray, adjacency: np.ndarray) -> Tensor:
+        node_input = x
+        if self.projection is not None:
+            node_input = self.projection(Tensor(x))
+        pooled = self.dgcnn.pooled_sequence(node_input, adjacency)
+        _seq, (h_final, _c) = self.lstm(pooled)
+        return self.classifier(h_final)
+
+    __call__ = forward
+
+
+class StaticGNN(Module):
+    """Shen et al.-style baseline: DGCNN over static-only node features.
+
+    Structurally identical to the node view's DGCNN; the *data* differs
+    (dynamic feature columns zeroed by the evaluation harness), which is the
+    faithful way to model "GNNs with Static Information".
+    """
+
+    def __init__(self, config: DGCNNConfig, rng: RngLike = None) -> None:
+        super().__init__()
+        self.dgcnn = DGCNN(config, rng=rng)
+
+    def forward(self, x: np.ndarray, adjacency: np.ndarray) -> Tensor:
+        return self.dgcnn(x, adjacency)
+
+    __call__ = forward

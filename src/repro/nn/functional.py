@@ -1,0 +1,72 @@
+"""Losses and stateless neural functions."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.nn.tensor import Tensor
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def softmax(logits: Tensor, temperature: float = 1.0) -> Tensor:
+    """Row-wise softmax with an optional temperature (paper uses T=0.5)."""
+    scaled = logits * (1.0 / temperature)
+    shifted = scaled - Tensor(scaled.data.max(axis=-1, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def softmax_cross_entropy(
+    logits: Tensor, label: int, temperature: float = 1.0
+) -> Tensor:
+    """Cross entropy of one example; the paper's "softmax loss function"
+    with temperature parameter (Section IV-B: temperature 0.5)."""
+    if logits.ndim != 1:
+        raise ModelError("softmax_cross_entropy expects a 1-D logit vector")
+    n = logits.shape[0]
+    if not 0 <= label < n:
+        raise ModelError(f"label {label} out of range for {n} classes")
+    probs = softmax(logits, temperature)
+    return -(probs[int(label)].log())
+
+
+def softmax_cross_entropy_batch(
+    logits: Tensor, labels, temperature: float = 1.0
+) -> Tensor:
+    """Mean cross entropy over a (batch, classes) logit matrix."""
+    if logits.ndim != 2:
+        raise ModelError("softmax_cross_entropy_batch expects (batch, classes)")
+    labels = np.asarray(labels, dtype=np.int64)
+    batch, classes = logits.shape
+    if labels.shape != (batch,) or labels.min() < 0 or labels.max() >= classes:
+        raise ModelError("labels do not match the logit batch")
+    probs = softmax(logits, temperature)
+    rows = np.arange(batch)
+    picked = probs[rows, labels]
+    return -(picked.log().mean())
+
+
+def binary_cross_entropy_with_logits(logit: Tensor, target: float) -> Tensor:
+    """Numerically-stable BCE on a scalar logit."""
+    prob = logit.sigmoid()
+    eps = 1e-12
+    return -(
+        Tensor(float(target)) * (prob + eps).log()
+        + Tensor(1.0 - float(target)) * (Tensor(1.0) - prob + eps).log()
+    )
+
+
+def dropout_mask(
+    shape, rate: float, rng: RngLike = None
+) -> Optional[np.ndarray]:
+    """Inverted-dropout mask, or None when rate is 0."""
+    if rate <= 0.0:
+        return None
+    if rate >= 1.0:
+        raise ModelError("dropout rate must be < 1")
+    generator = ensure_rng(rng)
+    keep = 1.0 - rate
+    return (generator.random(shape) < keep).astype(np.float64) / keep

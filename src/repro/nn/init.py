@@ -1,0 +1,29 @@
+"""Parameter initialization schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def glorot_uniform(shape, rng: RngLike = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialization."""
+    generator = ensure_rng(rng)
+    fan_in = shape[0] if len(shape) > 1 else shape[0]
+    fan_out = shape[1] if len(shape) > 1 else shape[0]
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return generator.uniform(-limit, limit, size=shape)
+
+
+def zeros_init(shape, rng: RngLike = None) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float64)
+
+
+def orthogonal(shape, rng: RngLike = None) -> np.ndarray:
+    """Orthogonal initialization (recurrent weight matrices)."""
+    generator = ensure_rng(rng)
+    a = generator.normal(size=shape)
+    q, r = np.linalg.qr(a if shape[0] >= shape[1] else a.T)
+    q = q * np.sign(np.diag(r))
+    return q if shape[0] >= shape[1] else q.T

@@ -1,0 +1,300 @@
+"""Neural layers: Module base, Dense, GraphConv, Conv1D, SortPooling, Dropout.
+
+GraphConv implements the DGCNN propagation rule (Zhang et al. 2018),
+``H' = act(D̃⁻¹ Ã H W)`` with Ã = A + I; :func:`normalized_adjacency`
+precomputes D̃⁻¹Ã for a graph once, since the adjacency is constant per
+example.  SortPooling sorts nodes by their last feature channel and keeps
+the top ``k`` rows (zero-padded), exactly as in the DGCNN paper / Fig. 6.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.nn.functional import dropout_mask
+from repro.nn.init import glorot_uniform, zeros_init
+from repro.nn.tensor import Tensor, as_tensor
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class Parameter(Tensor):
+    """A trainable tensor."""
+
+    def __init__(self, data) -> None:
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class with parameter discovery and train/eval mode."""
+
+    def __init__(self) -> None:
+        self.training = True
+
+    def parameters(self) -> List[Parameter]:
+        params: List[Parameter] = []
+        seen = set()
+        for value in self.__dict__.values():
+            for param in _collect(value):
+                if id(param) not in seen:
+                    seen.add(id(param))
+                    params.append(param)
+        return params
+
+    def named_parameters(self) -> Dict[str, Parameter]:
+        out: Dict[str, Parameter] = {}
+        for name, value in self.__dict__.items():
+            for sub_name, param in _collect_named(value):
+                key = f"{name}{sub_name}"
+                if key in out:
+                    raise ModelError(f"duplicate parameter name {key!r}")
+                out[key] = param
+        return out
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def train(self) -> "Module":
+        self._set_mode(True)
+        return self
+
+    def eval(self) -> "Module":
+        self._set_mode(False)
+        return self
+
+    def _set_mode(self, training: bool) -> None:
+        self.training = training
+        for value in self.__dict__.values():
+            for module in _collect_modules(value):
+                module._set_mode(training)
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+
+def _collect(value) -> Iterator[Parameter]:
+    if isinstance(value, Parameter):
+        yield value
+    elif isinstance(value, Module):
+        yield from value.parameters()
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            yield from _collect(item)
+    elif isinstance(value, dict):
+        for item in value.values():
+            yield from _collect(item)
+
+
+def _collect_named(value) -> Iterator[Tuple[str, Parameter]]:
+    if isinstance(value, Parameter):
+        yield "", value
+    elif isinstance(value, Module):
+        for name, param in value.named_parameters().items():
+            yield f".{name}", param
+    elif isinstance(value, (list, tuple)):
+        for pos, item in enumerate(value):
+            for name, param in _collect_named(item):
+                yield f".{pos}{name}", param
+    elif isinstance(value, dict):
+        for key, item in value.items():
+            for name, param in _collect_named(item):
+                yield f".{key}{name}", param
+
+
+def _collect_modules(value) -> Iterator[Module]:
+    if isinstance(value, Module):
+        yield value
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            yield from _collect_modules(item)
+    elif isinstance(value, dict):
+        for item in value.values():
+            yield from _collect_modules(item)
+
+
+class Dense(Module):
+    """Fully connected layer ``y = act(x W + b)``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        activation: Optional[str] = None,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__()
+        rng = ensure_rng(rng)
+        self.weight = Parameter(glorot_uniform((in_features, out_features), rng))
+        self.bias = Parameter(zeros_init((out_features,)))
+        self.activation = activation
+        self.in_features = in_features
+        self.out_features = out_features
+
+    def __call__(self, x: Tensor) -> Tensor:
+        x = as_tensor(x)
+        if x.shape[-1] != self.in_features:
+            raise ModelError(
+                f"Dense expected last dim {self.in_features}, got {x.shape}"
+            )
+        out = x @ self.weight + self.bias
+        return _activate(out, self.activation)
+
+
+class GraphConv(Module):
+    """DGCNN graph convolution: ``H' = act(Â H W)`` with Â precomputed."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        activation: str = "tanh",
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__()
+        self.weight = Parameter(glorot_uniform((in_features, out_features), rng))
+        self.activation = activation
+        self.in_features = in_features
+        self.out_features = out_features
+
+    def __call__(self, h: Tensor, adj_norm: np.ndarray) -> Tensor:
+        h = as_tensor(h)
+        if h.shape[0] != adj_norm.shape[0]:
+            raise ModelError(
+                f"GraphConv: {h.shape[0]} node rows vs {adj_norm.shape[0]} adj rows"
+            )
+        propagated = Tensor(adj_norm) @ h
+        out = propagated @ self.weight
+        return _activate(out, self.activation)
+
+
+def normalized_adjacency(
+    adjacency: np.ndarray, add_self_loops: bool = True
+) -> np.ndarray:
+    """Row-normalized adjacency ``D̃⁻¹ Ã`` used by the DGCNN propagation."""
+    adjacency = np.asarray(adjacency, dtype=np.float64)
+    if adjacency.ndim != 2 or adjacency.shape[0] != adjacency.shape[1]:
+        raise ModelError(f"adjacency must be square, got {adjacency.shape}")
+    a_tilde = adjacency + np.eye(adjacency.shape[0]) if add_self_loops else adjacency
+    degrees = a_tilde.sum(axis=1)
+    degrees[degrees == 0.0] = 1.0
+    return a_tilde / degrees[:, None]
+
+
+class SortPooling(Module):
+    """DGCNN SortPooling: sort nodes by the last feature channel, keep k."""
+
+    def __init__(self, k: int) -> None:
+        super().__init__()
+        if k <= 0:
+            raise ModelError("SortPooling k must be positive")
+        self.k = k
+
+    def __call__(self, h: Tensor) -> Tensor:
+        n = h.shape[0]
+        # descending sort by last channel; stable for reproducibility
+        order = np.argsort(-h.data[:, -1], kind="stable")
+        if n >= self.k:
+            selected = h.take_rows(order[: self.k])
+            return selected
+        selected = h.take_rows(order)
+        return selected.pad_rows(self.k)
+
+
+class Conv1D(Module):
+    """1-D convolution over a (length, channels) input, stride support.
+
+    Implemented with an unfold + matmul so the whole op stays on BLAS; the
+    DGCNN uses kernel = total channel count with equal stride (one output
+    per node row) followed by a smaller kernel conv.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        activation: Optional[str] = "relu",
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__()
+        rng = ensure_rng(rng)
+        self.weight = Parameter(
+            glorot_uniform((kernel_size * in_channels, out_channels), rng)
+        )
+        self.bias = Parameter(zeros_init((out_channels,)))
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.activation = activation
+
+    def __call__(self, x: Tensor) -> Tensor:
+        length, channels = x.shape
+        if channels != self.in_channels:
+            raise ModelError(
+                f"Conv1D expected {self.in_channels} channels, got {channels}"
+            )
+        n_out = (length - self.kernel_size) // self.stride + 1
+        if n_out <= 0:
+            raise ModelError(
+                f"Conv1D input length {length} too short for kernel "
+                f"{self.kernel_size} / stride {self.stride}"
+            )
+        # gather patch rows: indices (n_out, kernel) into the length axis
+        starts = np.arange(n_out) * self.stride
+        patch_rows = starts[:, None] + np.arange(self.kernel_size)[None, :]
+        patches = x.take_rows(patch_rows.reshape(-1)).reshape(
+            n_out, self.kernel_size * channels
+        )
+        out = patches @ self.weight + self.bias
+        return _activate(out, self.activation)
+
+
+class MaxPool1D(Module):
+    """Max pooling over the length axis of a (length, channels) input."""
+
+    def __init__(self, pool_size: int = 2) -> None:
+        super().__init__()
+        if pool_size <= 0:
+            raise ModelError("pool_size must be positive")
+        self.pool_size = pool_size
+
+    def __call__(self, x: Tensor) -> Tensor:
+        length, channels = x.shape
+        n_out = length // self.pool_size
+        if n_out == 0:
+            return x  # shorter than one window: identity (graph too small)
+        trimmed = x[: n_out * self.pool_size]
+        windows = trimmed.reshape(n_out, self.pool_size, channels)
+        return windows.max(axis=1)
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, rate: float, rng: RngLike = None) -> None:
+        super().__init__()
+        self.rate = rate
+        self._rng = ensure_rng(rng)
+
+    def __call__(self, x: Tensor) -> Tensor:
+        if not self.training or self.rate <= 0.0:
+            return x
+        mask = dropout_mask(x.shape, self.rate, self._rng)
+        return x * Tensor(mask)
+
+
+def _activate(x: Tensor, activation: Optional[str]) -> Tensor:
+    if activation is None or activation == "linear":
+        return x
+    if activation == "tanh":
+        return x.tanh()
+    if activation == "relu":
+        return x.relu()
+    if activation == "sigmoid":
+        return x.sigmoid()
+    raise ModelError(f"unknown activation {activation!r}")

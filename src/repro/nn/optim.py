@@ -1,0 +1,107 @@
+"""Optimizers: SGD (with momentum) and Adam.
+
+Updates are in-place on parameter ``data`` buffers (no reallocations in the
+training loop, per the HPC guide's in-place-operation idiom).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.nn.layers import Parameter
+
+
+class Optimizer:
+    def __init__(self, params: Sequence[Parameter], lr: float) -> None:
+        if lr <= 0:
+            raise ModelError(f"learning rate must be positive, got {lr}")
+        self.params = list(params)
+        if not self.params:
+            raise ModelError("optimizer received no parameters")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """SGD with optional momentum and gradient clipping."""
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        clip: Optional[float] = None,
+    ) -> None:
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self.clip = clip
+        self._velocity: List[Optional[np.ndarray]] = [None] * len(self.params)
+
+    def step(self) -> None:
+        for pos, param in enumerate(self.params):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.clip is not None:
+                grad = np.clip(grad, -self.clip, self.clip)
+            if self.momentum > 0.0:
+                if self._velocity[pos] is None:
+                    self._velocity[pos] = np.zeros_like(param.data)
+                vel = self._velocity[pos]
+                vel *= self.momentum
+                vel -= self.lr * grad
+                param.data += vel
+            else:
+                param.data -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam with bias correction and optional gradient clipping."""
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        clip: Optional[float] = None,
+    ) -> None:
+        super().__init__(params, lr)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.clip = clip
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        bias1 = 1.0 - b1**self._t
+        bias2 = 1.0 - b2**self._t
+        for pos, param in enumerate(self.params):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.clip is not None:
+                grad = np.clip(grad, -self.clip, self.clip)
+            m = self._m[pos]
+            v = self._v[pos]
+            m *= b1
+            m += (1.0 - b1) * grad
+            v *= b2
+            v += (1.0 - b2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

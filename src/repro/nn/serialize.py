@@ -1,0 +1,36 @@
+"""Parameter persistence for trained models (npz checkpoints)."""
+
+from __future__ import annotations
+
+import os
+import numpy as np
+
+from repro.errors import ModelError
+from repro.nn.layers import Module
+
+
+def save_params(module: Module, path: os.PathLike) -> None:
+    """Save all named parameters of ``module`` to an npz file."""
+    arrays = {name: p.data for name, p in module.named_parameters().items()}
+    np.savez(path, **arrays)
+
+
+def load_params(module: Module, path: os.PathLike) -> None:
+    """Load parameters saved by :func:`save_params` into ``module`` in place."""
+    with np.load(path) as archive:
+        named = module.named_parameters()
+        missing = set(named) - set(archive.files)
+        extra = set(archive.files) - set(named)
+        if missing or extra:
+            raise ModelError(
+                f"checkpoint mismatch: missing={sorted(missing)} "
+                f"unexpected={sorted(extra)}"
+            )
+        for name, param in named.items():
+            data = archive[name]
+            if data.shape != param.data.shape:
+                raise ModelError(
+                    f"shape mismatch for {name}: checkpoint {data.shape} "
+                    f"vs model {param.data.shape}"
+                )
+            param.data[...] = data

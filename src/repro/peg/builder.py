@@ -1,0 +1,102 @@
+"""PEG construction: merge the CU graph with profiled dependences (Fig. 2).
+
+``build_peg`` takes the lowered program and the dynamic profile and produces
+the full PEG: function nodes at the top, loop nodes per loop, CU nodes at the
+leaves, hierarchy (CHILD) edges following the loop tree, and DEP edges
+aggregating instruction-level dependences up to CU granularity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cu.builder import CU, build_cus, cu_index_by_instr
+from repro.ir.linear import IRProgram
+from repro.ir.printer import statement_text
+from repro.peg.graph import EdgeKind, NodeKind, PEG, PEGNode
+from repro.profiler.report import ProfileReport
+
+
+def loop_node_id(loop_id: str) -> str:
+    return f"loop:{loop_id}"
+
+
+def func_node_id(fn_name: str) -> str:
+    return f"func:{fn_name}"
+
+
+def build_peg(program: IRProgram, report: ProfileReport) -> PEG:
+    """Build the full PEG for ``program`` using the dynamic ``report``."""
+    peg = PEG(name=program.name)
+
+    all_cus: List[CU] = []
+    for fn in program.functions.values():
+        fn_node = PEGNode(
+            node_id=func_node_id(fn.name),
+            kind=NodeKind.FUNC,
+            function=fn.name,
+            statements=["func"],
+        )
+        peg.add_node(fn_node)
+        cus = build_cus(fn)
+        all_cus.extend(cus)
+
+        # loop nodes
+        for info in fn.loops.values():
+            stats = report.loop_stats.get(info.loop_id)
+            node = PEGNode(
+                node_id=loop_node_id(info.loop_id),
+                kind=NodeKind.LOOP,
+                function=fn.name,
+                start_line=info.line,
+                end_line=info.end_line,
+                statements=["loop"],
+                loop_id=info.loop_id,
+                exec_count=stats.total_iterations if stats else 0,
+            )
+            peg.add_node(node)
+
+        # loop hierarchy
+        for info in fn.loops.values():
+            parent = (
+                loop_node_id(info.parent)
+                if info.parent is not None
+                else func_node_id(fn.name)
+            )
+            peg.add_edge(parent, loop_node_id(info.loop_id), EdgeKind.CHILD)
+
+        # CU nodes + hierarchy
+        for cu in cus:
+            exec_count = sum(
+                report.exec_counts.get(key, 0) for key in cu.instr_keys
+            )
+            node = PEGNode(
+                node_id=cu.cu_id,
+                kind=NodeKind.CU,
+                function=fn.name,
+                start_line=cu.start_line,
+                end_line=cu.end_line,
+                statements=[statement_text(i) for i in cu.instrs],
+                instr_keys=list(cu.instr_keys),
+                exec_count=exec_count,
+            )
+            peg.add_node(node)
+            parent = (
+                loop_node_id(cu.loop_id)
+                if cu.loop_id is not None
+                else func_node_id(fn.name)
+            )
+            peg.add_edge(parent, cu.cu_id, EdgeKind.CHILD)
+
+    # dependence edges, aggregated to CU level
+    instr_to_cu = cu_index_by_instr(all_cus)
+    for (src_key, dst_key, kind), dep in report.deps.items():
+        src_cu = instr_to_cu.get(src_key)
+        dst_cu = instr_to_cu.get(dst_key)
+        if src_cu is None or dst_cu is None:
+            continue  # accesses outside any CU (should not happen for mem ops)
+        edge = peg.add_edge(src_cu, dst_cu, EdgeKind.DEP)
+        edge.dep_counts[kind.value] = edge.dep_counts.get(kind.value, 0) + dep.count
+        edge.carried_loops.update(dep.carried.keys())
+
+    return peg

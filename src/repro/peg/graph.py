@@ -1,0 +1,195 @@
+"""The PEG data structure.
+
+A PEG is a directed graph whose nodes are CUs, loops, and functions, and
+whose edges are either *hierarchy* (parent contains child) or *dependence*
+(aggregated RAW/WAR/WAW between CUs), matching Section III-A/III-D of the
+paper: nodes carry an ``<ID, START, END>`` triple, dependence edges carry a
+``<SINK, TYPE, SOURCE>`` triple (we store source/sink plus per-kind counts).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import GraphError
+
+
+class NodeKind(enum.Enum):
+    CU = "cu"
+    LOOP = "loop"
+    FUNC = "func"
+
+
+class EdgeKind(enum.Enum):
+    CHILD = "child"      # hierarchy: parent contains child
+    DEP = "dep"          # aggregated data dependence
+
+
+@dataclass
+class PEGNode:
+    """One PEG node.
+
+    ``statements`` holds the normalized LinearIR statement strings of the
+    node's instructions (the inst2vec token sequence); ``features`` holds the
+    dynamic features attached by :mod:`repro.analysis.features`.
+    """
+
+    node_id: str
+    kind: NodeKind
+    function: str
+    start_line: int = 0
+    end_line: int = 0
+    statements: List[str] = field(default_factory=list)
+    instr_keys: List[Tuple[str, int]] = field(default_factory=list)
+    loop_id: Optional[str] = None     # for LOOP nodes: the loop's id
+    exec_count: int = 0
+    features: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def triple(self) -> Tuple[str, int, int]:
+        """The paper's <ID, START, END> node attribute."""
+        return (self.node_id, self.start_line, self.end_line)
+
+
+@dataclass
+class PEGEdge:
+    """One PEG edge; for DEP edges ``dep_counts`` maps kind name -> count and
+    ``carried_loops`` lists loops carrying at least one underlying dependence."""
+
+    src: str
+    dst: str
+    kind: EdgeKind
+    dep_counts: Dict[str, int] = field(default_factory=dict)
+    carried_loops: Set[str] = field(default_factory=set)
+
+    @property
+    def total_deps(self) -> int:
+        return sum(self.dep_counts.values())
+
+
+class PEG:
+    """A Program Execution Graph."""
+
+    def __init__(self, name: str = "peg") -> None:
+        self.name = name
+        self.nodes: Dict[str, PEGNode] = {}
+        self.edges: List[PEGEdge] = []
+        self._out: Dict[str, List[int]] = {}
+        self._in: Dict[str, List[int]] = {}
+        self._edge_index: Dict[Tuple[str, str, EdgeKind], int] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_node(self, node: PEGNode) -> PEGNode:
+        if node.node_id in self.nodes:
+            raise GraphError(f"duplicate PEG node {node.node_id!r}")
+        self.nodes[node.node_id] = node
+        self._out[node.node_id] = []
+        self._in[node.node_id] = []
+        return node
+
+    def add_edge(
+        self,
+        src: str,
+        dst: str,
+        kind: EdgeKind,
+    ) -> PEGEdge:
+        """Add (or fetch the existing) edge of ``kind`` between src and dst."""
+        if src not in self.nodes or dst not in self.nodes:
+            raise GraphError(f"edge {src!r}->{dst!r} references unknown node")
+        key = (src, dst, kind)
+        idx = self._edge_index.get(key)
+        if idx is not None:
+            return self.edges[idx]
+        edge = PEGEdge(src, dst, kind)
+        idx = len(self.edges)
+        self.edges.append(edge)
+        self._edge_index[key] = idx
+        self._out[src].append(idx)
+        self._in[dst].append(idx)
+        return edge
+
+    # -- queries ---------------------------------------------------------------
+
+    def node(self, node_id: str) -> PEGNode:
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise GraphError(f"no PEG node {node_id!r}") from None
+
+    def out_edges(self, node_id: str, kind: Optional[EdgeKind] = None) -> List[PEGEdge]:
+        edges = [self.edges[i] for i in self._out.get(node_id, ())]
+        if kind is not None:
+            edges = [e for e in edges if e.kind is kind]
+        return edges
+
+    def in_edges(self, node_id: str, kind: Optional[EdgeKind] = None) -> List[PEGEdge]:
+        edges = [self.edges[i] for i in self._in.get(node_id, ())]
+        if kind is not None:
+            edges = [e for e in edges if e.kind is kind]
+        return edges
+
+    def children(self, node_id: str) -> List[str]:
+        return [e.dst for e in self.out_edges(node_id, EdgeKind.CHILD)]
+
+    def descendants(self, node_id: str) -> List[str]:
+        """All hierarchy descendants of ``node_id`` (excluding itself)."""
+        out: List[str] = []
+        stack = self.children(node_id)
+        seen: Set[str] = set()
+        while stack:
+            nid = stack.pop()
+            if nid in seen:
+                continue
+            seen.add(nid)
+            out.append(nid)
+            stack.extend(self.children(nid))
+        return out
+
+    def nodes_of_kind(self, kind: NodeKind) -> List[PEGNode]:
+        return [n for n in self.nodes.values() if n.kind is kind]
+
+    def loop_nodes(self) -> List[PEGNode]:
+        return self.nodes_of_kind(NodeKind.LOOP)
+
+    def dep_edges(self) -> List[PEGEdge]:
+        return [e for e in self.edges if e.kind is EdgeKind.DEP]
+
+    def subgraph(self, node_ids: Iterable[str], name: Optional[str] = None) -> "PEG":
+        """Induced subgraph over ``node_ids`` (copies node objects by reference)."""
+        keep = set(node_ids)
+        missing = keep - set(self.nodes)
+        if missing:
+            raise GraphError(f"subgraph references unknown nodes {sorted(missing)}")
+        sub = PEG(name or f"{self.name}/sub")
+        for nid in self.nodes:
+            if nid in keep:
+                # reference the same node objects: sub-PEGs are views
+                sub.nodes[nid] = self.nodes[nid]
+                sub._out[nid] = []
+                sub._in[nid] = []
+        for edge in self.edges:
+            if edge.src in keep and edge.dst in keep:
+                idx = len(sub.edges)
+                sub.edges.append(edge)
+                sub._edge_index[(edge.src, edge.dst, edge.kind)] = idx
+                sub._out[edge.src].append(idx)
+                sub._in[edge.dst].append(idx)
+        return sub
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self.nodes
+
+    def summary(self) -> str:
+        kinds = {k: len(self.nodes_of_kind(k)) for k in NodeKind}
+        n_dep = len(self.dep_edges())
+        return (
+            f"PEG({self.name}: {kinds[NodeKind.FUNC]} funcs, "
+            f"{kinds[NodeKind.LOOP]} loops, {kinds[NodeKind.CU]} CUs, "
+            f"{n_dep} dep edges, {len(self.edges) - n_dep} child edges)"
+        )

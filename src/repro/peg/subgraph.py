@@ -1,0 +1,49 @@
+"""Per-loop sub-PEG extraction.
+
+"We divide the PEG graph to be different sub-graphs.  Each loop and the node
+within the loop is a sub-PEG for classification." (paper, Fig. 5 caption)
+
+A loop's sub-PEG is its loop node plus all hierarchy descendants (nested
+loops and their CUs) and every edge among them.  ``include_context`` adds the
+1-hop dependence frontier — the CUs outside the loop that dependences connect
+to — which the paper's future-work section motivates; the default matches the
+paper (no context).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.errors import GraphError
+from repro.peg.builder import loop_node_id
+from repro.peg.graph import EdgeKind, NodeKind, PEG
+
+
+def loop_subpeg(peg: PEG, loop_id: str, include_context: bool = False) -> PEG:
+    """The classification sub-PEG of ``loop_id``."""
+    root = loop_node_id(loop_id)
+    if root not in peg:
+        raise GraphError(f"PEG {peg.name!r} has no loop node for {loop_id!r}")
+    keep: Set[str] = {root}
+    keep.update(peg.descendants(root))
+    if include_context:
+        frontier: Set[str] = set()
+        for nid in keep:
+            for edge in peg.out_edges(nid, EdgeKind.DEP):
+                frontier.add(edge.dst)
+            for edge in peg.in_edges(nid, EdgeKind.DEP):
+                frontier.add(edge.src)
+        keep |= frontier
+    return peg.subgraph(keep, name=f"{peg.name}/{loop_id}")
+
+
+def all_loop_subpegs(
+    peg: PEG, include_context: bool = False
+) -> Dict[str, PEG]:
+    """Sub-PEGs for every loop node in ``peg``, keyed by loop id."""
+    out: Dict[str, PEG] = {}
+    for node in peg.loop_nodes():
+        if node.loop_id is None:
+            continue
+        out[node.loop_id] = loop_subpeg(peg, node.loop_id, include_context)
+    return out

@@ -1,0 +1,21 @@
+"""Dynamic profiler: the DiscoPoP-phase-1 analogue.
+
+Interprets LinearIR with shadow memory, recording RAW/WAR/WAW data
+dependences with exact loop-carried attribution, per-loop iteration counts,
+and per-instruction execution counts — the same artefacts DiscoPoP phase 1
+extracts from instrumented binaries (see DESIGN.md).
+"""
+
+from repro.profiler.report import DepKind, DepInfo, LoopStats, ProfileReport, InstrKey
+from repro.profiler.shadow import ShadowMemory
+from repro.profiler.interpreter import Interpreter, profile_program, run_program
+from repro.profiler.static_info import cfg_edges, predecessors, block_loop_map
+from repro.profiler.static_estimator import estimate_profile, estimate_trip_count
+
+__all__ = [
+    "DepKind", "DepInfo", "LoopStats", "ProfileReport", "InstrKey",
+    "ShadowMemory",
+    "Interpreter", "profile_program", "run_program",
+    "cfg_edges", "predecessors", "block_loop_map",
+    "estimate_profile", "estimate_trip_count",
+]

@@ -1,0 +1,381 @@
+"""LinearIR interpreter with optional dependence profiling.
+
+Memory model
+------------
+
+* **Arrays** are global, shared across functions, and initialized
+  deterministically from a seeded generator before the run (kernels that
+  need structured contents — e.g. index arrays for indirect accesses —
+  initialize them with explicit loops, as the real benchmarks do).
+* **Scalars** are frame-local.  Each function activation gets a fresh
+  activation id, and the shadow address of a scalar is
+  ``(f"{fn}::{var}", activation_id)`` — semantically a fresh stack slot per
+  call, so locals of distinct activations never alias.  This keeps the
+  dependence oracle exact; the *conservatism* real tools show around calls is
+  modeled inside the tool baselines, not here.
+* Values are Python floats; comparisons yield 1.0 / 0.0; array indices are
+  truncated toward zero like a C cast.
+
+The hot loop avoids attribute lookups by binding opcodes and shadow methods
+to locals (profile-guided, per the HPC guide: measure, then specialize the
+inner loop).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import InterpreterError
+from repro.ir.linear import Imm, Instr, IRFunction, IRProgram, Opcode, Reg
+from repro.profiler.report import ProfileReport
+from repro.profiler.shadow import ShadowMemory
+from repro.utils.rng import RngLike, ensure_rng
+
+_INTRINSICS = {
+    "sqrt": lambda a: math.sqrt(a) if a >= 0.0 else 0.0,
+    "exp": lambda a: math.exp(min(a, 700.0)),
+    "log": lambda a: math.log(a) if a > 0.0 else 0.0,
+    "sin": math.sin,
+    "cos": math.cos,
+    "fabs": abs,
+    "floor": math.floor,
+    "pow": lambda a, b: math.pow(abs(a), b) if a != 0.0 or b > 0 else 0.0,
+}
+
+_DEFAULT_MAX_STEPS = 5_000_000
+
+
+class Interpreter:
+    """Executes an :class:`IRProgram`, optionally recording dependences."""
+
+    def __init__(
+        self,
+        program: IRProgram,
+        record: bool = True,
+        rng: RngLike = 0,
+        max_steps: int = _DEFAULT_MAX_STEPS,
+    ) -> None:
+        self.program = program
+        self.record = record
+        self.max_steps = max_steps
+        self.report = ProfileReport(program_name=program.name)
+        self.shadow: Optional[ShadowMemory] = (
+            ShadowMemory(self.report) if record else None
+        )
+        rng = ensure_rng(rng)
+        # Deterministic array contents in [0, 1); kernels that need structure
+        # (index arrays, zero accumulators) initialize explicitly.
+        self.arrays: Dict[str, List[float]] = {
+            name: list(rng.random(size)) for name, size in program.arrays.items()
+        }
+        self._steps = 0
+        self._itervec: Tuple[Tuple[str, int, int], ...] = ()
+        self._loop_entry_serial: Dict[str, int] = {}
+        self._loop_step_stack: List[Tuple[str, int]] = []
+        self._activation = 0
+        # per-function scoped scalar symbol cache: fn -> var -> "fn::var"
+        self._scoped: Dict[str, Dict[str, str]] = {}
+        # per-function exec counters: fn -> {iid: count}
+        self._exec: Dict[str, Dict[int, int]] = {}
+
+    # -- public API -----------------------------------------------------------
+
+    def run(self, args: Tuple[float, ...] = ()) -> ProfileReport:
+        """Execute the entry function and return the profile report."""
+        entry = self.program.function(self.program.entry)
+        value = self._run_function(entry, args)
+        self.report.steps = self._steps
+        self.report.return_value = value
+        for fn_name, counts in self._exec.items():
+            for iid, count in counts.items():
+                self.report.exec_counts[(fn_name, iid)] = count
+        return self.report
+
+    # -- execution ------------------------------------------------------------
+
+    def _scoped_sym(self, fn_name: str, var: str) -> str:
+        table = self._scoped.get(fn_name)
+        if table is None:
+            table = self._scoped[fn_name] = {}
+        sym = table.get(var)
+        if sym is None:
+            sym = table[var] = f"{fn_name}::{var}"
+        return sym
+
+    def _run_function(
+        self, fn: IRFunction, args: Tuple[float, ...]
+    ) -> Optional[float]:
+        if len(args) != len(fn.params):
+            raise InterpreterError(
+                f"{fn.name} expects {len(fn.params)} args, got {len(args)}"
+            )
+        self._activation += 1
+        activation = self._activation
+        scalars: Dict[str, float] = dict(zip(fn.params, (float(a) for a in args)))
+        registers: Dict[str, float] = {}
+        itervec_depth = len(self._itervec)
+        loopstack_depth = len(self._loop_step_stack)
+
+        fn_name = fn.name
+        exec_counts = self._exec.get(fn_name)
+        if exec_counts is None:
+            exec_counts = self._exec[fn_name] = {}
+        shadow = self.shadow
+        record = self.record
+        report = self.report
+        arrays = self.arrays
+        max_steps = self.max_steps
+        block = fn.entry
+        instrs = block.instrs
+        pos = 0
+
+        while True:
+            instr = instrs[pos]
+            pos += 1
+            self._steps += 1
+            if self._steps > max_steps:
+                raise InterpreterError(
+                    f"step budget of {max_steps} exceeded in {fn_name} "
+                    f"(likely non-terminating loop)"
+                )
+            iid = instr.iid
+            exec_counts[iid] = exec_counts.get(iid, 0) + 1
+            op = instr.opcode
+            ops = instr.operands
+
+            if op is Opcode.LDVAR:
+                var = ops[0]
+                value = scalars.get(var)
+                if value is None:
+                    value = scalars[var] = 0.0
+                if record:
+                    shadow.read(
+                        self._scoped_sym(fn_name, var),
+                        activation,
+                        (fn_name, iid),
+                        self._itervec,
+                    )
+                registers[instr.result.name] = value
+
+            elif op is Opcode.STVAR:
+                var = ops[0]
+                scalars[var] = self._value(registers, ops[1])
+                if record:
+                    shadow.write(
+                        self._scoped_sym(fn_name, var),
+                        activation,
+                        (fn_name, iid),
+                        self._itervec,
+                    )
+
+            elif op is Opcode.LOAD:
+                array_name = ops[0]
+                index = int(self._value(registers, ops[1]))
+                array = arrays[array_name]
+                if index < 0 or index >= len(array):
+                    raise InterpreterError(
+                        f"load {array_name}[{index}] out of bounds "
+                        f"(size {len(array)}) at iid {iid} in {fn_name}"
+                    )
+                if record:
+                    shadow.read(array_name, index, (fn_name, iid), self._itervec)
+                registers[instr.result.name] = array[index]
+
+            elif op is Opcode.STORE:
+                array_name = ops[0]
+                index = int(self._value(registers, ops[1]))
+                array = arrays[array_name]
+                if index < 0 or index >= len(array):
+                    raise InterpreterError(
+                        f"store {array_name}[{index}] out of bounds "
+                        f"(size {len(array)}) at iid {iid} in {fn_name}"
+                    )
+                array[index] = self._value(registers, ops[2])
+                if record:
+                    shadow.write(array_name, index, (fn_name, iid), self._itervec)
+
+            elif op is Opcode.ADD:
+                registers[instr.result.name] = self._value(
+                    registers, ops[0]
+                ) + self._value(registers, ops[1])
+            elif op is Opcode.SUB:
+                registers[instr.result.name] = self._value(
+                    registers, ops[0]
+                ) - self._value(registers, ops[1])
+            elif op is Opcode.MUL:
+                registers[instr.result.name] = self._value(
+                    registers, ops[0]
+                ) * self._value(registers, ops[1])
+            elif op is Opcode.DIV:
+                denom = self._value(registers, ops[1])
+                if denom == 0.0:
+                    raise InterpreterError(f"division by zero at iid {iid} in {fn_name}")
+                registers[instr.result.name] = self._value(registers, ops[0]) / denom
+            elif op is Opcode.MOD:
+                denom = self._value(registers, ops[1])
+                if denom == 0.0:
+                    raise InterpreterError(f"modulo by zero at iid {iid} in {fn_name}")
+                # Euclidean semantics: result has the sign of the divisor, so
+                # x % positive stays a valid array index even for negative x
+                # (MiniC defines % this way; kernels rely on it for wrapping)
+                registers[instr.result.name] = (
+                    self._value(registers, ops[0]) % denom
+                )
+            elif op is Opcode.MIN:
+                registers[instr.result.name] = min(
+                    self._value(registers, ops[0]), self._value(registers, ops[1])
+                )
+            elif op is Opcode.MAX:
+                registers[instr.result.name] = max(
+                    self._value(registers, ops[0]), self._value(registers, ops[1])
+                )
+            elif op is Opcode.NEG:
+                registers[instr.result.name] = -self._value(registers, ops[0])
+            elif op is Opcode.NOT:
+                registers[instr.result.name] = (
+                    0.0 if self._value(registers, ops[0]) != 0.0 else 1.0
+                )
+            elif op is Opcode.AND:
+                registers[instr.result.name] = (
+                    1.0
+                    if self._value(registers, ops[0]) != 0.0
+                    and self._value(registers, ops[1]) != 0.0
+                    else 0.0
+                )
+            elif op is Opcode.OR:
+                registers[instr.result.name] = (
+                    1.0
+                    if self._value(registers, ops[0]) != 0.0
+                    or self._value(registers, ops[1]) != 0.0
+                    else 0.0
+                )
+
+            elif op is Opcode.CMP:
+                lhs = self._value(registers, ops[0])
+                rhs = self._value(registers, ops[1])
+                pred = instr.meta["pred"]
+                if pred == "lt":
+                    result = lhs < rhs
+                elif pred == "le":
+                    result = lhs <= rhs
+                elif pred == "gt":
+                    result = lhs > rhs
+                elif pred == "ge":
+                    result = lhs >= rhs
+                elif pred == "eq":
+                    result = lhs == rhs
+                else:
+                    result = lhs != rhs
+                registers[instr.result.name] = 1.0 if result else 0.0
+
+            elif op is Opcode.CONDBR:
+                cond = self._value(registers, ops[0])
+                target = ops[1] if cond != 0.0 else ops[2]
+                block = fn.block(target)
+                instrs = block.instrs
+                pos = 0
+            elif op is Opcode.BR:
+                block = fn.block(ops[0])
+                instrs = block.instrs
+                pos = 0
+            elif op is Opcode.RET:
+                # An early return may abandon active loops of this frame:
+                # unwind their iteration-vector entries and attribute their
+                # executed steps before leaving.
+                self._itervec = self._itervec[:itervec_depth]
+                while len(self._loop_step_stack) > loopstack_depth:
+                    loop_id, start = self._loop_step_stack.pop()
+                    stats = report.loop_stats.get(loop_id)
+                    if stats is not None:
+                        stats.dyn_instr_count += self._steps - start
+                if ops:
+                    return self._value(registers, ops[0])
+                return None
+
+            elif op is Opcode.LOOPENTER:
+                loop_id = ops[0]
+                serial = self._loop_entry_serial.get(loop_id, 0)
+                self._loop_entry_serial[loop_id] = serial + 1
+                self._itervec = self._itervec + ((loop_id, serial, 0),)
+                report.record_loop_entry(loop_id)
+                self._loop_step_stack.append((loop_id, self._steps))
+            elif op is Opcode.LOOPNEXT:
+                loop_id = ops[0]
+                last = self._itervec[-1]
+                if last[0] != loop_id:
+                    raise InterpreterError(
+                        f"loopnext for {loop_id!r} but innermost loop is {last[0]!r}"
+                    )
+                self._itervec = self._itervec[:-1] + (
+                    (loop_id, last[1], last[2] + 1),
+                )
+                report.record_loop_iteration(loop_id)
+            elif op is Opcode.LOOPEXIT:
+                loop_id = ops[0]
+                if self._itervec and self._itervec[-1][0] == loop_id:
+                    self._itervec = self._itervec[:-1]
+                if (
+                    self._loop_step_stack
+                    and self._loop_step_stack[-1][0] == loop_id
+                ):
+                    _, start = self._loop_step_stack.pop()
+                    stats = report.loop_stats.get(loop_id)
+                    if stats is not None:
+                        stats.dyn_instr_count += self._steps - start
+
+            elif op is Opcode.CALL:
+                fn_name_i = ops[0]
+                intrinsic = _INTRINSICS.get(fn_name_i)
+                if intrinsic is None:
+                    raise InterpreterError(f"unknown intrinsic {fn_name_i!r}")
+                values = [self._value(registers, a) for a in ops[1:]]
+                try:
+                    registers[instr.result.name] = float(intrinsic(*values))
+                except (ValueError, OverflowError) as exc:
+                    raise InterpreterError(
+                        f"intrinsic {fn_name_i} failed on {values}: {exc}"
+                    ) from exc
+
+            elif op is Opcode.CALLFN:
+                callee = self.program.function(ops[0])
+                values = tuple(self._value(registers, a) for a in ops[1:])
+                result = self._run_function(callee, values)
+                if instr.result is not None:
+                    registers[instr.result.name] = (
+                        result if result is not None else 0.0
+                    )
+
+            elif op is Opcode.CONST:
+                registers[instr.result.name] = float(ops[0].value)  # type: ignore
+
+            else:  # pragma: no cover - all opcodes handled above
+                raise InterpreterError(f"unhandled opcode {op}")
+
+    @staticmethod
+    def _value(registers: Dict[str, float], operand) -> float:
+        if type(operand) is Reg:
+            return registers[operand.name]
+        return operand.value  # Imm
+
+
+def run_program(
+    program: IRProgram,
+    args: Tuple[float, ...] = (),
+    rng: RngLike = 0,
+    max_steps: int = _DEFAULT_MAX_STEPS,
+) -> ProfileReport:
+    """Execute ``program`` without dependence recording (fast validation)."""
+    return Interpreter(program, record=False, rng=rng, max_steps=max_steps).run(args)
+
+
+def profile_program(
+    program: IRProgram,
+    args: Tuple[float, ...] = (),
+    rng: RngLike = 0,
+    max_steps: int = _DEFAULT_MAX_STEPS,
+) -> ProfileReport:
+    """Execute ``program`` with full dependence profiling (DiscoPoP phase 1)."""
+    return Interpreter(program, record=True, rng=rng, max_steps=max_steps).run(args)

@@ -1,0 +1,115 @@
+"""Profiling result containers.
+
+Instruction identity across the whole run is ``InstrKey = (function_name,
+iid)`` since iids are only unique per function.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+InstrKey = Tuple[str, int]
+
+
+class DepKind(enum.Enum):
+    """Data-dependence kinds, as in the DiscoPoP dependence files."""
+
+    RAW = "RAW"
+    WAR = "WAR"
+    WAW = "WAW"
+
+
+@dataclass
+class DepInfo:
+    """Aggregated occurrences of one (source, sink, kind) dependence.
+
+    ``carried`` counts occurrences by the id of the *outermost* loop whose
+    iteration differs between source and sink (the loop that carries the
+    dependence); ``independent`` counts loop-independent occurrences.
+    """
+
+    src: InstrKey
+    dst: InstrKey
+    kind: DepKind
+    symbol: str
+    count: int = 0
+    independent: int = 0
+    carried: Counter = field(default_factory=Counter)
+
+    def is_carried_by(self, loop_id: str) -> bool:
+        return self.carried.get(loop_id, 0) > 0
+
+
+@dataclass
+class LoopStats:
+    """Dynamic statistics of one loop."""
+
+    loop_id: str
+    entries: int = 0
+    total_iterations: int = 0
+    dyn_instr_count: int = 0
+
+    @property
+    def mean_trip_count(self) -> float:
+        if self.entries == 0:
+            return 0.0
+        return self.total_iterations / self.entries
+
+
+@dataclass
+class ProfileReport:
+    """Everything the dynamic profiler learned from one run."""
+
+    program_name: str
+    deps: Dict[Tuple[InstrKey, InstrKey, DepKind], DepInfo] = field(
+        default_factory=dict
+    )
+    loop_stats: Dict[str, LoopStats] = field(default_factory=dict)
+    exec_counts: Counter = field(default_factory=Counter)  # InstrKey -> int
+    steps: int = 0
+    return_value: Optional[float] = None
+
+    # -- dependence queries ---------------------------------------------------
+
+    def all_deps(self) -> List[DepInfo]:
+        return list(self.deps.values())
+
+    def deps_carried_by(self, loop_id: str) -> List[DepInfo]:
+        """Dependences carried by ``loop_id`` (outermost-differing semantics)."""
+        return [d for d in self.deps.values() if d.is_carried_by(loop_id)]
+
+    def symbols_carried_by(self, loop_id: str) -> Dict[str, Set[DepKind]]:
+        """Map symbol -> kinds of dependences carried by ``loop_id`` on it."""
+        out: Dict[str, Set[DepKind]] = {}
+        for dep in self.deps_carried_by(loop_id):
+            out.setdefault(dep.symbol, set()).add(dep.kind)
+        return out
+
+    def deps_touching(self, keys: Set[InstrKey]) -> List[DepInfo]:
+        """Dependences whose source or sink is in ``keys``."""
+        return [
+            d for d in self.deps.values() if d.src in keys or d.dst in keys
+        ]
+
+    def record_loop_entry(self, loop_id: str) -> None:
+        stats = self.loop_stats.get(loop_id)
+        if stats is None:
+            stats = self.loop_stats[loop_id] = LoopStats(loop_id)
+        stats.entries += 1
+
+    def record_loop_iteration(self, loop_id: str) -> None:
+        stats = self.loop_stats.get(loop_id)
+        if stats is None:
+            stats = self.loop_stats[loop_id] = LoopStats(loop_id)
+        stats.total_iterations += 1
+
+    def summary(self) -> str:
+        n_carried = sum(1 for d in self.deps.values() if d.carried)
+        return (
+            f"ProfileReport({self.program_name}: {self.steps} steps, "
+            f"{len(self.deps)} deps ({n_carried} carried), "
+            f"{len(self.loop_stats)} loops)"
+        )

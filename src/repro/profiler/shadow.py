@@ -1,0 +1,99 @@
+"""Shadow memory for dynamic dependence detection.
+
+For every memory address ``(symbol, index)`` the shadow tracks the last
+writer and the set of readers since that write, each with the iteration
+vector at access time.  Dependences are classified against the *outermost*
+common loop whose iteration differs (the loop that carries the dependence),
+including a per-loop *entry serial* so accesses from different activations of
+the same loop are never misattributed as loop-carried.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.profiler.report import DepInfo, DepKind, InstrKey, ProfileReport
+
+# An iteration vector entry: (loop_id, entry_serial, iteration)
+IterVec = Tuple[Tuple[str, int, int], ...]
+
+
+def carrying_loop(src_vec: IterVec, dst_vec: IterVec) -> Optional[str]:
+    """The id of the outermost loop that carries a dependence between two
+    accesses, or ``None`` when the dependence is loop-independent.
+
+    Walks from the outermost position inward while loop ids and entry
+    serials match; the first position with a differing iteration is the
+    carrier.  A mismatch in loop id or entry serial means the accesses are
+    sequentially ordered outside any common loop iteration structure, i.e.
+    the dependence is not carried by any loop.
+    """
+    n = min(len(src_vec), len(dst_vec))
+    for i in range(n):
+        s_loop, s_entry, s_iter = src_vec[i]
+        d_loop, d_entry, d_iter = dst_vec[i]
+        if s_loop != d_loop or s_entry != d_entry:
+            return None
+        if s_iter != d_iter:
+            return s_loop
+    return None
+
+
+class ShadowMemory:
+    """Tracks last writer / readers per address and emits dependences."""
+
+    __slots__ = ("_last_write", "_last_reads", "_report")
+
+    def __init__(self, report: ProfileReport) -> None:
+        # addr -> (writer key, writer itervec)
+        self._last_write: Dict[Tuple[str, int], Tuple[InstrKey, IterVec]] = {}
+        # addr -> {reader key: reader itervec}  (one slot per static reader)
+        self._last_reads: Dict[Tuple[str, int], Dict[InstrKey, IterVec]] = {}
+        self._report = report
+
+    def _record(
+        self,
+        src: InstrKey,
+        dst: InstrKey,
+        kind: DepKind,
+        symbol: str,
+        src_vec: IterVec,
+        dst_vec: IterVec,
+    ) -> None:
+        deps = self._report.deps
+        dep_key = (src, dst, kind)
+        dep = deps.get(dep_key)
+        if dep is None:
+            dep = deps[dep_key] = DepInfo(src, dst, kind, symbol)
+        dep.count += 1
+        carrier = carrying_loop(src_vec, dst_vec)
+        if carrier is None:
+            dep.independent += 1
+        else:
+            dep.carried[carrier] += 1
+
+    def read(self, symbol: str, index: int, key: InstrKey, itervec: IterVec) -> None:
+        """Record a read access; emits a RAW edge from the last writer."""
+        addr = (symbol, index)
+        writer = self._last_write.get(addr)
+        if writer is not None:
+            self._record(writer[0], key, DepKind.RAW, symbol, writer[1], itervec)
+        reads = self._last_reads.get(addr)
+        if reads is None:
+            self._last_reads[addr] = {key: itervec}
+        else:
+            reads[key] = itervec
+
+    def write(self, symbol: str, index: int, key: InstrKey, itervec: IterVec) -> None:
+        """Record a write access; emits WAR edges from readers and a WAW edge
+        from the previous writer, then becomes the new last writer."""
+        addr = (symbol, index)
+        reads = self._last_reads.get(addr)
+        if reads:
+            for rkey, rvec in reads.items():
+                self._record(rkey, key, DepKind.WAR, symbol, rvec, itervec)
+            reads.clear()
+        writer = self._last_write.get(addr)
+        if writer is not None:
+            self._record(writer[0], key, DepKind.WAW, symbol, writer[1], itervec)
+        self._last_write[addr] = (key, itervec)

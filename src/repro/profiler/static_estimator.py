@@ -1,0 +1,220 @@
+"""Static feature estimation — the paper's third future-work item.
+
+"In future works we can depart from this assumption and decouple the
+dynamic and static features, allowing the model to selectively apply
+information from either method [...] our model would be applicable to a
+wider range of applications."
+
+This module produces a :class:`~repro.profiler.report.ProfileReport`-shaped
+*estimate* without executing the program: trip counts from constant bounds
+(with a configurable default for symbolic ones), dependences from syntactic
+array-access comparison (GCD-tested where affine, conservative elsewhere),
+and loop statistics derived from the static loop tree.  Downstream code —
+feature computation, PEG construction, even the oracle — runs unchanged on
+the estimated report, which is exactly the decoupling the paper sketches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ir import ast_nodes as ast
+from repro.ir.ast_nodes import Program
+from repro.ir.linear import IRProgram, MEM_READS, MEM_WRITES, Opcode
+from repro.profiler.report import (
+    DepInfo,
+    DepKind,
+    InstrKey,
+    LoopStats,
+    ProfileReport,
+)
+from repro.profiler.static_info import loop_block_sets
+from repro.tools.affine import gcd_test, normalize_affine
+
+
+def estimate_trip_count(loop: ast.For, default: int = 16) -> int:
+    """Constant-bound trip count, or ``default`` for symbolic bounds."""
+    if (
+        isinstance(loop.lo, ast.Const)
+        and isinstance(loop.hi, ast.Const)
+        and isinstance(loop.step, ast.Const)
+        and loop.step.value > 0
+    ):
+        span = loop.hi.value - loop.lo.value
+        if span <= 0:
+            return 0
+        return int(-(-span // loop.step.value))  # ceil division
+    return default
+
+
+def _ast_loops(program: Program) -> Dict[str, ast.For]:
+    out: Dict[str, ast.For] = {}
+    for fn in program.functions.values():
+        for stmt in ast.walk_stmts(fn.body):
+            if isinstance(stmt, ast.For) and stmt.loop_id is not None:
+                out[stmt.loop_id] = stmt
+    return out
+
+
+def estimate_profile(
+    program: Program,
+    ir_program: IRProgram,
+    default_trip: int = 16,
+) -> ProfileReport:
+    """Build a statically-estimated profile report (no execution)."""
+    report = ProfileReport(program_name=f"{program.name} (static estimate)")
+    ast_loops = _ast_loops(program)
+
+    # -- loop statistics from the static loop tree -----------------------
+    for loop_id, info in ir_program.all_loops().items():
+        loop_ast = ast_loops.get(loop_id)
+        own_trips = (
+            estimate_trip_count(loop_ast, default_trip)
+            if loop_ast is not None
+            else default_trip
+        )
+        # entries = product of enclosing trip counts
+        entries = 1
+        parent = info.parent
+        while parent is not None:
+            parent_ast = ast_loops.get(parent)
+            entries *= (
+                estimate_trip_count(parent_ast, default_trip)
+                if parent_ast is not None
+                else default_trip
+            )
+            parent = ir_program.all_loops()[parent].parent
+        stats = LoopStats(loop_id)
+        stats.entries = entries
+        stats.total_iterations = entries * own_trips
+        report.loop_stats[loop_id] = stats
+
+    # -- static dependence estimation, per loop ----------------------------
+    for fn in ir_program.functions.values():
+        block_sets = loop_block_sets(fn)
+        for loop_id in fn.loops:
+            loop_ast = ast_loops.get(loop_id)
+            if loop_ast is None:
+                continue
+            _estimate_loop_deps(
+                report, program, fn.name, loop_id, loop_ast, block_sets
+            )
+
+    # -- execution counts: every instruction of a loop body executes once
+    #    per estimated iteration
+    for fn in ir_program.functions.values():
+        block_sets = loop_block_sets(fn)
+        owner: Dict[str, Optional[str]] = {}
+        for loop_id, labels in sorted(
+            block_sets.items(), key=lambda kv: len(kv[1]), reverse=True
+        ):
+            for label in labels:
+                owner[label] = loop_id  # innermost (smallest) wins last
+        for block in fn.blocks:
+            loop_id = owner.get(block.label)
+            iterations = (
+                report.loop_stats[loop_id].total_iterations
+                if loop_id is not None
+                else 1
+            )
+            for instr in block.instrs:
+                report.exec_counts[(fn.name, instr.iid)] = max(1, iterations)
+    report.steps = sum(report.exec_counts.values())
+    return report
+
+
+def _estimate_loop_deps(
+    report: ProfileReport,
+    program: Program,
+    fn_name: str,
+    loop_id: str,
+    loop_ast: ast.For,
+    block_sets,
+) -> None:
+    """Record estimated carried dependences for one loop.
+
+    Uses the same affine machinery as PlutoLite but records its verdicts in
+    dynamic-report form; scalar recurrences are detected from read-then-
+    write orderings in the AST.
+    """
+    loop_vars: Set[str] = {loop_ast.var} | {
+        s.var for s in ast.walk_stmts(loop_ast.body) if isinstance(s, ast.For)
+    }
+
+    accesses: List[Tuple[str, ast.Expr, bool]] = []
+    scalar_first_event: Dict[str, str] = {}
+    scalar_writes: Set[str] = set()
+
+    def record_scalar(kind: str, name: str) -> None:
+        scalar_first_event.setdefault(name, kind)
+        if kind == "w":
+            scalar_writes.add(name)
+
+    def scan_expr(expr: ast.Expr) -> None:
+        for node in ast.walk_exprs(expr):
+            if isinstance(node, ast.Load):
+                accesses.append((node.array, node.index, False))
+            elif isinstance(node, ast.Var):
+                record_scalar("r", node.name)
+
+    for stmt in ast.walk_stmts(loop_ast.body):
+        for expr in ast.stmt_exprs(stmt):
+            scan_expr(expr)
+        if isinstance(stmt, ast.Store):
+            accesses.append((stmt.array, stmt.index, True))
+        elif isinstance(stmt, ast.Assign):
+            record_scalar("w", stmt.name)
+        elif isinstance(stmt, ast.For):
+            record_scalar("w", stmt.var)
+
+    serial = 0
+
+    def emit(symbol: str, kind: DepKind) -> None:
+        nonlocal serial
+        # synthetic instruction keys: estimation has no concrete iids
+        src: InstrKey = (fn_name, -(serial * 2 + 1))
+        dst: InstrKey = (fn_name, -(serial * 2 + 2))
+        serial += 1
+        dep = DepInfo(src, dst, kind, symbol)
+        dep.count = 1
+        dep.carried[loop_id] = 1
+        report.deps[(src, dst, kind)] = dep
+
+    # scalar recurrences: read before any write => value flows across
+    # iterations (conservative static view)
+    for name in scalar_writes:
+        if name in loop_vars:
+            continue
+        if scalar_first_event.get(name) == "r":
+            emit(f"{fn_name}::{name}", DepKind.RAW)
+        else:
+            emit(f"{fn_name}::{name}", DepKind.WAW)
+
+    # array dependences via pairwise affine testing
+    normalized = [
+        (array, normalize_affine(index, loop_vars), is_write)
+        for array, index, is_write in accesses
+    ]
+    flagged: Set[Tuple[str, str]] = set()
+    for pos, (array_a, form_a, write_a) in enumerate(normalized):
+        for array_b, form_b, write_b in normalized[pos:]:
+            if array_a != array_b or not (write_a or write_b):
+                continue
+            kind = (
+                DepKind.WAW
+                if write_a and write_b
+                else (DepKind.RAW if write_a else DepKind.WAR)
+            )
+            key = (array_a, kind.value)
+            if key in flagged:
+                continue
+            if form_a is None or form_b is None:
+                flagged.add(key)
+                emit(array_a, kind)
+            elif form_a.structurally_equal(form_b):
+                if not form_a.involves(loop_ast.var):
+                    flagged.add(key)
+                    emit(array_a, kind)
+            elif gcd_test(form_a, form_b, loop_ast.var):
+                flagged.add(key)
+                emit(array_a, kind)

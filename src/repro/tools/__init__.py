@@ -1,0 +1,21 @@
+"""Auto-parallelization tool baselines (Table III comparators).
+
+Each tool implements :class:`ParallelismTool`: given the MiniC AST, the
+lowered IR, and (for dynamic tools) the profile report, it predicts loop
+parallelizability.  The tools are deliberately *imperfect* models of their
+namesakes — their characteristic blind spots (Pluto's affine-only world,
+AutoPar's syntactic conservatism, DiscoPoP's call/coverage limits) are what
+produce the Table III accuracy spread.
+"""
+
+from repro.tools.base import ParallelismTool, ToolPrediction
+from repro.tools.affine import AffineForm, normalize_affine
+from repro.tools.pluto_lite import PlutoLite
+from repro.tools.autopar_lite import AutoParLite
+from repro.tools.discopop_cls import DiscoPoPClassifier
+
+__all__ = [
+    "ParallelismTool", "ToolPrediction",
+    "AffineForm", "normalize_affine",
+    "PlutoLite", "AutoParLite", "DiscoPoPClassifier",
+]

@@ -1,0 +1,160 @@
+"""Affine normalization of MiniC index expressions.
+
+An index expression normalizes to ``const + Σ coeff_t · t`` where each term
+``t`` is a loop variable, a symbolic scalar parameter, or a *composite*
+product of a loop variable and a parameter (the ``i * N + j`` flattened-2D
+pattern; real Pluto sees this as the multi-dimensional access ``A[i][j]``).
+Anything else — indirect loads, non-constant coefficients of loop variables,
+modulo arithmetic — is non-affine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from repro.ir import ast_nodes as ast
+
+# a term is a var name, or a (var, param) composite product
+Term = Tuple[str, ...]
+
+
+@dataclass
+class AffineForm:
+    """Normalized affine expression: constant + per-term coefficients."""
+
+    const: float = 0.0
+    coeffs: Dict[Term, float] = field(default_factory=dict)
+
+    def term_coeff(self, var: str) -> float:
+        """Total coefficient structure involving ``var`` (simple term only)."""
+        return self.coeffs.get((var,), 0.0)
+
+    def involves(self, var: str) -> bool:
+        return any(var in term for term in self.coeffs)
+
+    def structurally_equal(self, other: "AffineForm") -> bool:
+        """Same terms and coefficients, same constant."""
+        return self.const == other.const and self.coeffs == other.coeffs
+
+    def same_terms(self, other: "AffineForm") -> bool:
+        """Same terms and coefficients, constants may differ."""
+        return self.coeffs == other.coeffs
+
+    def __add__(self, other: "AffineForm") -> "AffineForm":
+        coeffs = dict(self.coeffs)
+        for term, coeff in other.coeffs.items():
+            coeffs[term] = coeffs.get(term, 0.0) + coeff
+        coeffs = {t: c for t, c in coeffs.items() if c != 0.0}
+        return AffineForm(self.const + other.const, coeffs)
+
+    def scaled(self, factor: float) -> "AffineForm":
+        if factor == 0.0:
+            return AffineForm(0.0, {})
+        return AffineForm(
+            self.const * factor,
+            {t: c * factor for t, c in self.coeffs.items()},
+        )
+
+
+def normalize_affine(
+    expr: ast.Expr, loop_vars: Set[str]
+) -> Optional[AffineForm]:
+    """Normalize ``expr``; returns None when non-affine.
+
+    ``loop_vars`` is the set of enclosing loop variables; other variables
+    are treated as symbolic parameters (assumed loop-invariant — the tools'
+    static view; the dynamic profiler is the arbiter of truth).
+    """
+    if isinstance(expr, ast.Const):
+        return AffineForm(expr.value, {})
+    if isinstance(expr, ast.Var):
+        return AffineForm(0.0, {(expr.name,): 1.0})
+    if isinstance(expr, ast.UnOp):
+        if expr.op == "-":
+            inner = normalize_affine(expr.operand, loop_vars)
+            return None if inner is None else inner.scaled(-1.0)
+        return None
+    if isinstance(expr, ast.BinOp):
+        if expr.op == "+" or expr.op == "-":
+            lhs = normalize_affine(expr.lhs, loop_vars)
+            rhs = normalize_affine(expr.rhs, loop_vars)
+            if lhs is None or rhs is None:
+                return None
+            return lhs + (rhs if expr.op == "+" else rhs.scaled(-1.0))
+        if expr.op == "*":
+            return _normalize_product(expr.lhs, expr.rhs, loop_vars)
+        return None  # div, mod, comparisons: non-affine index arithmetic
+    return None  # Load (indirect), calls
+
+
+def _normalize_product(
+    lhs: ast.Expr, rhs: ast.Expr, loop_vars: Set[str]
+) -> Optional[AffineForm]:
+    left = normalize_affine(lhs, loop_vars)
+    right = normalize_affine(rhs, loop_vars)
+    if left is None or right is None:
+        return None
+    # constant * affine
+    if not left.coeffs:
+        return right.scaled(left.const)
+    if not right.coeffs:
+        return left.scaled(right.const)
+    # var * param composites: exactly one simple term each side, no consts
+    if (
+        len(left.coeffs) == 1
+        and len(right.coeffs) == 1
+        and left.const == 0.0
+        and right.const == 0.0
+    ):
+        (lt, lc), = left.coeffs.items()
+        (rt, rc), = right.coeffs.items()
+        if len(lt) == 1 and len(rt) == 1:
+            l_is_loop = lt[0] in loop_vars
+            r_is_loop = rt[0] in loop_vars
+            if l_is_loop and r_is_loop:
+                return None  # i * j: quadratic
+            composite: Term = tuple(sorted((lt[0], rt[0])))
+            return AffineForm(0.0, {composite: lc * rc})
+    return None
+
+
+def gcd_test(
+    a: AffineForm, b: AffineForm, var: str
+) -> bool:
+    """GCD dependence test between two affine accesses w.r.t. loop ``var``.
+
+    Returns True when a dependence with differing ``var`` iterations *may*
+    exist (conservative), False when provably impossible.
+
+    The equation ``a(i, rest) = b(i', rest')`` with integer unknowns has a
+    solution only if gcd of the integer coefficients divides the constant
+    difference.  Non-integer or composite mismatches fall back to "may
+    depend".
+    """
+    # terms other than plain (var,) must match structurally to compare
+    a_other = {t: c for t, c in a.coeffs.items() if t != (var,)}
+    b_other = {t: c for t, c in b.coeffs.items() if t != (var,)}
+    coeff_a = a.term_coeff(var)
+    coeff_b = b.term_coeff(var)
+
+    if a_other != b_other:
+        # different parametric structure: cannot reason, assume dependent —
+        # unless neither access involves var at all and structures differ (a
+        # fixed cell vs a moving cell can still collide); stay conservative.
+        return True
+
+    diff = b.const - a.const
+    if coeff_a == 0.0 and coeff_b == 0.0:
+        # var does not move either access: same address iff consts equal
+        return diff == 0.0
+    if not (float(coeff_a).is_integer() and float(coeff_b).is_integer()):
+        return True
+    if not float(diff).is_integer():
+        return False
+    import math
+
+    g = math.gcd(int(abs(coeff_a)), int(abs(coeff_b)))
+    if g == 0:
+        return diff == 0.0
+    return int(diff) % g == 0

@@ -1,0 +1,160 @@
+"""ROSE-AutoPar-like static parallelism detector.
+
+AutoPar's characteristic behaviour relative to Pluto: it *does* recognize
+scalar reductions and privatizable scalars (its variable-classification
+pass), but its array dependence testing is purely syntactic — two accesses
+to the same array conflict unless their subscript expressions are
+structurally identical and move with the loop.  So it accepts reductions
+Pluto rejects, yet rejects provably-disjoint strided accesses (``a[2i]`` vs
+``a[2i+1]``) that Pluto's GCD test clears, and is opaque across calls and
+indirect subscripts — the mid-band Table III profile.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ir import ast_nodes as ast
+from repro.ir.ast_nodes import Program
+from repro.ir.linear import IRProgram
+from repro.profiler.report import ProfileReport
+from repro.tools.affine import normalize_affine
+from repro.tools.base import ParallelismTool, ToolPrediction
+from repro.tools.pluto_lite import _collect_accesses, _first_event_is_write
+
+
+def _scalar_reductions(body: List[ast.Stmt]) -> Set[str]:
+    """Scalars updated as ``x = x op expr`` (op associative) at this level."""
+    out: Set[str] = set()
+    multi_write: Set[str] = set()
+    seen_write: Set[str] = set()
+    for stmt in ast.walk_stmts(body):
+        if isinstance(stmt, ast.Assign):
+            if stmt.name in seen_write:
+                multi_write.add(stmt.name)
+            seen_write.add(stmt.name)
+            if _is_reduction_update(stmt):
+                out.add(stmt.name)
+    return out - multi_write
+
+
+def _is_reduction_update(stmt: ast.Assign) -> bool:
+    expr = stmt.expr
+    if not isinstance(expr, ast.BinOp):
+        return False
+    if expr.op not in ("+", "-", "*", "min", "max"):
+        return False
+    # accumulator must appear on exactly one side, alone
+    lhs_is_acc = isinstance(expr.lhs, ast.Var) and expr.lhs.name == stmt.name
+    rhs_is_acc = isinstance(expr.rhs, ast.Var) and expr.rhs.name == stmt.name
+    if lhs_is_acc == rhs_is_acc:
+        return False
+    if expr.op == "-" and not lhs_is_acc:
+        return False
+    other = expr.rhs if lhs_is_acc else expr.lhs
+    return not any(
+        isinstance(n, ast.Var) and n.name == stmt.name
+        for n in ast.walk_exprs(other)
+    )
+
+
+class AutoParLite(ParallelismTool):
+    """Syntactic static analyzer with reduction/privatization recognition."""
+
+    name = "AutoPar"
+
+    def classify_program(
+        self,
+        ast_program: Program,
+        ir_program: IRProgram,
+        report: Optional[ProfileReport] = None,
+    ) -> Dict[str, ToolPrediction]:
+        out: Dict[str, ToolPrediction] = {}
+        for fn in ast_program.functions.values():
+            self._walk(fn.body, [], out)
+        return out
+
+    def _walk(
+        self,
+        body: List[ast.Stmt],
+        enclosing_vars: List[str],
+        out: Dict[str, ToolPrediction],
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.For):
+                loop_id = stmt.loop_id or f"anon@{stmt.line}"
+                out[loop_id] = self._classify_loop(stmt, enclosing_vars)
+                self._walk(stmt.body, enclosing_vars + [stmt.var], out)
+            elif isinstance(stmt, ast.While):
+                self._walk(stmt.body, enclosing_vars, out)
+            elif isinstance(stmt, ast.If):
+                self._walk(stmt.then_body, enclosing_vars, out)
+                self._walk(stmt.else_body, enclosing_vars, out)
+
+    def _classify_loop(
+        self, loop: ast.For, enclosing_vars: List[str]
+    ) -> ToolPrediction:
+        loop_id = loop.loop_id or f"anon@{loop.line}"
+        reasons: List[str] = []
+        accesses, scalar_writes, _reads, has_call = _collect_accesses(loop.body)
+        if has_call:
+            return ToolPrediction(loop_id, False, ["call prevents analysis"])
+
+        inner_vars = {
+            s.var for s in ast.walk_stmts(loop.body) if isinstance(s, ast.For)
+        }
+        reductions = _scalar_reductions(loop.body)
+
+        # alias conservatism: without pointer annotations (the real tool
+        # needs annotation files for this), a statement mixing one written
+        # array with reads from two or more other arrays exceeds what the
+        # syntactic dependence graph can discharge
+        written_arrays = {arr for arr, _i, w in accesses if w}
+        read_arrays = {arr for arr, _i, w in accesses if not w}
+        if written_arrays and len(read_arrays - written_arrays) >= 2:
+            reasons.append(
+                "possible aliasing among "
+                f"{sorted(written_arrays | read_arrays)}"
+            )
+
+        # variable classification: reduction > private > shared-conflict
+        for name in set(scalar_writes):
+            if name in inner_vars or name in reductions:
+                continue
+            if not _first_event_is_write(loop.body, name):
+                reasons.append(f"shared scalar {name} not privatizable")
+
+        loop_vars = set(enclosing_vars) | {loop.var} | inner_vars
+        if not reasons:
+            reasons.extend(self._array_conflicts(accesses, loop.var, loop_vars))
+        return ToolPrediction(loop_id, not reasons, reasons)
+
+    def _array_conflicts(
+        self,
+        accesses: List[Tuple[str, ast.Expr, bool]],
+        loop_var: str,
+        loop_vars: Set[str],
+    ) -> List[str]:
+        reasons: List[str] = []
+        normalized = []
+        for array, index, is_write in accesses:
+            form = normalize_affine(index, loop_vars)
+            normalized.append((array, form, is_write))
+        for pos, (array_a, form_a, write_a) in enumerate(normalized):
+            for array_b, form_b, write_b in normalized[pos:]:
+                if array_a != array_b or not (write_a or write_b):
+                    continue
+                # syntactic test only: identical subscripts that move with
+                # the loop are independent; anything else conflicts
+                if form_a is None or form_b is None:
+                    reasons.append(f"unanalyzable subscript on {array_a}")
+                    return reasons
+                if form_a.structurally_equal(form_b) and form_a.involves(
+                    loop_var
+                ):
+                    continue
+                reasons.append(
+                    f"syntactically different accesses to {array_a}"
+                )
+                return reasons
+        return reasons

@@ -1,0 +1,48 @@
+"""Common interface for the tool baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.ir.ast_nodes import Program
+from repro.ir.linear import IRProgram
+from repro.profiler.report import ProfileReport
+
+
+@dataclass
+class ToolPrediction:
+    """One tool's verdict on one loop."""
+
+    loop_id: str
+    parallel: bool
+    reasons: List[str] = field(default_factory=list)
+
+
+class ParallelismTool:
+    """Base class: predicts parallelizability for every For loop."""
+
+    name = "tool"
+
+    def classify_program(
+        self,
+        ast_program: Program,
+        ir_program: IRProgram,
+        report: Optional[ProfileReport] = None,
+    ) -> Dict[str, ToolPrediction]:
+        """Map loop_id -> prediction for all For loops of the program."""
+        raise NotImplementedError
+
+    def predict(
+        self,
+        ast_program: Program,
+        ir_program: IRProgram,
+        report: Optional[ProfileReport] = None,
+    ) -> Dict[str, bool]:
+        """Convenience: loop_id -> bool."""
+        return {
+            loop_id: pred.parallel
+            for loop_id, pred in self.classify_program(
+                ast_program, ir_program, report
+            ).items()
+        }

@@ -1,0 +1,244 @@
+"""Pluto-like static polyhedral parallelism detector.
+
+Models the decision surface of Pluto (Bondhugula et al.) as used in the
+paper's Table III: exact and aggressive on *affine* loop nests (GCD /
+Banerjee-style dependence tests, so it proves strided accesses like
+``a[2i]`` vs ``a[2i+1]`` independent), but blind outside the polyhedral
+model —
+
+* any non-affine subscript (indirect ``a[idx[i]]``, modulo wrap-around)
+  makes the loop non-parallelizable;
+* function calls are opaque: non-parallelizable;
+* scalar writes are only tolerated when provably dead or privatizable by a
+  trivial first-access-is-write scan; reductions are *not* recognized
+  (classic Pluto has no reduction support), which is exactly why the paper
+  measures it at 60.5% on reduction-heavy suites.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ir import ast_nodes as ast
+from repro.ir.ast_nodes import Program
+from repro.ir.linear import IRProgram
+from repro.profiler.report import ProfileReport
+from repro.tools.affine import AffineForm, gcd_test, normalize_affine
+from repro.tools.base import ParallelismTool, ToolPrediction
+
+
+def _collect_accesses(
+    body: List[ast.Stmt],
+) -> Tuple[List[Tuple[str, ast.Expr, bool]], List[str], List[str], bool]:
+    """(array accesses as (array, index, is_write), scalar writes in order,
+    scalar reads in order as flattened pre-order, has_call)."""
+    accesses: List[Tuple[str, ast.Expr, bool]] = []
+    scalar_events: List[Tuple[str, str]] = []  # ("w"/"r", name) in order
+    has_call = False
+
+    def scan_expr(expr: ast.Expr) -> None:
+        nonlocal has_call
+        for node in ast.walk_exprs(expr):
+            if isinstance(node, ast.Load):
+                accesses.append((node.array, node.index, False))
+            elif isinstance(node, ast.Var):
+                scalar_events.append(("r", node.name))
+            elif isinstance(node, ast.CallExpr) and not node.is_intrinsic:
+                has_call = True
+
+    def scan(stmts: List[ast.Stmt]) -> None:
+        nonlocal has_call
+        for stmt in stmts:
+            if isinstance(stmt, ast.Assign):
+                scan_expr(stmt.expr)
+                scalar_events.append(("w", stmt.name))
+            elif isinstance(stmt, ast.Store):
+                scan_expr(stmt.index)
+                scan_expr(stmt.expr)
+                accesses.append((stmt.array, stmt.index, True))
+            elif isinstance(stmt, ast.For):
+                scan_expr(stmt.lo)
+                scan_expr(stmt.hi)
+                scan_expr(stmt.step)
+                scalar_events.append(("w", stmt.var))
+                scan(stmt.body)
+            elif isinstance(stmt, ast.While):
+                scan_expr(stmt.cond)
+                scan(stmt.body)
+            elif isinstance(stmt, ast.If):
+                scan_expr(stmt.cond)
+                scan(stmt.then_body)
+                scan(stmt.else_body)
+            elif isinstance(stmt, ast.CallStmt):
+                for arg in stmt.args:
+                    scan_expr(arg)
+                if stmt.fn not in ast.INTRINSICS:
+                    has_call = True
+            elif isinstance(stmt, ast.Return):
+                if stmt.expr is not None:
+                    scan_expr(stmt.expr)
+
+    scan(body)
+    writes = [n for k, n in scalar_events if k == "w"]
+    reads = [n for k, n in scalar_events if k == "r"]
+    return accesses, writes, reads, has_call
+
+
+def _first_event_is_write(body: List[ast.Stmt], var: str) -> bool:
+    """Trivial privatization scan: is the first textual access a write?"""
+    events: List[Tuple[str, str]] = []
+
+    def scan_expr(expr: ast.Expr) -> None:
+        for node in ast.walk_exprs(expr):
+            if isinstance(node, ast.Var) and node.name == var:
+                events.append(("r", node.name))
+
+    def scan(stmts: List[ast.Stmt]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, ast.Assign):
+                scan_expr(stmt.expr)
+                if stmt.name == var:
+                    events.append(("w", var))
+            elif isinstance(stmt, ast.Store):
+                scan_expr(stmt.index)
+                scan_expr(stmt.expr)
+            elif isinstance(stmt, ast.For):
+                scan_expr(stmt.lo)
+                scan_expr(stmt.hi)
+                if stmt.var == var:
+                    events.append(("w", var))
+                scan(stmt.body)
+                scan_expr(stmt.step)
+            elif isinstance(stmt, ast.While):
+                scan_expr(stmt.cond)
+                scan(stmt.body)
+            elif isinstance(stmt, ast.If):
+                scan_expr(stmt.cond)
+                scan(stmt.then_body)
+                scan(stmt.else_body)
+            elif isinstance(stmt, ast.CallStmt):
+                for arg in stmt.args:
+                    scan_expr(arg)
+            elif isinstance(stmt, ast.Return) and stmt.expr is not None:
+                scan_expr(stmt.expr)
+
+    scan(stmts=body)
+    return bool(events) and events[0][0] == "w"
+
+
+def _stmt_exprs_of(stmt: ast.Stmt) -> List[ast.Expr]:
+    return list(ast.stmt_exprs(stmt))
+
+
+class PlutoLite(ParallelismTool):
+    """Static affine dependence tester."""
+
+    name = "Pluto"
+
+    def classify_program(
+        self,
+        ast_program: Program,
+        ir_program: IRProgram,
+        report: Optional[ProfileReport] = None,
+    ) -> Dict[str, ToolPrediction]:
+        out: Dict[str, ToolPrediction] = {}
+        for fn in ast_program.functions.values():
+            self._classify_body(fn.body, [], out)
+        return out
+
+    def _classify_body(
+        self,
+        body: List[ast.Stmt],
+        enclosing_vars: List[str],
+        out: Dict[str, ToolPrediction],
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.For):
+                loop_id = stmt.loop_id or f"anon@{stmt.line}"
+                out[loop_id] = self._classify_loop(stmt, enclosing_vars)
+                self._classify_body(
+                    stmt.body, enclosing_vars + [stmt.var], out
+                )
+            elif isinstance(stmt, ast.While):
+                self._classify_body(stmt.body, enclosing_vars, out)
+            elif isinstance(stmt, ast.If):
+                self._classify_body(stmt.then_body, enclosing_vars, out)
+                self._classify_body(stmt.else_body, enclosing_vars, out)
+
+    def _classify_loop(
+        self, loop: ast.For, enclosing_vars: List[str]
+    ) -> ToolPrediction:
+        loop_id = loop.loop_id or f"anon@{loop.line}"
+        reasons: List[str] = []
+        accesses, scalar_writes, scalar_reads, has_call = _collect_accesses(
+            loop.body
+        )
+        if has_call:
+            return ToolPrediction(loop_id, False, ["opaque function call"])
+        # the polyhedral model requires static control flow: data-dependent
+        # ifs / whiles and non-affine intrinsic statements break the SCoP
+        for inner in ast.walk_stmts(loop.body):
+            if isinstance(inner, (ast.If, ast.While)):
+                return ToolPrediction(
+                    loop_id, False, ["data-dependent control flow (no SCoP)"]
+                )
+        for inner in ast.walk_stmts(loop.body):
+            for expr in _stmt_exprs_of(inner):
+                for node in ast.walk_exprs(expr):
+                    if isinstance(node, ast.CallExpr):
+                        return ToolPrediction(
+                            loop_id, False,
+                            ["intrinsic call breaks the SCoP"],
+                        )
+
+        loop_vars: Set[str] = set(enclosing_vars) | {loop.var}
+        inner_vars = {
+            s.var for s in ast.walk_stmts(loop.body) if isinstance(s, ast.For)
+        }
+        loop_vars |= inner_vars
+
+        # scalar writes: Pluto has no reduction support; only trivially
+        # privatizable scalars (first access is a write) are tolerated
+        for name in set(scalar_writes):
+            if name in inner_vars:
+                continue  # inner loop counters are loop-local by construction
+            if not _first_event_is_write(loop.body, name):
+                reasons.append(f"unhandled scalar recurrence on {name}")
+
+        # affine array dependence testing
+        normalized: List[Tuple[str, Optional[AffineForm], bool]] = []
+        for array, index, is_write in accesses:
+            form = normalize_affine(index, loop_vars)
+            normalized.append((array, form, is_write))
+            if form is None and is_write:
+                reasons.append(f"non-affine write subscript on {array}")
+            elif form is None:
+                reasons.append(f"non-affine read subscript on {array}")
+
+        if not reasons:
+            for pos, (array_a, form_a, write_a) in enumerate(normalized):
+                for array_b, form_b, write_b in normalized[pos:]:
+                    if array_a != array_b or not (write_a or write_b):
+                        continue
+                    if self._may_carry(form_a, form_b, loop.var):
+                        reasons.append(
+                            f"possible loop-carried dependence on {array_a}"
+                        )
+                        break
+                if reasons:
+                    break
+
+        return ToolPrediction(loop_id, not reasons, reasons)
+
+    @staticmethod
+    def _may_carry(
+        form_a: Optional[AffineForm], form_b: Optional[AffineForm], var: str
+    ) -> bool:
+        if form_a is None or form_b is None:
+            return True
+        if form_a.structurally_equal(form_b):
+            # identical subscripts collide only at equal iterations of var
+            # when var moves the address; a var-invariant address (e.g. a[0])
+            # collides at every pair of iterations
+            return not form_a.involves(var)
+        return gcd_test(form_a, form_b, var)

@@ -1,0 +1,25 @@
+"""Training and evaluation harness."""
+
+from repro.train.config import TrainConfig
+from repro.train.trainer import TrainingCurves, train_model
+from repro.train.adapters import (
+    ModelAdapter,
+    MVGNNAdapter,
+    DGCNNAdapter,
+    StaticGNNAdapter,
+    NCCAdapter,
+    SingleViewAdapter,
+)
+from repro.train.eval import evaluate_adapter, evaluate_tool_votes
+from repro.train.importance import view_importance
+from repro.train.pretrain import PretrainConfig, pretrain_dgcnn
+
+__all__ = [
+    "TrainConfig",
+    "TrainingCurves", "train_model",
+    "ModelAdapter", "MVGNNAdapter", "DGCNNAdapter", "StaticGNNAdapter",
+    "NCCAdapter", "SingleViewAdapter",
+    "evaluate_adapter", "evaluate_tool_votes",
+    "view_importance",
+    "PretrainConfig", "pretrain_dgcnn",
+]

@@ -1,0 +1,208 @@
+"""Model adapters: a uniform train/predict interface over heterogeneous
+models (per-graph GNNs, the batched-LSTM NCC, single-view ablations).
+
+An adapter owns its model plus any input preprocessing (which features a
+model sees is part of the baseline's definition — e.g. Static-GNN gets the
+dynamic columns zeroed).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.dataset.types import LoopSample
+from repro.embeddings.inst2vec import Inst2Vec
+from repro.errors import ModelError
+from repro.models.dgcnn import DGCNN, DGCNNConfig
+from repro.models.mvgnn import MVGNN, MVGNNConfig
+from repro.models.ncc import NCC, NCCConfig
+from repro.models.single_view import SingleViewModel
+from repro.nn.functional import (
+    softmax_cross_entropy,
+    softmax_cross_entropy_batch,
+)
+from repro.nn.layers import Module
+from repro.nn.tensor import Tensor, no_grad
+from repro.utils.rng import RngLike
+
+
+class ModelAdapter:
+    """Uniform interface the trainer drives."""
+
+    name = "model"
+
+    @property
+    def module(self) -> Module:
+        raise NotImplementedError
+
+    def loss_and_correct(self, batch: Sequence[LoopSample], temperature: float):
+        """(summed loss Tensor, #correct) for one minibatch."""
+        raise NotImplementedError
+
+    def predict(self, samples: Iterable[LoopSample]) -> np.ndarray:
+        """Predicted labels without recording gradients."""
+        raise NotImplementedError
+
+
+class _PerGraphAdapter(ModelAdapter):
+    """Base for models scoring one graph at a time."""
+
+    def _logits(self, sample: LoopSample) -> Tensor:
+        raise NotImplementedError
+
+    def loss_and_correct(self, batch, temperature):
+        total = None
+        correct = 0
+        for sample in batch:
+            logits = self._logits(sample)
+            loss = softmax_cross_entropy(logits, sample.label, temperature)
+            total = loss if total is None else total + loss
+            if int(np.argmax(logits.data)) == sample.label:
+                correct += 1
+        return total, correct
+
+    def predict(self, samples) -> np.ndarray:
+        self.module.eval()
+        out: List[int] = []
+        with no_grad():
+            for sample in samples:
+                out.append(int(np.argmax(self._logits(sample).data)))
+        self.module.train()
+        return np.asarray(out, dtype=np.int64)
+
+
+class MVGNNAdapter(_PerGraphAdapter):
+    """The paper's multi-view model."""
+
+    name = "MV-GNN"
+
+    def __init__(self, config: MVGNNConfig, rng: RngLike = None) -> None:
+        self.model = MVGNN(config, rng=rng)
+
+    @property
+    def module(self) -> Module:
+        return self.model
+
+    def _logits(self, sample: LoopSample) -> Tensor:
+        return self.model(sample.x_semantic, sample.x_structural, sample.adjacency)
+
+
+class DGCNNAdapter(_PerGraphAdapter):
+    """Node-feature-view DGCNN alone (full semantic features)."""
+
+    name = "DGCNN"
+
+    def __init__(self, config: DGCNNConfig, rng: RngLike = None) -> None:
+        self.model = DGCNN(config, rng=rng)
+
+    @property
+    def module(self) -> Module:
+        return self.model
+
+    def _logits(self, sample: LoopSample) -> Tensor:
+        return self.model(sample.x_semantic, sample.adjacency)
+
+
+class StaticGNNAdapter(DGCNNAdapter):
+    """Shen et al. baseline: the same DGCNN but static features only —
+    dynamic columns (the trailing 7) are zeroed."""
+
+    name = "Static GNN"
+
+    def __init__(
+        self, config: DGCNNConfig, n_dynamic: int = 7, rng: RngLike = None
+    ) -> None:
+        super().__init__(config, rng=rng)
+        self.n_dynamic = n_dynamic
+
+    def _logits(self, sample: LoopSample) -> Tensor:
+        x = sample.x_semantic.copy()
+        x[:, -self.n_dynamic :] = 0.0
+        return self.model(x, sample.adjacency)
+
+
+class SingleViewAdapter(_PerGraphAdapter):
+    """One view + LSTM + dense (the Fig. 8 importance setup)."""
+
+    def __init__(
+        self,
+        view: str,
+        dgcnn_config: DGCNNConfig,
+        walk_types: int = 0,
+        rng: RngLike = None,
+    ) -> None:
+        self.view = view
+        self.name = f"view:{view}"
+        self.model = SingleViewModel(view, dgcnn_config, rng=rng)
+        if view == "structural":
+            if walk_types <= 0:
+                raise ModelError("structural view needs walk_types")
+            self.model.with_projection(walk_types, rng=rng)
+
+    @property
+    def module(self) -> Module:
+        return self.model
+
+    def _logits(self, sample: LoopSample) -> Tensor:
+        x = (
+            sample.x_semantic
+            if self.view == "node"
+            else sample.x_structural
+        )
+        return self.model(x, sample.adjacency)
+
+
+class NCCAdapter(ModelAdapter):
+    """NCC over inst2vec statement sequences, batched for speed."""
+
+    name = "NCC"
+
+    def __init__(
+        self, config: NCCConfig, inst2vec: Inst2Vec, rng: RngLike = None
+    ) -> None:
+        self.model = NCC(config, rng=rng)
+        self.inst2vec = inst2vec
+        self._cache: dict = {}
+
+    @property
+    def module(self) -> Module:
+        return self.model
+
+    def _sequence(self, sample: LoopSample) -> np.ndarray:
+        seq = self._cache.get(sample.sample_id)
+        if seq is None:
+            seq = self.inst2vec.embed_matrix(sample.statements)
+            if seq.shape[1] != self.model.config.embedding_dim:
+                # pad / trim the embedding dimension to the model's width
+                width = self.model.config.embedding_dim
+                padded = np.zeros((seq.shape[0], width))
+                copy = min(width, seq.shape[1])
+                padded[:, :copy] = seq[:, :copy]
+                seq = padded
+            self._cache[sample.sample_id] = seq
+        return seq
+
+    def loss_and_correct(self, batch, temperature):
+        sequences = [self._sequence(s) for s in batch]
+        labels = np.array([s.label for s in batch], dtype=np.int64)
+        logits = self.model.forward_batch(sequences)
+        loss = softmax_cross_entropy_batch(logits, labels, temperature)
+        correct = int((np.argmax(logits.data, axis=1) == labels).sum())
+        # trainer expects a summed loss for consistent lr scaling
+        return loss * float(len(batch)), correct
+
+    def predict(self, samples) -> np.ndarray:
+        self.module.eval()
+        samples = list(samples)
+        out = np.zeros(len(samples), dtype=np.int64)
+        with no_grad():
+            for start in range(0, len(samples), 32):
+                chunk = samples[start : start + 32]
+                logits = self.model.forward_batch(
+                    [self._sequence(s) for s in chunk]
+                )
+                out[start : start + len(chunk)] = np.argmax(logits.data, axis=1)
+        self.module.train()
+        return out

@@ -1,0 +1,41 @@
+"""Evaluation helpers for Table III / Table IV."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.dataset.types import LoopDataset
+from repro.errors import DatasetError
+from repro.mlbase.metrics import accuracy
+from repro.train.adapters import ModelAdapter
+
+
+def evaluate_adapter(adapter: ModelAdapter, data: LoopDataset) -> float:
+    """Accuracy of a trained adapter on ``data``."""
+    if not len(data):
+        raise DatasetError(f"empty evaluation set {data.name!r}")
+    preds = adapter.predict(data)
+    return accuracy(data.labels(), preds)
+
+
+def evaluate_tool_votes(tool_name: str, data: LoopDataset) -> float:
+    """Accuracy of a tool baseline from the votes stored on each sample."""
+    if not len(data):
+        raise DatasetError(f"empty evaluation set {data.name!r}")
+    labels = data.labels()
+    preds = np.array(
+        [s.tool_votes.get(tool_name, 0) for s in data], dtype=np.int64
+    )
+    return accuracy(labels, preds)
+
+
+def count_identified_parallel(
+    adapter: ModelAdapter, data: LoopDataset
+) -> int:
+    """Number of loops the model identifies as parallelizable (Table IV)."""
+    if not len(data):
+        return 0
+    preds = adapter.predict(data)
+    return int(preds.sum())

@@ -1,0 +1,40 @@
+"""Deterministic random-number handling.
+
+Every stochastic component in the library accepts either a seed or a
+:class:`numpy.random.Generator`.  This module centralizes the coercion so all
+experiments are reproducible from a single integer seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Coerce ``rng`` into a :class:`numpy.random.Generator`.
+
+    ``None`` produces a generator seeded from fresh OS entropy; an ``int`` is
+    used as seed; an existing generator is returned unchanged.
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"cannot build a Generator from {type(rng).__name__}")
+
+
+def spawn_rngs(rng: RngLike, n: int) -> Sequence[np.random.Generator]:
+    """Split ``rng`` into ``n`` independent child generators.
+
+    Uses the SeedSequence spawning protocol so children are statistically
+    independent regardless of how the parent is later used.
+    """
+    parent = ensure_rng(rng)
+    seeds = parent.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,58 @@
+"""Lightweight wall-clock timing helper used by the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+
+class Timer:
+    """Accumulating context-manager timer.
+
+    Example::
+
+        timer = Timer()
+        with timer.section("profiling"):
+            ...
+        print(timer.totals["profiling"])
+    """
+
+    def __init__(self) -> None:
+        self.totals: Dict[str, float] = {}
+        self.counts: Dict[str, int] = {}
+        self._stack: List[tuple] = []
+
+    def section(self, name: str) -> "_Section":
+        return _Section(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def mean(self, name: str) -> Optional[float]:
+        if name not in self.totals:
+            return None
+        return self.totals[name] / max(1, self.counts[name])
+
+    def report(self) -> str:
+        lines = []
+        for name in sorted(self.totals):
+            lines.append(
+                f"{name:30s} total={self.totals[name]:9.3f}s "
+                f"n={self.counts[name]:5d} mean={self.mean(name):9.5f}s"
+            )
+        return "\n".join(lines)
+
+
+class _Section:
+    def __init__(self, timer: Timer, name: str) -> None:
+        self._timer = timer
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Section":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._timer.add(self._name, time.perf_counter() - self._start)

@@ -1,0 +1,145 @@
+"""Parallelizability oracle on canonical loop shapes."""
+
+import pytest
+
+from repro.analysis.oracle import classify_all_loops, classify_loop
+from repro.errors import ProfilingError
+from repro.ir.builder import ProgramBuilder
+
+from tests.helpers import (
+    build_doall_program,
+    build_mixed_program,
+    build_reduction_program,
+    build_sequential_program,
+    loop_ids,
+    profile,
+)
+
+
+def _classify(program):
+    ir, report = profile(program)
+    return {k: v for k, v in classify_all_loops(ir, report).items()}
+
+
+class TestCanonicalShapes:
+    def test_doall_loops_parallel(self):
+        program = build_doall_program()
+        results = _classify(program)
+        assert all(r.parallel for r in results.values())
+
+    def test_recurrence_sequential(self):
+        program = build_sequential_program()
+        results = _classify(program)
+        result = results[loop_ids(program)[0]]
+        assert not result.parallel
+        assert any("carried RAW on a" in b for b in result.blockers)
+
+    def test_reduction_recognized(self):
+        program = build_reduction_program()
+        results = _classify(program)
+        red = results[loop_ids(program)[1]]
+        assert red.parallel
+        assert red.reductions == ["main::s"]
+
+    def test_mixed_program_labels(self):
+        program = build_mixed_program()
+        results = _classify(program)
+        ids = loop_ids(program)
+        assert results[ids[0]].parallel          # init
+        assert results[ids[1]].parallel          # stencil
+        assert not results[ids[2]].parallel      # recurrence
+        assert results[ids[3]].parallel          # reduction
+
+    def test_unknown_loop_raises(self):
+        program = build_doall_program()
+        ir, report = profile(program)
+        with pytest.raises(ProfilingError):
+            classify_loop(ir, report, "ghost")
+
+
+class TestPrivatization:
+    def test_loop_local_temp_is_private(self):
+        pb = ProgramBuilder("p")
+        pb.array("a", 8)
+        pb.array("b", 8)
+        with pb.function("main") as fb:
+            with fb.loop("i", 0, 8) as i:
+                fb.assign("t", fb.mul(fb.load("a", i), 2.0))
+                fb.store("b", i, fb.add("t", 1.0))
+        program = pb.build()
+        result = _classify(program)[loop_ids(program)[0]]
+        assert result.parallel
+        assert result.privatized == ["main::t"]
+
+    def test_inner_induction_variable_privatized(self):
+        pb = ProgramBuilder("p")
+        pb.array("m", 64)
+        with pb.function("main") as fb:
+            with fb.loop("i", 0, 8) as i:
+                with fb.loop("j", 0, 8) as j:
+                    fb.store("m", fb.add(fb.mul(i, 8.0), j), 1.0)
+        program = pb.build()
+        outer = _classify(program)[loop_ids(program)[0]]
+        assert outer.parallel
+        assert "main::j" in outer.privatized
+
+    def test_escaping_scan_not_privatizable(self):
+        pb = ProgramBuilder("p")
+        pb.array("a", 8)
+        pb.array("b", 8)
+        with pb.function("main") as fb:
+            fb.assign("s", 0.0)
+            with fb.loop("i", 0, 8) as i:
+                fb.assign("s", fb.add("s", fb.load("a", i)))
+                fb.store("b", i, fb.var("s"))
+        program = pb.build()
+        result = _classify(program)[loop_ids(program)[0]]
+        assert not result.parallel
+
+
+class TestReductionRestrictions:
+    def test_min_max_gap_blocks_reduction(self):
+        program = build_reduction_program()
+        ir, report = profile(program)
+        red_loop = loop_ids(program)[1]
+        full = classify_loop(ir, report, red_loop)
+        restricted = classify_loop(
+            ir, report, red_loop, allowed_reduction_ops={"min"}
+        )
+        assert full.parallel and not restricted.parallel
+
+    def test_array_waw_blocks(self):
+        pb = ProgramBuilder("p")
+        pb.array("a", 8)
+        pb.array("b", 8)
+        with pb.function("main") as fb:
+            with fb.loop("i", 0, 8) as i:
+                fb.store("a", 0, fb.load("b", i))
+        program = pb.build()
+        result = _classify(program)[loop_ids(program)[0]]
+        assert not result.parallel
+
+    def test_anti_dependence_blocks(self):
+        pb = ProgramBuilder("p")
+        pb.array("a", 8)
+        pb.array("b", 8)
+        with pb.function("main") as fb:
+            with fb.loop("i", 0, 7) as i:
+                fb.store("a", i, fb.add(fb.load("a", fb.add(i, 1.0)), fb.load("b", i)))
+        program = pb.build()
+        result = _classify(program)[loop_ids(program)[0]]
+        assert not result.parallel
+        assert any("WAR" in b for b in result.blockers)
+
+
+class TestExecutionFlag:
+    def test_zero_trip_loop_marked_unexecuted(self):
+        pb = ProgramBuilder("p")
+        pb.array("a", 4)
+        with pb.function("main") as fb:
+            with fb.loop("i", 4, 2) as i:
+                fb.store("a", i, 0.0)
+        program = pb.build()
+        result = _classify(program)[loop_ids(program)[0]]
+        assert not result.executed
+        assert result.parallel  # vacuously: no observed deps

@@ -1,0 +1,104 @@
+"""Parallel-pattern classification (paper future-work #1)."""
+
+import pytest
+
+from repro.analysis.patterns import (
+    ParallelPattern,
+    classify_all_patterns,
+    classify_pattern,
+)
+from repro.errors import ProfilingError
+from repro.ir.builder import ProgramBuilder
+
+from tests.helpers import build_mixed_program, loop_ids, profile
+
+
+def _pattern_of(build_body, arrays=(("a", 16), ("b", 16))):
+    pb = ProgramBuilder("pattern_test")
+    for name, size in arrays:
+        pb.array(name, size)
+    with pb.function("main") as fb:
+        build_body(fb)
+    program = pb.build()
+    ir, report = profile(program)
+    loop_id = loop_ids(program)[-1]
+    return classify_pattern(program, ir, report, loop_id)
+
+
+class TestPatterns:
+    def test_doall(self):
+        def body(fb):
+            with fb.loop("i", 0, 16) as i:
+                fb.store("b", i, fb.mul(fb.load("a", i), 2.0))
+
+        result = _pattern_of(body)
+        assert result.pattern is ParallelPattern.DOALL
+        assert result.parallelizable
+
+    def test_reduction(self):
+        def body(fb):
+            fb.assign("s", 0.0)
+            with fb.loop("i", 0, 16) as i:
+                fb.assign("s", fb.add("s", fb.load("a", i)))
+
+        result = _pattern_of(body)
+        assert result.pattern is ParallelPattern.REDUCTION
+
+    def test_stencil(self):
+        def body(fb):
+            with fb.loop("i", 1, 15) as i:
+                fb.store(
+                    "b", i,
+                    fb.add(fb.load("a", fb.sub(i, 1.0)), fb.load("a", fb.add(i, 1.0))),
+                )
+
+        result = _pattern_of(body)
+        assert result.pattern is ParallelPattern.STENCIL
+
+    def test_gather(self):
+        def body(fb):
+            with fb.loop("i", 0, 16) as i:
+                fb.store("idx", i, fb.mod(fb.mul(i, 3.0), 16.0))
+            with fb.loop("i", 0, 16) as i:
+                fb.store("b", i, fb.load("a", fb.load("idx", i)))
+
+        result = _pattern_of(body, arrays=(("a", 16), ("b", 16), ("idx", 16)))
+        assert result.pattern is ParallelPattern.GATHER
+
+    def test_pipeline(self):
+        def body(fb):
+            with fb.loop("i", 1, 16) as i:
+                fb.store(
+                    "a", i,
+                    fb.add(fb.load("a", fb.sub(i, 1.0)), fb.load("b", i)),
+                )
+
+        result = _pattern_of(body)
+        assert result.pattern is ParallelPattern.PIPELINE
+        assert not result.parallelizable
+        assert "distance 1" in result.evidence[0]
+
+    def test_sequential_irregular(self):
+        def body(fb):
+            fb.assign("s", 0.0)
+            with fb.loop("i", 0, 16) as i:
+                fb.assign("s", fb.add("s", fb.load("a", i)))
+                fb.store("b", i, fb.var("s"))  # escaping scan
+
+        result = _pattern_of(body)
+        assert result.pattern is ParallelPattern.SEQUENTIAL
+
+    def test_unknown_loop_raises(self):
+        program = build_mixed_program()
+        ir, report = profile(program)
+        with pytest.raises(ProfilingError):
+            classify_pattern(program, ir, report, "ghost")
+
+    def test_classify_all_covers_every_loop(self):
+        program = build_mixed_program()
+        ir, report = profile(program)
+        patterns = classify_all_patterns(program, ir, report)
+        assert set(patterns) == set(loop_ids(program))
+        kinds = [p.pattern for p in patterns.values()]
+        assert ParallelPattern.REDUCTION in kinds
+        assert ParallelPattern.PIPELINE in kinds

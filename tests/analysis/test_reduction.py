@@ -1,0 +1,126 @@
+"""Static reduction recognition."""
+
+from repro.analysis.reduction import find_reductions
+from repro.ir.builder import ProgramBuilder
+from repro.ir.lowering import lower_program
+
+from tests.helpers import loop_ids
+
+
+def _reductions(build_body, arrays=(("a", 8),)):
+    pb = ProgramBuilder("p")
+    for name, size in arrays:
+        pb.array(name, size)
+    with pb.function("main") as fb:
+        build_body(fb)
+    program = pb.build()
+    ir = lower_program(program)
+    loop_id = loop_ids(program)[0]
+    return find_reductions(ir.function("main"), loop_id)
+
+
+class TestRecognized:
+    def test_sum(self):
+        def body(fb):
+            fb.assign("s", 0.0)
+            with fb.loop("i", 0, 8) as i:
+                fb.assign("s", fb.add("s", fb.load("a", i)))
+
+        reds = _reductions(body)
+        assert "main::s" in reds
+        assert reds["main::s"].operator == "+"
+
+    def test_sum_with_subtraction(self):
+        def body(fb):
+            fb.assign("s", 0.0)
+            with fb.loop("i", 0, 8) as i:
+                fb.assign("s", fb.sub("s", fb.load("a", i)))
+
+        assert "main::s" in _reductions(body)
+
+    def test_product(self):
+        def body(fb):
+            fb.assign("p", 1.0)
+            with fb.loop("i", 0, 8) as i:
+                fb.assign("p", fb.mul("p", fb.add(fb.load("a", i), 1.0)))
+
+        reds = _reductions(body)
+        assert reds["main::p"].operator == "*"
+
+    def test_max(self):
+        def body(fb):
+            fb.assign("m", -1e9)
+            with fb.loop("i", 0, 8) as i:
+                fb.assign("m", fb.cmp("max", "m", fb.load("a", i)))
+
+        assert _reductions(body)["main::m"].operator == "max"
+
+    def test_complex_term(self):
+        def body(fb):
+            fb.assign("s", 0.0)
+            with fb.loop("i", 0, 8) as i:
+                fb.assign(
+                    "s", fb.add("s", fb.mul(fb.load("a", i), fb.load("a", i)))
+                )
+
+        assert "main::s" in _reductions(body)
+
+
+class TestRejected:
+    def test_escaping_accumulator(self):
+        """s is read a second time to store into b: not a reduction."""
+
+        def body(fb):
+            fb.assign("s", 0.0)
+            with fb.loop("i", 0, 8) as i:
+                fb.assign("s", fb.add("s", fb.load("a", i)))
+                fb.store("b", i, fb.var("s"))
+
+        assert not _reductions(body, arrays=(("a", 8), ("b", 8)))
+
+    def test_mixed_operator_classes(self):
+        """s = (s + a) * b is not a reduction."""
+
+        def body(fb):
+            fb.assign("s", 1.0)
+            with fb.loop("i", 0, 8) as i:
+                fb.assign("s", fb.mul(fb.add("s", fb.load("a", i)), 2.0))
+
+        assert not _reductions(body)
+
+    def test_subtrahend_accumulator(self):
+        """s = a[i] - s is not a valid reduction."""
+
+        def body(fb):
+            fb.assign("s", 0.0)
+            with fb.loop("i", 0, 8) as i:
+                fb.assign("s", fb.sub(fb.load("a", i), "s"))
+
+        assert not _reductions(body)
+
+    def test_double_use_of_accumulator(self):
+        """s = s + s is not a reduction."""
+
+        def body(fb):
+            fb.assign("s", 1.0)
+            with fb.loop("i", 0, 8) as i:
+                fb.assign("s", fb.add("s", "s"))
+
+        assert not _reductions(body)
+
+    def test_multiple_stores(self):
+        def body(fb):
+            fb.assign("s", 0.0)
+            with fb.loop("i", 0, 8) as i:
+                fb.assign("s", fb.add("s", fb.load("a", i)))
+                fb.assign("s", fb.add("s", 1.0))
+
+        assert not _reductions(body)
+
+    def test_division_update(self):
+        def body(fb):
+            fb.assign("s", 1.0)
+            with fb.loop("i", 0, 8) as i:
+                fb.assign("s", fb.div("s", fb.add(fb.load("a", i), 2.0)))
+
+        assert not _reductions(body)

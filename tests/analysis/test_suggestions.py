@@ -1,0 +1,64 @@
+"""OpenMP pragma suggestion generation."""
+
+from repro.analysis.suggestions import render_report, suggest_parallelization
+from repro.ir.builder import ProgramBuilder
+
+from tests.helpers import build_mixed_program, loop_ids, profile
+
+
+def _suggestions(program):
+    ir, report = profile(program)
+    return suggest_parallelization(program, ir, report)
+
+
+class TestSuggestions:
+    def test_mixed_program_pragmas(self):
+        program = build_mixed_program()
+        suggestions = _suggestions(program)
+        ids = loop_ids(program)
+        assert suggestions[ids[0]].pragma == "#pragma omp parallel for"
+        assert suggestions[ids[2]].pragma is None          # recurrence
+        assert "reduction(+: s)" in suggestions[ids[3]].pragma
+
+    def test_private_clause_for_temporaries(self):
+        pb = ProgramBuilder("p")
+        pb.array("a", 8)
+        pb.array("b", 8)
+        with pb.function("main") as fb:
+            with fb.loop("i", 0, 8) as i:
+                fb.assign("t", fb.mul(fb.load("a", i), 2.0))
+                fb.store("b", i, fb.add("t", 1.0))
+        program = pb.build()
+        suggestion = _suggestions(program)[loop_ids(program)[0]]
+        assert "private(t)" in suggestion.pragma
+
+    def test_inner_counter_not_listed_private(self):
+        pb = ProgramBuilder("p")
+        pb.array("m", 64)
+        with pb.function("main") as fb:
+            with fb.loop("i", 0, 8) as i:
+                with fb.loop("j", 0, 8) as j:
+                    fb.store("m", fb.add(fb.mul(i, 8.0), j), 1.0)
+        program = pb.build()
+        outer = _suggestions(program)[loop_ids(program)[0]]
+        assert outer.pragma is not None
+        assert "private" not in outer.pragma  # j is implicitly private
+
+    def test_max_reduction_clause(self):
+        pb = ProgramBuilder("p")
+        pb.array("a", 8)
+        with pb.function("main") as fb:
+            fb.assign("m", -1e9)
+            with fb.loop("i", 0, 8) as i:
+                fb.assign("m", fb.cmp("max", "m", fb.load("a", i)))
+        program = pb.build()
+        suggestion = _suggestions(program)[loop_ids(program)[0]]
+        assert "reduction(max: m)" in suggestion.pragma
+
+    def test_render_report_ordered_by_line(self):
+        program = build_mixed_program()
+        text = render_report(_suggestions(program))
+        lines = [l for l in text.splitlines() if l.strip()]
+        numbers = [int(l.split()[1].rstrip(":")) for l in lines]
+        assert numbers == sorted(numbers)
+        assert "(sequential)" in text

@@ -1,0 +1,133 @@
+"""Benchmark suite: Table II conformance, template behaviour, determinism."""
+
+import pytest
+
+from repro.benchsuite import (
+    SUITE_OF_APP,
+    TABLE_II_COUNTS,
+    TEMPLATES,
+    build_app,
+    build_all_apps,
+)
+from repro.benchsuite.apps import APP_PLANS
+from repro.benchsuite.templates import TemplateContext
+from repro.errors import DatasetError
+from repro.ir.builder import ProgramBuilder
+from repro.ir.lowering import lower_program
+from repro.ir.verify import verify_program
+from repro.analysis import classify_all_loops
+from repro.profiler import profile_program
+
+
+class TestTableII:
+    def test_total_is_840(self):
+        assert sum(TABLE_II_COUNTS.values()) == 840
+
+    def test_npb_total_is_787(self):
+        npb = sum(
+            count
+            for app, count in TABLE_II_COUNTS.items()
+            if SUITE_OF_APP[app] == "NPB"
+        )
+        assert npb == 787
+
+    @pytest.mark.parametrize("app", list(TABLE_II_COUNTS))
+    def test_app_loop_count_matches(self, app):
+        spec = build_app(app)
+        assert spec.loop_count == TABLE_II_COUNTS[app]
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(DatasetError):
+            build_app("GHOST")
+
+    def test_build_is_deterministic(self):
+        a = build_app("EP")
+        b = build_app("EP")
+        assert {k: v.label for k, v in a.loops.items()} == {
+            k: v.label for k, v in b.loops.items()
+        }
+
+    def test_seed_offset_changes_instances(self):
+        a = build_app("EP", seed_offset=0)
+        b = build_app("EP", seed_offset=1)
+        # same loop count, different composed programs
+        assert a.loop_count == b.loop_count
+
+
+class TestPrograms:
+    @pytest.mark.parametrize("app", ["EP", "IS", "fib", "nqueens", "trmm"])
+    def test_programs_lower_verify_and_run(self, app):
+        spec = build_app(app)
+        for program in spec.programs:
+            ir = lower_program(program)
+            verify_program(ir)
+            report = profile_program(ir)
+            assert report.steps > 0
+
+    def test_every_labeled_loop_exists(self):
+        spec = build_app("CG")
+        all_loop_ids = set()
+        for program in spec.programs:
+            ir = lower_program(program)
+            all_loop_ids.update(ir.all_loops())
+        for loop_id in spec.loops:
+            assert loop_id in all_loop_ids
+
+    def test_non_quirk_labels_mostly_match_oracle(self):
+        """Authored labels agree with the dynamic oracle except on quirked
+        and deliberately-hard loops."""
+        spec = build_app("MG")
+        agree = total = 0
+        for program in spec.programs:
+            ir = lower_program(program)
+            report = profile_program(ir)
+            for loop_id, result in classify_all_loops(ir, report).items():
+                loop = spec.loops.get(loop_id)
+                if loop is None or loop.annotation_quirk:
+                    continue
+                total += 1
+                agree += int(int(result.parallel) == loop.label)
+        assert total > 0
+        assert agree / total > 0.9
+
+    def test_bots_apps_have_recursive_functions(self):
+        fib = build_app("fib")
+        assert any(
+            "fib_rec" in p.functions for p in fib.programs
+        )
+        nqueens = build_app("nqueens")
+        assert any("place_rec" in p.functions for p in nqueens.programs)
+
+
+class TestPlans:
+    def test_every_plan_template_exists(self):
+        for app, plan in APP_PLANS.items():
+            for name, count in plan:
+                assert name in TEMPLATES, f"{app} uses unknown {name}"
+                assert count > 0
+
+    def test_plan_loop_sums_match_table(self):
+        for app, plan in APP_PLANS.items():
+            expected = sum(TEMPLATES[name][1] * count for name, count in plan)
+            assert expected == TABLE_II_COUNTS[app], app
+
+
+class TestTemplates:
+    @pytest.mark.parametrize("name", list(TEMPLATES))
+    def test_template_emits_declared_loops_and_runs(self, name):
+        import numpy as np
+
+        pb = ProgramBuilder(f"tmpl_{name}")
+        with pb.function("main") as fb:
+            ctx = TemplateContext(pb, fb, np.random.default_rng(0))
+            TEMPLATES[name][0](ctx)
+        program = pb.build()
+        assert len(ctx.emitted) == TEMPLATES[name][1]
+        ir = lower_program(program)
+        verify_program(ir)
+        report = profile_program(ir)
+        assert report.steps > 0
+        # every emitted loop id is real
+        for loop_id, label, template in ctx.emitted:
+            assert loop_id in ir.all_loops()
+            assert label in (0, 1)

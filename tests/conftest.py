@@ -1,0 +1,39 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.embeddings.anonwalk import AnonymousWalkSpace
+from repro.embeddings.inst2vec import Inst2Vec
+
+from tests.helpers import (
+    build_doall_program,
+    build_mixed_program,
+    build_reduction_program,
+    build_sequential_program,
+    lower_and_verify,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_inst2vec() -> Inst2Vec:
+    """A small trained inst2vec over the canonical test programs."""
+    irs = [
+        lower_and_verify(build_doall_program()),
+        lower_and_verify(build_sequential_program()),
+        lower_and_verify(build_reduction_program()),
+        lower_and_verify(build_mixed_program()),
+    ]
+    return Inst2Vec(dim=25).train(irs, epochs=2, rng=0)
+
+
+@pytest.fixture(scope="session")
+def walk_space() -> AnonymousWalkSpace:
+    return AnonymousWalkSpace(4)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

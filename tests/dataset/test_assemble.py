@@ -1,0 +1,119 @@
+"""Balancing and splitting logic (unit level; full assembly is covered by
+the integration suite)."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.assemble import (
+    DatasetConfig,
+    balanced_subset,
+    train_test_split,
+)
+from repro.dataset.types import LoopSample
+from repro.errors import DatasetError
+
+
+def _sample(sid, label, program, app="APP", suite="NPB"):
+    return LoopSample(
+        sample_id=sid, loop_id=sid, program_name=program, app=app, suite=suite,
+        label=label,
+        adjacency=np.zeros((1, 1)),
+        x_semantic=np.zeros((1, 5)),
+        x_structural=np.zeros((1, 3)),
+        statements=["x"], loop_features=np.zeros(7),
+    )
+
+
+def _pool(n_programs=8, loops_per_program=6):
+    samples = []
+    for p in range(n_programs):
+        for l in range(loops_per_program):
+            samples.append(
+                _sample(f"p{p}/l{l}", (p + l) % 2, f"prog{p}", app=f"APP{p % 2}")
+            )
+    return samples
+
+
+class TestBalancedSubset:
+    def test_exact_counts(self):
+        pool = _pool()
+        pos = [s for s in pool if s.label == 1]
+        neg = [s for s in pool if s.label == 0]
+        chosen = balanced_subset(pos, neg, 10, np.random.default_rng(0))
+        labels = [s.label for s in chosen]
+        assert labels.count(0) == 10 and labels.count(1) == 10
+
+    def test_insufficient_pool_rejected(self):
+        pool = _pool(2, 2)
+        pos = [s for s in pool if s.label == 1]
+        neg = [s for s in pool if s.label == 0]
+        with pytest.raises(DatasetError):
+            balanced_subset(pos, neg, 100, np.random.default_rng(0))
+
+    def test_deterministic(self):
+        pool = _pool()
+        pos = [s for s in pool if s.label == 1]
+        neg = [s for s in pool if s.label == 0]
+        a = balanced_subset(pos, neg, 8, np.random.default_rng(5))
+        b = balanced_subset(pos, neg, 8, np.random.default_rng(5))
+        assert [s.sample_id for s in a] == [s.sample_id for s in b]
+
+
+class TestSplit:
+    def test_no_group_straddles_the_split(self):
+        samples = _pool()
+        train, test = train_test_split(samples, 0.75, np.random.default_rng(0))
+        train_groups = {s.program_name for s in train}
+        test_groups = {s.program_name for s in test}
+        assert not train_groups & test_groups
+
+    def test_variants_stay_with_their_base(self):
+        samples = _pool(4, 3)
+        # add transformed variants sharing the base program key
+        variants = [
+            _sample(f"v{i}", 1, f"prog{i % 4}+dep0", app=f"APP{i % 2}")
+            for i in range(8)
+        ]
+        train, test = train_test_split(
+            samples + variants, 0.7, np.random.default_rng(1)
+        )
+        base = lambda s: s.program_name.split("+")[0]
+        assert not {base(s) for s in train} & {base(s) for s in test}
+
+    def test_each_app_reaches_test_side(self):
+        samples = _pool(10, 4)
+        train, test = train_test_split(samples, 0.75, np.random.default_rng(2))
+        assert {s.app for s in test} == {"APP0", "APP1"}
+
+    def test_single_group_app_goes_to_test(self):
+        samples = _pool(4, 4) + [
+            _sample(f"solo{i}", i % 2, "soloprog", app="SOLO") for i in range(4)
+        ]
+        train, test = train_test_split(samples, 0.75, np.random.default_rng(3))
+        assert all(s.app != "SOLO" for s in train)
+        assert any(s.app == "SOLO" for s in test)
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(DatasetError):
+            train_test_split(_pool(), 1.5, np.random.default_rng(0))
+
+    def test_rough_proportions(self):
+        samples = _pool(20, 5)
+        train, test = train_test_split(samples, 0.75, np.random.default_rng(4))
+        fraction = len(train) / (len(train) + len(test))
+        assert 0.6 < fraction < 0.9
+
+
+class TestConfig:
+    def test_fast_config_is_smaller(self):
+        full = DatasetConfig()
+        fast = DatasetConfig.fast()
+        assert fast.n_per_class < full.n_per_class
+        assert len(fast.pipelines) < len(full.pipelines)
+
+    def test_cache_keys_differ_by_config(self):
+        assert DatasetConfig().cache_key() != DatasetConfig.fast().cache_key()
+
+    def test_inst2vec_dim_leaves_room_for_dynamics(self):
+        config = DatasetConfig()
+        assert config.inst2vec_dim + 7 == config.semantic_dim

@@ -1,0 +1,120 @@
+"""Loop-sample extraction."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.extraction import extract_loop_samples
+from repro.dataset.types import LoopDataset, LoopSample
+from repro.errors import DatasetError
+
+from tests.helpers import build_mixed_program, loop_ids
+
+
+@pytest.fixture(scope="module")
+def mixed_samples(tiny_inst2vec, walk_space):
+    program = build_mixed_program()
+    labels = {lid: i % 2 for i, lid in enumerate(loop_ids(program))}
+    return program, labels, extract_loop_samples(
+        program, labels, tiny_inst2vec, walk_space,
+        suite="TEST", app="mixed", gamma=10, rng=0,
+    )
+
+
+class TestExtraction:
+    def test_one_sample_per_labeled_loop(self, mixed_samples):
+        program, labels, samples = mixed_samples
+        assert len(samples) == len(labels)
+        assert {s.loop_id for s in samples} == set(labels)
+
+    def test_sample_shapes_consistent(self, mixed_samples, walk_space, tiny_inst2vec):
+        _p, _l, samples = mixed_samples
+        for sample in samples:
+            n = sample.num_nodes
+            assert sample.adjacency.shape == (n, n)
+            assert sample.x_semantic.shape == (n, tiny_inst2vec.dim + 7)
+            assert sample.x_structural.shape == (n, walk_space.num_types)
+            assert sample.statements
+            assert sample.loop_features.shape == (7,)
+
+    def test_adjacency_symmetric_no_self_loops(self, mixed_samples):
+        _p, _l, samples = mixed_samples
+        for sample in samples:
+            np.testing.assert_array_equal(sample.adjacency, sample.adjacency.T)
+            assert np.diag(sample.adjacency).sum() == 0
+
+    def test_tool_votes_attached(self, mixed_samples):
+        _p, _l, samples = mixed_samples
+        for sample in samples:
+            assert set(sample.tool_votes) == {"Pluto", "AutoPar", "DiscoPoP"}
+            assert all(v in (0, 1) for v in sample.tool_votes.values())
+
+    def test_oracle_labels_when_none(self, tiny_inst2vec, walk_space):
+        program = build_mixed_program()
+        samples = extract_loop_samples(
+            program, None, tiny_inst2vec, walk_space,
+            suite="TEST", app="mixed", gamma=8, rng=0,
+        )
+        by_loop = {s.loop_id: s.label for s in samples}
+        ids = loop_ids(program)
+        assert by_loop[ids[0]] == 1   # init DoALL
+        assert by_loop[ids[2]] == 0   # recurrence
+
+    def test_unknown_label_loop_rejected(self, tiny_inst2vec, walk_space):
+        program = build_mixed_program()
+        with pytest.raises(DatasetError):
+            extract_loop_samples(
+                program, {"ghost": 1}, tiny_inst2vec, walk_space,
+                suite="TEST", app="x", rng=0,
+            )
+
+    def test_static_only_zeroes_dynamic_columns(self, tiny_inst2vec, walk_space):
+        program = build_mixed_program()
+        labels = {loop_ids(program)[0]: 1}
+        samples = extract_loop_samples(
+            program, labels, tiny_inst2vec, walk_space,
+            suite="TEST", app="x", static_only=True, gamma=6, rng=0,
+        )
+        np.testing.assert_array_equal(
+            samples[0].x_semantic[:, tiny_inst2vec.dim:], 0.0
+        )
+
+    def test_statements_in_line_order(self, mixed_samples):
+        _p, _l, samples = mixed_samples
+        assert all(len(s.statements) >= 3 for s in samples)
+
+
+class TestLoopDataset:
+    def test_container_queries(self, mixed_samples):
+        _p, _l, samples = mixed_samples
+        data = LoopDataset(list(samples), name="t")
+        assert len(data) == len(samples)
+        neg, pos = data.class_counts()
+        assert neg + pos == len(samples)
+        assert data.feature_matrix().shape == (len(samples), 7)
+        assert data.by_suite("TEST").samples == data.samples
+        assert not len(data.by_suite("OTHER"))
+
+    def test_validate_catches_bad_label(self, mixed_samples):
+        _p, _l, samples = mixed_samples
+        bad = LoopSample(
+            sample_id="x", loop_id="l", program_name="p", app="a",
+            suite="s", label=7,
+            adjacency=np.zeros((2, 2)),
+            x_semantic=np.zeros((2, 3)),
+            x_structural=np.zeros((2, 4)),
+            statements=[], loop_features=np.zeros(7),
+        )
+        with pytest.raises(DatasetError):
+            bad.validate()
+
+    def test_validate_catches_row_mismatch(self):
+        bad = LoopSample(
+            sample_id="x", loop_id="l", program_name="p", app="a",
+            suite="s", label=1,
+            adjacency=np.zeros((2, 2)),
+            x_semantic=np.zeros((3, 3)),
+            x_structural=np.zeros((2, 4)),
+            statements=[], loop_features=np.zeros(7),
+        )
+        with pytest.raises(DatasetError):
+            bad.validate()

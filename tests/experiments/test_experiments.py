@@ -1,0 +1,55 @@
+"""Experiment drivers (smoke-level: tiny configs, shape checks)."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.assemble import DatasetConfig
+from repro.experiments import (
+    build_context,
+    fig1_structural_patterns,
+    table2_dataset_statistics,
+)
+from repro.experiments.table2 import format_table2
+from repro.experiments.table3 import PAPER_TABLE_III
+from repro.experiments.table4 import PAPER_TABLE_IV
+
+
+class TestTable2:
+    def test_rows_match_paper(self):
+        rows = table2_dataset_statistics()
+        for app, suite, built, paper in rows:
+            assert built == paper, app
+        total = rows[-1]
+        assert total[0] == "Total" and total[2] == 840
+
+    def test_format_renders(self):
+        text = format_table2(table2_dataset_statistics())
+        assert "BT" in text and "840" in text
+
+
+class TestPaperConstants:
+    def test_table3_reference_values(self):
+        assert PAPER_TABLE_III["NPB"]["MV-GNN"] == 92.6
+        assert PAPER_TABLE_III["Generated"]["NCC"] == 62.9
+
+    def test_table4_totals(self):
+        loops = sum(v[0] for v in PAPER_TABLE_IV.values())
+        identified = sum(v[1] for v in PAPER_TABLE_IV.values())
+        assert loops == 787 and identified == 731
+
+
+class TestFig1:
+    def test_structural_separability(self):
+        result = fig1_structural_patterns(n_instances=5, seed=3)
+        assert result.separable
+        assert result.between > 0
+        assert "separable: True" in result.format()
+
+
+@pytest.mark.slow
+class TestContextSmoke:
+    def test_build_context_fast(self):
+        config = DatasetConfig.fast()
+        ctx = build_context(dataset_config=config)
+        assert len(ctx.data.benchmark) == 840
+        assert ctx.walk_types > 0

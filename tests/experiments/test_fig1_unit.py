@@ -1,0 +1,37 @@
+"""Fig. 1 experiment internals."""
+
+import numpy as np
+
+from repro.experiments.fig1 import (
+    Fig1Result,
+    _mean_pairwise_l1,
+    _pattern_distributions,
+)
+from repro.embeddings.anonwalk import AnonymousWalkSpace
+
+
+class TestFig1Internals:
+    def test_pattern_distributions_are_probability_vectors(self):
+        space = AnonymousWalkSpace(3)
+        dists = _pattern_distributions("stencil3", 3, space, seed=1)
+        assert len(dists) == 3
+        for dist in dists:
+            assert dist.shape == (space.num_types,)
+            np.testing.assert_allclose(dist.sum(), 1.0, atol=1e-9)
+
+    def test_mean_pairwise_within_excludes_self(self):
+        group = [np.array([1.0, 0.0]), np.array([0.0, 1.0])]
+        assert _mean_pairwise_l1(group, group) == 2.0
+
+    def test_mean_pairwise_between(self):
+        a = [np.array([1.0, 0.0])]
+        b = [np.array([0.0, 1.0]), np.array([1.0, 0.0])]
+        assert _mean_pairwise_l1(a, b) == 1.0
+
+    def test_empty_groups(self):
+        assert _mean_pairwise_l1([], []) == 0.0
+
+    def test_result_separability_logic(self):
+        good = Fig1Result(0.1, 0.1, 0.5)
+        bad = Fig1Result(0.5, 0.5, 0.1)
+        assert good.separable and not bad.separable

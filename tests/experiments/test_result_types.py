@@ -1,0 +1,84 @@
+"""Experiment result containers: formatting and accessors."""
+
+from repro.experiments.table3 import Table3Result, Table3Row
+from repro.experiments.table4 import Table4Result, Table4Row
+from repro.experiments.fig7 import Fig7Result
+from repro.experiments.fig8 import Fig8Result
+from repro.train.trainer import TrainingCurves
+
+
+class TestTable3Result:
+    def _result(self):
+        return Table3Result(
+            rows=[
+                Table3Row("NPB", "MV-GNN", 91.5, 92.6),
+                Table3Row("NPB", "Pluto", 64.0, 60.5),
+                Table3Row("BOTS", "MV-GNN", 83.3, 82.9),
+            ]
+        )
+
+    def test_get(self):
+        result = self._result()
+        assert result.get("NPB", "MV-GNN") == 91.5
+        assert result.get("NPB", "Ghost") is None
+
+    def test_format_columns(self):
+        text = self._result().format()
+        assert "Benchmark" in text and "Paper" in text
+        assert "92.6" in text and "91.5" in text
+
+    def test_format_handles_missing_paper_value(self):
+        result = Table3Result(rows=[Table3Row("NPB", "Extra", 50.0, None)])
+        assert "-" in result.format()
+
+
+class TestTable4Result:
+    def _result(self):
+        return Table4Result(
+            rows=[
+                Table4Row("BT", 184, 170, 184, 176),
+                Table4Row("EP", 10, 9, 10, 9),
+            ]
+        )
+
+    def test_totals(self):
+        assert self._result().totals() == (194, 179)
+
+    def test_format_includes_total_row(self):
+        text = self._result().format()
+        assert "Total" in text and "787" in text
+
+
+class TestFig7Result:
+    def _curves(self, loss, acc):
+        return TrainingCurves(
+            epochs=list(range(len(loss))),
+            loss=loss,
+            train_accuracy=acc,
+            test_accuracy=[0.5] * len(loss),
+        )
+
+    def test_shape_predicates(self):
+        good = Fig7Result(self._curves([1.0, 0.5, 0.2], [0.5, 0.7, 0.9]))
+        assert good.loss_decreased() and good.accuracy_increased()
+        bad = Fig7Result(self._curves([0.2, 0.5, 1.0], [0.9, 0.7, 0.5]))
+        assert not bad.loss_decreased() and not bad.accuracy_increased()
+
+    def test_format_lists_epochs(self):
+        result = Fig7Result(self._curves([1.0, 0.5], [0.5, 0.9]))
+        text = result.format()
+        assert "epoch" in text and "0.5000" in text
+
+
+class TestFig8Result:
+    def test_format(self):
+        result = Fig8Result(
+            importance={
+                "NPB": {
+                    "N_multi": 100.0, "N_n": 95.0, "N_s": 88.0,
+                    "IMP_n": 0.95, "IMP_s": 0.88,
+                }
+            }
+        )
+        text = result.format()
+        assert "NPB" in text and "0.95" in text and "paper" in text

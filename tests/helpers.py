@@ -1,0 +1,103 @@
+"""Shared test helpers: canonical small programs used across test modules."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.ir.ast_nodes import Program
+from repro.ir.builder import ProgramBuilder
+from repro.ir.linear import IRProgram
+from repro.ir.lowering import lower_program
+from repro.ir.verify import verify_program
+from repro.profiler.interpreter import Interpreter, profile_program
+from repro.profiler.report import ProfileReport
+
+
+def build_doall_program(size: int = 12) -> Program:
+    """One init loop + one elementwise loop (both parallel)."""
+    pb = ProgramBuilder("doall")
+    pb.array("a", size)
+    pb.array("b", size)
+    with pb.function("main") as fb:
+        with fb.loop("i", 0, size) as i:
+            fb.store("a", i, fb.mul(i, 3.0))
+        with fb.loop("i", 0, size) as i:
+            fb.store("b", i, fb.add(fb.load("a", i), 1.0))
+    return pb.build()
+
+
+def build_sequential_program(size: int = 12) -> Program:
+    """A first-order recurrence (not parallelizable)."""
+    pb = ProgramBuilder("seq")
+    pb.array("a", size)
+    with pb.function("main") as fb:
+        fb.store("a", 0, 1.0)
+        with fb.loop("i", 1, size) as i:
+            fb.store("a", i, fb.add(fb.load("a", fb.sub(i, 1.0)), 1.0))
+    return pb.build()
+
+
+def build_reduction_program(size: int = 12) -> Program:
+    """A sum reduction (parallelizable with a reduction clause)."""
+    pb = ProgramBuilder("red")
+    pb.array("a", size)
+    with pb.function("main") as fb:
+        with fb.loop("i", 0, size) as i:
+            fb.store("a", i, fb.mul(i, 2.0))
+        fb.assign("s", 0.0)
+        with fb.loop("i", 0, size) as i:
+            fb.assign("s", fb.add("s", fb.load("a", i)))
+        fb.ret("s")
+    return pb.build()
+
+
+def build_mixed_program(size: int = 12) -> Program:
+    """Four loops: init (P), stencil (P), recurrence (N), reduction (P)."""
+    pb = ProgramBuilder("mixed")
+    pb.array("a", size)
+    pb.array("b", size)
+    with pb.function("main") as fb:
+        with fb.loop("i", 0, size) as i:
+            fb.store("a", i, fb.add(i, 1.0))
+        with fb.loop("i", 1, size - 1) as i:
+            fb.store(
+                "b", i,
+                fb.add(fb.load("a", fb.sub(i, 1.0)), fb.load("a", fb.add(i, 1.0))),
+            )
+        with fb.loop("i", 1, size) as i:
+            fb.store("a", i, fb.add(fb.load("a", fb.sub(i, 1.0)), fb.load("b", i)))
+        fb.assign("s", 0.0)
+        with fb.loop("i", 0, size) as i:
+            fb.assign("s", fb.add("s", fb.load("a", i)))
+        fb.ret("s")
+    return pb.build()
+
+
+def lower_and_verify(program: Program) -> IRProgram:
+    ir = lower_program(program)
+    verify_program(ir)
+    return ir
+
+
+def run_and_state(program: Program, rng: int = 0) -> Tuple[float, Dict]:
+    """(return value, final array state) for semantics comparisons."""
+    ir = lower_and_verify(program)
+    interp = Interpreter(ir, record=False, rng=rng)
+    report = interp.run()
+    rv = report.return_value if report.return_value is not None else 0.0
+    return rv, {k: tuple(v) for k, v in interp.arrays.items()}
+
+
+def profile(program: Program) -> Tuple[IRProgram, ProfileReport]:
+    ir = lower_and_verify(program)
+    return ir, profile_program(ir)
+
+
+def loop_ids(program: Program) -> list:
+    """All For-loop ids of a program in creation order."""
+    from repro.ir.ast_nodes import loops_in
+
+    ids = []
+    for fn in program.functions.values():
+        ids.extend(l.loop_id for l in loops_in(fn.body))
+    return ids

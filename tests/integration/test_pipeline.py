@@ -1,0 +1,123 @@
+"""End-to-end integration: program -> profile -> PEG -> samples -> model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import attach_node_features, classify_all_loops
+from repro.benchsuite import build_app
+from repro.dataset.extraction import extract_loop_samples
+from repro.dataset.types import LoopDataset
+from repro.ir.lowering import lower_program
+from repro.ir.passes import apply_pipeline
+from repro.ir.verify import verify_program
+from repro.models.dgcnn import DGCNNConfig
+from repro.models.mvgnn import MVGNNConfig
+from repro.peg import build_peg
+from repro.profiler import profile_program
+from repro.train import MVGNNAdapter, TrainConfig, evaluate_adapter, train_model
+
+from tests.helpers import build_mixed_program, loop_ids
+
+
+class TestFullPipeline:
+    def test_app_to_samples(self, tiny_inst2vec, walk_space):
+        """Extract samples from a real benchmark app end to end."""
+        spec = build_app("EP")
+        samples = []
+        for program in spec.programs:
+            labels = {
+                lid: loop.label
+                for lid, loop in spec.loops.items()
+                if loop.program_name == program.name
+            }
+            samples.extend(
+                extract_loop_samples(
+                    program, labels, tiny_inst2vec, walk_space,
+                    suite=spec.suite, app=spec.name, gamma=8, rng=0,
+                )
+            )
+        assert len(samples) == spec.loop_count
+        for sample in samples:
+            sample.validate()
+
+    def test_pipeline_variant_samples_differ_structurally(
+        self, tiny_inst2vec, walk_space
+    ):
+        """The same loop yields different graphs under different pipelines."""
+        program = build_mixed_program()
+        base_ir = lower_program(program)
+        labels = {loop_ids(program)[0]: 1}
+
+        base = extract_loop_samples(
+            program, labels, tiny_inst2vec, walk_space,
+            suite="T", app="t", gamma=6, variant="O0", rng=0,
+        )[0]
+        unrolled_ir = apply_pipeline(base_ir, "O2-unroll")
+        verify_program(unrolled_ir)
+        unrolled = extract_loop_samples(
+            program, labels, tiny_inst2vec, walk_space,
+            suite="T", app="t", gamma=6, variant="O2-unroll",
+            ir_program=unrolled_ir, rng=0,
+        )[0]
+        assert unrolled.num_nodes > base.num_nodes
+
+    def test_train_mvgnn_on_real_samples(self, tiny_inst2vec, walk_space):
+        """MV-GNN learns to separate real parallel/sequential loops."""
+        spec = build_app("IS")  # mixed labels in a small app
+        samples = []
+        for program in spec.programs:
+            labels = {
+                lid: loop.label
+                for lid, loop in spec.loops.items()
+                if loop.program_name == program.name
+            }
+            samples.extend(
+                extract_loop_samples(
+                    program, labels, tiny_inst2vec, walk_space,
+                    suite=spec.suite, app=spec.name, gamma=10, rng=0,
+                )
+            )
+        data = LoopDataset(samples, "is-app")
+        config = MVGNNConfig(
+            semantic_features=tiny_inst2vec.dim + 7,
+            walk_types=walk_space.num_types,
+            view_features=16,
+            node_view=DGCNNConfig(
+                in_features=tiny_inst2vec.dim + 7, sortpool_k=8, dropout=0.1
+            ),
+            struct_view=DGCNNConfig(in_features=16, sortpool_k=8, dropout=0.1),
+        )
+        adapter = MVGNNAdapter(config, rng=0)
+        train_config = TrainConfig(epochs=40, lr=3e-3, batch_size=8, sortpool_k=8)
+        train_model(adapter, data, train_config)
+        # train-set separability: IS mixes histograms/scatters plus ~5%
+        # deliberate annotation noise, so demand strong but not perfect fit
+        assert evaluate_adapter(adapter, data) >= 0.8
+
+    def test_peg_features_cover_app_programs(self):
+        spec = build_app("fib")
+        for program in spec.programs:
+            ir = lower_program(program)
+            verify_program(ir)
+            report = profile_program(ir)
+            peg = build_peg(ir, report)
+            attach_node_features(peg, ir, report)
+            assert len(peg.loop_nodes()) >= 1
+
+    def test_oracle_is_pipeline_invariant(self):
+        """The six pipelines never change a loop's oracle classification."""
+        program = build_mixed_program()
+        base_ir = lower_program(program)
+        base_report = profile_program(base_ir)
+        base_labels = {
+            lid: r.parallel
+            for lid, r in classify_all_loops(base_ir, base_report).items()
+        }
+        for name in ("O1-dce", "O2-cse", "O2-licm", "O2-unroll"):
+            variant = apply_pipeline(base_ir, name)
+            report = profile_program(variant)
+            labels = {
+                lid: r.parallel
+                for lid, r in classify_all_loops(variant, report).items()
+            }
+            assert labels == base_labels, name

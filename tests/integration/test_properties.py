@@ -1,0 +1,132 @@
+"""Cross-module property tests on randomly generated programs."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cu.builder import build_cus, cu_index_by_instr
+from repro.ir.builder import ProgramBuilder
+from repro.ir.linear import MEM_READS, MEM_WRITES
+from repro.ir.lowering import lower_program
+from repro.ir.verify import verify_program
+from repro.peg import build_peg, all_loop_subpegs
+from repro.peg.graph import EdgeKind, NodeKind
+from repro.profiler import Interpreter, profile_program
+from repro.analysis import classify_all_loops
+
+SIZE = 8
+
+
+@st.composite
+def small_programs(draw):
+    """Random programs mixing DoALL bodies, recurrences, and reductions."""
+    pb = ProgramBuilder("prop")
+    pb.array("src", SIZE)
+    pb.array("dst", SIZE)
+    with pb.function("main") as fb:
+        for pos in range(draw(st.integers(1, 3))):
+            kind = draw(st.integers(0, 3))
+            c = float(draw(st.integers(1, 3)))
+            var = f"i{pos}"
+            if kind == 0:
+                with fb.loop(var, 0, SIZE) as i:
+                    fb.store("dst", i, fb.mul(fb.load("src", i), c))
+            elif kind == 1:
+                with fb.loop(var, 1, SIZE) as i:
+                    fb.store(
+                        "dst", i,
+                        fb.add(fb.load("dst", fb.sub(i, 1.0)), c),
+                    )
+            elif kind == 2:
+                fb.assign(f"s{pos}", 0.0)
+                with fb.loop(var, 0, SIZE) as i:
+                    fb.assign(
+                        f"s{pos}", fb.add(f"s{pos}", fb.load("src", i))
+                    )
+            else:
+                with fb.loop(var, 0, SIZE) as i:
+                    with fb.if_block(fb.cmp(">", fb.load("src", i), 0.5)):
+                        fb.store("dst", i, c)
+    return pb.build()
+
+
+@given(program=small_programs())
+@settings(max_examples=30, deadline=None)
+def test_interpreter_is_deterministic(program):
+    ir = lower_program(program)
+    verify_program(ir)
+    a = Interpreter(ir, record=True, rng=3).run()
+    b = Interpreter(ir, record=True, rng=3).run()
+    assert a.steps == b.steps
+    assert a.deps.keys() == b.deps.keys()
+    for key, dep in a.deps.items():
+        assert dep.count == b.deps[key].count
+        assert dep.carried == b.deps[key].carried
+
+
+@given(program=small_programs())
+@settings(max_examples=30, deadline=None)
+def test_cus_partition_memory_instructions(program):
+    """Every memory instruction belongs to exactly one CU."""
+    ir = lower_program(program)
+    for fn in ir.functions.values():
+        cus = build_cus(fn)
+        index = cu_index_by_instr(cus)
+        mem_keys = [
+            (fn.name, i.iid)
+            for b in fn.blocks
+            for i in b.instrs
+            if i.opcode in MEM_READS or i.opcode in MEM_WRITES
+        ]
+        for key in mem_keys:
+            assert key in index
+        # partition: total CU membership equals the per-CU sums
+        assert sum(len(cu) for cu in cus) == len(
+            {k for cu in cus for k in cu.instr_keys}
+        )
+
+
+@given(program=small_programs())
+@settings(max_examples=20, deadline=None)
+def test_peg_structural_invariants(program):
+    ir = lower_program(program)
+    report = profile_program(ir)
+    peg = build_peg(ir, report)
+    # every non-func node has exactly one hierarchy parent
+    for node in peg.nodes.values():
+        parents = peg.in_edges(node.node_id, EdgeKind.CHILD)
+        if node.kind is NodeKind.FUNC:
+            assert not parents
+        else:
+            assert len(parents) == 1, node.node_id
+    # dependence edges connect CU nodes only
+    for edge in peg.dep_edges():
+        assert peg.node(edge.src).kind is NodeKind.CU
+        assert peg.node(edge.dst).kind is NodeKind.CU
+    # sub-PEGs cover every loop and contain their loop node
+    subs = all_loop_subpegs(peg)
+    assert len(subs) == len(peg.loop_nodes())
+
+
+@given(program=small_programs(), seed=st.integers(0, 50))
+@settings(max_examples=20, deadline=None)
+def test_oracle_is_input_invariant_for_these_shapes(program, seed):
+    """For programs without data-dependent access patterns, the oracle's
+    verdicts do not depend on the random array initialization."""
+    ir = lower_program(program)
+    a = {
+        k: v.parallel
+        for k, v in classify_all_loops(
+            ir, Interpreter(ir, record=True, rng=0).run()
+        ).items()
+    }
+    b = {
+        k: v.parallel
+        for k, v in classify_all_loops(
+            ir, Interpreter(ir, record=True, rng=seed).run()
+        ).items()
+    }
+    # conditional-store loops can differ when the guard never fires, so we
+    # only require agreement on loops whose labels claim sequentiality
+    for loop_id, verdict in a.items():
+        if not verdict:
+            assert not b[loop_id]

@@ -1,0 +1,94 @@
+"""MiniC AST node semantics."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir.ast_nodes import (
+    Assign,
+    BinOp,
+    Const,
+    For,
+    Function,
+    If,
+    Load,
+    Program,
+    Store,
+    UnOp,
+    Var,
+    count_loops,
+    loops_in,
+    stmt_exprs,
+    walk_exprs,
+    walk_stmts,
+)
+
+
+class TestExpressions:
+    def test_binop_rejects_unknown_operator(self):
+        with pytest.raises(IRError):
+            BinOp("@", Const(1.0), Const(2.0))
+
+    def test_unop_rejects_unknown_operator(self):
+        with pytest.raises(IRError):
+            UnOp("~", Const(1.0))
+
+    def test_children_of_binop(self):
+        expr = BinOp("+", Var("x"), Const(2.0))
+        assert expr.children() == (Var("x"), Const(2.0))
+
+    def test_walk_exprs_preorder(self):
+        expr = BinOp("*", BinOp("+", Var("a"), Const(1.0)), Var("b"))
+        nodes = list(walk_exprs(expr))
+        assert nodes[0] is expr
+        assert Var("a") in nodes and Var("b") in nodes
+        assert len(nodes) == 5
+
+    def test_load_children_is_index(self):
+        load = Load("arr", BinOp("+", Var("i"), Const(1.0)))
+        assert len(load.children()) == 1
+
+    def test_const_expressions_are_hashable(self):
+        assert len({Const(1.0), Const(1.0), Const(2.0)}) == 2
+
+
+class TestStatements:
+    def _loop(self, body):
+        return For(var="i", lo=Const(0.0), hi=Const(4.0), body=body)
+
+    def test_walk_stmts_recurses_into_for(self):
+        inner = Assign("x", Const(1.0))
+        loop = self._loop([inner])
+        assert list(walk_stmts([loop])) == [loop, inner]
+
+    def test_walk_stmts_recurses_into_if_branches(self):
+        then_stmt = Assign("a", Const(1.0))
+        else_stmt = Assign("b", Const(2.0))
+        branch = If(Const(1.0), [then_stmt], [else_stmt])
+        visited = list(walk_stmts([branch]))
+        assert then_stmt in visited and else_stmt in visited
+
+    def test_stmt_exprs_for_store(self):
+        store = Store("a", Var("i"), Const(3.0))
+        assert stmt_exprs(store) == (Var("i"), Const(3.0))
+
+    def test_stmt_exprs_for_loop_bounds(self):
+        loop = self._loop([])
+        assert len(stmt_exprs(loop)) == 3  # lo, hi, step
+
+    def test_loops_in_counts_nested(self):
+        inner = self._loop([])
+        outer = self._loop([inner])
+        assert loops_in([outer]) == [outer, inner]
+
+
+class TestProgram:
+    def test_missing_function_raises(self):
+        program = Program(functions={}, arrays={}, entry="main")
+        with pytest.raises(IRError):
+            program.function("main")
+
+    def test_count_loops(self):
+        loop = For(var="i", lo=Const(0.0), hi=Const(2.0), body=[])
+        fn = Function("main", (), [loop])
+        program = Program({"main": fn}, {}, "main")
+        assert count_loops(program) == 1

@@ -1,0 +1,122 @@
+"""ProgramBuilder / FunctionBuilder behaviour."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir.ast_nodes import Assign, Const, For, If, Store, Var, While
+from repro.ir.builder import ProgramBuilder, as_expr
+
+
+class TestAsExpr:
+    def test_numbers_become_consts(self):
+        assert as_expr(3) == Const(3.0)
+        assert as_expr(2.5) == Const(2.5)
+
+    def test_strings_become_vars(self):
+        assert as_expr("x") == Var("x")
+
+    def test_expr_passthrough(self):
+        expr = Var("y")
+        assert as_expr(expr) is expr
+
+    def test_rejects_garbage(self):
+        with pytest.raises(IRError):
+            as_expr(object())
+
+
+class TestProgramBuilder:
+    def test_array_declaration(self):
+        pb = ProgramBuilder("p")
+        pb.array("a", 10)
+        with pb.function("main") as fb:
+            fb.assign("x", 1.0)
+        assert pb.build().arrays == {"a": 10}
+
+    def test_array_size_conflict_raises(self):
+        pb = ProgramBuilder("p")
+        pb.array("a", 10)
+        with pytest.raises(IRError):
+            pb.array("a", 20)
+
+    def test_zero_size_array_rejected(self):
+        pb = ProgramBuilder("p")
+        with pytest.raises(IRError):
+            pb.array("a", 0)
+
+    def test_duplicate_function_rejected(self):
+        pb = ProgramBuilder("p")
+        with pb.function("main") as fb:
+            fb.assign("x", 1.0)
+        with pytest.raises(IRError):
+            pb.function("main")
+
+    def test_missing_entry_rejected(self):
+        pb = ProgramBuilder("p", entry="main")
+        with pb.function("other") as fb:
+            fb.assign("x", 1.0)
+        with pytest.raises(IRError):
+            pb.build()
+
+    def test_line_numbers_are_monotonic(self):
+        pb = ProgramBuilder("p")
+        with pb.function("main") as fb:
+            s1 = fb.assign("x", 1.0)
+            s2 = fb.assign("y", 2.0)
+        assert s2.line > s1.line > 0
+
+    def test_loop_ids_are_unique(self):
+        pb = ProgramBuilder("p")
+        with pb.function("main") as fb:
+            with fb.loop("i", 0, 4):
+                pass
+            with fb.loop("i", 0, 4):
+                pass
+        program = pb.build()
+        loops = [s for s in program.functions["main"].body if isinstance(s, For)]
+        assert loops[0].loop_id != loops[1].loop_id
+
+
+class TestScopes:
+    def test_loop_body_statements_nest(self):
+        pb = ProgramBuilder("p")
+        with pb.function("main") as fb:
+            with fb.loop("i", 0, 4) as i:
+                fb.store("a", i, i)
+        pb.array("a", 4)
+        program = pb.build()
+        loop = program.functions["main"].body[0]
+        assert isinstance(loop, For)
+        assert isinstance(loop.body[0], Store)
+
+    def test_if_else_scopes(self):
+        pb = ProgramBuilder("p")
+        with pb.function("main") as fb:
+            fb.assign("x", 1.0)
+            with fb.if_block(fb.cmp("<", "x", 2.0)) as blk:
+                fb.assign("y", 1.0)
+            with blk.otherwise():
+                fb.assign("y", 2.0)
+        branch = pb.build().functions["main"].body[1]
+        assert isinstance(branch, If)
+        assert len(branch.then_body) == 1
+        assert len(branch.else_body) == 1
+
+    def test_while_scope(self):
+        pb = ProgramBuilder("p")
+        with pb.function("main") as fb:
+            fb.assign("x", 0.0)
+            with fb.while_loop(fb.cmp("<", "x", 3.0)):
+                fb.assign("x", fb.add("x", 1.0))
+        loop = pb.build().functions["main"].body[1]
+        assert isinstance(loop, While)
+        assert len(loop.body) == 1
+
+    def test_nested_loops_close_properly(self):
+        pb = ProgramBuilder("p")
+        pb.array("m", 16)
+        with pb.function("main") as fb:
+            with fb.loop("i", 0, 4) as i:
+                with fb.loop("j", 0, 4) as j:
+                    fb.store("m", fb.add(fb.mul(i, 4.0), j), 0.0)
+        outer = pb.build().functions["main"].body[0]
+        assert isinstance(outer.body[0], For)

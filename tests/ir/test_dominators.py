@@ -1,0 +1,53 @@
+"""Dominator computation."""
+
+from repro.ir.dominators import compute_dominators, dominates
+from repro.ir.lowering import lower_program
+
+from tests.helpers import build_mixed_program
+from repro.ir.builder import ProgramBuilder
+
+
+class TestDominators:
+    def test_entry_dominates_everything_reachable(self):
+        ir = lower_program(build_mixed_program())
+        fn = ir.function("main")
+        dom = compute_dominators(fn)
+        entry = fn.blocks[0].label
+        for block in fn.blocks:
+            assert dominates(dom, entry, block.label)
+
+    def test_loop_header_dominates_body_and_latch(self):
+        pb = ProgramBuilder("p")
+        pb.array("a", 4)
+        with pb.function("main") as fb:
+            with fb.loop("i", 0, 4) as i:
+                fb.store("a", i, i)
+        ir = lower_program(pb.build())
+        fn = ir.function("main")
+        info = next(iter(fn.loops.values()))
+        dom = compute_dominators(fn)
+        assert dominates(dom, info.header, info.body_entry)
+        assert dominates(dom, info.header, info.exit)
+
+    def test_branch_sides_do_not_dominate_join(self):
+        pb = ProgramBuilder("p")
+        with pb.function("main") as fb:
+            fb.assign("x", 1.0)
+            with fb.if_block(fb.cmp("<", "x", 2.0)) as blk:
+                fb.assign("y", 1.0)
+            with blk.otherwise():
+                fb.assign("y", 2.0)
+            fb.assign("z", 3.0)
+        ir = lower_program(pb.build())
+        fn = ir.function("main")
+        dom = compute_dominators(fn)
+        then_block = next(b.label for b in fn.blocks if b.label.startswith("then"))
+        join_block = next(b.label for b in fn.blocks if b.label.startswith("join"))
+        assert not dominates(dom, then_block, join_block)
+
+    def test_every_block_dominates_itself(self):
+        ir = lower_program(build_mixed_program())
+        fn = ir.function("main")
+        dom = compute_dominators(fn)
+        for block in fn.blocks:
+            assert dominates(dom, block.label, block.label)

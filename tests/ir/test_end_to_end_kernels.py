@@ -1,0 +1,124 @@
+"""Numerically-verified kernel executions: the interpreter as a calculator.
+
+Each test authors a small kernel with a known closed-form result and checks
+the interpreter computes it exactly — guarding the whole
+builder -> lowering -> interpretation chain against semantic drift.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.lowering import lower_program
+from repro.ir.passes import OPT_PIPELINES, apply_pipeline
+from repro.profiler.interpreter import Interpreter
+
+
+def _run(pb, pipeline=None):
+    ir = lower_program(pb.build())
+    if pipeline:
+        ir = apply_pipeline(ir, pipeline)
+    interp = Interpreter(ir, record=False, rng=0)
+    report = interp.run()
+    return report.return_value, interp.arrays
+
+
+class TestClosedFormKernels:
+    def test_sum_of_squares(self):
+        pb = ProgramBuilder("k")
+        pb.array("a", 10)
+        with pb.function("main") as fb:
+            with fb.loop("i", 0, 10) as i:
+                fb.store("a", i, fb.mul(i, i))
+            fb.assign("s", 0.0)
+            with fb.loop("i", 0, 10) as i:
+                fb.assign("s", fb.add("s", fb.load("a", i)))
+            fb.ret("s")
+        value, _ = _run(pb)
+        assert value == sum(i * i for i in range(10))
+
+    def test_factorial_via_product_reduction(self):
+        pb = ProgramBuilder("k")
+        with pb.function("main") as fb:
+            fb.assign("p", 1.0)
+            with fb.loop("i", 1, 8) as i:
+                fb.assign("p", fb.mul("p", i))
+            fb.ret("p")
+        value, _ = _run(pb)
+        assert value == 5040.0  # 7!
+
+    def test_fibonacci_array(self):
+        pb = ProgramBuilder("k")
+        pb.array("f", 12)
+        with pb.function("main") as fb:
+            fb.store("f", 0, 1.0)
+            fb.store("f", 1, 1.0)
+            with fb.loop("i", 2, 12) as i:
+                fb.store(
+                    "f", i,
+                    fb.add(fb.load("f", fb.sub(i, 1.0)), fb.load("f", fb.sub(i, 2.0))),
+                )
+            fb.ret(fb.load("f", 11))
+        value, arrays = _run(pb)
+        assert value == 144.0
+        assert arrays["f"][:5] == [1.0, 1.0, 2.0, 3.0, 5.0]
+
+    def test_matmul_identity(self):
+        side = 4
+        pb = ProgramBuilder("k")
+        pb.array("A", side * side)
+        pb.array("I", side * side)
+        pb.array("C", side * side)
+        with pb.function("main") as fb:
+            with fb.loop("i", 0, side) as i:
+                with fb.loop("j", 0, side) as j:
+                    flat = fb.add(fb.mul(i, float(side)), j)
+                    fb.store("A", flat, fb.add(fb.mul(i, 10.0), j))
+                    fb.store("I", flat, fb.cmp("==", i, j))
+            with fb.loop("i", 0, side) as i:
+                with fb.loop("j", 0, side) as j:
+                    fb.assign("acc", 0.0)
+                    with fb.loop("k", 0, side) as k:
+                        fb.assign(
+                            "acc",
+                            fb.add(
+                                "acc",
+                                fb.mul(
+                                    fb.load("A", fb.add(fb.mul(i, float(side)), k)),
+                                    fb.load("I", fb.add(fb.mul(k, float(side)), j)),
+                                ),
+                            ),
+                        )
+                    fb.store("C", fb.add(fb.mul(i, float(side)), j), fb.var("acc"))
+        _value, arrays = _run(pb)
+        np.testing.assert_array_equal(arrays["C"], arrays["A"])
+
+    def test_collatz_style_while(self):
+        pb = ProgramBuilder("k")
+        with pb.function("main") as fb:
+            fb.assign("n", 6.0)
+            fb.assign("steps", 0.0)
+            with fb.while_loop(fb.cmp(">", "n", 1.0)):
+                with fb.if_block(fb.cmp("==", fb.mod("n", 2.0), 0.0)) as blk:
+                    fb.assign("n", fb.div("n", 2.0))
+                with blk.otherwise():
+                    fb.assign("n", fb.add(fb.mul("n", 3.0), 1.0))
+                fb.assign("steps", fb.add("steps", 1.0))
+            fb.ret("steps")
+        value, _ = _run(pb)
+        assert value == 8.0  # 6->3->10->5->16->8->4->2->1
+
+    @pytest.mark.parametrize("pipeline", list(OPT_PIPELINES))
+    def test_pipelines_keep_closed_form(self, pipeline):
+        pb = ProgramBuilder("k")
+        pb.array("a", 10)
+        with pb.function("main") as fb:
+            fb.assign("n", 10.0)
+            with fb.loop("i", 0, "n") as i:
+                fb.store("a", i, fb.add(fb.mul(i, 2.0), fb.mul(3.0, 2.0)))
+            fb.assign("s", 0.0)
+            with fb.loop("i", 0, "n") as i:
+                fb.assign("s", fb.add("s", fb.load("a", i)))
+            fb.ret("s")
+        value, _ = _run(pb, pipeline)
+        assert value == sum(2 * i + 6 for i in range(10))

@@ -1,0 +1,137 @@
+"""AST -> LinearIR lowering."""
+
+import pytest
+
+from repro.errors import LoweringError
+from repro.ir.builder import ProgramBuilder
+from repro.ir.linear import Opcode
+from repro.ir.lowering import lower_program
+from repro.ir.verify import verify_program
+
+from tests.helpers import build_mixed_program, lower_and_verify
+
+
+def _opcodes(ir, fn="main"):
+    return [i.opcode for i in ir.function(fn).instructions()]
+
+
+class TestBasicLowering:
+    def test_mixed_program_lowers_and_verifies(self):
+        lower_and_verify(build_mixed_program())
+
+    def test_assign_produces_stvar(self):
+        pb = ProgramBuilder("p")
+        with pb.function("main") as fb:
+            fb.assign("x", 5.0)
+        ir = lower_program(pb.build())
+        assert Opcode.STVAR in _opcodes(ir)
+
+    def test_store_produces_store(self):
+        pb = ProgramBuilder("p")
+        pb.array("a", 4)
+        with pb.function("main") as fb:
+            fb.store("a", 1, 2.0)
+        ir = lower_program(pb.build())
+        assert Opcode.STORE in _opcodes(ir)
+
+    def test_loop_emits_pseudo_instructions(self):
+        pb = ProgramBuilder("p")
+        with pb.function("main") as fb:
+            with fb.loop("i", 0, 4):
+                fb.assign("x", 1.0)
+        ir = lower_program(pb.build())
+        ops = _opcodes(ir)
+        for pseudo in (Opcode.LOOPENTER, Opcode.LOOPNEXT, Opcode.LOOPEXIT):
+            assert pseudo in ops
+
+    def test_loop_info_recorded(self):
+        program = build_mixed_program()
+        ir = lower_program(program)
+        loops = ir.function("main").loops
+        assert len(loops) == 4
+        for info in loops.values():
+            assert info.var == "i"
+            assert info.end_line >= info.line
+            assert info.depth == 0
+
+    def test_nested_loop_depth_and_parent(self):
+        pb = ProgramBuilder("p")
+        pb.array("m", 16)
+        with pb.function("main") as fb:
+            with fb.loop("i", 0, 4) as i:
+                with fb.loop("j", 0, 4) as j:
+                    fb.store("m", fb.add(fb.mul(i, 4.0), j), 1.0)
+        ir = lower_program(pb.build())
+        infos = sorted(ir.function("main").loops.values(), key=lambda l: l.depth)
+        assert infos[0].depth == 0 and infos[0].parent is None
+        assert infos[1].depth == 1 and infos[1].parent == infos[0].loop_id
+
+    def test_call_to_unknown_function_raises(self):
+        pb = ProgramBuilder("p")
+        with pb.function("main") as fb:
+            fb.assign("x", fb.call("nonexistent", 1.0))
+        with pytest.raises(LoweringError):
+            lower_program(pb.build())
+
+    def test_intrinsic_call_lowers_to_call(self):
+        pb = ProgramBuilder("p")
+        with pb.function("main") as fb:
+            fb.assign("x", fb.call("sqrt", 4.0))
+        ir = lower_program(pb.build())
+        assert Opcode.CALL in _opcodes(ir)
+
+    def test_user_call_lowers_to_callfn(self):
+        pb = ProgramBuilder("p")
+        with pb.function("helper", params=("x",)) as hf:
+            hf.ret(hf.mul("x", 2.0))
+        with pb.function("main") as fb:
+            fb.assign("y", fb.call("helper", 3.0))
+        ir = lower_program(pb.build())
+        assert Opcode.CALLFN in _opcodes(ir)
+
+    def test_break_branches_to_exit(self):
+        pb = ProgramBuilder("p")
+        with pb.function("main") as fb:
+            with fb.loop("i", 0, 8):
+                fb.brk()
+        ir = lower_program(pb.build())
+        verify_program(ir)
+
+    def test_break_outside_loop_raises(self):
+        pb = ProgramBuilder("p")
+        with pb.function("main") as fb:
+            fb.brk()
+        with pytest.raises(LoweringError):
+            lower_program(pb.build())
+
+    def test_every_block_is_terminated(self):
+        ir = lower_and_verify(build_mixed_program())
+        for block in ir.function("main").blocks:
+            assert block.terminator is not None
+
+    def test_while_gets_loop_info(self):
+        pb = ProgramBuilder("p")
+        with pb.function("main") as fb:
+            fb.assign("x", 0.0)
+            with fb.while_loop(fb.cmp("<", "x", 3.0)):
+                fb.assign("x", fb.add("x", 1.0))
+        ir = lower_program(pb.build())
+        infos = list(ir.function("main").loops.values())
+        assert len(infos) == 1
+        assert infos[0].var == ""  # while loops have no induction variable
+
+    def test_instruction_loop_attribution(self):
+        pb = ProgramBuilder("p")
+        pb.array("a", 4)
+        with pb.function("main") as fb:
+            fb.assign("pre", 1.0)
+            with fb.loop("i", 0, 4) as i:
+                fb.store("a", i, i)
+        ir = lower_program(pb.build())
+        fn = ir.function("main")
+        loop_id = next(iter(fn.loops))
+        stores = [i for i in fn.instructions() if i.opcode is Opcode.STORE]
+        assert stores and all(s.loop_id == loop_id for s in stores)
+        stvars = [i for i in fn.instructions() if i.opcode is Opcode.STVAR]
+        # the pre-loop assignment belongs to no loop
+        assert any(s.loop_id is None for s in stvars)

@@ -1,0 +1,98 @@
+"""Property-based tests: every pipeline preserves program semantics on
+randomly generated MiniC programs."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.lowering import lower_program
+from repro.ir.passes import OPT_PIPELINES, apply_pipeline
+from repro.ir.verify import verify_program
+from repro.profiler.interpreter import Interpreter
+
+SIZE = 10
+
+
+def _random_expr(draw, fb, depth, loop_var):
+    choice = draw(st.integers(0, 5 if depth < 2 else 2))
+    if choice == 0:
+        return fb.const(draw(st.integers(-3, 4)))
+    if choice == 1:
+        return fb.var(loop_var)
+    if choice == 2:
+        return fb.load("data", fb.mod(fb.var(loop_var), float(SIZE)))
+    op = draw(st.sampled_from(["+", "-", "*", "min", "max"]))
+    lhs = _random_expr(draw, fb, depth + 1, loop_var)
+    rhs = _random_expr(draw, fb, depth + 1, loop_var)
+    return fb.cmp(op, lhs, rhs) if op in ("min", "max") else {
+        "+": fb.add, "-": fb.sub, "*": fb.mul
+    }[op](lhs, rhs)
+
+
+@st.composite
+def minic_programs(draw):
+    """Random straight-line + loop programs over one data array."""
+    pb = ProgramBuilder("prop")
+    pb.array("data", SIZE)
+    pb.array("out", SIZE)
+    with pb.function("main") as fb:
+        n_stmts = draw(st.integers(1, 3))
+        for pos in range(n_stmts):
+            kind = draw(st.integers(0, 2))
+            if kind == 0:
+                with fb.loop(f"i{pos}", 0, SIZE) as i:
+                    fb.store("out", i, _random_expr(draw, fb, 0, f"i{pos}"))
+            elif kind == 1:
+                fb.assign(f"s{pos}", 0.0)
+                with fb.loop(f"i{pos}", 0, SIZE) as i:
+                    fb.assign(
+                        f"s{pos}",
+                        fb.add(f"s{pos}", _random_expr(draw, fb, 1, f"i{pos}")),
+                    )
+                fb.store("out", 0, fb.var(f"s{pos}"))
+            else:
+                with fb.loop(f"i{pos}", 1, SIZE) as i:
+                    fb.store(
+                        "out", i,
+                        fb.add(
+                            fb.load("out", fb.sub(i, 1.0)),
+                            _random_expr(draw, fb, 1, f"i{pos}"),
+                        ),
+                    )
+    return pb.build()
+
+
+def _final_state(ir):
+    interp = Interpreter(ir, record=False, rng=7)
+    report = interp.run()
+    return report.return_value, {
+        name: tuple(values) for name, values in interp.arrays.items()
+    }
+
+
+@given(program=minic_programs())
+@settings(max_examples=25, deadline=None)
+def test_all_pipelines_preserve_semantics(program):
+    base_ir = lower_program(program)
+    verify_program(base_ir)
+    base = _final_state(base_ir)
+    for name in OPT_PIPELINES:
+        variant = apply_pipeline(base_ir, name)
+        verify_program(variant)
+        rv, arrays = _final_state(variant)
+        assert rv == base[0], f"pipeline {name} changed the return value"
+        for array_name, contents in arrays.items():
+            np.testing.assert_allclose(
+                contents, base[1][array_name], rtol=1e-12,
+                err_msg=f"pipeline {name} changed array {array_name}",
+            )
+
+
+@given(program=minic_programs())
+@settings(max_examples=15, deadline=None)
+def test_pipelines_preserve_loop_inventory(program):
+    base_ir = lower_program(program)
+    base_loops = set(base_ir.all_loops())
+    for name in OPT_PIPELINES:
+        variant = apply_pipeline(base_ir, name)
+        assert set(variant.all_loops()) == base_loops, name

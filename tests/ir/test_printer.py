@@ -1,0 +1,63 @@
+"""Textual IR rendering and statement normalization."""
+
+from repro.ir.linear import Imm, Instr, Opcode, Reg
+from repro.ir.lowering import lower_program
+from repro.ir.printer import instr_str, print_function, print_program, statement_text
+
+from tests.helpers import build_mixed_program
+
+
+class TestStatementText:
+    def test_registers_abstracted(self):
+        instr = Instr(0, Opcode.ADD, (Reg("r1"), Reg("r2")), Reg("r3"))
+        assert statement_text(instr) == "add <reg> <reg>"
+
+    def test_small_immediates_preserved(self):
+        instr = Instr(0, Opcode.ADD, (Reg("r1"), Imm(1.0)), Reg("r2"))
+        assert statement_text(instr) == "add <reg> 1"
+
+    def test_large_immediates_abstracted(self):
+        instr = Instr(0, Opcode.MUL, (Reg("r1"), Imm(100.0)), Reg("r2"))
+        assert "<imm>" in statement_text(instr)
+
+    def test_symbols_abstracted(self):
+        instr = Instr(0, Opcode.LDVAR, ("myvar",), Reg("r0"))
+        assert statement_text(instr) == "ldvar <sym>"
+
+    def test_cmp_keeps_predicate(self):
+        instr = Instr(0, Opcode.CMP, (Reg("a"), Reg("b")), Reg("c"), {"pred": "lt"})
+        assert statement_text(instr) == "cmp.lt <reg> <reg>"
+
+    def test_intrinsic_name_kept_user_fn_abstracted(self):
+        call = Instr(0, Opcode.CALL, ("sqrt", Reg("r0")), Reg("r1"))
+        assert "sqrt" in statement_text(call)
+        callfn = Instr(0, Opcode.CALLFN, ("my_helper", Reg("r0")), Reg("r1"))
+        assert "my_helper" not in statement_text(callfn)
+        assert "<fn>" in statement_text(callfn)
+
+    def test_branch_labels_dropped(self):
+        instr = Instr(0, Opcode.BR, ("some_block",))
+        assert "some_block" not in statement_text(instr)
+
+    def test_same_shape_instructions_share_token(self):
+        a = Instr(0, Opcode.LOAD, ("arr1", Reg("r0")), Reg("r1"))
+        b = Instr(5, Opcode.LOAD, ("arr2", Reg("r9")), Reg("r8"))
+        assert statement_text(a) == statement_text(b)
+
+
+class TestHumanReadable:
+    def test_instr_str_contains_iid_and_line(self):
+        instr = Instr(7, Opcode.ADD, (Reg("a"), Imm(2.0)), Reg("b"), line=3)
+        text = instr_str(instr)
+        assert "iid=7" in text and "line=3" in text
+
+    def test_print_program_includes_arrays_and_functions(self):
+        ir = lower_program(build_mixed_program())
+        text = print_program(ir)
+        assert "array @a[12]" in text
+        assert "func @main" in text
+
+    def test_print_function_lists_blocks(self):
+        ir = lower_program(build_mixed_program())
+        text = print_function(ir.function("main"))
+        assert "entry" in text and "header" in text

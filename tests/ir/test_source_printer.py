@@ -1,0 +1,63 @@
+"""C-like source rendering."""
+
+from repro.ir.ast_nodes import BinOp, CallExpr, Const, Load, UnOp, Var
+from repro.ir.source_printer import expr_to_source, program_to_source
+
+from tests.helpers import build_mixed_program, loop_ids
+
+
+class TestExprRendering:
+    def test_integer_consts_compact(self):
+        assert expr_to_source(Const(3.0)) == "3"
+        assert expr_to_source(Const(2.5)) == "2.5"
+
+    def test_load(self):
+        expr = Load("a", BinOp("-", Var("i"), Const(1.0)))
+        assert expr_to_source(expr) == "a[i - 1]"
+
+    def test_precedence_parentheses(self):
+        # (a + b) * c needs parens; a + b * c does not
+        expr = BinOp("*", BinOp("+", Var("a"), Var("b")), Var("c"))
+        assert expr_to_source(expr) == "(a + b) * c"
+        expr2 = BinOp("+", Var("a"), BinOp("*", Var("b"), Var("c")))
+        assert expr_to_source(expr2) == "a + b * c"
+
+    def test_min_max_as_calls(self):
+        expr = BinOp("min", Var("a"), Const(2.0))
+        assert expr_to_source(expr) == "min(a, 2)"
+
+    def test_unary_and_call(self):
+        assert expr_to_source(UnOp("-", Var("x"))) == "-x"
+        assert expr_to_source(CallExpr("sqrt", (Var("x"),))) == "sqrt(x)"
+
+
+class TestProgramRendering:
+    def test_mixed_program_renders_loops(self):
+        source = program_to_source(build_mixed_program())
+        assert "double a[12];" in source
+        assert source.count("for (") == 4
+        assert "return s;" in source
+
+    def test_annotations_inserted_above_loops(self):
+        program = build_mixed_program()
+        target = loop_ids(program)[0]
+        source = program_to_source(
+            program, {target: "#pragma omp parallel for"}
+        )
+        lines = source.splitlines()
+        pragma_pos = lines.index("    #pragma omp parallel for")
+        assert lines[pragma_pos + 1].lstrip().startswith("for (")
+
+    def test_roundtrip_with_suggestions(self):
+        from repro.analysis import suggest_parallelization
+        from tests.helpers import profile
+
+        program = build_mixed_program()
+        ir, report = profile(program)
+        suggestions = suggest_parallelization(program, ir, report)
+        annotations = {
+            lid: s.pragma for lid, s in suggestions.items() if s.pragma
+        }
+        source = program_to_source(program, annotations)
+        assert source.count("#pragma omp parallel for") == 3
+        assert "reduction(+: s)" in source

@@ -1,0 +1,121 @@
+"""LinearIR verifier catches malformed IR."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir.linear import BasicBlock, Imm, Instr, IRFunction, IRProgram, Opcode, Reg
+from repro.ir.verify import verify_program
+
+from tests.helpers import build_mixed_program, lower_and_verify
+
+
+def _program_with_blocks(blocks, arrays=None):
+    fn = IRFunction("main", (), blocks, {})
+    return IRProgram("t", {"main": fn}, arrays or {}, "main")
+
+
+def _ret(iid=99):
+    return Instr(iid, Opcode.RET, ())
+
+
+class TestVerifier:
+    def test_lowered_program_passes(self):
+        lower_and_verify(build_mixed_program())
+
+    def test_missing_entry_function(self):
+        program = IRProgram("t", {}, {}, "main")
+        with pytest.raises(IRError):
+            verify_program(program)
+
+    def test_empty_block_rejected(self):
+        program = _program_with_blocks([BasicBlock("entry", [])])
+        with pytest.raises(IRError, match="empty"):
+            verify_program(program)
+
+    def test_missing_terminator_rejected(self):
+        block = BasicBlock("entry", [Instr(0, Opcode.STVAR, ("x", Imm(1.0)))])
+        with pytest.raises(IRError, match="terminator"):
+            verify_program(_program_with_blocks([block]))
+
+    def test_duplicate_iids_rejected(self):
+        block = BasicBlock(
+            "entry",
+            [Instr(0, Opcode.STVAR, ("x", Imm(1.0))), Instr(0, Opcode.RET, ())],
+        )
+        with pytest.raises(IRError, match="duplicate iid"):
+            verify_program(_program_with_blocks([block]))
+
+    def test_use_of_undefined_register(self):
+        block = BasicBlock(
+            "entry",
+            [Instr(0, Opcode.STVAR, ("x", Reg("r0"))), _ret(1)],
+        )
+        with pytest.raises(IRError, match="undefined register"):
+            verify_program(_program_with_blocks([block]))
+
+    def test_ssa_double_definition(self):
+        block = BasicBlock(
+            "entry",
+            [
+                Instr(0, Opcode.LDVAR, ("x",), Reg("r0")),
+                Instr(1, Opcode.LDVAR, ("y",), Reg("r0")),
+                _ret(2),
+            ],
+        )
+        with pytest.raises(IRError, match="SSA"):
+            verify_program(_program_with_blocks([block]))
+
+    def test_use_before_definition_in_block(self):
+        block = BasicBlock(
+            "entry",
+            [
+                Instr(0, Opcode.STVAR, ("x", Reg("r0"))),
+                Instr(1, Opcode.LDVAR, ("y",), Reg("r0")),
+                _ret(2),
+            ],
+        )
+        with pytest.raises(IRError, match="before its definition"):
+            verify_program(_program_with_blocks([block]))
+
+    def test_branch_to_unknown_block(self):
+        block = BasicBlock("entry", [Instr(0, Opcode.BR, ("nowhere",))])
+        with pytest.raises(IRError, match="unknown block"):
+            verify_program(_program_with_blocks([block]))
+
+    def test_load_of_unknown_array(self):
+        block = BasicBlock(
+            "entry",
+            [Instr(0, Opcode.LOAD, ("ghost", Imm(0.0)), Reg("r0")), _ret(1)],
+        )
+        with pytest.raises(IRError, match="unknown array"):
+            verify_program(_program_with_blocks([block]))
+
+    def test_call_to_unknown_function(self):
+        block = BasicBlock(
+            "entry", [Instr(0, Opcode.CALLFN, ("ghost",)), _ret(1)]
+        )
+        with pytest.raises(IRError, match="unknown function"):
+            verify_program(_program_with_blocks([block]))
+
+    def test_non_dominating_definition_rejected(self):
+        # entry branches to left/right; left defines r0, join uses it
+        entry = BasicBlock(
+            "entry",
+            [
+                Instr(0, Opcode.LDVAR, ("c",), Reg("rc")),
+                Instr(1, Opcode.CONDBR, (Reg("rc"), "left", "join")),
+            ],
+        )
+        left = BasicBlock(
+            "left",
+            [
+                Instr(2, Opcode.LDVAR, ("x",), Reg("r0")),
+                Instr(3, Opcode.BR, ("join",)),
+            ],
+        )
+        join = BasicBlock(
+            "join",
+            [Instr(4, Opcode.STVAR, ("y", Reg("r0"))), _ret(5)],
+        )
+        with pytest.raises(IRError, match="not dominated"):
+            verify_program(_program_with_blocks([entry, left, join]))

@@ -1,0 +1,58 @@
+"""K-fold cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.mlbase import DecisionTree
+from repro.mlbase.crossval import CrossValResult, cross_validate, kfold_indices
+
+
+class TestKFold:
+    def test_folds_partition(self):
+        folds = kfold_indices(23, 5, rng=0)
+        combined = np.sort(np.concatenate(folds))
+        np.testing.assert_array_equal(combined, np.arange(23))
+
+    def test_fold_sizes_balanced(self):
+        folds = kfold_indices(20, 4, rng=0)
+        assert all(len(f) == 5 for f in folds)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(DatasetError):
+            kfold_indices(3, 5)
+
+    def test_k_lower_bound(self):
+        with pytest.raises(DatasetError):
+            kfold_indices(10, 1)
+
+    def test_deterministic(self):
+        a = kfold_indices(15, 3, rng=7)
+        b = kfold_indices(15, 3, rng=7)
+        for fa, fb in zip(a, b):
+            np.testing.assert_array_equal(fa, fb)
+
+
+class TestCrossValidate:
+    def _data(self, n=80):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(n, 3))
+        y = (x[:, 0] + 0.3 * x[:, 1] > 0).astype(int)
+        return x, y
+
+    def test_learnable_data_scores_high(self):
+        x, y = self._data()
+        result = cross_validate(
+            lambda: DecisionTree(max_depth=4), x, y, k=4, rng=1
+        )
+        assert len(result.fold_accuracies) == 4
+        assert result.mean > 0.7
+
+    def test_result_aggregates(self):
+        result = CrossValResult([0.8, 0.9, 1.0])
+        assert result.mean == pytest.approx(0.9)
+        assert "3 folds" in result.summary()
+
+    def test_shape_validation(self):
+        with pytest.raises(DatasetError):
+            cross_validate(lambda: DecisionTree(), np.ones(5), np.ones(5))

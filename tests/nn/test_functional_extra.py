@@ -1,0 +1,82 @@
+"""Loss functions and dropout masks — edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.nn.functional import (
+    binary_cross_entropy_with_logits,
+    dropout_mask,
+    softmax_cross_entropy,
+    softmax_cross_entropy_batch,
+)
+from repro.nn.layers import Parameter
+from repro.nn.tensor import Tensor
+
+
+class TestBatchCrossEntropy:
+    def test_matches_mean_of_singles(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(5, 3))
+        labels = rng.integers(0, 3, size=5)
+        batch_loss = softmax_cross_entropy_batch(Tensor(logits), labels).item()
+        singles = np.mean(
+            [
+                softmax_cross_entropy(Tensor(logits[i]), int(labels[i])).item()
+                for i in range(5)
+            ]
+        )
+        assert batch_loss == pytest.approx(singles, rel=1e-10)
+
+    def test_gradient_flows(self):
+        param = Parameter(np.zeros((4, 2)))
+        loss = softmax_cross_entropy_batch(param, [0, 1, 0, 1])
+        loss.backward()
+        assert param.grad is not None
+        # balanced labels at uniform logits: gradient rows sum to ~0
+        np.testing.assert_allclose(param.grad.sum(axis=0), 0.0, atol=1e-12)
+
+    def test_rank_validation(self):
+        with pytest.raises(ModelError):
+            softmax_cross_entropy_batch(Tensor(np.zeros(3)), [0])
+
+    def test_label_validation(self):
+        with pytest.raises(ModelError):
+            softmax_cross_entropy_batch(Tensor(np.zeros((2, 2))), [0, 5])
+
+    def test_temperature_scales_confidence_penalty(self):
+        logits = Tensor(np.array([[2.0, 0.0]]))
+        sharp = softmax_cross_entropy_batch(logits, [1], temperature=0.5)
+        soft = softmax_cross_entropy_batch(logits, [1], temperature=2.0)
+        assert sharp.item() > soft.item()  # sharper softmax punishes misses
+
+
+class TestBinaryCrossEntropy:
+    def test_correct_confident_is_cheap(self):
+        good = binary_cross_entropy_with_logits(Tensor(np.array(5.0)), 1.0)
+        bad = binary_cross_entropy_with_logits(Tensor(np.array(-5.0)), 1.0)
+        assert good.item() < 0.1 < bad.item()
+
+    def test_symmetry(self):
+        a = binary_cross_entropy_with_logits(Tensor(np.array(2.0)), 0.0)
+        b = binary_cross_entropy_with_logits(Tensor(np.array(-2.0)), 1.0)
+        assert a.item() == pytest.approx(b.item(), rel=1e-9)
+
+
+class TestDropoutMask:
+    def test_zero_rate_none(self):
+        assert dropout_mask((3, 3), 0.0) is None
+
+    def test_rate_one_rejected(self):
+        with pytest.raises(ModelError):
+            dropout_mask((3, 3), 1.0)
+
+    def test_inverted_scaling(self):
+        mask = dropout_mask((1000,), 0.5, rng=0)
+        kept = mask[mask > 0]
+        np.testing.assert_allclose(kept, 2.0)  # 1 / keep_prob
+
+    def test_expected_keep_fraction(self):
+        mask = dropout_mask((10000,), 0.3, rng=1)
+        keep_fraction = (mask > 0).mean()
+        assert 0.65 < keep_fraction < 0.75

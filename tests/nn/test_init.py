@@ -1,0 +1,38 @@
+"""Parameter initializers."""
+
+import numpy as np
+
+from repro.nn.init import glorot_uniform, orthogonal, zeros_init
+
+
+class TestGlorot:
+    def test_bounds(self):
+        w = glorot_uniform((50, 30), rng=0)
+        limit = np.sqrt(6.0 / 80.0)
+        assert np.abs(w).max() <= limit
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            glorot_uniform((4, 4), rng=3), glorot_uniform((4, 4), rng=3)
+        )
+
+
+class TestOrthogonal:
+    def test_square_is_orthogonal(self):
+        q = orthogonal((8, 8), rng=0)
+        np.testing.assert_allclose(q @ q.T, np.eye(8), atol=1e-10)
+
+    def test_tall_has_orthonormal_columns(self):
+        q = orthogonal((10, 4), rng=1)
+        np.testing.assert_allclose(q.T @ q, np.eye(4), atol=1e-10)
+
+    def test_wide_has_orthonormal_rows(self):
+        q = orthogonal((4, 10), rng=2)
+        np.testing.assert_allclose(q @ q.T, np.eye(4), atol=1e-10)
+
+
+class TestZeros:
+    def test_shape_and_value(self):
+        z = zeros_init((3, 5))
+        assert z.shape == (3, 5)
+        assert not z.any()

@@ -1,0 +1,95 @@
+"""Optimizers + serialization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.nn.layers import Dense, Parameter
+from repro.nn.optim import SGD, Adam
+from repro.nn.serialize import load_params, save_params
+from repro.nn.tensor import Tensor
+
+
+def _quadratic(param):
+    return ((param - Tensor(np.array([3.0, -2.0]))) ** 2.0).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.zeros(2))
+        opt = SGD([param], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            _quadratic(param).backward()
+            opt.step()
+        np.testing.assert_allclose(param.data, [3.0, -2.0], atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            param = Parameter(np.zeros(2))
+            opt = SGD([param], lr=0.02, momentum=momentum)
+            for _ in range(30):
+                opt.zero_grad()
+                _quadratic(param).backward()
+                opt.step()
+            return _quadratic(param).item()
+
+        assert run(0.9) < run(0.0)
+
+    def test_clip_bounds_update(self):
+        param = Parameter(np.zeros(1))
+        opt = SGD([param], lr=1.0, clip=0.5)
+        param.grad = np.array([100.0])
+        opt.step()
+        np.testing.assert_allclose(param.data, [-0.5])
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ModelError):
+            SGD([], lr=0.1)
+
+    def test_bad_lr_rejected(self):
+        with pytest.raises(ModelError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.zeros(2))
+        opt = Adam([param], lr=0.2)
+        for _ in range(200):
+            opt.zero_grad()
+            _quadratic(param).backward()
+            opt.step()
+        np.testing.assert_allclose(param.data, [3.0, -2.0], atol=1e-2)
+
+    def test_none_grad_skipped(self):
+        param = Parameter(np.ones(2))
+        opt = Adam([param], lr=0.1)
+        opt.step()  # no backward: must not crash or move
+        np.testing.assert_allclose(param.data, 1.0)
+
+    def test_updates_are_in_place(self):
+        param = Parameter(np.zeros(2))
+        buffer = param.data
+        opt = Adam([param], lr=0.1)
+        param.grad = np.ones(2)
+        opt.step()
+        assert param.data is buffer  # same ndarray object
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path):
+        layer = Dense(3, 2, rng=0)
+        path = tmp_path / "params.npz"
+        save_params(layer, path)
+        other = Dense(3, 2, rng=99)
+        load_params(other, path)
+        np.testing.assert_array_equal(layer.weight.data, other.weight.data)
+
+    def test_mismatched_keys_rejected(self, tmp_path):
+        layer = Dense(3, 2, rng=0)
+        path = tmp_path / "params.npz"
+        save_params(layer, path)
+        bigger = Dense(3, 5, rng=0)
+        with pytest.raises(ModelError):
+            load_params(bigger, path)

@@ -1,0 +1,107 @@
+"""LSTM layer: shapes, gradient checks, batched-vs-single equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.nn.rnn import LSTM
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture(scope="module")
+def lstm():
+    return LSTM(4, 6, rng=0)
+
+
+class TestShapes:
+    def test_sequence_output(self, lstm):
+        seq, (h, c) = lstm(Tensor(np.ones((7, 4))))
+        assert seq.shape == (7, 6)
+        assert h.shape == (6,) and c.shape == (6,)
+
+    def test_bad_input_rejected(self, lstm):
+        with pytest.raises(ModelError):
+            lstm(Tensor(np.ones((7, 3))))
+
+    def test_batched_shapes(self, lstm):
+        seq, h_last = lstm.forward_batch(Tensor(np.ones((3, 5, 4))))
+        assert seq.shape == (5, 3, 6)
+        assert h_last.shape == (3, 6)
+
+    def test_bad_lengths_rejected(self, lstm):
+        with pytest.raises(ModelError):
+            lstm.forward_batch(
+                Tensor(np.ones((2, 5, 4))), lengths=np.array([6, 1])
+            )
+
+
+class TestSemantics:
+    def test_state_threading(self, lstm):
+        """Running two halves with threaded state equals one full run."""
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=(6, 4))
+        _, full_state = lstm(Tensor(data))
+        _, half_state = lstm(Tensor(data[:3]))
+        _, threaded = lstm(Tensor(data[3:]), state=half_state)
+        np.testing.assert_allclose(threaded[0].data, full_state[0].data)
+
+    def test_batched_matches_single(self, lstm):
+        rng = np.random.default_rng(2)
+        seqs = [rng.normal(size=(5, 4)), rng.normal(size=(3, 4))]
+        lengths = np.array([5, 3])
+        padded = np.zeros((2, 5, 4))
+        padded[0] = seqs[0]
+        padded[1, :3] = seqs[1]
+        _, h_batch = lstm.forward_batch(Tensor(padded), lengths)
+        for pos, seq in enumerate(seqs):
+            _, (h_single, _c) = lstm(Tensor(seq))
+            np.testing.assert_allclose(
+                h_batch.data[pos], h_single.data, atol=1e-12
+            )
+
+    def test_gradient_check_single(self):
+        lstm = LSTM(3, 4, rng=5)
+        rng = np.random.default_rng(6)
+        data = rng.normal(size=(4, 3))
+
+        def loss_value():
+            _, (h, _c) = lstm(Tensor(data))
+            return (h ** 2.0).sum()
+
+        loss_value().backward()
+        analytic = lstm.w_x.grad[0, 0]
+        eps = 1e-6
+        original = lstm.w_x.data[0, 0]
+        lstm.w_x.data[0, 0] = original + eps
+        up = loss_value().item()
+        lstm.w_x.data[0, 0] = original - eps
+        down = loss_value().item()
+        lstm.w_x.data[0, 0] = original
+        assert abs(analytic - (up - down) / (2 * eps)) < 1e-6
+
+    def test_gradient_check_batched(self):
+        lstm = LSTM(3, 4, rng=7)
+        rng = np.random.default_rng(8)
+        data = rng.normal(size=(2, 4, 3))
+        lengths = np.array([4, 2])
+
+        def loss_value():
+            _, h = lstm.forward_batch(Tensor(data), lengths)
+            return (h ** 2.0).sum()
+
+        loss_value().backward()
+        analytic = lstm.w_h.grad[1, 2]
+        eps = 1e-6
+        original = lstm.w_h.data[1, 2]
+        lstm.w_h.data[1, 2] = original + eps
+        up = loss_value().item()
+        lstm.w_h.data[1, 2] = original - eps
+        down = loss_value().item()
+        lstm.w_h.data[1, 2] = original
+        assert abs(analytic - (up - down) / (2 * eps)) < 1e-6
+
+    def test_forget_bias_initialized_to_one(self, lstm):
+        hidden = lstm.hidden_size
+        np.testing.assert_allclose(
+            lstm.bias.data[hidden : 2 * hidden], 1.0
+        )

@@ -1,0 +1,108 @@
+"""PEG data structure."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.peg.graph import EdgeKind, NodeKind, PEG, PEGNode
+
+
+def _node(nid, kind=NodeKind.CU):
+    return PEGNode(node_id=nid, kind=kind, function="main")
+
+
+class TestConstruction:
+    def test_duplicate_node_rejected(self):
+        peg = PEG()
+        peg.add_node(_node("a"))
+        with pytest.raises(GraphError):
+            peg.add_node(_node("a"))
+
+    def test_edge_to_unknown_node_rejected(self):
+        peg = PEG()
+        peg.add_node(_node("a"))
+        with pytest.raises(GraphError):
+            peg.add_edge("a", "ghost", EdgeKind.DEP)
+
+    def test_edge_deduplication(self):
+        peg = PEG()
+        peg.add_node(_node("a"))
+        peg.add_node(_node("b"))
+        e1 = peg.add_edge("a", "b", EdgeKind.DEP)
+        e2 = peg.add_edge("a", "b", EdgeKind.DEP)
+        assert e1 is e2
+        assert len(peg.edges) == 1
+
+    def test_different_kinds_are_distinct_edges(self):
+        peg = PEG()
+        peg.add_node(_node("a"))
+        peg.add_node(_node("b"))
+        peg.add_edge("a", "b", EdgeKind.DEP)
+        peg.add_edge("a", "b", EdgeKind.CHILD)
+        assert len(peg.edges) == 2
+
+
+class TestQueries:
+    def _tree(self):
+        peg = PEG()
+        for nid, kind in [
+            ("f", NodeKind.FUNC), ("l", NodeKind.LOOP),
+            ("c1", NodeKind.CU), ("c2", NodeKind.CU),
+        ]:
+            peg.add_node(_node(nid, kind))
+        peg.add_edge("f", "l", EdgeKind.CHILD)
+        peg.add_edge("l", "c1", EdgeKind.CHILD)
+        peg.add_edge("l", "c2", EdgeKind.CHILD)
+        peg.add_edge("c1", "c2", EdgeKind.DEP)
+        return peg
+
+    def test_children(self):
+        peg = self._tree()
+        assert set(peg.children("l")) == {"c1", "c2"}
+
+    def test_descendants(self):
+        peg = self._tree()
+        assert set(peg.descendants("f")) == {"l", "c1", "c2"}
+
+    def test_in_out_edges_filtered_by_kind(self):
+        peg = self._tree()
+        assert len(peg.out_edges("c1", EdgeKind.DEP)) == 1
+        assert len(peg.in_edges("c2", EdgeKind.DEP)) == 1
+        assert len(peg.in_edges("c2", EdgeKind.CHILD)) == 1
+
+    def test_nodes_of_kind(self):
+        peg = self._tree()
+        assert len(peg.nodes_of_kind(NodeKind.CU)) == 2
+        assert len(peg.loop_nodes()) == 1
+
+    def test_unknown_node_raises(self):
+        peg = self._tree()
+        with pytest.raises(GraphError):
+            peg.node("ghost")
+
+    def test_triple(self):
+        node = PEGNode("x", NodeKind.CU, "main", start_line=3, end_line=7)
+        assert node.triple == ("x", 3, 7)
+
+
+class TestSubgraph:
+    def test_induced_subgraph_keeps_internal_edges(self):
+        peg = TestQueries()._tree()
+        sub = peg.subgraph({"l", "c1", "c2"})
+        assert len(sub) == 3
+        assert len(sub.dep_edges()) == 1
+        assert len(sub.edges) == 3  # 2 child + 1 dep
+
+    def test_subgraph_drops_external_edges(self):
+        peg = TestQueries()._tree()
+        sub = peg.subgraph({"c1", "c2"})
+        assert len(sub.edges) == 1  # only the dep edge
+
+    def test_subgraph_unknown_node_rejected(self):
+        peg = TestQueries()._tree()
+        with pytest.raises(GraphError):
+            peg.subgraph({"nope"})
+
+    def test_summary_mentions_counts(self):
+        peg = TestQueries()._tree()
+        text = peg.summary()
+        assert "1 loops" in text and "2 CUs" in text

@@ -1,0 +1,61 @@
+"""DOT / networkx export details."""
+
+import networkx as nx
+
+from repro.peg.graph import EdgeKind, NodeKind, PEG, PEGNode
+from repro.peg.viz import to_dot, to_networkx
+
+
+def _peg():
+    peg = PEG("viz")
+    peg.add_node(PEGNode("func:main", NodeKind.FUNC, "main"))
+    peg.add_node(
+        PEGNode("loop:L0", NodeKind.LOOP, "main", loop_id="L0", exec_count=10)
+    )
+    peg.add_node(
+        PEGNode("cu0", NodeKind.CU, "main", start_line=3, end_line=5)
+    )
+    peg.add_node(PEGNode("cu1", NodeKind.CU, "main", start_line=6, end_line=6))
+    peg.add_edge("func:main", "loop:L0", EdgeKind.CHILD)
+    peg.add_edge("loop:L0", "cu0", EdgeKind.CHILD)
+    peg.add_edge("loop:L0", "cu1", EdgeKind.CHILD)
+    dep = peg.add_edge("cu0", "cu1", EdgeKind.DEP)
+    dep.dep_counts["RAW"] = 4
+    dep.carried_loops.add("L0")
+    return peg
+
+
+class TestDot:
+    def test_cu_labels_are_line_ranges(self):
+        dot = to_dot(_peg())
+        assert '"cu0" [label="3:5"' in dot
+
+    def test_dep_edges_show_kind_and_carried(self):
+        dot = to_dot(_peg())
+        assert 'label="RAW carried"' in dot
+
+    def test_child_edges_dashed(self):
+        dot = to_dot(_peg())
+        assert "style=dashed" in dot
+
+    def test_custom_title(self):
+        assert 'digraph "my title"' in to_dot(_peg(), title="my title")
+
+
+class TestNetworkx:
+    def test_attributes_roundtrip(self):
+        graph = to_networkx(_peg())
+        assert graph.nodes["loop:L0"]["exec_count"] == 10
+        assert graph.nodes["cu0"]["start"] == 3
+        edges = [
+            d for _u, _v, d in graph.edges(data=True) if d["kind"] == "dep"
+        ]
+        assert edges[0]["dep_counts"] == {"RAW": 4}
+        assert edges[0]["carried"] is True
+
+    def test_graph_is_multidigraph(self):
+        assert isinstance(to_networkx(_peg()), nx.MultiDiGraph)
+
+    def test_degree_queries_work(self):
+        graph = to_networkx(_peg())
+        assert graph.out_degree("loop:L0") == 2

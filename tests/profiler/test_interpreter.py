@@ -1,0 +1,245 @@
+"""Interpreter execution semantics."""
+
+import pytest
+
+from repro.errors import InterpreterError
+from repro.ir.builder import ProgramBuilder
+from repro.ir.lowering import lower_program
+from repro.profiler.interpreter import Interpreter, profile_program, run_program
+
+from tests.helpers import build_reduction_program, run_and_state
+
+
+def _run_main(build_body, arrays=(), rng=0):
+    pb = ProgramBuilder("t")
+    for name, size in arrays:
+        pb.array(name, size)
+    with pb.function("main") as fb:
+        build_body(fb)
+    ir = lower_program(pb.build())
+    interp = Interpreter(ir, record=False, rng=rng)
+    report = interp.run()
+    return report, interp
+
+
+class TestArithmetic:
+    def test_reduction_value(self):
+        rv, state = run_and_state(build_reduction_program())
+        # sum of 2*i for i in 0..11
+        assert rv == sum(2.0 * i for i in range(12))
+
+    def test_comparison_produces_binary(self):
+        def body(fb):
+            fb.assign("x", fb.cmp("<", 1.0, 2.0))
+            fb.assign("y", fb.cmp(">", 1.0, 2.0))
+            fb.ret(fb.add(fb.mul("x", 10.0), "y"))
+
+        report, _ = _run_main(body)
+        assert report.return_value == 10.0
+
+    def test_min_max(self):
+        def body(fb):
+            fb.ret(fb.add(fb.cmp("min", 3.0, 5.0), fb.cmp("max", 3.0, 5.0)))
+
+        report, _ = _run_main(body)
+        assert report.return_value == 8.0
+
+    def test_euclidean_mod_of_negative(self):
+        def body(fb):
+            fb.ret(fb.mod(-3.0, 8.0))
+
+        report, _ = _run_main(body)
+        assert report.return_value == 5.0  # Euclidean, not C fmod
+
+    def test_division_by_zero_raises(self):
+        def body(fb):
+            fb.assign("z", 0.0)
+            fb.ret(fb.div(1.0, "z"))
+
+        with pytest.raises(InterpreterError, match="division by zero"):
+            _run_main(body)
+
+    def test_intrinsics(self):
+        def body(fb):
+            fb.ret(fb.add(fb.call("sqrt", 16.0), fb.call("fabs", -2.0)))
+
+        report, _ = _run_main(body)
+        assert report.return_value == 6.0
+
+    def test_unknown_read_scalar_defaults_to_zero(self):
+        def body(fb):
+            fb.ret(fb.var("never_written"))
+
+        report, _ = _run_main(body)
+        assert report.return_value == 0.0
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        def body(fb):
+            fb.assign("x", 5.0)
+            with fb.if_block(fb.cmp("<", "x", 3.0)) as blk:
+                fb.assign("y", 1.0)
+            with blk.otherwise():
+                fb.assign("y", 2.0)
+            fb.ret("y")
+
+        report, _ = _run_main(body)
+        assert report.return_value == 2.0
+
+    def test_while_loop(self):
+        def body(fb):
+            fb.assign("x", 0.0)
+            with fb.while_loop(fb.cmp("<", "x", 5.0)):
+                fb.assign("x", fb.add("x", 1.0))
+            fb.ret("x")
+
+        report, _ = _run_main(body)
+        assert report.return_value == 5.0
+
+    def test_break_exits_loop(self):
+        def body(fb):
+            fb.assign("last", -1.0)
+            with fb.loop("i", 0, 100) as i:
+                fb.assign("last", i)
+                with fb.if_block(fb.cmp(">=", i, 3.0)):
+                    fb.brk()
+            fb.ret("last")
+
+        report, _ = _run_main(body)
+        assert report.return_value == 3.0
+
+    def test_zero_trip_loop(self):
+        def body(fb):
+            fb.assign("count", 0.0)
+            with fb.loop("i", 5, 2):
+                fb.assign("count", fb.add("count", 1.0))
+            fb.ret("count")
+
+        report, _ = _run_main(body)
+        assert report.return_value == 0.0
+
+    def test_step_greater_than_one(self):
+        def body(fb):
+            fb.assign("count", 0.0)
+            with fb.loop("i", 0, 10, step=3):
+                fb.assign("count", fb.add("count", 1.0))
+            fb.ret("count")
+
+        report, _ = _run_main(body)
+        assert report.return_value == 4.0  # i = 0, 3, 6, 9
+
+    def test_step_budget_enforced(self):
+        pb = ProgramBuilder("t")
+        with pb.function("main") as fb:
+            fb.assign("x", 0.0)
+            with fb.while_loop(fb.cmp("<", "x", 1.0)):
+                fb.assign("y", 1.0)  # x never changes: infinite loop
+        ir = lower_program(pb.build())
+        with pytest.raises(InterpreterError, match="step budget"):
+            Interpreter(ir, record=False, max_steps=500).run()
+
+
+class TestMemory:
+    def test_out_of_bounds_store_raises(self):
+        def body(fb):
+            fb.store("a", 10, 1.0)
+
+        with pytest.raises(InterpreterError, match="out of bounds"):
+            _run_main(body, arrays=[("a", 4)])
+
+    def test_negative_index_raises(self):
+        def body(fb):
+            fb.assign("x", fb.load("a", fb.sub(0.0, 1.0)))
+
+        with pytest.raises(InterpreterError, match="out of bounds"):
+            _run_main(body, arrays=[("a", 4)])
+
+    def test_arrays_deterministically_initialized(self):
+        def body(fb):
+            fb.ret(fb.load("a", 0))
+
+        r1, _ = _run_main(body, arrays=[("a", 4)], rng=5)
+        r2, _ = _run_main(body, arrays=[("a", 4)], rng=5)
+        r3, _ = _run_main(body, arrays=[("a", 4)], rng=6)
+        assert r1.return_value == r2.return_value
+        assert r1.return_value != r3.return_value
+
+
+class TestFunctions:
+    def test_call_with_return_value(self):
+        pb = ProgramBuilder("t")
+        with pb.function("double", params=("x",)) as hf:
+            hf.ret(hf.mul("x", 2.0))
+        with pb.function("main") as fb:
+            fb.ret(fb.call("double", 21.0))
+        ir = lower_program(pb.build())
+        assert run_program(ir).return_value == 42.0
+
+    def test_recursion(self):
+        pb = ProgramBuilder("t")
+        with pb.function("fact", params=("n",)) as hf:
+            with hf.if_block(hf.cmp("<=", "n", 1.0)):
+                hf.ret(1.0)
+            hf.ret(hf.mul("n", hf.call("fact", hf.sub("n", 1.0))))
+        with pb.function("main") as fb:
+            fb.ret(fb.call("fact", 5.0))
+        ir = lower_program(pb.build())
+        assert run_program(ir).return_value == 120.0
+
+    def test_scalars_are_frame_local(self):
+        pb = ProgramBuilder("t")
+        with pb.function("clobber", params=()) as hf:
+            hf.assign("x", 999.0)
+            hf.ret(0.0)
+        with pb.function("main") as fb:
+            fb.assign("x", 1.0)
+            fb.assign("ignore", fb.call("clobber"))
+            fb.ret("x")
+        ir = lower_program(pb.build())
+        assert run_program(ir).return_value == 1.0
+
+    def test_wrong_arity_raises(self):
+        pb = ProgramBuilder("t")
+        with pb.function("helper", params=("a", "b")) as hf:
+            hf.ret(hf.add("a", "b"))
+        with pb.function("main") as fb:
+            fb.ret(fb.call("helper", 1.0))
+        ir = lower_program(pb.build())
+        with pytest.raises(InterpreterError, match="expects 2 args"):
+            run_program(ir)
+
+
+class TestLoopStats:
+    def test_iteration_counts(self):
+        def body(fb):
+            with fb.loop("i", 0, 7):
+                fb.assign("x", 1.0)
+
+        report, _ = _run_main(body)
+        stats = next(iter(report.loop_stats.values()))
+        assert stats.total_iterations == 7
+        assert stats.entries == 1
+
+    def test_nested_entry_counts(self):
+        def body(fb):
+            with fb.loop("i", 0, 3):
+                with fb.loop("j", 0, 4):
+                    fb.assign("x", 1.0)
+
+        report, _ = _run_main(body)
+        by_iters = sorted(
+            report.loop_stats.values(), key=lambda s: s.total_iterations
+        )
+        assert by_iters[0].total_iterations == 3  # outer
+        assert by_iters[1].total_iterations == 12  # inner: 3 entries x 4
+        assert by_iters[1].entries == 3
+
+    def test_dyn_instr_attribution(self):
+        def body(fb):
+            with fb.loop("i", 0, 5):
+                fb.assign("x", 1.0)
+
+        report, _ = _run_main(body)
+        stats = next(iter(report.loop_stats.values()))
+        assert stats.dyn_instr_count > 5  # body + header overhead

@@ -1,0 +1,110 @@
+"""Shadow-memory dependence classification."""
+
+from repro.profiler.report import DepKind, ProfileReport
+from repro.profiler.shadow import ShadowMemory, carrying_loop
+
+from tests.helpers import build_mixed_program, profile, loop_ids
+
+
+class TestCarryingLoop:
+    def test_loop_independent(self):
+        vec = (("L", 0, 3),)
+        assert carrying_loop(vec, vec) is None
+
+    def test_carried_at_single_loop(self):
+        src = (("L", 0, 2),)
+        dst = (("L", 0, 5),)
+        assert carrying_loop(src, dst) == "L"
+
+    def test_outermost_differing_wins(self):
+        src = (("Outer", 0, 1), ("Inner", 0, 3))
+        dst = (("Outer", 0, 2), ("Inner", 0, 3))
+        assert carrying_loop(src, dst) == "Outer"
+
+    def test_inner_carried_when_outer_matches(self):
+        src = (("Outer", 0, 1), ("Inner", 1, 0))
+        dst = (("Outer", 0, 1), ("Inner", 1, 4))
+        assert carrying_loop(src, dst) == "Inner"
+
+    def test_different_entries_not_carried(self):
+        src = (("L", 0, 5),)
+        dst = (("L", 1, 0),)  # second activation of the same loop
+        assert carrying_loop(src, dst) is None
+
+    def test_different_loops_not_carried(self):
+        assert carrying_loop((("A", 0, 1),), (("B", 0, 2),)) is None
+
+    def test_outside_any_loop(self):
+        assert carrying_loop((), ()) is None
+
+    def test_mixed_depths(self):
+        src = (("L", 0, 1),)
+        dst = (("L", 0, 2), ("M", 0, 0))
+        assert carrying_loop(src, dst) == "L"
+
+
+class TestShadowMemory:
+    def _shadow(self):
+        report = ProfileReport("t")
+        return ShadowMemory(report), report
+
+    def test_raw_detected(self):
+        shadow, report = self._shadow()
+        shadow.write("a", 0, ("main", 1), ())
+        shadow.read("a", 0, ("main", 2), ())
+        deps = list(report.deps.values())
+        assert len(deps) == 1
+        assert deps[0].kind is DepKind.RAW
+        assert deps[0].src == ("main", 1) and deps[0].dst == ("main", 2)
+
+    def test_war_detected(self):
+        shadow, report = self._shadow()
+        shadow.read("a", 0, ("main", 1), ())
+        shadow.write("a", 0, ("main", 2), ())
+        kinds = {d.kind for d in report.deps.values()}
+        assert kinds == {DepKind.WAR}
+
+    def test_waw_detected(self):
+        shadow, report = self._shadow()
+        shadow.write("a", 0, ("main", 1), ())
+        shadow.write("a", 0, ("main", 2), ())
+        kinds = {d.kind for d in report.deps.values()}
+        assert kinds == {DepKind.WAW}
+
+    def test_reads_cleared_after_write(self):
+        shadow, report = self._shadow()
+        shadow.read("a", 0, ("main", 1), ())
+        shadow.write("a", 0, ("main", 2), ())
+        shadow.write("a", 0, ("main", 3), ())
+        # only one WAR (1->2); the second write sees no readers
+        war = [d for d in report.deps.values() if d.kind is DepKind.WAR]
+        assert len(war) == 1
+
+    def test_distinct_addresses_do_not_interact(self):
+        shadow, report = self._shadow()
+        shadow.write("a", 0, ("main", 1), ())
+        shadow.read("a", 1, ("main", 2), ())
+        assert not report.deps
+
+    def test_carried_counts_accumulate(self):
+        shadow, report = self._shadow()
+        for iteration in range(4):
+            vec = (("L", 0, iteration),)
+            shadow.read("s", 0, ("main", 2), vec)
+            shadow.write("s", 0, ("main", 3), vec)
+        raw = [d for d in report.deps.values() if d.kind is DepKind.RAW][0]
+        assert raw.carried["L"] == 3  # iterations 1..3 read iteration k-1's write
+        assert raw.independent == 0
+
+
+class TestEndToEnd:
+    def test_mixed_program_dependences(self):
+        program = build_mixed_program()
+        ir, report = profile(program)
+        ids = loop_ids(program)
+        # stencil loop (1) carries nothing on arrays; recurrence (2) does
+        assert "a" not in report.symbols_carried_by(ids[1])
+        assert "a" in report.symbols_carried_by(ids[2])
+        # reduction loop (3) carries RAW on the scoped accumulator
+        carried = report.symbols_carried_by(ids[3])
+        assert DepKind.RAW in carried.get("main::s", set())

@@ -1,0 +1,131 @@
+"""Static profile estimation (paper future-work #3: decoupled features)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import classify_all_loops, loop_features
+from repro.ir.ast_nodes import Const, For
+from repro.ir.builder import ProgramBuilder
+from repro.profiler import estimate_profile, estimate_trip_count, profile_program
+
+from tests.helpers import (
+    build_doall_program,
+    build_mixed_program,
+    build_reduction_program,
+    build_sequential_program,
+    loop_ids,
+    lower_and_verify,
+)
+
+
+class TestTripCount:
+    def _loop(self, lo, hi, step=1.0):
+        return For(
+            var="i", lo=Const(lo), hi=Const(hi), step=Const(step), body=[]
+        )
+
+    def test_constant_bounds(self):
+        assert estimate_trip_count(self._loop(0.0, 10.0)) == 10
+
+    def test_step_rounding(self):
+        assert estimate_trip_count(self._loop(0.0, 10.0, 3.0)) == 4
+
+    def test_zero_trip(self):
+        assert estimate_trip_count(self._loop(5.0, 2.0)) == 0
+
+    def test_symbolic_bound_uses_default(self):
+        from repro.ir.ast_nodes import Var
+
+        loop = For(var="i", lo=Const(0.0), hi=Var("n"), body=[])
+        assert estimate_trip_count(loop, default=21) == 21
+
+
+class TestEstimatedProfile:
+    def test_loop_stats_match_constant_bounds(self):
+        program = build_doall_program(size=12)
+        ir = lower_and_verify(program)
+        estimate = estimate_profile(program, ir)
+        for loop_id in loop_ids(program):
+            assert estimate.loop_stats[loop_id].total_iterations == 12
+
+    def test_nested_loops_multiply(self):
+        pb = ProgramBuilder("p")
+        pb.array("m", 64)
+        with pb.function("main") as fb:
+            with fb.loop("i", 0, 4) as i:
+                with fb.loop("j", 0, 5) as j:
+                    fb.store("m", fb.add(fb.mul(i, 5.0), j), 1.0)
+        program = pb.build()
+        ir = lower_and_verify(program)
+        estimate = estimate_profile(program, ir)
+        outer, inner = loop_ids(program)
+        assert estimate.loop_stats[outer].total_iterations == 4
+        assert estimate.loop_stats[inner].total_iterations == 20
+        assert estimate.loop_stats[inner].entries == 4
+
+    def test_oracle_agrees_with_dynamic_on_canonical_programs(self):
+        """Decoupling check: the oracle over the *estimated* report matches
+        the dynamic one on the canonical loop shapes."""
+        for build in (
+            build_doall_program,
+            build_sequential_program,
+            build_reduction_program,
+            build_mixed_program,
+        ):
+            program = build()
+            ir = lower_and_verify(program)
+            dynamic = profile_program(ir)
+            static = estimate_profile(program, ir)
+            dyn_labels = {
+                k: v.parallel for k, v in classify_all_loops(ir, dynamic).items()
+            }
+            est_labels = {
+                k: v.parallel for k, v in classify_all_loops(ir, static).items()
+            }
+            assert dyn_labels == est_labels, program.name
+
+    def test_static_estimate_is_conservative_on_indirection(self):
+        """Indirect writes: the dynamic profile may prove independence, the
+        static estimate must stay conservative."""
+        pb = ProgramBuilder("p")
+        pb.array("a", 18)
+        pb.array("p", 17)
+        pb.array("dst", 18)
+        with pb.function("main") as fb:
+            with fb.loop("i", 0, 17) as i:
+                fb.store("p", i, fb.mod(fb.mul(i, 3.0), 17.0))  # permutation
+            with fb.loop("i", 0, 17) as i:
+                fb.store("dst", fb.load("p", i), fb.load("a", i))
+        program = pb.build()
+        ir = lower_and_verify(program)
+        dynamic = profile_program(ir)
+        static = estimate_profile(program, ir)
+        scatter = loop_ids(program)[1]
+        assert classify_all_loops(ir, dynamic)[scatter].parallel
+        assert not classify_all_loops(ir, static)[scatter].parallel
+
+    def test_features_computable_from_estimate(self):
+        """Table I features run unchanged on the estimated report."""
+        program = build_mixed_program()
+        ir = lower_and_verify(program)
+        estimate = estimate_profile(program, ir)
+        for loop_id in loop_ids(program):
+            feats = loop_features(ir, estimate, loop_id)
+            assert feats.exec_times > 0
+            assert feats.n_inst > 0
+            assert np.isfinite(feats.as_array()).all()
+
+    def test_exec_counts_scale_with_nesting(self):
+        pb = ProgramBuilder("p")
+        pb.array("m", 64)
+        with pb.function("main") as fb:
+            fb.assign("pre", 0.0)
+            with fb.loop("i", 0, 4) as i:
+                with fb.loop("j", 0, 5) as j:
+                    fb.store("m", fb.add(fb.mul(i, 5.0), j), 1.0)
+        program = pb.build()
+        ir = lower_and_verify(program)
+        estimate = estimate_profile(program, ir)
+        counts = sorted(set(estimate.exec_counts.values()))
+        assert 1 in counts      # the pre-loop assignment
+        assert 20 in counts     # the inner body

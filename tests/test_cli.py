@@ -1,0 +1,39 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "BT" in out and "840" in out
+
+    def test_patterns(self, capsys):
+        assert main(["patterns", "--app", "EP"]) == 0
+        out = capsys.readouterr().out
+        assert "reduction" in out
+
+    def test_classify(self, capsys):
+        assert main(["classify", "--app", "fib"]) == 0
+        out = capsys.readouterr().out
+        assert "Pluto" in out and "DiscoPoP" in out
+
+    def test_suggest(self, capsys):
+        assert main(["suggest", "--app", "nqueens"]) == 0
+        out = capsys.readouterr().out
+        assert "#pragma omp parallel for" in out
+        assert "/* program:" in out
+
+    def test_suggest_bad_program_index(self, capsys):
+        assert main(["suggest", "--app", "fib", "--program", "99"]) == 2
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["classify", "--app", "NOPE"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

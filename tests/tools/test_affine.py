@@ -1,0 +1,91 @@
+"""Affine normalization and the GCD dependence test."""
+
+import pytest
+
+from repro.ir.ast_nodes import BinOp, CallExpr, Const, Load, UnOp, Var
+from repro.tools.affine import AffineForm, gcd_test, normalize_affine
+
+LOOPS = {"i", "j"}
+
+
+def norm(expr):
+    return normalize_affine(expr, LOOPS)
+
+
+class TestNormalization:
+    def test_constant(self):
+        form = norm(Const(5.0))
+        assert form.const == 5.0 and not form.coeffs
+
+    def test_loop_variable(self):
+        form = norm(Var("i"))
+        assert form.coeffs == {("i",): 1.0}
+
+    def test_affine_combination(self):
+        # 2*i + j - 3
+        expr = BinOp(
+            "-",
+            BinOp("+", BinOp("*", Const(2.0), Var("i")), Var("j")),
+            Const(3.0),
+        )
+        form = norm(expr)
+        assert form.const == -3.0
+        assert form.coeffs == {("i",): 2.0, ("j",): 1.0}
+
+    def test_negation(self):
+        form = norm(UnOp("-", Var("i")))
+        assert form.coeffs == {("i",): -1.0}
+
+    def test_flattened_2d_composite(self):
+        # i*N + j with symbolic N
+        expr = BinOp("+", BinOp("*", Var("i"), Var("N")), Var("j"))
+        form = norm(expr)
+        assert form.coeffs == {("N", "i"): 1.0, ("j",): 1.0}
+
+    def test_quadratic_rejected(self):
+        assert norm(BinOp("*", Var("i"), Var("j"))) is None
+
+    def test_indirect_load_rejected(self):
+        assert norm(Load("idx", Var("i"))) is None
+
+    def test_modulo_rejected(self):
+        assert norm(BinOp("%", Var("i"), Const(4.0))) is None
+
+    def test_call_rejected(self):
+        assert norm(CallExpr("sqrt", (Var("i"),))) is None
+
+    def test_cancellation_drops_terms(self):
+        expr = BinOp("-", Var("i"), Var("i"))
+        form = norm(expr)
+        assert not form.coeffs and form.const == 0.0
+
+
+class TestGcdTest:
+    def test_a_i_vs_a_i_minus_1_depends(self):
+        a = norm(Var("i"))
+        b = norm(BinOp("-", Var("i"), Const(1.0)))
+        assert gcd_test(a, b, "i")
+
+    def test_even_vs_odd_independent(self):
+        even = norm(BinOp("*", Const(2.0), Var("i")))
+        odd = norm(BinOp("+", BinOp("*", Const(2.0), Var("i")), Const(1.0)))
+        assert not gcd_test(even, odd, "i")
+
+    def test_fixed_cells_equal_depend(self):
+        assert gcd_test(norm(Const(3.0)), norm(Const(3.0)), "i")
+
+    def test_fixed_cells_distinct_independent(self):
+        assert not gcd_test(norm(Const(3.0)), norm(Const(4.0)), "i")
+
+    def test_composite_mismatch_conservative(self):
+        a = norm(BinOp("*", Var("i"), Var("N")))
+        b = norm(BinOp("*", Var("i"), Var("M")))
+        assert gcd_test(a, b, "i")
+
+    def test_structural_equality_helpers(self):
+        a = norm(BinOp("+", Var("i"), Const(1.0)))
+        b = norm(BinOp("+", Var("i"), Const(1.0)))
+        c = norm(BinOp("+", Var("i"), Const(2.0)))
+        assert a.structurally_equal(b)
+        assert not a.structurally_equal(c)
+        assert a.same_terms(c)

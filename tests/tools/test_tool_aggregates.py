@@ -1,0 +1,64 @@
+"""Aggregate tool behaviour over whole benchmark applications.
+
+These lock in the Table III *mechanism*: each tool's accuracy band against
+authored labels has a characteristic level and ordering on a suite-sized
+population, not just on single handcrafted loops.
+"""
+
+import pytest
+
+from repro.benchsuite import build_app
+from repro.ir.lowering import lower_program
+from repro.profiler import profile_program
+from repro.tools import AutoParLite, DiscoPoPClassifier, PlutoLite
+
+
+@pytest.fixture(scope="module")
+def mg_verdicts():
+    """All three tools over the MG application (74 loops)."""
+    spec = build_app("MG")
+    verdicts = {"Pluto": {}, "AutoPar": {}, "DiscoPoP": {}}
+    tools = (PlutoLite(), AutoParLite(), DiscoPoPClassifier())
+    for program in spec.programs:
+        ir = lower_program(program)
+        report = profile_program(ir)
+        for tool in tools:
+            verdicts[tool.name].update(tool.predict(program, ir, report))
+    return spec, verdicts
+
+
+def _accuracy(spec, predictions):
+    hits = total = 0
+    for loop_id, loop in spec.loops.items():
+        if loop_id not in predictions:
+            continue
+        total += 1
+        hits += int(int(predictions[loop_id]) == loop.label)
+    return hits / max(total, 1)
+
+
+class TestToolBands:
+    def test_every_loop_gets_a_verdict(self, mg_verdicts):
+        spec, verdicts = mg_verdicts
+        for tool, predictions in verdicts.items():
+            missing = set(spec.loops) - set(predictions)
+            assert not missing, f"{tool} skipped {missing}"
+
+    def test_dynamic_tool_leads(self, mg_verdicts):
+        spec, verdicts = mg_verdicts
+        accuracy = {t: _accuracy(spec, p) for t, p in verdicts.items()}
+        assert accuracy["DiscoPoP"] >= accuracy["AutoPar"]
+        assert accuracy["DiscoPoP"] >= accuracy["Pluto"]
+
+    def test_all_tools_beat_coin_flips(self, mg_verdicts):
+        spec, verdicts = mg_verdicts
+        for tool, predictions in verdicts.items():
+            assert _accuracy(spec, predictions) > 0.55, tool
+
+    def test_static_tools_are_conservative(self, mg_verdicts):
+        """Static tools under-report parallelism relative to labels."""
+        spec, verdicts = mg_verdicts
+        labeled_parallel = sum(l.label for l in spec.loops.values())
+        for tool in ("Pluto", "AutoPar"):
+            claimed = sum(verdicts[tool].values())
+            assert claimed <= labeled_parallel, tool

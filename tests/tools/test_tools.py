@@ -1,0 +1,205 @@
+"""Tool baselines: characteristic decisions per loop shape."""
+
+import pytest
+
+from repro.errors import ToolError
+from repro.ir.builder import ProgramBuilder
+from repro.tools import AutoParLite, DiscoPoPClassifier, PlutoLite
+
+from tests.helpers import loop_ids, lower_and_verify, profile
+
+
+def _program(build_body, arrays=(("a", 16), ("b", 16))):
+    pb = ProgramBuilder("tool_test")
+    for name, size in arrays:
+        pb.array(name, size)
+    with pb.function("main") as fb:
+        build_body(fb)
+    return pb.build()
+
+
+def _verdicts(program):
+    ir, report = profile(program)
+    out = {}
+    for tool in (PlutoLite(), AutoParLite(), DiscoPoPClassifier()):
+        preds = tool.predict(program, ir, report)
+        out[tool.name] = {k: preds[k] for k in preds}
+    return out
+
+
+def _shapes():
+    """name -> (body builder, expected {tool: verdict})."""
+
+    def doall(fb):
+        with fb.loop("i", 0, 16) as i:
+            fb.store("b", i, fb.add(fb.load("a", i), 1.0))
+
+    def stencil_inplace(fb):
+        with fb.loop("i", 1, 15) as i:
+            fb.store("a", i, fb.add(fb.load("a", fb.sub(i, 1.0)), 1.0))
+
+    def reduction(fb):
+        fb.assign("s", 0.0)
+        with fb.loop("i", 0, 16) as i:
+            fb.assign("s", fb.add("s", fb.load("a", i)))
+
+    def strided(fb):
+        with fb.loop("i", 0, 7) as i:
+            fb.store(
+                "a",
+                fb.mul(i, 2.0),
+                fb.add(fb.load("a", fb.add(fb.mul(i, 2.0), 1.0)), 1.0),
+            )
+
+    def gather(fb):
+        with fb.loop("i", 0, 16) as i:
+            fb.store("b", i, fb.mod(fb.mul(i, 3.0), 16.0))
+        with fb.loop("i", 0, 16) as i:
+            fb.store("c", i, fb.load("a", fb.load("b", i)))
+
+    return {
+        "doall": (doall, {"Pluto": True, "AutoPar": True, "DiscoPoP": True}),
+        "stencil_inplace": (
+            stencil_inplace,
+            {"Pluto": False, "AutoPar": False, "DiscoPoP": False},
+        ),
+        "reduction": (
+            reduction,
+            # classic Pluto has no reduction support; AutoPar and DiscoPoP do
+            {"Pluto": False, "AutoPar": True, "DiscoPoP": True},
+        ),
+        "strided": (
+            strided,
+            # GCD test proves disjointness; syntactic AutoPar cannot
+            {"Pluto": True, "AutoPar": False, "DiscoPoP": True},
+        ),
+        # expectations asserted loop-by-loop in a dedicated test below
+        "gather": (gather, {}),
+    }
+
+
+class TestCharacteristicVerdicts:
+    @pytest.mark.parametrize(
+        "shape", [name for name, (_fn, exp) in _shapes().items() if exp]
+    )
+    def test_shape(self, shape):
+        build_body, expected = _shapes()[shape]
+        program = _program(build_body)
+        verdicts = _verdicts(program)
+        target_loop = loop_ids(program)[-1]
+        for tool, verdict in expected.items():
+            assert verdicts[tool][target_loop] == verdict, (
+                f"{tool} on {shape}: expected {verdict}"
+            )
+
+    def test_indirect_gather_static_tools_reject_dynamic_accepts(self):
+        program = _program(
+            _shapes()["gather"][0],
+            arrays=(("a", 16), ("b", 16), ("c", 16)),
+        )
+        verdicts = _verdicts(program)
+        gather_loop = loop_ids(program)[1]
+        assert not verdicts["Pluto"][gather_loop]
+        assert not verdicts["AutoPar"][gather_loop]
+        assert verdicts["DiscoPoP"][gather_loop]
+
+
+class TestDiscoPoPSpecifics:
+    def test_requires_report(self):
+        program = _program(_shapes()["doall"][0])
+        ir = lower_and_verify(program)
+        with pytest.raises(ToolError):
+            DiscoPoPClassifier().predict(program, ir, None)
+
+    def test_call_makes_conservative(self):
+        pb = ProgramBuilder("call_case")
+        pb.array("a", 16)
+        pb.array("b", 16)
+        with pb.function("pure", params=("x",)) as hf:
+            hf.ret(hf.mul("x", 2.0))
+        with pb.function("main") as fb:
+            with fb.loop("i", 0, 16) as i:
+                fb.store("b", i, fb.call("pure", fb.load("a", i)))
+        program = pb.build()
+        ir, report = profile(program)
+        verdict = DiscoPoPClassifier().predict(program, ir, report)
+        assert verdict[loop_ids(program)[0]] is False  # the LU.setiv anecdote
+
+    def test_unexecuted_loop_rejected(self):
+        def body(fb):
+            with fb.loop("i", 5, 2) as i:  # zero-trip
+                fb.store("a", i, 1.0)
+
+        program = _program(body)
+        ir, report = profile(program)
+        verdict = DiscoPoPClassifier().predict(program, ir, report)
+        assert verdict[loop_ids(program)[0]] is False
+
+    def test_low_trip_count_optimistic(self):
+        def body(fb):
+            with fb.loop("i", 1, 2) as i:  # one iteration only
+                fb.store("a", i, fb.load("a", fb.sub(i, 1.0)))
+
+        program = _program(body)
+        ir, report = profile(program)
+        verdict = DiscoPoPClassifier().predict(program, ir, report)
+        assert verdict[loop_ids(program)[0]] is True  # cannot observe carries
+
+    def test_minmax_reduction_gap(self):
+        def body(fb):
+            fb.assign("m", -1e9)
+            with fb.loop("i", 0, 16) as i:
+                fb.assign("m", fb.cmp("max", "m", fb.load("a", i)))
+
+        program = _program(body)
+        ir, report = profile(program)
+        verdict = DiscoPoPClassifier().predict(program, ir, report)
+        assert verdict[loop_ids(program)[0]] is False  # + / * only
+
+
+class TestPlutoSpecifics:
+    def test_data_dependent_control_rejected(self):
+        def body(fb):
+            with fb.loop("i", 0, 16) as i:
+                with fb.if_block(fb.cmp(">", fb.load("a", i), 0.5)):
+                    fb.store("b", i, 1.0)
+
+        program = _program(body)
+        ir, report = profile(program)
+        verdict = PlutoLite().predict(program, ir, report)
+        assert verdict[loop_ids(program)[0]] is False
+
+    def test_triangular_bounds_fine(self):
+        def body(fb):
+            with fb.loop("i", 0, 8) as i:
+                with fb.loop("j", 0, i) as j:
+                    fb.store("a", fb.add(fb.mul(i, 4.0), j), 1.0)
+
+        program = _program(body, arrays=(("a", 40), ("b", 16)))
+        ir, report = profile(program)
+        verdict = PlutoLite().predict(program, ir, report)
+        # inner loop writes disjoint affine cells per (i, j)
+        assert verdict[loop_ids(program)[1]] is True
+
+
+class TestAutoParSpecifics:
+    def test_alias_conservatism_on_multi_source(self):
+        def body(fb):
+            with fb.loop("i", 0, 16) as i:
+                fb.store("c", i, fb.add(fb.load("a", i), fb.load("b", i)))
+
+        program = _program(body, arrays=(("a", 16), ("b", 16), ("c", 16)))
+        ir, report = profile(program)
+        verdict = AutoParLite().predict(program, ir, report)
+        assert verdict[loop_ids(program)[0]] is False
+
+    def test_private_scalar_ok(self):
+        def body(fb):
+            with fb.loop("i", 0, 16) as i:
+                fb.assign("t", fb.mul(fb.load("a", i), 2.0))
+                fb.store("a", i, fb.var("t"))
+
+        program = _program(body)
+        ir, report = profile(program)
+        verdict = AutoParLite().predict(program, ir, report)
+        assert verdict[loop_ids(program)[0]] is True

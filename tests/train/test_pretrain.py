@@ -1,0 +1,109 @@
+"""GraphSAGE-style unsupervised pretraining."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.types import LoopDataset, LoopSample
+from repro.errors import ConfigError
+from repro.models.dgcnn import DGCNN, DGCNNConfig
+from repro.train.pretrain import (
+    PretrainConfig,
+    _random_walk_pairs,
+    pretrain_dgcnn,
+)
+
+
+def _dataset(n=10, features=8, seed=0):
+    rng = np.random.default_rng(seed)
+    samples = []
+    for pos in range(n):
+        nodes = int(rng.integers(4, 8))
+        adj = (rng.random((nodes, nodes)) < 0.4).astype(float)
+        adj = np.maximum(adj, adj.T)
+        np.fill_diagonal(adj, 0)
+        samples.append(
+            LoopSample(
+                sample_id=f"s{pos}", loop_id=f"l{pos}", program_name="p",
+                app="T", suite="NPB", label=pos % 2,
+                adjacency=adj,
+                x_semantic=rng.normal(size=(nodes, features)),
+                x_structural=rng.dirichlet(np.ones(5), size=nodes),
+                statements=["x"], loop_features=np.zeros(7),
+            )
+        )
+    return LoopDataset(samples, "pretrain-toy")
+
+
+class TestWalkPairs:
+    def test_pairs_follow_edges(self):
+        adj = np.array([[0, 1, 0], [1, 0, 1], [0, 1, 0]], dtype=float)
+        rng = np.random.default_rng(0)
+        pairs = _random_walk_pairs(adj, walk_length=2, walks_per_node=3, rng=rng)
+        assert pairs
+        # node 0 and node 2 are two hops apart: reachable within length 2
+        for anchor, positive in pairs:
+            assert anchor != positive
+
+    def test_isolated_graph_yields_no_pairs(self):
+        adj = np.zeros((4, 4))
+        rng = np.random.default_rng(0)
+        assert not _random_walk_pairs(adj, 3, 2, rng)
+
+
+class TestPretraining:
+    def test_loss_history_recorded_and_finite(self):
+        data = _dataset()
+        dgcnn = DGCNN(DGCNNConfig(in_features=8, sortpool_k=4), rng=0)
+        history = pretrain_dgcnn(
+            dgcnn, data, PretrainConfig(epochs=3, max_graphs_per_epoch=6)
+        )
+        assert len(history) == 3
+        assert all(np.isfinite(h) for h in history)
+
+    def test_conv_weights_change(self):
+        data = _dataset()
+        dgcnn = DGCNN(DGCNNConfig(in_features=8, sortpool_k=4), rng=0)
+        before = dgcnn.graph_convs[0].weight.data.copy()
+        pretrain_dgcnn(
+            dgcnn, data, PretrainConfig(epochs=2, max_graphs_per_epoch=6)
+        )
+        assert not np.allclose(before, dgcnn.graph_convs[0].weight.data)
+
+    def test_classifier_untouched(self):
+        """Pretraining only trains the conv stack."""
+        data = _dataset()
+        dgcnn = DGCNN(DGCNNConfig(in_features=8, sortpool_k=4), rng=0)
+        head_before = dgcnn.classifier.weight.data.copy()
+        pretrain_dgcnn(dgcnn, data, PretrainConfig(epochs=1))
+        np.testing.assert_array_equal(head_before, dgcnn.classifier.weight.data)
+
+    def test_structural_mode_uses_walk_features(self):
+        data = _dataset()
+        dgcnn = DGCNN(DGCNNConfig(in_features=5, sortpool_k=4), rng=0)
+        history = pretrain_dgcnn(
+            dgcnn, data, PretrainConfig(epochs=1), use_structural=True
+        )
+        assert history
+
+    def test_feature_width_mismatch_rejected(self):
+        data = _dataset(features=8)
+        dgcnn = DGCNN(DGCNNConfig(in_features=12, sortpool_k=4), rng=0)
+        with pytest.raises(ConfigError):
+            pretrain_dgcnn(dgcnn, data, PretrainConfig(epochs=1))
+
+    def test_empty_dataset_rejected(self):
+        dgcnn = DGCNN(DGCNNConfig(in_features=8, sortpool_k=4), rng=0)
+        with pytest.raises(ConfigError):
+            pretrain_dgcnn(dgcnn, LoopDataset([], "empty"))
+
+    def test_deterministic(self):
+        data = _dataset()
+        h1 = pretrain_dgcnn(
+            DGCNN(DGCNNConfig(in_features=8, sortpool_k=4), rng=0),
+            data, PretrainConfig(epochs=2, max_graphs_per_epoch=5), rng=9,
+        )
+        h2 = pretrain_dgcnn(
+            DGCNN(DGCNNConfig(in_features=8, sortpool_k=4), rng=0),
+            data, PretrainConfig(epochs=2, max_graphs_per_epoch=5), rng=9,
+        )
+        assert h1 == h2

@@ -1,0 +1,103 @@
+"""Utilities: rng handling, disk cache, timers."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.cache import DiskCache, stable_hash
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timing import Timer
+
+
+class TestRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        assert ensure_rng(7).random() == ensure_rng(7).random()
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+    def test_spawn_independent_children(self):
+        children = spawn_rngs(3, 4)
+        assert len(children) == 4
+        draws = [c.random() for c in children]
+        assert len(set(draws)) == 4
+
+    def test_spawn_deterministic(self):
+        a = [c.random() for c in spawn_rngs(3, 3)]
+        b = [c.random() for c in spawn_rngs(3, 3)]
+        assert a == b
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash({"a": 1}) == stable_hash({"a": 1})
+
+    def test_key_order_irrelevant(self):
+        assert stable_hash({"a": 1, "b": 2}) == stable_hash({"b": 2, "a": 1})
+
+    def test_different_payloads_differ(self):
+        assert stable_hash({"a": 1}) != stable_hash({"a": 2})
+
+
+class TestDiskCache:
+    def test_roundtrip(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put("key", {"value": [1, 2, 3]})
+        assert cache.get("key") == {"value": [1, 2, 3]}
+
+    def test_missing_key_none(self, tmp_path):
+        assert DiskCache(tmp_path).get("nope") is None
+
+    def test_get_or_compute_caches(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return 42
+
+        assert cache.get_or_compute("k", compute) == 42
+        assert cache.get_or_compute("k", compute) == 42
+        assert len(calls) == 1
+
+    def test_corrupt_entry_ignored(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.path_for("bad").write_bytes(b"not a pickle")
+        assert cache.get("bad") is None
+
+    def test_clear(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put("a", 1)
+        cache.clear()
+        assert cache.get("a") is None
+
+
+class TestTimer:
+    def test_sections_accumulate(self):
+        timer = Timer()
+        for _ in range(3):
+            with timer.section("work"):
+                time.sleep(0.001)
+        assert timer.counts["work"] == 3
+        assert timer.totals["work"] > 0
+
+    def test_mean(self):
+        timer = Timer()
+        timer.add("x", 2.0)
+        timer.add("x", 4.0)
+        assert timer.mean("x") == 3.0
+        assert timer.mean("missing") is None
+
+    def test_report_mentions_sections(self):
+        timer = Timer()
+        timer.add("phase", 1.0)
+        assert "phase" in timer.report()

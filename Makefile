@@ -1,0 +1,16 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-runtime docs-check
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+bench-runtime:
+	$(PYTHON) -m pytest benchmarks/bench_runtime_throughput.py --benchmark-only -q
+
+docs-check:
+	$(PYTHON) -m pytest tests/docs/ -q

@@ -1,0 +1,105 @@
+"""Batched inference runtime throughput: Engine.predict_many vs per-graph.
+
+Packs N sub-PEGs into one block-diagonal forward pass
+(:mod:`repro.runtime`) and compares graphs/sec against the sequential
+per-graph ``model(x, walks, adj)`` loop.  The numbers recorded here back
+the batch-size guidance in docs/RUNTIME.md.
+"""
+
+import time
+
+import numpy as np
+
+from repro.dataset.extraction import extract_loop_samples
+from repro.embeddings.anonwalk import AnonymousWalkSpace
+from repro.embeddings.inst2vec import Inst2Vec
+from repro.models.dgcnn import DGCNNConfig
+from repro.models.mvgnn import MVGNN, MVGNNConfig
+from repro.nn.tensor import no_grad
+from repro.runtime import Engine
+
+from benchmarks.common import banner, emit
+
+import sys
+import os
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+from tests.helpers import build_mixed_program, lower_and_verify  # noqa: E402
+
+POOL_SIZE = 192
+BATCH_SIZES = (1, 4, 16, 32, 64)
+REPS = 5
+
+
+def _pool_and_model():
+    program = build_mixed_program()
+    inst2vec = Inst2Vec(dim=25).train(
+        [lower_and_verify(program)], epochs=1, rng=0
+    )
+    space = AnonymousWalkSpace(4)
+    samples = extract_loop_samples(
+        program, None, inst2vec, space,
+        suite="bench", app="mixed", gamma=20, rng=0,
+    )
+    pool = [samples[i % len(samples)] for i in range(POOL_SIZE)]
+    dim = samples[0].x_semantic.shape[1]
+    config = MVGNNConfig(
+        semantic_features=dim,
+        walk_types=space.num_types,
+        node_view=DGCNNConfig(in_features=dim, sortpool_k=8),
+        struct_view=DGCNNConfig(in_features=200, sortpool_k=8),
+    )
+    model = MVGNN(config, rng=0)
+    model.eval()
+    return pool, model
+
+
+def _best_of(fn, reps=REPS):
+    times = []
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def test_runtime_batched_throughput(benchmark):
+    pool, model = _pool_and_model()
+
+    with no_grad():
+        def sequential():
+            return [model(s.x_semantic, s.x_structural, s.adjacency)
+                    for s in pool]
+
+        sequential()  # warm numpy/BLAS paths
+        seq_time = _best_of(sequential)
+    seq_rate = len(pool) / seq_time
+
+    banner("Batched runtime throughput (Engine.predict_many)")
+    emit(f"{'path':<16}{'graphs/sec':>12}{'speedup':>9}")
+    emit(f"{'sequential':<16}{seq_rate:>12.0f}{1.0:>8.1f}x")
+
+    speedups = {}
+    baseline = None
+    for batch_size in BATCH_SIZES:
+        engine = Engine(model, batch_size=batch_size)
+        engine.predict_many(pool)  # warm
+        batch_time = _best_of(lambda: engine.predict_many(pool))
+        speedups[batch_size] = seq_time / batch_time
+        emit(f"{'batch=' + str(batch_size):<16}"
+             f"{len(pool) / batch_time:>12.0f}"
+             f"{speedups[batch_size]:>8.1f}x")
+        if baseline is None:
+            baseline = engine.predict_many(pool)
+        else:
+            np.testing.assert_array_equal(engine.predict_many(pool), baseline)
+
+    # time one representative configuration under pytest-benchmark too
+    engine = Engine(model, batch_size=32)
+    predictions = benchmark(lambda: engine.predict_many(pool))
+    assert predictions.shape == (len(pool),)
+
+    # packing must pay for itself well before the largest batch size
+    best_large = max(s for b, s in speedups.items() if b >= 16)
+    assert best_large >= 3.0, (
+        f"expected >=3x speedup at some batch_size >= 16, got {speedups}"
+    )

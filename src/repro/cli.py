@@ -7,7 +7,10 @@ Commands
     Print Table II (loop counts per application) from the composed suite.
 ``classify --app NAME``
     Profile one benchmark application and print per-loop oracle verdicts,
-    pattern classes, and tool votes.
+    pattern classes, and tool votes.  With ``--batch`` an MV-GNN trained on
+    the app's own loops classifies every sub-PEG through the batched
+    inference runtime (:mod:`repro.runtime`) and a throughput/cache summary
+    is appended.
 ``suggest --app NAME [--program N]``
     Print one program of an application as annotated C-like source with
     OpenMP pragma suggestions.
@@ -22,6 +25,7 @@ import sys
 from collections import Counter
 from typing import List, Optional
 
+from repro.errors import ReproError
 from repro.analysis import (
     classify_all_loops,
     classify_all_patterns,
@@ -42,14 +46,90 @@ def _cmd_table2(_args) -> int:
     return 0
 
 
+def _batched_gnn_predictions(spec, batch_size: int, epochs: int, seed: int = 0):
+    """(loop_id -> MV-GNN label, engine) via the batched runtime.
+
+    Extracts the app's loop samples once, optionally trains a small MV-GNN
+    on them (the labels are the app's authored annotations), and classifies
+    every loop through ``Engine.predict_many``.
+    """
+    from repro.dataset.extraction import extract_loop_samples
+    from repro.dataset.types import LoopDataset
+    from repro.embeddings.anonwalk import AnonymousWalkSpace
+    from repro.embeddings.inst2vec import Inst2Vec
+    from repro.models.dgcnn import DGCNNConfig
+    from repro.runtime import Engine
+    from repro.train.adapters import MVGNNAdapter
+    from repro.train.config import TrainConfig
+    from repro.train.trainer import train_model
+
+    irs = []
+    for program in spec.programs:
+        ir = lower_program(program)
+        verify_program(ir)
+        irs.append(ir)
+    inst2vec = Inst2Vec(dim=48).train(irs, epochs=2, rng=seed)
+    walk_space = AnonymousWalkSpace(4)
+
+    samples = []
+    for program, ir in zip(spec.programs, irs):
+        labels = {
+            loop_id: loop.label
+            for loop_id, loop in spec.loops.items()
+            if loop.program_name == program.name
+        }
+        samples.extend(
+            extract_loop_samples(
+                program, labels, inst2vec, walk_space,
+                suite=spec.suite, app=spec.name, gamma=20,
+                ir_program=ir, rng=seed,
+            )
+        )
+
+    semantic_dim = samples[0].x_semantic.shape[1]
+    from repro.models.mvgnn import MVGNNConfig
+
+    config = MVGNNConfig(
+        semantic_features=semantic_dim,
+        walk_types=walk_space.num_types,
+        node_view=DGCNNConfig(in_features=semantic_dim, sortpool_k=8, dropout=0.3),
+        struct_view=DGCNNConfig(in_features=200, sortpool_k=8, dropout=0.3),
+    )
+    adapter = MVGNNAdapter(config, rng=seed)
+    if epochs > 0:
+        train_model(
+            adapter,
+            LoopDataset(samples, name=spec.name),
+            TrainConfig(epochs=epochs, lr=2e-3, batch_size=16,
+                        sortpool_k=8, seed=seed),
+        )
+    engine = Engine(
+        adapter.model, inst2vec=inst2vec, walk_space=walk_space,
+        batch_size=batch_size,
+    )
+    predicted = engine.predict_many(samples)
+    return (
+        {s.loop_id: int(p) for s, p in zip(samples, predicted)},
+        engine,
+    )
+
+
 def _cmd_classify(args) -> int:
     spec = build_app(args.app)
     print(f"{args.app} ({spec.suite}): {spec.loop_count} loops, "
           f"{len(spec.programs)} programs")
+    gnn_votes = None
+    engine = None
+    if args.batch:
+        gnn_votes, engine = _batched_gnn_predictions(
+            spec, batch_size=args.batch_size, epochs=args.epochs
+        )
     header = (
         f"{'loop':<22}{'label':>6}{'oracle':>8}{'pattern':>12}"
         f"{'Pluto':>7}{'AutoPar':>9}{'DiscoPoP':>10}"
     )
+    if gnn_votes is not None:
+        header += f"{'MV-GNN':>8}"
     print(header)
     tools = (PlutoLite(), AutoParLite(), DiscoPoPClassifier())
     for program in spec.programs:
@@ -63,7 +143,7 @@ def _cmd_classify(args) -> int:
             if loop.program_name != program.name:
                 continue
             short = "/".join(loop_id.split(":")[::2])
-            print(
+            row = (
                 f"{short:<22}"
                 f"{'P' if loop.label else '-':>6}"
                 f"{'P' if oracle[loop_id].parallel else '-':>8}"
@@ -72,6 +152,12 @@ def _cmd_classify(args) -> int:
                 f"{'P' if votes['AutoPar'].get(loop_id) else '-':>9}"
                 f"{'P' if votes['DiscoPoP'].get(loop_id) else '-':>10}"
             )
+            if gnn_votes is not None:
+                row += f"{'P' if gnn_votes.get(loop_id) else '-':>8}"
+            print(row)
+    if engine is not None:
+        print()
+        print(f"runtime: {engine.stats.summary()}")
     return 0
 
 
@@ -125,6 +211,20 @@ def build_parser() -> argparse.ArgumentParser:
         "classify", help="per-loop verdicts for one application"
     )
     classify.add_argument("--app", required=True, choices=app_names())
+    classify.add_argument(
+        "--batch",
+        action="store_true",
+        help="add an MV-GNN column via the batched inference runtime",
+    )
+    classify.add_argument(
+        "--batch-size", type=int, default=32,
+        help="graphs packed per forward pass (with --batch)",
+    )
+    classify.add_argument(
+        "--epochs", type=int, default=8,
+        help="MV-GNN training epochs on the app's own labels "
+             "(0 = untrained demo; with --batch)",
+    )
     classify.set_defaults(fn=_cmd_classify)
 
     suggest = sub.add_parser(
@@ -146,6 +246,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # output piped into a pager/head that closed early: not an error
         try:

@@ -110,7 +110,18 @@ def node_walk_distribution(
     gamma: int = 30,
     rng: RngLike = None,
 ) -> np.ndarray:
-    """Empirical anonymous-walk distribution p̂(ω | v) of one node (Eq. 3)."""
+    """Empirical anonymous-walk distribution p̂(ω | v) of one node (Eq. 3).
+
+    Shape contract: returns a ``(space.num_types,)`` probability vector
+    (non-negative, sums to 1) over the anonymous walk types of
+    ``space.length`` edges.  The result is deterministic in ``(peg
+    topology, node_id, space.length, gamma, rng state)``; pass a freshly
+    seeded generator to make it a pure function of the seed — the property
+    :class:`repro.runtime.FeatureCache` relies on to memoize per-node
+    distributions by content hash.  For all nodes of a graph at once use
+    :func:`structural_node_features`, which returns the stacked
+    ``(n_nodes, space.num_types)`` matrix in ``peg.nodes`` order.
+    """
     rng = ensure_rng(rng)
     adj = _undirected_adjacency(peg)
     return _node_distribution(adj, node_id, space, gamma, rng)

@@ -49,3 +49,7 @@ class ToolError(ReproError):
 
 class ConfigError(ReproError):
     """Invalid experiment or training configuration."""
+
+
+class EngineError(ReproError):
+    """Batched inference runtime failure (bad input kind, missing extractor)."""

@@ -17,6 +17,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ModelError
+from repro.nn.batching import pad_segments
 from repro.nn.layers import (
     Conv1D,
     Dense,
@@ -122,7 +123,14 @@ class DGCNN(Module):
         return self.sortpool(self.node_representations(x, adjacency))
 
     def embed(self, x, adjacency: np.ndarray) -> Tensor:
-        """The dense-layer output consumed by the multi-view model."""
+        """The dense-layer output consumed by the multi-view model.
+
+        Shape contract: ``x`` is ``(n, in_features)`` node features for one
+        graph, ``adjacency`` its raw (un-normalized, no self-loops) square
+        ``(n, n)`` matrix; the result is a ``(dense_units,)`` vector.  For
+        classifying many graphs at once use :meth:`embed_batch`, which
+        computes the same vectors through one packed pass.
+        """
         pooled = self.pooled_sequence(x, adjacency)
         k, channels = pooled.shape
         flat = pooled.reshape(k * channels, 1)
@@ -145,3 +153,70 @@ class DGCNN(Module):
         return self.classifier(self.embed(x, adjacency))
 
     __call__ = forward
+
+    # -- batched (packed) pieces --------------------------------------------
+
+    def node_representations_batch(self, x, adj_norm) -> Tensor:
+        """Packed-batch graph convolutions, shape ``(N_nodes, total_channels)``.
+
+        ``x`` stacks the node features of many graphs contiguously —
+        ``(N_nodes, in_features)`` with ``N_nodes = sum(sizes)`` — and
+        ``adj_norm`` is their *pre-normalized* block-diagonal adjacency
+        (:func:`repro.nn.batching.block_diagonal_adjacency`).  Unlike
+        :meth:`node_representations` this does not normalize: the batch
+        builder already applied ``D̃⁻¹Ã`` per block.
+        """
+        if x.shape[1] != self.config.in_features:
+            raise ModelError(
+                f"DGCNN expected {self.config.in_features} input features, "
+                f"got {x.shape[1]}"
+            )
+        h = x if isinstance(x, Tensor) else Tensor(x)
+        outputs: List[Tensor] = []
+        for conv in self.graph_convs:
+            h = conv(h, adj_norm)
+            outputs.append(h)
+        return concat(outputs, axis=1)
+
+    def embed_batch(self, x, adj_norm, sizes: Sequence[int]) -> Tensor:
+        """Batched :meth:`embed`: one packed pass over ``len(sizes)`` graphs.
+
+        Shape contract: ``x`` is ``(sum(sizes), in_features)`` stacked node
+        features (graph ``g`` at rows ``[offsets[g], offsets[g]+sizes[g])``),
+        ``adj_norm`` the matching normalized block-diagonal adjacency; the
+        result is ``(len(sizes), dense_units)``, row ``g`` numerically equal
+        (to fp tolerance) to ``embed(x_g, adjacency_g)``.
+        """
+        num_graphs = len(sizes)
+        if num_graphs == 0:
+            raise ModelError("embed_batch needs at least one graph")
+        reps = self.node_representations_batch(x, adj_norm)
+        k = self.config.sortpool_k
+        channels = self.config.total_channels
+        pooled = self.sortpool.segment_call(reps, sizes)     # (B*k, C)
+        flat = pooled.reshape(num_graphs * k * channels, 1)
+        c1 = self.conv1.segment_call(flat, num_graphs, k * channels)
+        length = k // self.pool.pool_size
+        if length == 0:
+            p1, length = c1, k                # mirrors MaxPool1D identity
+        else:
+            p1 = self.pool.segment_call(c1, num_graphs, k)
+        if length < self.config.conv1d_kernel:
+            p1 = pad_segments(
+                p1, num_graphs, length, self.config.conv1d_kernel
+            )
+            length = self.config.conv1d_kernel
+        c2 = self.conv2.segment_call(p1, num_graphs, length)
+        per_graph = c2.shape[0] // num_graphs * c2.shape[1]
+        flat2 = c2.reshape(num_graphs, per_graph)
+        if per_graph != self.flat_dim:
+            raise ModelError(
+                f"DGCNN flatten mismatch: got {per_graph}, "
+                f"expected {self.flat_dim} (check sortpool_k)"
+            )
+        hidden = self.dense(flat2)            # (B, dense_units)
+        return self.dropout(hidden)
+
+    def forward_batch(self, x, adj_norm, sizes: Sequence[int]) -> Tensor:
+        """Class logits for a packed batch, shape ``(len(sizes), num_classes)``."""
+        return self.classifier(self.embed_batch(x, adj_norm, sizes))

@@ -116,7 +116,16 @@ class MVGNN(Module):
         x_structural: np.ndarray,
         adjacency: np.ndarray,
     ) -> Tensor:
-        """Class logits for one loop sub-PEG."""
+        """Class logits for one loop sub-PEG.
+
+        Shape contract: ``x_semantic`` is ``(n, semantic_features)`` node
+        features, ``x_structural`` is ``(n, walk_types)`` anonymous-walk
+        distributions, ``adjacency`` the raw undirected ``(n, n)`` matrix
+        (normalization happens inside the per-view DGCNNs); the result is a
+        ``(num_classes,)`` logit vector.  For throughput-oriented workloads
+        prefer :meth:`forward_batch` / :class:`repro.runtime.Engine`, which
+        amortize one numpy-level pass over many sub-PEGs.
+        """
         h_n, h_s = self.view_embeddings(x_semantic, x_structural, adjacency)
         fused = self.fusion(concat([h_n, h_s], axis=0).tanh())
         if self.head is not None:
@@ -124,3 +133,46 @@ class MVGNN(Module):
         return fused
 
     __call__ = forward
+
+    # -- batched (packed) path ----------------------------------------------
+
+    def view_embeddings_batch(
+        self,
+        x_semantic,
+        x_structural,
+        adj_norm,
+        sizes: Sequence[int],
+    ) -> Tuple[Tensor, Tensor]:
+        """Per-view embeddings for a packed batch: two ``(B, dense_units)``.
+
+        Inputs follow the packed layout of :mod:`repro.nn.batching`:
+        ``x_semantic`` ``(sum(sizes), semantic_features)`` and
+        ``x_structural`` ``(sum(sizes), walk_types)`` stack the node rows of
+        ``B = len(sizes)`` graphs; ``adj_norm`` is their normalized
+        block-diagonal adjacency.
+        """
+        h_n = self.node_dgcnn.embed_batch(x_semantic, adj_norm, sizes)
+        struct_nodes = self.structural_input(x_structural)
+        h_s = self.struct_dgcnn.embed_batch(struct_nodes, adj_norm, sizes)
+        return h_n, h_s
+
+    def forward_batch(
+        self,
+        x_semantic,
+        x_structural,
+        adj_norm,
+        sizes: Sequence[int],
+    ) -> Tensor:
+        """Class logits for a packed batch, shape ``(len(sizes), num_classes)``.
+
+        Row ``g`` equals (to fp tolerance) ``forward`` on graph ``g`` alone;
+        the Eq. 5 fusion runs once on the ``(B, 2 * dense_units)`` stacked
+        view embeddings.
+        """
+        h_n, h_s = self.view_embeddings_batch(
+            x_semantic, x_structural, adj_norm, sizes
+        )
+        fused = self.fusion(concat([h_n, h_s], axis=1).tanh())
+        if self.head is not None:
+            fused = self.head(fused.relu())
+        return fused

@@ -7,7 +7,20 @@ serialization.  Gradient correctness is established by finite-difference
 property tests in ``tests/nn``.
 """
 
-from repro.nn.tensor import Tensor, as_tensor, concat, stack, no_grad
+from repro.nn.tensor import (
+    Tensor,
+    as_tensor,
+    concat,
+    stack,
+    no_grad,
+    is_sparse_matrix,
+    sparse_matmul,
+)
+from repro.nn.batching import (
+    block_diagonal_adjacency,
+    pad_segments,
+    segment_offsets,
+)
 from repro.nn.functional import (
     softmax,
     softmax_cross_entropy,
@@ -32,6 +45,8 @@ from repro.nn.serialize import save_params, load_params
 
 __all__ = [
     "Tensor", "as_tensor", "concat", "stack", "no_grad",
+    "is_sparse_matrix", "sparse_matmul",
+    "block_diagonal_adjacency", "pad_segments", "segment_offsets",
     "softmax", "softmax_cross_entropy", "binary_cross_entropy_with_logits",
     "dropout_mask",
     "Module", "Parameter", "Dense", "GraphConv", "Conv1D", "MaxPool1D",

@@ -1,0 +1,103 @@
+"""Segment-aware batching primitives for packing many graphs into one pass.
+
+The batched inference runtime (:mod:`repro.runtime`) packs ``B`` sub-PEGs
+into a single node matrix by stacking their rows contiguously ("packed"
+layout): graph ``g`` with ``sizes[g]`` nodes occupies rows
+``[offsets[g], offsets[g] + sizes[g])``.  Graph structure becomes one
+block-diagonal normalized adjacency, so a single sparse-dense matmul
+propagates every graph at once and the dense layers downstream see one big
+matrix instead of ``B`` small ones.
+
+The pieces here are deliberately model-agnostic; the model-specific batched
+paths live in ``DGCNN.embed_batch`` / ``MVGNN.forward_batch``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.nn.layers import normalized_adjacency
+from repro.nn.tensor import Tensor, as_tensor, concat
+
+try:  # scipy is a declared dependency, but keep the dense fallback honest
+    import scipy.sparse as _sparse
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _sparse = None
+
+
+def segment_offsets(sizes: Sequence[int]) -> np.ndarray:
+    """Row offset of each segment in the packed layout: ``(B + 1,)`` ints."""
+    return np.concatenate([[0], np.cumsum(np.asarray(sizes, dtype=np.int64))])
+
+
+def block_diagonal_adjacency(
+    adjacencies: Sequence[np.ndarray], normalize: bool = True
+):
+    """Block-diagonal (optionally row-normalized) adjacency of many graphs.
+
+    Each ``adjacencies[g]`` is a square ``(n_g, n_g)`` matrix; the result is
+    ``(N, N)`` with ``N = sum(n_g)``, graph ``g`` occupying the diagonal
+    block at ``offsets[g]``.  With ``normalize=True`` every block is
+    ``D̃⁻¹Ã`` (self-loops added), so propagating the packed node matrix
+    through it equals running :func:`normalized_adjacency` per graph — the
+    blocks never interact.
+
+    Returns a scipy CSR matrix when scipy is available (linear in total
+    nodes + edges), otherwise a dense ndarray.
+    """
+    if not adjacencies:
+        raise ModelError("block_diagonal_adjacency needs at least one graph")
+    blocks: List[np.ndarray] = []
+    for adjacency in adjacencies:
+        adjacency = np.asarray(adjacency, dtype=np.float64)
+        if adjacency.ndim != 2 or adjacency.shape[0] != adjacency.shape[1]:
+            raise ModelError(
+                f"adjacency must be square, got {adjacency.shape}"
+            )
+        blocks.append(
+            normalized_adjacency(adjacency) if normalize else adjacency
+        )
+    if _sparse is not None:
+        return _sparse.block_diag(blocks, format="csr")
+    total = sum(b.shape[0] for b in blocks)
+    out = np.zeros((total, total))
+    offset = 0
+    for block in blocks:
+        n = block.shape[0]
+        out[offset : offset + n, offset : offset + n] = block
+        offset += n
+    return out
+
+
+def pad_segments(
+    x: Tensor, num_segments: int, length: int, target: int
+) -> Tensor:
+    """Zero-pad each contiguous length-``length`` segment to ``target`` rows.
+
+    ``x`` is ``(num_segments * length, channels)``; the result is
+    ``(num_segments * target, channels)`` with segment ``g``'s rows at
+    ``[g*target, g*target + length)`` and zeros after — the packed
+    equivalent of ``Tensor.pad_rows`` applied per graph.
+    """
+    x = as_tensor(x)
+    if x.shape[0] != num_segments * length:
+        raise ModelError(
+            f"pad_segments expected {num_segments * length} rows, "
+            f"got {x.shape[0]}"
+        )
+    if length > target:
+        raise ModelError(f"cannot pad segments of {length} rows to {target}")
+    if length == target:
+        return x
+    channels = x.shape[1]
+    zero_row = num_segments * length
+    indices = np.full(num_segments * target, zero_row, dtype=np.int64)
+    for g in range(num_segments):
+        indices[g * target : g * target + length] = np.arange(
+            g * length, (g + 1) * length
+        )
+    extended = concat([x, Tensor(np.zeros((1, channels)))], axis=0)
+    return extended.take_rows(indices)

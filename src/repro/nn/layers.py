@@ -16,7 +16,13 @@ import numpy as np
 from repro.errors import ModelError
 from repro.nn.functional import dropout_mask
 from repro.nn.init import glorot_uniform, zeros_init
-from repro.nn.tensor import Tensor, as_tensor
+from repro.nn.tensor import (
+    Tensor,
+    as_tensor,
+    concat,
+    is_sparse_matrix,
+    sparse_matmul,
+)
 from repro.utils.rng import RngLike, ensure_rng
 
 
@@ -159,13 +165,23 @@ class GraphConv(Module):
         self.in_features = in_features
         self.out_features = out_features
 
-    def __call__(self, h: Tensor, adj_norm: np.ndarray) -> Tensor:
+    def __call__(self, h: Tensor, adj_norm) -> Tensor:
+        """Propagate ``(n, in_features)`` node rows through ``adj_norm``.
+
+        ``adj_norm`` is a dense ``(n, n)`` ndarray for one graph, or a scipy
+        sparse block-diagonal matrix for a packed batch of graphs (see
+        :mod:`repro.nn.batching`) — the propagation never mixes rows across
+        blocks, so both paths compute the same per-graph result.
+        """
         h = as_tensor(h)
         if h.shape[0] != adj_norm.shape[0]:
             raise ModelError(
                 f"GraphConv: {h.shape[0]} node rows vs {adj_norm.shape[0]} adj rows"
             )
-        propagated = Tensor(adj_norm) @ h
+        if is_sparse_matrix(adj_norm):
+            propagated = sparse_matmul(adj_norm, h)
+        else:
+            propagated = Tensor(adj_norm) @ h
         out = propagated @ self.weight
         return _activate(out, self.activation)
 
@@ -201,6 +217,38 @@ class SortPooling(Module):
             return selected
         selected = h.take_rows(order)
         return selected.pad_rows(self.k)
+
+    def segment_call(self, h: Tensor, sizes: Sequence[int]) -> Tensor:
+        """Per-segment SortPooling over a packed node matrix.
+
+        ``h`` is ``(sum(sizes), channels)`` — the node rows of ``len(sizes)``
+        graphs stacked contiguously; segment ``g`` occupies rows
+        ``[offset_g, offset_g + sizes[g])``.  Each segment is sorted and
+        truncated/zero-padded independently, exactly like the per-graph
+        ``__call__``, and the results are restacked: the output is
+        ``(len(sizes) * k, channels)`` with graph ``g`` at rows
+        ``[g*k, (g+1)*k)``.
+        """
+        h = as_tensor(h)
+        total = int(sum(sizes))
+        if h.shape[0] != total:
+            raise ModelError(
+                f"SortPooling.segment_call: {h.shape[0]} rows vs "
+                f"sum(sizes)={total}"
+            )
+        channels = h.shape[1]
+        # gather through an appended zero row so per-segment padding stays a
+        # single differentiable take_rows instead of a concat per graph
+        zero_row = total
+        indices = np.full(len(sizes) * self.k, zero_row, dtype=np.int64)
+        offset = 0
+        for g, n in enumerate(sizes):
+            order = np.argsort(-h.data[offset : offset + n, -1], kind="stable")
+            take = min(n, self.k)
+            indices[g * self.k : g * self.k + take] = offset + order[:take]
+            offset += n
+        extended = concat([h, Tensor(np.zeros((1, channels)))], axis=0)
+        return extended.take_rows(indices)
 
 
 class Conv1D(Module):
@@ -253,6 +301,42 @@ class Conv1D(Module):
         out = patches @ self.weight + self.bias
         return _activate(out, self.activation)
 
+    def segment_call(self, x: Tensor, num_segments: int, length: int) -> Tensor:
+        """Apply the convolution independently per contiguous segment.
+
+        ``x`` is ``(num_segments * length, in_channels)`` — ``num_segments``
+        sequences of identical ``length`` stacked along axis 0.  Patches never
+        straddle a segment boundary; the output is
+        ``(num_segments * n_out, out_channels)`` with
+        ``n_out = (length - kernel) // stride + 1``, segment ``g`` at rows
+        ``[g*n_out, (g+1)*n_out)`` — row-for-row identical to calling the
+        layer on each segment separately.
+        """
+        x = as_tensor(x)
+        if x.shape != (num_segments * length, self.in_channels):
+            raise ModelError(
+                f"Conv1D.segment_call expected shape "
+                f"({num_segments * length}, {self.in_channels}), got {x.shape}"
+            )
+        n_out = (length - self.kernel_size) // self.stride + 1
+        if n_out <= 0:
+            raise ModelError(
+                f"Conv1D segment length {length} too short for kernel "
+                f"{self.kernel_size} / stride {self.stride}"
+            )
+        starts = np.arange(n_out) * self.stride
+        base = np.arange(num_segments) * length
+        patch_rows = (
+            base[:, None, None]
+            + starts[None, :, None]
+            + np.arange(self.kernel_size)[None, None, :]
+        )
+        patches = x.take_rows(patch_rows.reshape(-1)).reshape(
+            num_segments * n_out, self.kernel_size * self.in_channels
+        )
+        out = patches @ self.weight + self.bias
+        return _activate(out, self.activation)
+
 
 class MaxPool1D(Module):
     """Max pooling over the length axis of a (length, channels) input."""
@@ -270,6 +354,31 @@ class MaxPool1D(Module):
             return x  # shorter than one window: identity (graph too small)
         trimmed = x[: n_out * self.pool_size]
         windows = trimmed.reshape(n_out, self.pool_size, channels)
+        return windows.max(axis=1)
+
+    def segment_call(self, x: Tensor, num_segments: int, length: int) -> Tensor:
+        """Pool each contiguous length-``length`` segment independently.
+
+        ``x`` is ``(num_segments * length, channels)``; the output is
+        ``(num_segments * n_out, channels)`` with ``n_out = length // pool``
+        (identity when ``length < pool``, matching ``__call__``), segment
+        ``g`` at rows ``[g*n_out, (g+1)*n_out)``.
+        """
+        x = as_tensor(x)
+        channels = x.shape[1]
+        if x.shape[0] != num_segments * length:
+            raise ModelError(
+                f"MaxPool1D.segment_call expected {num_segments * length} "
+                f"rows, got {x.shape[0]}"
+            )
+        n_out = length // self.pool_size
+        if n_out == 0:
+            return x
+        kept = n_out * self.pool_size
+        if kept != length:
+            segmented = x.reshape(num_segments, length, channels)
+            x = segmented[:, :kept, :].reshape(num_segments * kept, channels)
+        windows = x.reshape(num_segments * n_out, self.pool_size, channels)
         return windows.max(axis=1)
 
 

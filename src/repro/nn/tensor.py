@@ -434,6 +434,33 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     return Tensor(out_data, requires, tuple(tensors), backward if requires else None)
 
 
+def is_sparse_matrix(value) -> bool:
+    """True when ``value`` is a scipy sparse matrix/array (duck-typed so the
+    autograd core stays importable without scipy)."""
+    return hasattr(value, "toarray") and hasattr(value, "tocsr")
+
+
+def sparse_matmul(matrix, h: Tensor) -> Tensor:
+    """Differentiable ``matrix @ h`` for a *constant* scipy sparse ``matrix``.
+
+    ``matrix`` is ``(m, n)`` sparse, ``h`` is a ``(n, f)`` Tensor; the result
+    is a dense ``(m, f)`` Tensor.  Only ``h`` receives gradients (the matrix
+    is graph structure, not a parameter): the VJP is ``matrixᵀ @ grad``.
+    Used for block-diagonal batched graph propagation where materializing the
+    dense ``(m, n)`` adjacency would be quadratic in the batch size.
+    """
+    h = as_tensor(h)
+    out_data = np.asarray(matrix @ h.data)
+    matrix_t = matrix.T.tocsr()
+
+    def backward(grad: np.ndarray) -> None:
+        if h.requires_grad:
+            h._accumulate(np.asarray(matrix_t @ grad))
+
+    requires = h.requires_grad
+    return Tensor(out_data, requires, (h,), backward if requires else None)
+
+
 def _is_basic_index(key) -> bool:
     """True when ``key`` uses only ints/slices (basic, non-aliasing indexing)."""
     parts = key if isinstance(key, tuple) else (key,)

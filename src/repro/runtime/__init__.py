@@ -1,0 +1,27 @@
+"""Batched sub-PEG inference runtime.
+
+Serving-oriented layer over the paper's models: pack many loop sub-PEGs
+into one block-diagonal forward pass (:class:`GraphBatch` + the models'
+``forward_batch`` paths), memoize expensive feature extraction by content
+hash (:class:`FeatureCache`), and expose both through
+:meth:`Engine.predict_many`.  See ``docs/RUNTIME.md`` for the API guide and
+measured throughput.
+"""
+
+from repro.runtime.batch import GraphBatch, iter_chunks
+from repro.runtime.engine import Engine, EngineStats
+from repro.runtime.features import (
+    FeatureCache,
+    embedder_fingerprint,
+    subpeg_adjacency,
+)
+
+__all__ = [
+    "Engine",
+    "EngineStats",
+    "FeatureCache",
+    "GraphBatch",
+    "embedder_fingerprint",
+    "iter_chunks",
+    "subpeg_adjacency",
+]

@@ -1,0 +1,111 @@
+"""GraphBatch: pack N loop sub-PEGs into one block-diagonal model input.
+
+The per-graph model path (:meth:`repro.models.mvgnn.MVGNN.forward`) pays
+Python-level overhead — dozens of small Tensor ops — for every loop it
+classifies.  A :class:`GraphBatch` stacks the node-feature matrices of many
+graphs contiguously ("packed" layout) and joins their adjacencies into one
+normalized block-diagonal sparse matrix, so the batched model paths
+(``forward_batch``) replace N Python-level passes with one numpy-level pass.
+
+Layout: graph ``g`` with ``sizes[g]`` nodes owns rows
+``[offsets[g], offsets[g] + sizes[g])`` of every stacked matrix; blocks never
+interact through the adjacency, so batched outputs equal per-graph outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence, TypeVar
+
+import numpy as np
+
+from repro.dataset.types import LoopSample
+from repro.errors import EngineError
+from repro.nn.batching import block_diagonal_adjacency, segment_offsets
+
+T = TypeVar("T")
+
+
+@dataclass
+class GraphBatch:
+    """N sub-PEGs packed for one batched forward pass.
+
+    ``x_semantic`` is ``(N_nodes, d_sem)`` and ``x_structural`` is
+    ``(N_nodes, walk_types)``, both stacking per-graph node rows in batch
+    order; ``adj_norm`` is the ``(N_nodes, N_nodes)`` row-normalized
+    block-diagonal adjacency (scipy CSR when available); ``sizes[g]`` is
+    graph ``g``'s node count; ``ids`` carries caller identifiers through to
+    prediction output.
+    """
+
+    x_semantic: np.ndarray
+    x_structural: np.ndarray
+    adj_norm: object
+    sizes: np.ndarray
+    ids: List[str] = field(default_factory=list)
+
+    @property
+    def num_graphs(self) -> int:
+        return int(self.sizes.shape[0])
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.sizes.sum())
+
+    @property
+    def offsets(self) -> np.ndarray:
+        """``(B + 1,)`` row offsets of each graph in the packed matrices."""
+        return segment_offsets(self.sizes)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        semantic: Sequence[np.ndarray],
+        structural: Sequence[np.ndarray],
+        adjacencies: Sequence[np.ndarray],
+        ids: Optional[Sequence[str]] = None,
+    ) -> "GraphBatch":
+        """Pack per-graph ``(n_g, ·)`` feature matrices and adjacencies."""
+        if not (len(semantic) == len(structural) == len(adjacencies)):
+            raise EngineError(
+                f"mismatched batch inputs: {len(semantic)} semantic, "
+                f"{len(structural)} structural, {len(adjacencies)} adjacency"
+            )
+        if not semantic:
+            raise EngineError("cannot build an empty GraphBatch")
+        sizes = []
+        for pos, (sem, struct, adj) in enumerate(
+            zip(semantic, structural, adjacencies)
+        ):
+            n = adj.shape[0]
+            if sem.shape[0] != n or struct.shape[0] != n:
+                raise EngineError(
+                    f"graph {pos}: {sem.shape[0]} semantic / "
+                    f"{struct.shape[0]} structural rows vs {n} adjacency rows"
+                )
+            sizes.append(n)
+        return cls(
+            x_semantic=np.concatenate(semantic, axis=0),
+            x_structural=np.concatenate(structural, axis=0),
+            adj_norm=block_diagonal_adjacency(adjacencies),
+            sizes=np.asarray(sizes, dtype=np.int64),
+            ids=list(ids) if ids is not None else [str(i) for i in range(len(sizes))],
+        )
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[LoopSample]) -> "GraphBatch":
+        """Pack :class:`~repro.dataset.types.LoopSample` feature matrices."""
+        return cls.from_arrays(
+            [s.x_semantic for s in samples],
+            [s.x_structural for s in samples],
+            [s.adjacency for s in samples],
+            ids=[s.sample_id for s in samples],
+        )
+
+
+def iter_chunks(items: Sequence[T], size: int) -> Iterator[Sequence[T]]:
+    """Yield contiguous chunks of at most ``size`` items."""
+    if size <= 0:
+        raise EngineError(f"batch size must be positive, got {size}")
+    for start in range(0, len(items), size):
+        yield items[start : start + size]

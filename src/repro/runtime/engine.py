@@ -1,0 +1,197 @@
+"""The batched loop-classification engine.
+
+:class:`Engine` is the throughput-oriented front door to the MV-GNN: callers
+hand it many loops at once — precomputed :class:`~repro.dataset.types.LoopSample`
+feature sets or raw sub-PEGs — and it answers with one label per loop,
+amortizing the forward pass across :class:`~repro.runtime.batch.GraphBatch`
+packs and memoizing feature extraction in a
+:class:`~repro.runtime.features.FeatureCache`.
+
+Inference runs under ``no_grad`` with the model in eval mode (dropout off),
+and the model's train/eval state is restored afterwards, so an Engine can
+safely share a model with a training loop.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.dataset.types import LoopSample
+from repro.embeddings.anonwalk import AnonymousWalkSpace
+from repro.embeddings.inst2vec import Inst2Vec
+from repro.errors import EngineError
+from repro.models.mvgnn import MVGNN
+from repro.nn.tensor import no_grad
+from repro.peg.graph import PEG
+from repro.runtime.batch import GraphBatch, iter_chunks
+from repro.runtime.features import FeatureCache, subpeg_adjacency
+
+LoopInput = Union[LoopSample, PEG]
+
+
+@dataclass
+class EngineStats:
+    """Cumulative counters across an Engine's lifetime."""
+
+    graphs: int = 0
+    batches: int = 0
+    seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def graphs_per_sec(self) -> float:
+        return self.graphs / self.seconds if self.seconds > 0 else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.graphs} graphs in {self.batches} batches, "
+            f"{self.seconds:.3f}s ({self.graphs_per_sec:.1f} graphs/sec), "
+            f"feature cache {self.cache_hits} hits / "
+            f"{self.cache_misses} misses"
+        )
+
+
+class Engine:
+    """Batched MV-GNN inference over many loop sub-PEGs.
+
+    Parameters
+    ----------
+    model:
+        A (typically trained) :class:`~repro.models.mvgnn.MVGNN`.
+    inst2vec, walk_space:
+        Feature extractors, required only when ``predict_many`` receives raw
+        sub-PEGs rather than LoopSamples.
+    cache:
+        Feature cache for sub-PEG inputs; a fresh :class:`FeatureCache` over
+        the default DiskCache when omitted.
+    batch_size:
+        Default number of graphs packed per forward pass.
+    gamma, walk_seed:
+        Anonymous-walk sampling configuration for sub-PEG inputs (must match
+        the training-time extraction for meaningful predictions).
+    """
+
+    def __init__(
+        self,
+        model: MVGNN,
+        inst2vec: Optional[Inst2Vec] = None,
+        walk_space: Optional[AnonymousWalkSpace] = None,
+        cache: Optional[FeatureCache] = None,
+        batch_size: int = 32,
+        gamma: int = 30,
+        walk_seed: int = 0,
+    ) -> None:
+        if batch_size <= 0:
+            raise EngineError(f"batch_size must be positive, got {batch_size}")
+        self.model = model
+        self.inst2vec = inst2vec
+        self.walk_space = walk_space
+        self.cache = cache if cache is not None else FeatureCache()
+        self.batch_size = batch_size
+        self.gamma = gamma
+        self.walk_seed = walk_seed
+        self.stats = EngineStats()
+
+    # -- input adaptation ----------------------------------------------------
+
+    def _arrays_for(
+        self, loop: LoopInput, pos: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, str]:
+        if isinstance(loop, LoopSample):
+            return loop.x_semantic, loop.x_structural, loop.adjacency, loop.sample_id
+        if isinstance(loop, PEG):
+            if self.inst2vec is None or self.walk_space is None:
+                raise EngineError(
+                    "Engine needs inst2vec and walk_space to classify raw "
+                    "sub-PEGs; construct it with both, or pass LoopSamples"
+                )
+            semantic = self.cache.semantic_features(loop, self.inst2vec)
+            structural = self.cache.structural_features(
+                loop, self.walk_space, gamma=self.gamma, seed=self.walk_seed
+            )
+            return semantic, structural, subpeg_adjacency(loop), loop.name
+        raise EngineError(
+            f"unsupported loop input #{pos}: {type(loop).__name__} "
+            "(expected LoopSample or PEG)"
+        )
+
+    def _batch_for(self, loops: Sequence[LoopInput], start: int) -> GraphBatch:
+        semantic, structural, adjacencies, ids = [], [], [], []
+        for pos, loop in enumerate(loops, start=start):
+            sem, struct, adj, loop_id = self._arrays_for(loop, pos)
+            semantic.append(sem)
+            structural.append(struct)
+            adjacencies.append(adj)
+            ids.append(loop_id)
+        return GraphBatch.from_arrays(semantic, structural, adjacencies, ids)
+
+    # -- prediction ----------------------------------------------------------
+
+    def logits_many(
+        self, loops: Sequence[LoopInput], batch_size: Optional[int] = None
+    ) -> np.ndarray:
+        """``(len(loops), num_classes)`` logits, batched forward passes.
+
+        Output row ``i`` corresponds to ``loops[i]`` regardless of batch
+        boundaries, and equals the per-graph ``model.forward`` logits to
+        floating-point tolerance.
+        """
+        loops = list(loops)
+        if not loops:
+            return np.zeros((0, self.model.config.num_classes))
+        size = batch_size if batch_size is not None else self.batch_size
+        if size <= 0:
+            raise EngineError(f"batch_size must be positive, got {size}")
+        hits0, misses0 = self.cache.snapshot()
+        started = time.perf_counter()
+
+        was_training = self.model.training
+        self.model.eval()
+        try:
+            rows: List[np.ndarray] = []
+            with no_grad():
+                start = 0
+                for chunk in iter_chunks(loops, size):
+                    batch = self._batch_for(chunk, start)
+                    logits = self.model.forward_batch(
+                        batch.x_semantic,
+                        batch.x_structural,
+                        batch.adj_norm,
+                        batch.sizes,
+                    )
+                    rows.append(logits.data)
+                    self.stats.batches += 1
+                    start += len(chunk)
+        finally:
+            if was_training:
+                self.model.train()
+
+        self.stats.graphs += len(loops)
+        self.stats.seconds += time.perf_counter() - started
+        hits1, misses1 = self.cache.snapshot()
+        self.stats.cache_hits += hits1 - hits0
+        self.stats.cache_misses += misses1 - misses0
+        return np.concatenate(rows, axis=0)
+
+    def predict_many(
+        self, loops: Sequence[LoopInput], batch_size: Optional[int] = None
+    ) -> np.ndarray:
+        """Predicted labels for many loops: ``(len(loops),)`` int64.
+
+        Accepts :class:`LoopSample` objects (precomputed features) and/or
+        raw loop sub-PEGs (features extracted through the cache); the two
+        kinds may be mixed in one call.  Identical to running
+        ``argmax(model.forward(...))`` per loop, but packs ``batch_size``
+        graphs per numpy-level pass.
+        """
+        logits = self.logits_many(loops, batch_size=batch_size)
+        return np.argmax(logits, axis=1).astype(np.int64)
+
+    def predict(self, loop: LoopInput) -> int:
+        """Single-loop convenience wrapper over :meth:`predict_many`."""
+        return int(self.predict_many([loop])[0])

@@ -1,0 +1,185 @@
+"""Content-hash-keyed feature cache for the inference runtime.
+
+Turning a sub-PEG into model inputs is the expensive half of classification:
+inst2vec lookups per node plus ``gamma`` random walks per node for the
+anonymous-walk distribution.  Both depend only on the loop's *content* — its
+node statements/features, topology, and the extraction configuration — so
+the runtime memoizes them in the existing :class:`repro.utils.cache.DiskCache`
+keyed by a :func:`repro.utils.cache.stable_hash` of exactly that content.
+Re-classifying an unchanged loop (across processes, thanks to the disk
+backing) skips extraction entirely; any edit to the loop changes the key and
+transparently recomputes.
+
+Walk randomness is derived from a fixed per-call seed rather than a shared
+advancing generator, so a loop's structural features are a pure function of
+``(topology, walk length, gamma, seed)`` — the property that makes them
+cacheable at all.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.features import FEATURE_NAMES
+from repro.embeddings.anonwalk import AnonymousWalkSpace, structural_node_features
+from repro.embeddings.inst2vec import Inst2Vec
+from repro.peg.graph import PEG
+from repro.utils.cache import DiskCache, stable_hash
+from repro.utils.rng import ensure_rng
+
+
+def subpeg_adjacency(subpeg: PEG) -> np.ndarray:
+    """Undirected ``(n, n)`` 0/1 adjacency in ``subpeg.nodes`` order.
+
+    Mirrors dataset extraction: self-loops dropped, every remaining edge
+    (hierarchy or dependence) symmetrized.
+    """
+    node_ids = list(subpeg.nodes)
+    index = {nid: pos for pos, nid in enumerate(node_ids)}
+    adjacency = np.zeros((len(node_ids), len(node_ids)))
+    for edge in subpeg.edges:
+        a, b = index[edge.src], index[edge.dst]
+        if a != b:
+            adjacency[a, b] = 1.0
+            adjacency[b, a] = 1.0
+    return adjacency
+
+
+def embedder_fingerprint(inst2vec: Inst2Vec) -> str:
+    """Digest identifying a trained inst2vec (vocabulary + weights).
+
+    Two embedders with the same fingerprint produce identical node features,
+    so cached semantic features keyed on it survive process restarts but
+    never leak across retrained models.
+    """
+    if inst2vec.vocab is None or inst2vec.w_in is None:
+        return f"untrained-{inst2vec.dim}"
+    digest = hashlib.sha256()
+    digest.update(str(inst2vec.dim).encode())
+    for token in inst2vec.vocab.tokens:
+        digest.update(token.encode("utf-8", "replace"))
+        digest.update(b"\x00")
+    digest.update(np.ascontiguousarray(inst2vec.w_in).tobytes())
+    return digest.hexdigest()[:20]
+
+
+def _topology_payload(subpeg: PEG) -> Dict[str, object]:
+    node_ids = list(subpeg.nodes)
+    edges = sorted(
+        {
+            tuple(sorted((edge.src, edge.dst)))
+            for edge in subpeg.edges
+            if edge.src != edge.dst
+        }
+    )
+    return {"nodes": node_ids, "edges": edges}
+
+
+class FeatureCache:
+    """Memoized sub-PEG → feature-matrix extraction over a DiskCache.
+
+    ``hits`` / ``misses`` count cache outcomes across both feature kinds;
+    :meth:`snapshot` returns them for engine statistics.
+    """
+
+    def __init__(self, disk: Optional[DiskCache] = None) -> None:
+        self.disk = disk if disk is not None else DiskCache()
+        self.hits = 0
+        self.misses = 0
+
+    # -- semantic view -------------------------------------------------------
+
+    def semantic_features(
+        self,
+        subpeg: PEG,
+        inst2vec: Inst2Vec,
+        static_only: bool = False,
+    ) -> np.ndarray:
+        """``(n, inst2vec.dim + len(FEATURE_NAMES))`` node-view features.
+
+        Row order follows ``subpeg.nodes``; columns are the inst2vec mean of
+        each node's statements followed by the Table I dynamic feature
+        columns (zeroed when ``static_only``).
+        """
+        payload = {
+            "kind": "semantic",
+            "nodes": [
+                {
+                    "id": nid,
+                    "statements": node.statements,
+                    "features": sorted(node.features.items()),
+                }
+                for nid, node in subpeg.nodes.items()
+            ],
+            "embedder": embedder_fingerprint(inst2vec),
+            "static_only": bool(static_only),
+        }
+        key = f"rtfeat-sem-{stable_hash(payload)}"
+        return self._get_or_compute(
+            key, lambda: self._compute_semantic(subpeg, inst2vec, static_only)
+        )
+
+    @staticmethod
+    def _compute_semantic(
+        subpeg: PEG, inst2vec: Inst2Vec, static_only: bool
+    ) -> np.ndarray:
+        n_dyn = len(FEATURE_NAMES)
+        out = np.zeros((len(subpeg.nodes), inst2vec.dim + n_dyn))
+        for pos, node in enumerate(subpeg.nodes.values()):
+            out[pos, : inst2vec.dim] = inst2vec.embed_sequence(node.statements)
+            if not static_only:
+                out[pos, inst2vec.dim :] = [
+                    node.features.get(name, 0.0) for name in FEATURE_NAMES
+                ]
+        return out
+
+    # -- structural view -----------------------------------------------------
+
+    def structural_features(
+        self,
+        subpeg: PEG,
+        walk_space: AnonymousWalkSpace,
+        gamma: int = 30,
+        seed: int = 0,
+    ) -> np.ndarray:
+        """``(n, walk_space.num_types)`` anonymous-walk distributions.
+
+        Row order follows ``subpeg.nodes``.  Deterministic in
+        ``(topology, walk length, gamma, seed)``: the generator is freshly
+        seeded per call, so cached and recomputed values are identical.
+        """
+        payload = {
+            "kind": "structural",
+            **_topology_payload(subpeg),
+            "length": walk_space.length,
+            "gamma": int(gamma),
+            "seed": int(seed),
+        }
+        key = f"rtfeat-walk-{stable_hash(payload)}"
+
+        def compute() -> np.ndarray:
+            _ids, features = structural_node_features(
+                subpeg, walk_space, gamma=gamma, rng=ensure_rng(seed)
+            )
+            return features
+
+        return self._get_or_compute(key, compute)
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def _get_or_compute(self, key: str, fn) -> np.ndarray:
+        cached = self.disk.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        value = fn()
+        self.disk.put(key, value)
+        return value
+
+    def snapshot(self) -> Tuple[int, int]:
+        """Current ``(hits, misses)`` counters."""
+        return self.hits, self.misses

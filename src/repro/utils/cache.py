@@ -32,7 +32,10 @@ class DiskCache:
     """Pickle-backed cache directory with atomic writes.
 
     Writes go to a temporary file first and are renamed into place so a
-    crashed process never leaves a truncated cache entry behind.
+    crashed process never leaves a truncated cache entry behind; reads
+    treat any undecodable entry as a miss and remove it (see :meth:`get`).
+    Keys are caller-chosen strings — pair with :func:`stable_hash` for
+    content-addressed entries, as :class:`repro.runtime.FeatureCache` does.
     """
 
     def __init__(self, root: Optional[os.PathLike] = None) -> None:
@@ -47,13 +50,30 @@ class DiskCache:
         return self.root / f"{key}.pkl"
 
     def get(self, key: str) -> Optional[Any]:
+        """Cached value for ``key``, or None on a miss.
+
+        A corrupt or truncated cache file — however it fails to unpickle —
+        is treated as a miss: the bad file is deleted so the next
+        :meth:`put` (or :meth:`get_or_compute`) overwrites it cleanly
+        instead of every reader re-hitting the same broken entry.  This is
+        what lets the inference runtime reuse the cache safely: a crashed
+        or version-skewed writer can never wedge later readers.
+        """
         path = self.path_for(key)
         if not path.exists():
             return None
         try:
             with open(path, "rb") as fh:
                 return pickle.load(fh)
-        except (pickle.UnpicklingError, EOFError, OSError):
+        except Exception:
+            # unpickling arbitrary corruption can raise nearly anything
+            # (UnpicklingError, EOFError, AttributeError, ImportError,
+            # ValueError, UnicodeDecodeError, ...): any failure means the
+            # entry is unusable
+            try:
+                path.unlink()
+            except OSError:
+                pass
             return None
 
     def put(self, key: str, value: Any) -> None:

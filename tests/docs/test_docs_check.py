@@ -1,0 +1,89 @@
+"""Docs stay honest: every module path and file path they mention exists.
+
+Run standalone via ``make docs-check``; also part of the tier-1 suite so
+a refactor that renames a module cannot leave docs/ pointing at ghosts.
+"""
+
+import importlib
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DOC_FILES = sorted((REPO_ROOT / "docs").glob("*.md")) + [REPO_ROOT / "README.md"]
+
+DOTTED_REF = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
+PATH_REF = re.compile(
+    r"\b(?:docs|src|tests|benchmarks|examples)/[A-Za-z0-9_./-]*[A-Za-z0-9_]"
+)
+MD_LINK = re.compile(r"\]\(([^)#]+)(?:#[^)]*)?\)")
+
+
+def _doc_ids():
+    return [path.relative_to(REPO_ROOT).as_posix() for path in DOC_FILES]
+
+
+def _resolve_dotted(ref: str) -> bool:
+    """True when ``ref`` is an importable module or an attribute of one."""
+    parts = ref.split(".")
+    for cut in range(len(parts), 0, -1):
+        module_name = ".".join(parts[:cut])
+        try:
+            obj = importlib.import_module(module_name)
+        except ImportError:
+            continue
+        try:
+            for attr in parts[cut:]:
+                obj = getattr(obj, attr)
+        except AttributeError:
+            return False
+        return True
+    return False
+
+
+def test_docs_exist():
+    assert (REPO_ROOT / "docs" / "ARCHITECTURE.md").is_file()
+    assert (REPO_ROOT / "docs" / "RUNTIME.md").is_file()
+
+
+def test_readme_links_docs():
+    readme = (REPO_ROOT / "README.md").read_text()
+    assert "docs/ARCHITECTURE.md" in readme
+    assert "docs/RUNTIME.md" in readme
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=_doc_ids())
+def test_dotted_references_resolve(doc):
+    text = doc.read_text()
+    bad = sorted(
+        {ref for ref in DOTTED_REF.findall(text) if not _resolve_dotted(ref)}
+    )
+    assert not bad, (
+        f"{doc.name} references nonexistent module paths: {bad}"
+    )
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=_doc_ids())
+def test_file_paths_exist(doc):
+    text = doc.read_text()
+    bad = sorted(
+        {
+            ref
+            for ref in PATH_REF.findall(text)
+            if not (REPO_ROOT / ref).exists()
+        }
+    )
+    assert not bad, f"{doc.name} references nonexistent files: {bad}"
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=_doc_ids())
+def test_relative_markdown_links_resolve(doc):
+    text = doc.read_text()
+    bad = []
+    for target in MD_LINK.findall(text):
+        if "://" in target or target.startswith("mailto:"):
+            continue
+        if not (doc.parent / target).exists():
+            bad.append(target)
+    assert not bad, f"{doc.name} has dead relative links: {bad}"

@@ -21,6 +21,15 @@ class TestCli:
         out = capsys.readouterr().out
         assert "Pluto" in out and "DiscoPoP" in out
 
+    def test_classify_batch(self, capsys):
+        assert main(
+            ["classify", "--app", "fib", "--batch",
+             "--batch-size", "4", "--epochs", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "MV-GNN" in out
+        assert "runtime:" in out and "graphs/sec" in out
+
     def test_suggest(self, capsys):
         assert main(["suggest", "--app", "nqueens"]) == 0
         out = capsys.readouterr().out

@@ -74,6 +74,38 @@ class TestDiskCache:
         cache.path_for("bad").write_bytes(b"not a pickle")
         assert cache.get("bad") is None
 
+    def test_corrupt_entry_removed_and_overwritable(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.path_for("bad").write_bytes(b"not a pickle")
+        assert cache.get("bad") is None
+        assert not cache.path_for("bad").exists()
+        cache.put("bad", 7)
+        assert cache.get("bad") == 7
+
+    def test_truncated_entry_is_miss(self, tmp_path):
+        import pickle
+
+        cache = DiskCache(tmp_path)
+        payload = pickle.dumps({"value": list(range(100))})
+        cache.path_for("cut").write_bytes(payload[: len(payload) // 2])
+        assert cache.get("cut") is None
+        assert not cache.path_for("cut").exists()
+
+    def test_unresolvable_pickle_is_miss(self, tmp_path):
+        # a pickle referencing a module that does not exist raises
+        # ImportError, not UnpicklingError — still a miss, never a crash
+        cache = DiskCache(tmp_path)
+        cache.path_for("ref").write_bytes(b"cno_such_module\nNoSuchClass\n.")
+        assert cache.get("ref") is None
+        assert not cache.path_for("ref").exists()
+
+    def test_get_or_compute_recovers_from_corruption(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put("k", 11)
+        cache.path_for("k").write_bytes(b"\x80garbage")
+        assert cache.get_or_compute("k", lambda: 12) == 12
+        assert cache.get("k") == 12
+
     def test_clear(self, tmp_path):
         cache = DiskCache(tmp_path)
         cache.put("a", 1)

@@ -1,16 +1,34 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-runtime docs-check
+# coverage floor (%) for the training fast path and batched runtime
+COV_FLOOR ?= 85
+
+.PHONY: test test-cov bench bench-runtime bench-train docs-check
 
 test:
 	$(PYTHON) -m pytest tests/ -q
+
+# Coverage over the batched training path and runtime; needs pytest-cov
+# (`pip install -e .[cov]`). Skips gracefully where pytest-cov is absent.
+test-cov:
+	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \
+		$(PYTHON) -m pytest tests/ -q \
+			--cov=repro.train --cov=repro.runtime \
+			--cov-report=term-missing \
+			--cov-fail-under=$(COV_FLOOR); \
+	else \
+		echo "pytest-cov not installed; skipping coverage (pip install -e .[cov])"; \
+	fi
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
 
 bench-runtime:
 	$(PYTHON) -m pytest benchmarks/bench_runtime_throughput.py --benchmark-only -q
+
+bench-train:
+	$(PYTHON) -m pytest benchmarks/bench_train_throughput.py --benchmark-only -q
 
 docs-check:
 	$(PYTHON) -m pytest tests/docs/ -q

@@ -1,0 +1,137 @@
+"""Batched training throughput: packed-minibatch epochs vs per-sample.
+
+Trains the same MV-GNN on the same fixture dataset twice — once through the
+per-sample reference path (``TrainConfig(batched=False)``) and once through
+the packed fast path (one forward/backward per minibatch) — and compares
+epochs/sec.  The loss curves must agree to differential-test tolerance; the
+speedup numbers recorded here back the training-path section of
+docs/RUNTIME.md.
+
+Runs two ways:
+
+* ``pytest benchmarks/bench_train_throughput.py --benchmark-only`` — the
+  full measurement, asserting the >=2x acceptance floor at batch size 32.
+* ``python benchmarks/bench_train_throughput.py --quick`` — a small smoke
+  configuration for CI: verifies both paths run and agree, prints the
+  speedup without gating on it (shared CI runners are too noisy to assert
+  timing).
+"""
+
+import argparse
+import os
+import sys
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.dataset.extraction import extract_loop_samples  # noqa: E402
+from repro.dataset.types import LoopDataset  # noqa: E402
+from repro.embeddings.anonwalk import AnonymousWalkSpace  # noqa: E402
+from repro.embeddings.inst2vec import Inst2Vec  # noqa: E402
+from repro.models.dgcnn import DGCNNConfig  # noqa: E402
+from repro.models.mvgnn import MVGNNConfig  # noqa: E402
+from repro.train import MVGNNAdapter, TrainConfig, train_model  # noqa: E402
+
+from tests.helpers import build_mixed_program, lower_and_verify  # noqa: E402
+
+POOL_SIZE = 160
+EPOCHS = 3
+BATCH_SIZE = 32
+
+
+def _fixture_dataset(pool_size):
+    """``pool_size`` loop samples cycled from the mixed fixture program."""
+    program = build_mixed_program()
+    inst2vec = Inst2Vec(dim=25).train(
+        [lower_and_verify(program)], epochs=1, rng=0
+    )
+    space = AnonymousWalkSpace(4)
+    samples = extract_loop_samples(
+        program, None, inst2vec, space,
+        suite="bench", app="mixed", gamma=20, rng=0,
+    )
+    pool = [samples[i % len(samples)] for i in range(pool_size)]
+    dim = samples[0].x_semantic.shape[1]
+    config = MVGNNConfig(
+        semantic_features=dim,
+        walk_types=space.num_types,
+        node_view=DGCNNConfig(in_features=dim, sortpool_k=8),
+        struct_view=DGCNNConfig(in_features=200, sortpool_k=8),
+    )
+    return LoopDataset(pool, name="train-throughput"), config
+
+
+def _train_once(data, mv_config, batched, epochs, batch_size):
+    adapter = MVGNNAdapter(mv_config, rng=0)
+    curves = train_model(
+        adapter,
+        data,
+        TrainConfig(
+            epochs=epochs, lr=1e-3, batch_size=batch_size,
+            sortpool_k=8, seed=7, batched=batched,
+        ),
+    )
+    return curves
+
+
+def measure(pool_size=POOL_SIZE, epochs=EPOCHS, batch_size=BATCH_SIZE):
+    """(sequential curves, batched curves, speedup) on the fixture set."""
+    data, mv_config = _fixture_dataset(pool_size)
+    # warm numpy/BLAS paths on a throwaway epoch before timing either path
+    _train_once(data, mv_config, True, 1, batch_size)
+    seq = _train_once(data, mv_config, False, epochs, batch_size)
+    bat = _train_once(data, mv_config, True, epochs, batch_size)
+    np.testing.assert_allclose(
+        seq.loss, bat.loss, rtol=1e-6, atol=1e-6,
+        err_msg="batched and per-sample training diverged",
+    )
+    return seq, bat, seq.wall_seconds / bat.wall_seconds
+
+
+def _report(seq, bat, speedup, epochs, emit):
+    emit(f"{'path':<16}{'wall s':>9}{'epochs/sec':>12}{'speedup':>9}")
+    emit(f"{'per-sample':<16}{seq.wall_seconds:>9.2f}"
+         f"{epochs / seq.wall_seconds:>12.2f}{1.0:>8.1f}x")
+    emit(f"{'batched':<16}{bat.wall_seconds:>9.2f}"
+         f"{epochs / bat.wall_seconds:>12.2f}{speedup:>8.1f}x")
+
+
+def test_train_batched_throughput(benchmark):
+    from benchmarks.common import banner, emit
+
+    seq, bat, speedup = measure()
+    banner(f"Batched training throughput (batch_size={BATCH_SIZE})")
+    _report(seq, bat, speedup, EPOCHS, emit)
+
+    # time one representative batched run under pytest-benchmark too
+    data, mv_config = _fixture_dataset(POOL_SIZE // 4)
+    benchmark(lambda: _train_once(data, mv_config, True, 1, BATCH_SIZE))
+
+    assert speedup >= 2.0, (
+        f"expected >=2x epoch throughput from the batched training path "
+        f"at batch_size={BATCH_SIZE}, got {speedup:.2f}x"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small smoke configuration (CI): verify agreement, print "
+             "speedup, no timing assertion",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        seq, bat, speedup = measure(pool_size=48, epochs=2, batch_size=16)
+        _report(seq, bat, speedup, 2, print)
+        print(f"quick mode: curves agree; speedup {speedup:.2f}x (not gated)")
+        return 0
+    seq, bat, speedup = measure()
+    _report(seq, bat, speedup, EPOCHS, print)
+    return 0 if speedup >= 2.0 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,12 @@ Commands
     the app's own loops classifies every sub-PEG through the batched
     inference runtime (:mod:`repro.runtime`) and a throughput/cache summary
     is appended.
+``train --app NAME``
+    Train an MV-GNN on an application's labeled loops through the batched
+    training path (``--per-sample`` selects the reference per-sample path)
+    and print the training curves plus epoch throughput.  Feature
+    extraction goes through the runtime ``FeatureCache``, so a second run
+    over the same app skips extraction entirely.
 ``suggest --app NAME [--program N]``
     Print one program of an application as annotated C-like source with
     OpenMP pragma suggestions.
@@ -112,6 +118,76 @@ def _batched_gnn_predictions(spec, batch_size: int, epochs: int, seed: int = 0):
         {s.loop_id: int(p) for s, p in zip(samples, predicted)},
         engine,
     )
+
+
+def _cmd_train(args) -> int:
+    spec = build_app(args.app)
+    from repro.dataset.types import LoopDataset
+    from repro.embeddings.anonwalk import AnonymousWalkSpace
+    from repro.embeddings.inst2vec import Inst2Vec
+    from repro.models.dgcnn import DGCNNConfig
+    from repro.models.mvgnn import MVGNNConfig
+    from repro.runtime import FeatureCache
+    from repro.train import (
+        MVGNNAdapter,
+        TrainConfig,
+        cached_loop_samples,
+        train_model,
+    )
+
+    irs = []
+    for program in spec.programs:
+        ir = lower_program(program)
+        verify_program(ir)
+        irs.append(ir)
+    inst2vec = Inst2Vec(dim=48).train(irs, epochs=2, rng=args.seed)
+    walk_space = AnonymousWalkSpace(4)
+    cache = FeatureCache()
+
+    samples = []
+    for program, ir in zip(spec.programs, irs):
+        labels = {
+            loop_id: loop.label
+            for loop_id, loop in spec.loops.items()
+            if loop.program_name == program.name
+        }
+        samples.extend(
+            cached_loop_samples(
+                program, labels, inst2vec, walk_space, cache,
+                suite=spec.suite, app=spec.name, gamma=20,
+                walk_seed=args.seed, ir_program=ir,
+            )
+        )
+    hits, misses = cache.snapshot()
+    print(f"{args.app} ({spec.suite}): {len(samples)} loop samples, "
+          f"feature cache {hits} hits / {misses} misses")
+
+    semantic_dim = samples[0].x_semantic.shape[1]
+    config = MVGNNConfig(
+        semantic_features=semantic_dim,
+        walk_types=walk_space.num_types,
+        node_view=DGCNNConfig(in_features=semantic_dim, sortpool_k=8, dropout=0.3),
+        struct_view=DGCNNConfig(in_features=200, sortpool_k=8, dropout=0.3),
+    )
+    adapter = MVGNNAdapter(config, rng=args.seed)
+    train_config = TrainConfig(
+        epochs=args.epochs, lr=args.lr, batch_size=args.batch_size,
+        sortpool_k=8, seed=args.seed, batched=not args.per_sample,
+    )
+    path = "per-sample (reference)" if args.per_sample else "batched"
+    print(f"training MV-GNN: {train_config.epochs} epochs, "
+          f"batch_size={train_config.batch_size}, path={path}")
+    curves = train_model(
+        adapter, LoopDataset(samples, name=spec.name), train_config,
+        verbose=True,
+    )
+    print()
+    print(f"wall time: {curves.wall_seconds:.2f}s "
+          f"({train_config.epochs / curves.wall_seconds:.2f} epochs/sec)")
+    print(f"best epoch: {curves.best_epoch}  "
+          f"final loss: {curves.loss[-1]:.4f}  "
+          f"final train accuracy: {curves.train_accuracy[-1]:.3f}")
+    return 0
 
 
 def _cmd_classify(args) -> int:
@@ -226,6 +302,26 @@ def build_parser() -> argparse.ArgumentParser:
              "(0 = untrained demo; with --batch)",
     )
     classify.set_defaults(fn=_cmd_classify)
+
+    train = sub.add_parser(
+        "train", help="train an MV-GNN on one application's labeled loops"
+    )
+    train.add_argument("--app", required=True, choices=app_names())
+    train.add_argument(
+        "--epochs", type=int, default=10, help="training epochs"
+    )
+    train.add_argument(
+        "--batch-size", type=int, default=32,
+        help="samples packed per forward/backward pass",
+    )
+    train.add_argument(
+        "--per-sample", action="store_true",
+        help="use the per-sample reference training path instead of the "
+             "batched fast path",
+    )
+    train.add_argument("--lr", type=float, default=2e-3)
+    train.add_argument("--seed", type=int, default=0)
+    train.set_defaults(fn=_cmd_train)
 
     suggest = sub.add_parser(
         "suggest", help="OpenMP suggestions for one program"

@@ -34,9 +34,16 @@ def softmax_cross_entropy(
 
 
 def softmax_cross_entropy_batch(
-    logits: Tensor, labels, temperature: float = 1.0
+    logits: Tensor, labels, temperature: float = 1.0, reduction: str = "mean"
 ) -> Tensor:
-    """Mean cross entropy over a (batch, classes) logit matrix."""
+    """Cross entropy over a (batch, classes) logit matrix.
+
+    ``reduction`` is ``"mean"`` (default) or ``"sum"``.  The batched
+    training path uses ``"sum"`` so one packed loss equals the sum of
+    per-sample :func:`softmax_cross_entropy` losses — row ``i`` of a packed
+    logit matrix contributes exactly what sample ``i`` would contribute on
+    the per-sample path.
+    """
     if logits.ndim != 2:
         raise ModelError("softmax_cross_entropy_batch expects (batch, classes)")
     labels = np.asarray(labels, dtype=np.int64)
@@ -46,7 +53,12 @@ def softmax_cross_entropy_batch(
     probs = softmax(logits, temperature)
     rows = np.arange(batch)
     picked = probs[rows, labels]
-    return -(picked.log().mean())
+    nll = -(picked.log())
+    if reduction == "sum":
+        return nll.sum()
+    if reduction == "mean":
+        return nll.mean()
+    raise ModelError(f"unknown reduction {reduction!r} (expected mean|sum)")
 
 
 def binary_cross_entropy_with_logits(logit: Tensor, target: float) -> Tensor:

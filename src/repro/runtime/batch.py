@@ -64,8 +64,15 @@ class GraphBatch:
         structural: Sequence[np.ndarray],
         adjacencies: Sequence[np.ndarray],
         ids: Optional[Sequence[str]] = None,
+        pre_normalized: bool = False,
     ) -> "GraphBatch":
-        """Pack per-graph ``(n_g, ·)`` feature matrices and adjacencies."""
+        """Pack per-graph ``(n_g, ·)`` feature matrices and adjacencies.
+
+        With ``pre_normalized=True`` each adjacency is taken to be already
+        row-normalized (``D̃⁻¹Ã``) and is block-stacked as-is — the training
+        path normalizes each sample's adjacency once and reuses it across
+        every epoch instead of renormalizing per minibatch.
+        """
         if not (len(semantic) == len(structural) == len(adjacencies)):
             raise EngineError(
                 f"mismatched batch inputs: {len(semantic)} semantic, "
@@ -87,7 +94,9 @@ class GraphBatch:
         return cls(
             x_semantic=np.concatenate(semantic, axis=0),
             x_structural=np.concatenate(structural, axis=0),
-            adj_norm=block_diagonal_adjacency(adjacencies),
+            adj_norm=block_diagonal_adjacency(
+                adjacencies, normalize=not pre_normalized
+            ),
             sizes=np.asarray(sizes, dtype=np.int64),
             ids=list(ids) if ids is not None else [str(i) for i in range(len(sizes))],
         )

@@ -10,6 +10,7 @@ from repro.train.adapters import (
     NCCAdapter,
     SingleViewAdapter,
 )
+from repro.train.data import cached_loop_samples
 from repro.train.eval import evaluate_adapter, evaluate_tool_votes
 from repro.train.importance import view_importance
 from repro.train.pretrain import PretrainConfig, pretrain_dgcnn
@@ -19,6 +20,7 @@ __all__ = [
     "TrainingCurves", "train_model",
     "ModelAdapter", "MVGNNAdapter", "DGCNNAdapter", "StaticGNNAdapter",
     "NCCAdapter", "SingleViewAdapter",
+    "cached_loop_samples",
     "evaluate_adapter", "evaluate_tool_votes",
     "view_importance",
     "PretrainConfig", "pretrain_dgcnn",

@@ -8,7 +8,8 @@ dynamic columns zeroed).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence
 
 import numpy as np
 
@@ -23,15 +24,26 @@ from repro.nn.functional import (
     softmax_cross_entropy,
     softmax_cross_entropy_batch,
 )
-from repro.nn.layers import Module
+from repro.nn.layers import Module, normalized_adjacency
 from repro.nn.tensor import Tensor, no_grad
+from repro.runtime.batch import GraphBatch
 from repro.utils.rng import RngLike
 
 
 class ModelAdapter:
-    """Uniform interface the trainer drives."""
+    """Uniform interface the trainer drives.
+
+    ``loss_and_correct`` is the per-sample *reference* implementation;
+    adapters with a packed fast path additionally set
+    ``supports_batched_training`` and implement
+    :meth:`loss_and_correct_batched`, which must agree with the reference
+    on loss, correct count, and every parameter gradient to floating-point
+    tolerance (differentially tested in
+    ``tests/train/test_batched_training.py``).
+    """
 
     name = "model"
+    supports_batched_training = False
 
     @property
     def module(self) -> Module:
@@ -41,13 +53,51 @@ class ModelAdapter:
         """(summed loss Tensor, #correct) for one minibatch."""
         raise NotImplementedError
 
+    def loss_and_correct_batched(
+        self, batch: Sequence[LoopSample], temperature: float
+    ):
+        """Packed-minibatch counterpart of :meth:`loss_and_correct`.
+
+        Default: delegate to the per-sample reference path, so the trainer
+        can call this unconditionally when ``TrainConfig.batched`` is on.
+        """
+        return self.loss_and_correct(batch, temperature)
+
     def predict(self, samples: Iterable[LoopSample]) -> np.ndarray:
         """Predicted labels without recording gradients."""
         raise NotImplementedError
 
 
+@dataclass
+class _PreparedGraph:
+    """One sample's model-ready arrays, computed once and reused each epoch.
+
+    ``adj_norm`` is the row-normalized ``D̃⁻¹Ã`` block the packed batch
+    stacks directly (``GraphBatch.from_arrays(..., pre_normalized=True)``);
+    ``semantic`` already carries any adapter-specific input transformation
+    (zeroed dynamic columns, view selection).
+    """
+
+    semantic: np.ndarray
+    structural: np.ndarray
+    adj_norm: np.ndarray
+    sample_id: str
+
+
 class _PerGraphAdapter(ModelAdapter):
-    """Base for models scoring one graph at a time."""
+    """Base for models scoring one graph at a time.
+
+    Subclasses opting into the packed training path set
+    ``supports_batched_training = True`` and implement
+    :meth:`_batch_logits`; the input-preparation cache here plays the same
+    role for training that :class:`repro.runtime.features.FeatureCache`
+    plays for inference — per-sample work (input transforms, adjacency
+    normalization) is paid once, not once per epoch.  Keys are
+    ``sample_id``, which the dataset pipeline guarantees identify content.
+    """
+
+    def __init__(self) -> None:
+        self._prepared: Dict[str, _PreparedGraph] = {}
 
     def _logits(self, sample: LoopSample) -> Tensor:
         raise NotImplementedError
@@ -63,22 +113,76 @@ class _PerGraphAdapter(ModelAdapter):
                 correct += 1
         return total, correct
 
+    # -- packed fast path ----------------------------------------------------
+
+    def _semantic_input(self, sample: LoopSample) -> np.ndarray:
+        """The node-feature matrix this model consumes (hook for subclasses)."""
+        return sample.x_semantic
+
+    def _prepare(self, sample: LoopSample) -> _PreparedGraph:
+        prepared = self._prepared.get(sample.sample_id)
+        if prepared is None:
+            prepared = _PreparedGraph(
+                semantic=self._semantic_input(sample),
+                structural=sample.x_structural,
+                adj_norm=normalized_adjacency(sample.adjacency),
+                sample_id=sample.sample_id,
+            )
+            self._prepared[sample.sample_id] = prepared
+        return prepared
+
+    def _pack(self, batch: Sequence[LoopSample]) -> GraphBatch:
+        prepared = [self._prepare(sample) for sample in batch]
+        return GraphBatch.from_arrays(
+            [p.semantic for p in prepared],
+            [p.structural for p in prepared],
+            [p.adj_norm for p in prepared],
+            ids=[p.sample_id for p in prepared],
+            pre_normalized=True,
+        )
+
+    def _batch_logits(self, pack: GraphBatch) -> Tensor:
+        """``(num_graphs, num_classes)`` logits for one packed minibatch."""
+        raise NotImplementedError
+
+    def loss_and_correct_batched(self, batch, temperature):
+        if not self.supports_batched_training:
+            return self.loss_and_correct(batch, temperature)
+        logits = self._batch_logits(self._pack(batch))
+        labels = np.array([s.label for s in batch], dtype=np.int64)
+        loss = softmax_cross_entropy_batch(
+            logits, labels, temperature, reduction="sum"
+        )
+        correct = int((np.argmax(logits.data, axis=1) == labels).sum())
+        return loss, correct
+
     def predict(self, samples) -> np.ndarray:
         self.module.eval()
-        out: List[int] = []
+        samples = list(samples)
+        out = np.zeros(len(samples), dtype=np.int64)
         with no_grad():
-            for sample in samples:
-                out.append(int(np.argmax(self._logits(sample).data)))
+            if self.supports_batched_training:
+                for start in range(0, len(samples), 32):
+                    chunk = samples[start : start + 32]
+                    logits = self._batch_logits(self._pack(chunk))
+                    out[start : start + len(chunk)] = np.argmax(
+                        logits.data, axis=1
+                    )
+            else:
+                for pos, sample in enumerate(samples):
+                    out[pos] = int(np.argmax(self._logits(sample).data))
         self.module.train()
-        return np.asarray(out, dtype=np.int64)
+        return out
 
 
 class MVGNNAdapter(_PerGraphAdapter):
     """The paper's multi-view model."""
 
     name = "MV-GNN"
+    supports_batched_training = True
 
     def __init__(self, config: MVGNNConfig, rng: RngLike = None) -> None:
+        super().__init__()
         self.model = MVGNN(config, rng=rng)
 
     @property
@@ -88,13 +192,20 @@ class MVGNNAdapter(_PerGraphAdapter):
     def _logits(self, sample: LoopSample) -> Tensor:
         return self.model(sample.x_semantic, sample.x_structural, sample.adjacency)
 
+    def _batch_logits(self, pack: GraphBatch) -> Tensor:
+        return self.model.forward_batch(
+            pack.x_semantic, pack.x_structural, pack.adj_norm, pack.sizes
+        )
+
 
 class DGCNNAdapter(_PerGraphAdapter):
     """Node-feature-view DGCNN alone (full semantic features)."""
 
     name = "DGCNN"
+    supports_batched_training = True
 
     def __init__(self, config: DGCNNConfig, rng: RngLike = None) -> None:
+        super().__init__()
         self.model = DGCNN(config, rng=rng)
 
     @property
@@ -103,6 +214,11 @@ class DGCNNAdapter(_PerGraphAdapter):
 
     def _logits(self, sample: LoopSample) -> Tensor:
         return self.model(sample.x_semantic, sample.adjacency)
+
+    def _batch_logits(self, pack: GraphBatch) -> Tensor:
+        return self.model.forward_batch(
+            pack.x_semantic, pack.adj_norm, pack.sizes
+        )
 
 
 class StaticGNNAdapter(DGCNNAdapter):
@@ -117,14 +233,21 @@ class StaticGNNAdapter(DGCNNAdapter):
         super().__init__(config, rng=rng)
         self.n_dynamic = n_dynamic
 
-    def _logits(self, sample: LoopSample) -> Tensor:
+    def _semantic_input(self, sample: LoopSample) -> np.ndarray:
         x = sample.x_semantic.copy()
         x[:, -self.n_dynamic :] = 0.0
-        return self.model(x, sample.adjacency)
+        return x
+
+    def _logits(self, sample: LoopSample) -> Tensor:
+        return self.model(self._semantic_input(sample), sample.adjacency)
 
 
 class SingleViewAdapter(_PerGraphAdapter):
-    """One view + LSTM + dense (the Fig. 8 importance setup)."""
+    """One view + LSTM + dense (the Fig. 8 importance setup).
+
+    The LSTM head has no packed path, so this adapter always trains through
+    the per-sample reference implementation.
+    """
 
     def __init__(
         self,
@@ -133,6 +256,7 @@ class SingleViewAdapter(_PerGraphAdapter):
         walk_types: int = 0,
         rng: RngLike = None,
     ) -> None:
+        super().__init__()
         self.view = view
         self.name = f"view:{view}"
         self.model = SingleViewModel(view, dgcnn_config, rng=rng)

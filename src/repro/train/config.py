@@ -6,6 +6,12 @@ softmax loss with temperature 0.5, SortPooling k = 135, NCC batch size 32.
 CPU-friendly default used by the benchmark harness (fewer epochs, a higher
 learning rate to converge within them, a smaller SortPooling k matched to
 our sub-PEG sizes) — EXPERIMENTS.md records both.
+
+``batched`` (default on) routes minibatches through the adapters' packed
+fast path — one forward/backward per minibatch over a block-diagonal pack
+instead of one per sample; differential tests pin both paths to the same
+losses and gradients, and ``batched=False`` keeps the per-sample reference
+implementation reachable.
 """
 
 from __future__ import annotations
@@ -26,6 +32,9 @@ class TrainConfig:
     max_train_samples: int = 0        # 0 = use everything
     eval_every: int = 1               # record curves every N epochs
     grad_clip: float = 5.0
+    batched: bool = True              # pack minibatches (one forward/backward
+                                      # per minibatch); False = per-sample
+                                      # reference path
 
     def __post_init__(self) -> None:
         if self.epochs < 1:

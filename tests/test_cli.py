@@ -30,6 +30,25 @@ class TestCli:
         assert "MV-GNN" in out
         assert "runtime:" in out and "graphs/sec" in out
 
+    def test_train(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        argv = ["train", "--app", "fib", "--epochs", "2", "--batch-size", "4"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "feature cache" in out and "path=batched" in out
+        assert "best epoch:" in out
+        # second run hits the disk-backed feature cache
+        assert main(argv) == 0
+        assert "0 misses" in capsys.readouterr().out
+
+    def test_train_per_sample_path(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(
+            ["train", "--app", "fib", "--epochs", "1", "--batch-size", "4",
+             "--per-sample"]
+        ) == 0
+        assert "path=per-sample (reference)" in capsys.readouterr().out
+
     def test_suggest(self, capsys):
         assert main(["suggest", "--app", "nqueens"]) == 0
         out = capsys.readouterr().out

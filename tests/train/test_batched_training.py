@@ -1,0 +1,234 @@
+"""Differential harness for the batched training path.
+
+The batched path (``TrainConfig.batched`` / ``loss_and_correct_batched``)
+must be a pure optimization: for every graph adapter it has to reproduce
+the per-sample reference path's loss, correct-count, and — most
+importantly — every parameter gradient, or silent gradient corruption
+would poison every downstream experiment.  These tests pin the two paths
+together on ragged minibatches (1-node sub-PEGs, batch of one, dropout on
+and off) and pin ``train_model`` itself to bit-stable reproducibility.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dataset.types import LoopDataset, LoopSample
+from repro.models.dgcnn import DGCNNConfig
+from repro.models.mvgnn import MVGNNConfig
+from repro.nn.layers import normalized_adjacency
+from repro.train import (
+    DGCNNAdapter,
+    MVGNNAdapter,
+    SingleViewAdapter,
+    StaticGNNAdapter,
+    TrainConfig,
+    train_model,
+)
+
+FEATURES = 10
+WALK_TYPES = 5
+GRAD_TOL = dict(rtol=1e-6, atol=1e-6)
+
+
+def _ragged_samples(node_counts, features=FEATURES, walk_types=WALK_TYPES,
+                    seed=0):
+    """One sample per entry of ``node_counts`` (1 = single-node sub-PEG)."""
+    rng = np.random.default_rng(seed)
+    samples = []
+    for pos, nodes in enumerate(node_counts):
+        label = pos % 2
+        adj = (rng.random((nodes, nodes)) < 0.4).astype(float)
+        adj = np.maximum(adj, adj.T)
+        np.fill_diagonal(adj, 0.0)
+        samples.append(
+            LoopSample(
+                sample_id=f"s{pos}", loop_id=f"l{pos}", program_name="p",
+                app="T", suite="NPB", label=label, adjacency=adj,
+                x_semantic=rng.normal(size=(nodes, features)) + 1.5 * label,
+                x_structural=rng.dirichlet(np.ones(walk_types), size=nodes),
+                statements=["x"], loop_features=np.zeros(7),
+            )
+        )
+    return samples
+
+
+RAGGED = [1, 3, 5, 1, 7, 4, 2, 6]
+
+
+def _mv_config(dropout):
+    return MVGNNConfig(
+        semantic_features=FEATURES,
+        walk_types=WALK_TYPES,
+        view_features=8,
+        node_view=DGCNNConfig(
+            in_features=FEATURES, sortpool_k=5, dropout=dropout
+        ),
+        struct_view=DGCNNConfig(in_features=8, sortpool_k=5, dropout=dropout),
+    )
+
+
+def _dgcnn_config(dropout):
+    return DGCNNConfig(in_features=FEATURES, sortpool_k=5, dropout=dropout)
+
+
+ADAPTERS = {
+    "mvgnn": lambda dropout: MVGNNAdapter(_mv_config(dropout), rng=0),
+    "dgcnn": lambda dropout: DGCNNAdapter(_dgcnn_config(dropout), rng=0),
+    "static-gnn": lambda dropout: StaticGNNAdapter(
+        _dgcnn_config(dropout), n_dynamic=3, rng=0
+    ),
+}
+
+
+def _differential(make_adapter, batch, temperature=0.5):
+    """Run both paths on twin adapters; return their (loss, correct, grads)."""
+    reference, batched = make_adapter(), make_adapter()
+    loss_ref, correct_ref = reference.loss_and_correct(batch, temperature)
+    loss_ref.backward()
+    loss_bat, correct_bat = batched.loss_and_correct_batched(
+        batch, temperature
+    )
+    loss_bat.backward()
+    grads_ref = {
+        name: param.grad
+        for name, param in reference.module.named_parameters().items()
+    }
+    grads_bat = {
+        name: param.grad
+        for name, param in batched.module.named_parameters().items()
+    }
+    return (loss_ref, correct_ref, grads_ref), (loss_bat, correct_bat,
+                                                grads_bat)
+
+
+def _assert_paths_agree(ref, bat):
+    (loss_ref, correct_ref, grads_ref), (loss_bat, correct_bat,
+                                         grads_bat) = ref, bat
+    np.testing.assert_allclose(loss_bat.item(), loss_ref.item(), **GRAD_TOL)
+    assert correct_bat == correct_ref
+    assert grads_ref.keys() == grads_bat.keys()
+    for name, grad_ref in grads_ref.items():
+        if grad_ref is None:
+            # e.g. MVGNN never calls its sub-DGCNN classifier heads: neither
+            # path may flow gradient into a parameter the other skipped
+            assert grads_bat[name] is None, f"{name}: only batched path has grad"
+            continue
+        assert grads_bat[name] is not None, f"{name}: batched path left no grad"
+        np.testing.assert_allclose(
+            grads_bat[name], grad_ref, err_msg=f"gradient of {name}",
+            **GRAD_TOL,
+        )
+
+
+class TestDifferential:
+    """Batched vs per-sample: loss, correct-count, and all gradients."""
+
+    @pytest.mark.parametrize("adapter_name", sorted(ADAPTERS))
+    def test_ragged_minibatch_no_dropout(self, adapter_name):
+        batch = _ragged_samples(RAGGED)
+        ref, bat = _differential(lambda: ADAPTERS[adapter_name](0.0), batch)
+        _assert_paths_agree(ref, bat)
+
+    @pytest.mark.parametrize("adapter_name", sorted(ADAPTERS))
+    def test_ragged_minibatch_with_dropout(self, adapter_name):
+        """Twin adapters share dropout RNG streams: a per-sample (1, d) mask
+        drawn B times equals one batched (B, d) mask, so the two paths agree
+        even in training mode with dropout active."""
+        batch = _ragged_samples(RAGGED)
+        ref, bat = _differential(lambda: ADAPTERS[adapter_name](0.5), batch)
+        _assert_paths_agree(ref, bat)
+
+    @pytest.mark.parametrize("adapter_name", sorted(ADAPTERS))
+    def test_batch_of_one_single_node_graph(self, adapter_name):
+        batch = _ragged_samples([1])
+        ref, bat = _differential(lambda: ADAPTERS[adapter_name](0.0), batch)
+        _assert_paths_agree(ref, bat)
+
+    def test_predictions_match_reference(self):
+        samples = _ragged_samples(RAGGED + [3, 2, 9])
+        reference, batched = (
+            MVGNNAdapter(_mv_config(0.5), rng=0) for _ in range(2)
+        )
+        reference.module.eval()
+        per_sample = np.asarray(
+            [
+                int(np.argmax(reference._logits(s).data))
+                for s in samples
+            ]
+        )
+        np.testing.assert_array_equal(batched.predict(samples), per_sample)
+
+
+class TestBatchedDispatch:
+    def test_default_batched_falls_back_to_reference(self):
+        """Adapters without a packed path train unchanged under batched=True."""
+        adapter = SingleViewAdapter(
+            "node", DGCNNConfig(in_features=FEATURES, sortpool_k=5), rng=0
+        )
+        assert not adapter.supports_batched_training
+        batch = _ragged_samples([3, 4])
+        loss, correct = adapter.loss_and_correct_batched(batch, 0.5)
+        assert loss.requires_grad
+        assert 0 <= correct <= len(batch)
+
+    def test_prepared_inputs_cached_across_calls(self):
+        """Per-sample preparation (normalized adjacency, input transforms)
+        is paid once, then reused by every later minibatch."""
+        adapter = StaticGNNAdapter(_dgcnn_config(0.0), n_dynamic=3, rng=0)
+        batch = _ragged_samples([4, 2])
+        adapter.loss_and_correct_batched(batch, 0.5)
+        first = {k: v for k, v in adapter._prepared.items()}
+        adapter.loss_and_correct_batched(batch, 0.5)
+        for sample in batch:
+            assert adapter._prepared[sample.sample_id] is first[sample.sample_id]
+        prepared = adapter._prepared[batch[0].sample_id]
+        np.testing.assert_allclose(
+            prepared.adj_norm, normalized_adjacency(batch[0].adjacency)
+        )
+        assert np.all(prepared.semantic[:, -3:] == 0.0)  # static zeroing
+
+
+class TestReproducibility:
+    def _dataset(self):
+        return LoopDataset(_ragged_samples(RAGGED + [2, 5, 3, 1]), "toy")
+
+    def _config(self, batched):
+        return TrainConfig(
+            epochs=4, lr=2e-3, batch_size=4, sortpool_k=5, seed=11,
+            batched=batched,
+        )
+
+    def test_same_seed_trains_identically(self):
+        curves = []
+        for _ in range(2):
+            adapter = MVGNNAdapter(_mv_config(0.5), rng=3)
+            curves.append(
+                train_model(adapter, self._dataset(), self._config(True))
+            )
+        first, second = curves
+        assert first.epochs == second.epochs
+        assert first.loss == second.loss
+        assert first.train_accuracy == second.train_accuracy
+        assert first.best_epoch == second.best_epoch
+
+    def test_batched_and_per_sample_converge_identically(self):
+        """Full training runs through both paths land on the same optimum:
+        same best epoch, same final accuracy, losses within tolerance."""
+        per_sample = train_model(
+            MVGNNAdapter(_mv_config(0.5), rng=3),
+            self._dataset(),
+            self._config(False),
+        )
+        batched = train_model(
+            MVGNNAdapter(_mv_config(0.5), rng=3),
+            self._dataset(),
+            self._config(True),
+        )
+        assert batched.best_epoch == per_sample.best_epoch
+        np.testing.assert_allclose(
+            batched.loss, per_sample.loss, rtol=1e-6, atol=1e-6
+        )
+        assert (
+            abs(batched.train_accuracy[-1] - per_sample.train_accuracy[-1])
+            <= 1e-9
+        )

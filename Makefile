@@ -4,10 +4,19 @@ export PYTHONPATH := src
 # coverage floor (%) for the training fast path and batched runtime
 COV_FLOOR ?= 85
 
-.PHONY: test test-cov bench bench-runtime bench-train docs-check
+.PHONY: test test-fast test-nightly test-cov bench bench-runtime bench-train \
+	bench-assembly docs-check
 
 test:
 	$(PYTHON) -m pytest tests/ -q
+
+# tier-1 CI slice: everything but the slow sweeps
+test-fast:
+	$(PYTHON) -m pytest tests/ -q -m "not slow"
+
+# nightly depth: full suite (slow sweeps included) + deep hypothesis profile
+test-nightly:
+	REPRO_HYPOTHESIS_PROFILE=nightly $(PYTHON) -m pytest tests/ -q
 
 # Coverage over the batched training path and runtime; needs pytest-cov
 # (`pip install -e .[cov]`). Skips gracefully where pytest-cov is absent.
@@ -29,6 +38,9 @@ bench-runtime:
 
 bench-train:
 	$(PYTHON) -m pytest benchmarks/bench_train_throughput.py --benchmark-only -q
+
+bench-assembly:
+	$(PYTHON) -m pytest benchmarks/bench_assembly_throughput.py --benchmark-only -q
 
 docs-check:
 	$(PYTHON) -m pytest tests/docs/ -q

@@ -1,0 +1,141 @@
+"""Parallel dataset-assembly throughput: process-pool vs serial reference.
+
+Assembles the same dataset twice with caching disabled — once through the
+serial reference path (``n_workers=1``) and once across a 4-worker process
+pool — asserts the two results are byte-identical (fingerprints of all four
+``LoopDataset`` views plus the drop accounting), and reports the speedup.
+The serial setup stage (inst2vec training, task construction) is reported
+separately: it bounds the achievable end-to-end speedup (Amdahl), while the
+extraction stage is what the pool actually scales.
+
+Runs two ways:
+
+* ``pytest benchmarks/bench_assembly_throughput.py --benchmark-only`` — the
+  full measurement on ``DatasetConfig.fast()``, asserting the >=2x
+  acceptance floor at 4 workers.  The assertion needs real parallel
+  hardware and is skipped on machines with fewer than 4 CPU cores (the
+  equivalence check still runs everywhere).
+* ``python benchmarks/bench_assembly_throughput.py --quick`` — the tiny
+  configuration for CI: verifies byte-identity, prints the speedup without
+  gating on it (shared runners are too noisy/narrow to assert timing).
+"""
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.dataset.assemble import DatasetConfig, _assemble  # noqa: E402
+
+WORKERS = 4
+SPEEDUP_FLOOR = 2.0
+
+
+def _config(tiny: bool, n_workers: int) -> DatasetConfig:
+    config = (
+        DatasetConfig.tiny(n_workers=n_workers)
+        if tiny
+        else DatasetConfig.fast(n_workers=n_workers)
+    )
+    config.use_cache = False
+    return config
+
+
+def _fingerprints(data):
+    return {
+        "benchmark": data.benchmark.fingerprint(),
+        "generated": data.generated.fingerprint(),
+        "train": data.train.fingerprint(),
+        "test": data.test.fingerprint(),
+    }
+
+
+def measure(tiny: bool = False, workers: int = WORKERS):
+    """(serial data+time, parallel data+time, speedup); asserts identity."""
+    t0 = time.perf_counter()
+    serial = _assemble(_config(tiny, 1))
+    t_serial = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = _assemble(_config(tiny, workers))
+    t_parallel = time.perf_counter() - t0
+
+    serial_fp = _fingerprints(serial)
+    parallel_fp = _fingerprints(parallel)
+    assert serial_fp == parallel_fp, (
+        f"parallel assembly diverged from serial: "
+        f"{[k for k in serial_fp if serial_fp[k] != parallel_fp[k]]}"
+    )
+    assert serial.stats.drops == parallel.stats.drops, (
+        "drop accounting diverged between serial and parallel assembly"
+    )
+    return serial, t_serial, parallel, t_parallel, t_serial / t_parallel
+
+
+def _report(serial, t_serial, parallel, t_parallel, speedup, emit):
+    n_tasks = serial.stats.n_tasks
+    emit(f"{'path':<16}{'wall s':>9}{'tasks/sec':>11}{'speedup':>9}")
+    emit(f"{'serial':<16}{t_serial:>9.2f}{n_tasks / t_serial:>11.1f}"
+         f"{1.0:>8.1f}x")
+    emit(f"{f'{WORKERS} workers':<16}{t_parallel:>9.2f}"
+         f"{n_tasks / t_parallel:>11.1f}{speedup:>8.1f}x")
+    emit(f"serial setup stage: {serial.stats.setup_seconds:.2f}s of "
+         f"{t_serial:.2f}s (bounds end-to-end speedup)")
+    emit(f"dropped variants: {len(serial.stats.drops)} "
+         f"({serial.stats.drop_reasons()})")
+
+
+def test_assembly_throughput(benchmark):
+    import pytest
+
+    from benchmarks.common import banner, emit
+
+    serial, t_serial, parallel, t_parallel, speedup = measure()
+    banner(f"Parallel dataset assembly ({WORKERS} workers, fast config)")
+    _report(serial, t_serial, parallel, t_parallel, speedup, emit)
+
+    # time one representative parallel tiny assembly under pytest-benchmark
+    benchmark(lambda: _assemble(_config(True, WORKERS)))
+
+    cores = os.cpu_count() or 1
+    if cores < WORKERS:
+        pytest.skip(
+            f"only {cores} CPU core(s): byte-identity verified, but the "
+            f">= {SPEEDUP_FLOOR}x floor needs {WORKERS} cores"
+        )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"expected >={SPEEDUP_FLOOR}x assembly throughput at "
+        f"{WORKERS} workers, got {speedup:.2f}x"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="tiny configuration (CI): verify byte-identity, print the "
+             "speedup, no timing assertion",
+    )
+    parser.add_argument("--workers", type=int, default=WORKERS)
+    args = parser.parse_args(argv)
+
+    result = measure(tiny=args.quick, workers=args.workers)
+    _report(*result, print)
+    speedup = result[-1]
+    if args.quick:
+        print(f"quick mode: results byte-identical; "
+              f"speedup {speedup:.2f}x (not gated)")
+        return 0
+    cores = os.cpu_count() or 1
+    if cores < args.workers:
+        print(f"only {cores} core(s): speedup {speedup:.2f}x (not gated; "
+              f"needs {args.workers} cores)")
+        return 0
+    return 0 if speedup >= SPEEDUP_FLOOR else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

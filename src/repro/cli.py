@@ -16,7 +16,13 @@ Commands
     training path (``--per-sample`` selects the reference per-sample path)
     and print the training curves plus epoch throughput.  Feature
     extraction goes through the runtime ``FeatureCache``, so a second run
-    over the same app skips extraction entirely.
+    over the same app skips extraction entirely; ``--workers N`` fans the
+    per-program extraction across processes.
+``dataset [--workers N]``
+    Assemble the full classification dataset (Section IV-A/IV-B) through
+    the parallel fault-tolerant executor and print the assembly statistics:
+    per-suite loop counts, drop reasons, retries, cache/shard hits, and the
+    split summaries.  ``--tiny``/``--full`` select the configuration scale.
 ``suggest --app NAME [--program N]``
     Print one program of an application as annotated C-like source with
     OpenMP pragma suggestions.
@@ -135,6 +141,8 @@ def _cmd_train(args) -> int:
         train_model,
     )
 
+    from repro.train.data import cached_samples_for_programs
+
     irs = []
     for program in spec.programs:
         ir = lower_program(program)
@@ -144,23 +152,22 @@ def _cmd_train(args) -> int:
     walk_space = AnonymousWalkSpace(4)
     cache = FeatureCache()
 
-    samples = []
-    for program, ir in zip(spec.programs, irs):
+    items = []
+    for program in spec.programs:
         labels = {
             loop_id: loop.label
             for loop_id, loop in spec.loops.items()
             if loop.program_name == program.name
         }
-        samples.extend(
-            cached_loop_samples(
-                program, labels, inst2vec, walk_space, cache,
-                suite=spec.suite, app=spec.name, gamma=20,
-                walk_seed=args.seed, ir_program=ir,
-            )
-        )
-    hits, misses = cache.snapshot()
+        items.append((program, labels))
+    samples, hits, misses = cached_samples_for_programs(
+        items, inst2vec, walk_space, cache,
+        suite=spec.suite, app=spec.name, gamma=20,
+        walk_seed=args.seed, n_workers=args.workers,
+    )
+    workers_note = f", {args.workers} workers" if args.workers > 1 else ""
     print(f"{args.app} ({spec.suite}): {len(samples)} loop samples, "
-          f"feature cache {hits} hits / {misses} misses")
+          f"feature cache {hits} hits / {misses} misses{workers_note}")
 
     semantic_dim = samples[0].x_semantic.shape[1]
     config = MVGNNConfig(
@@ -187,6 +194,35 @@ def _cmd_train(args) -> int:
     print(f"best epoch: {curves.best_epoch}  "
           f"final loss: {curves.loss[-1]:.4f}  "
           f"final train accuracy: {curves.train_accuracy[-1]:.3f}")
+    return 0
+
+
+def _cmd_dataset(args) -> int:
+    from repro.dataset.assemble import DatasetConfig, assemble_dataset
+
+    if args.full:
+        config = DatasetConfig(seed=args.seed)
+        scale = "full (paper)"
+    elif args.tiny:
+        config = DatasetConfig.tiny(seed=args.seed)
+        scale = "tiny"
+    else:
+        config = DatasetConfig.fast(seed=args.seed)
+        scale = "fast"
+    config.n_workers = args.workers
+    config.use_cache = not args.no_cache
+    if args.timeout is not None:
+        config.task_timeout_s = args.timeout if args.timeout > 0 else None
+    config.max_retries = args.retries
+
+    print(f"assembling {scale} dataset "
+          f"(seed {config.seed}, {config.n_workers} worker(s), "
+          f"cache {'on' if config.use_cache else 'off'})")
+    data = assemble_dataset(config)
+    if data.stats is not None:
+        print(data.stats.summary())
+    for split in (data.benchmark, data.generated, data.train, data.test):
+        print(split.summary())
     return 0
 
 
@@ -321,7 +357,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     train.add_argument("--lr", type=float, default=2e-3)
     train.add_argument("--seed", type=int, default=0)
+    train.add_argument(
+        "--workers", type=int, default=1,
+        help="processes for per-program feature extraction (1 = in-process)",
+    )
     train.set_defaults(fn=_cmd_train)
+
+    dataset = sub.add_parser(
+        "dataset",
+        help="assemble the classification dataset and print assembly stats",
+    )
+    scale = dataset.add_mutually_exclusive_group()
+    scale.add_argument(
+        "--full", action="store_true",
+        help="paper-fidelity configuration (hours on CPU; default: fast)",
+    )
+    scale.add_argument(
+        "--tiny", action="store_true",
+        help="four small apps, seconds to assemble (CI/smoke scale)",
+    )
+    dataset.add_argument(
+        "--workers", type=int, default=1,
+        help="extraction worker processes (1 = serial reference path)",
+    )
+    dataset.add_argument("--seed", type=int, default=7)
+    dataset.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore and do not write the on-disk dataset/shard cache",
+    )
+    dataset.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-task timeout in seconds (0 = no timeout; default 300)",
+    )
+    dataset.add_argument(
+        "--retries", type=int, default=1,
+        help="retries per failed extraction task before dropping it",
+    )
+    dataset.set_defaults(fn=_cmd_dataset)
 
     suggest = sub.add_parser(
         "suggest", help="OpenMP suggestions for one program"

@@ -10,10 +10,19 @@ from repro.dataset.transforms import (
     apply_transform,
 )
 from repro.dataset.assemble import (
+    AssembledData,
     DatasetConfig,
     assemble_dataset,
     balanced_subset,
+    build_extraction_tasks,
     train_test_split,
+)
+from repro.dataset.parallel import (
+    AssemblyStats,
+    DropRecord,
+    ExtractionTask,
+    WorkerContext,
+    run_extraction_tasks,
 )
 from repro.dataset.stats import (
     DatasetStats,
@@ -27,6 +36,9 @@ __all__ = [
     "extract_loop_samples",
     "op_substitution", "loop_order_modification", "dependence_injection",
     "TRANSFORM_NAMES", "apply_transform",
-    "DatasetConfig", "assemble_dataset", "balanced_subset", "train_test_split",
+    "AssembledData", "DatasetConfig", "assemble_dataset", "balanced_subset",
+    "build_extraction_tasks", "train_test_split",
+    "AssemblyStats", "DropRecord", "ExtractionTask", "WorkerContext",
+    "run_extraction_tasks",
     "DatasetStats", "dataset_stats", "template_label_breakdown", "quirk_report",
 ]

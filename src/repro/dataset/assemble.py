@@ -6,12 +6,22 @@ augmented with source transforms and six compiler-pipeline IR variants
 examples, and split 75:25 with *no common objects* across the split — all
 variants of one source program land on the same side.
 
-Assembly is expensive (thousands of profiled interpretations); results are
-cached on disk keyed by the configuration hash.
+Assembly is expensive (thousands of profiled interpretations).  The work is
+expressed as a flat list of :class:`~repro.dataset.parallel.ExtractionTask`
+— one per (program variant, compiler pipeline) — executed by
+:func:`repro.dataset.parallel.run_extraction_tasks` either serially
+(``n_workers=1``, the reference path) or across a process pool.  Every task
+carries a pre-spawned RNG seed, so the assembled dataset is byte-identical
+for any worker count and the :class:`~repro.utils.cache.DiskCache` key is
+executor-independent.  Results are cached on disk at two granularities:
+one entry per application shard (so a crashed or interrupted build resumes
+where it stopped) and one entry for the finished dataset.
 """
 
 from __future__ import annotations
 
+import time
+from collections import Counter
 from dataclasses import dataclass, field, asdict
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -19,21 +29,33 @@ import numpy as np
 
 from repro.analysis.features import FEATURE_NAMES
 from repro.benchsuite.base import AppSpec
-from repro.benchsuite.registry import build_all_apps
-from repro.dataset.extraction import extract_loop_samples
+from repro.benchsuite.registry import build_all_apps, build_app
+from repro.dataset.parallel import (
+    GENERATED_SUITE,
+    AssemblyStats,
+    DropRecord,
+    ExtractionTask,
+    WorkerContext,
+    run_extraction_tasks,
+)
 from repro.dataset.transforms import apply_transform
 from repro.dataset.types import LoopDataset, LoopSample
 from repro.embeddings.anonwalk import AnonymousWalkSpace
 from repro.embeddings.inst2vec import Inst2Vec
-from repro.errors import DatasetError, InterpreterError
+from repro.errors import DatasetError
 from repro.ir.lowering import lower_program
-from repro.ir.passes import apply_pipeline
 from repro.ir.verify import verify_program
 from repro.utils.cache import DiskCache, stable_hash
-from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.rng import ensure_rng, spawn_rngs, spawn_seeds
 
 #: bump when extraction/assembly semantics change; invalidates disk caches
-_PIPELINE_VERSION = 2
+_PIPELINE_VERSION = 3
+
+#: DatasetConfig knobs that tune the executor, not the dataset content —
+#: excluded from the cache key so serial and parallel builds share entries.
+#: (``task_timeout_s`` is a fault-tolerance backstop: keep it generous, a
+#: timeout small enough to fire on healthy tasks would change content.)
+_EXECUTOR_KNOBS = ("use_cache", "n_workers", "task_timeout_s", "max_retries")
 
 
 @dataclass
@@ -51,10 +73,15 @@ class DatasetConfig:
     transforms: Tuple[str, ...] = ("ops", "order", "dep", "dep")
     train_fraction: float = 0.75
     inst2vec_epochs: int = 3
+    apps: Optional[Tuple[str, ...]] = None   # None = full Table II roster
     use_cache: bool = True
+    # executor knobs (content-neutral; see _EXECUTOR_KNOBS)
+    n_workers: int = 1
+    task_timeout_s: Optional[float] = 300.0
+    max_retries: int = 1
 
     @classmethod
-    def fast(cls, seed: int = 7) -> "DatasetConfig":
+    def fast(cls, seed: int = 7, n_workers: int = 1) -> "DatasetConfig":
         """CPU-friendly configuration for tests and default benchmark runs."""
         return cls(
             seed=seed,
@@ -63,6 +90,23 @@ class DatasetConfig:
             pipelines=("O0", "O2-licm"),
             transforms=("ops", "dep"),
             inst2vec_epochs=2,
+            n_workers=n_workers,
+        )
+
+    @classmethod
+    def tiny(cls, seed: int = 7, n_workers: int = 1) -> "DatasetConfig":
+        """Four small applications; seconds to assemble.  Differential and
+        metamorphic tests and the CI smoke benchmark run on this."""
+        return cls(
+            seed=seed,
+            semantic_dim=32,
+            gamma=6,
+            n_per_class=40,
+            pipelines=("O0", "O1-dce"),
+            transforms=("ops", "dep"),
+            inst2vec_epochs=1,
+            apps=("EP", "IS", "fib", "nqueens"),
+            n_workers=n_workers,
         )
 
     @property
@@ -71,9 +115,14 @@ class DatasetConfig:
 
     def cache_key(self) -> str:
         payload = asdict(self)
-        payload.pop("use_cache")
+        for knob in _EXECUTOR_KNOBS:
+            payload.pop(knob)
         payload["pipeline_version"] = _PIPELINE_VERSION
         return "dataset-" + stable_hash(payload)
+
+    def shard_key(self, app_name: str) -> str:
+        """Cache key of one application's extracted sample shard."""
+        return f"{self.cache_key()}-shard-{app_name}"
 
 
 @dataclass
@@ -87,6 +136,7 @@ class AssembledData:
     test: LoopDataset               # balanced 25% split
     inst2vec: Inst2Vec
     walk_space: AnonymousWalkSpace
+    stats: Optional[AssemblyStats] = None
 
     def train_groups(self) -> set:
         """Base-program groups present in the training split."""
@@ -120,6 +170,8 @@ def assemble_dataset(config: Optional[DatasetConfig] = None) -> AssembledData:
     if cache is not None:
         cached = cache.get(config.cache_key())
         if cached is not None:
+            if cached.stats is not None:
+                cached.stats.cache_hit = True
             return cached
     data = _assemble(config)
     if cache is not None:
@@ -127,13 +179,91 @@ def assemble_dataset(config: Optional[DatasetConfig] = None) -> AssembledData:
     return data
 
 
+def _selected_apps(config: DatasetConfig) -> List[AppSpec]:
+    if config.apps is None:
+        return build_all_apps()
+    return [build_app(name) for name in config.apps]
+
+
+def build_extraction_tasks(
+    apps: Sequence[AppSpec],
+    config: DatasetConfig,
+    transform_rng,
+) -> List[ExtractionTask]:
+    """The deterministic task list: pure AST work, no profiling.
+
+    Section one mirrors the benchmark pool (authored labels, O0 view of
+    every source program); section two the generated pool (oracle labels:
+    optimized pipeline variants of each source, then each source transform
+    pushed through every pipeline).  Transform randomness comes from seeds
+    pre-spawned in slot order, so the list — and therefore every task's
+    extraction seed — is independent of which shards are later cached.
+    """
+    tasks: List[ExtractionTask] = []
+
+    def add(program, labels, suite, app_name, variant, required):
+        tasks.append(
+            ExtractionTask(
+                index=len(tasks),
+                program=program,
+                labels=labels,
+                suite=suite,
+                app=app_name,
+                variant=variant,
+                required=required,
+            )
+        )
+
+    # -- benchmark pool: authored labels, O0 variant -----------------------
+    for app in apps:
+        for program in app.programs:
+            labels = {
+                loop_id: loop.label
+                for loop_id, loop in app.loops.items()
+                if loop.program_name == program.name
+            }
+            add(program, labels, app.suite, app.name, "O0", required=True)
+
+    # -- generated pool: pipeline variants + source transforms -------------
+    n_slots = sum(
+        len(app.programs) * len(config.transforms) for app in apps
+    )
+    transform_seeds = iter(spawn_seeds(transform_rng, n_slots))
+    for app in apps:
+        for program in app.programs:
+            for pipeline_name in config.pipelines:
+                if pipeline_name == "O0":
+                    continue  # the O0 view of the source is the benchmark pool
+                add(
+                    program, None, GENERATED_SUITE, app.name, pipeline_name,
+                    required=False,
+                )
+            for t_pos, transform_name in enumerate(config.transforms):
+                t_rng = np.random.default_rng(next(transform_seeds))
+                transformed = apply_transform(
+                    program, transform_name, rng=t_rng
+                )
+                transformed.name = f"{program.name}+{transform_name}{t_pos}"
+                # transformed sources also go through the compiler pipelines
+                # ("six different LLVM-IR intermediary representations of
+                # each source code", Section IV-A); a transform that fails
+                # to lower is dropped per pipeline by the task runner
+                for pipeline_name in config.pipelines:
+                    add(
+                        transformed, None, GENERATED_SUITE, app.name,
+                        pipeline_name, required=False,
+                    )
+    return tasks
+
+
 def _assemble(config: DatasetConfig) -> AssembledData:
+    t_start = time.perf_counter()
     rng = ensure_rng(config.seed)
     extract_rng, balance_rng, split_rng, transform_rng, i2v_rng = spawn_rngs(
         rng, 5
     )
 
-    apps = build_all_apps()
+    apps = _selected_apps(config)
 
     # -- inst2vec trained on the base-program IR corpus --------------------
     base_irs = []
@@ -147,76 +277,109 @@ def _assemble(config: DatasetConfig) -> AssembledData:
     )
     walk_space = AnonymousWalkSpace(config.walk_length)
 
-    # -- benchmark pool: authored labels, O0 variant -----------------------------
-    benchmark_samples: List[LoopSample] = []
-    for app in apps:
-        for program in app.programs:
-            labels = {
-                loop_id: loop.label
-                for loop_id, loop in app.loops.items()
-                if loop.program_name == program.name
-            }
-            benchmark_samples.extend(
-                extract_loop_samples(
-                    program,
-                    labels,
-                    inst2vec,
-                    walk_space,
-                    suite=app.suite,
-                    app=app.name,
-                    gamma=config.gamma,
-                    variant="O0",
-                    rng=extract_rng,
-                )
-            )
+    # -- the deterministic task list, one pre-spawned seed per task --------
+    tasks = build_extraction_tasks(apps, config, transform_rng)
+    for task, seed in zip(tasks, spawn_seeds(extract_rng, len(tasks))):
+        task.seed = seed
 
-    # -- generated pool: pipeline variants + source transforms, oracle labels --
+    stats = AssemblyStats(
+        n_tasks=len(tasks),
+        n_workers=max(1, config.n_workers),
+        task_timeout_s=config.task_timeout_s,
+        max_retries=config.max_retries,
+    )
+    t_setup = time.perf_counter()
+    stats.setup_seconds = t_setup - t_start
+
+    # -- execute missing shards, serially or across the pool ---------------
+    ctx = WorkerContext(
+        inst2vec=inst2vec,
+        walk_space=walk_space,
+        gamma=config.gamma,
+        task_timeout_s=config.task_timeout_s,
+    )
+    shard_cache = DiskCache() if config.use_cache else None
+    tasks_by_app: Dict[str, List[ExtractionTask]] = {
+        app.name: [] for app in apps
+    }
+    for task in tasks:
+        tasks_by_app[task.app].append(task)
+
+    shards: Dict[str, Dict[str, object]] = {}
+    missing: List[AppSpec] = []
+    for app in apps:
+        payload = (
+            shard_cache.get(config.shard_key(app.name))
+            if shard_cache is not None
+            else None
+        )
+        if _shard_valid(payload):
+            shards[app.name] = payload
+            stats.shard_hits += 1
+        else:
+            missing.append(app)
+            stats.shard_misses += 1
+
+    if missing:
+        live_tasks = [
+            task for app in missing for task in tasks_by_app[app.name]
+        ]
+        run = run_extraction_tasks(
+            live_tasks,
+            ctx,
+            n_workers=config.n_workers,
+            max_retries=config.max_retries,
+        )
+        stats.n_retries = run.n_retries
+        per_task = {
+            task.index: samples
+            for task, samples in zip(live_tasks, run.samples)
+        }
+        drops_by_app: Dict[str, List[DropRecord]] = {}
+        for drop in run.drops:
+            drops_by_app.setdefault(drop.app, []).append(drop)
+        for app in missing:
+            app_tasks = tasks_by_app[app.name]
+            payload = {
+                "benchmark": [
+                    s
+                    for task in app_tasks
+                    if task.labels is not None
+                    for s in per_task[task.index]
+                ],
+                "generated": [
+                    s
+                    for task in app_tasks
+                    if task.labels is None
+                    for s in per_task[task.index]
+                ],
+                "drops": drops_by_app.get(app.name, []),
+            }
+            shards[app.name] = payload
+            if shard_cache is not None:
+                shard_cache.put(config.shard_key(app.name), payload)
+    stats.extraction_seconds = time.perf_counter() - t_setup
+
+    # -- reassemble pools in application order -----------------------------
+    benchmark_samples: List[LoopSample] = []
     generated_samples: List[LoopSample] = []
     for app in apps:
-        for program in app.programs:
-            base_ir = lower_program(program)
-            for pipeline_name in config.pipelines:
-                if pipeline_name == "O0":
-                    continue  # the O0 view of the source is the benchmark pool
-                variant_ir = apply_pipeline(base_ir, pipeline_name)
-                generated_samples.extend(
-                    _safe_extract(
-                        program, variant_ir, pipeline_name, app, inst2vec,
-                        walk_space, config, extract_rng,
-                    )
-                )
-            for t_pos, transform_name in enumerate(config.transforms):
-                transformed = apply_transform(
-                    program, transform_name, rng=transform_rng
-                )
-                transformed.name = f"{program.name}+{transform_name}{t_pos}"
-                try:
-                    t_ir = lower_program(transformed)
-                    verify_program(t_ir)
-                except Exception:
-                    continue
-                # transformed sources also go through the compiler pipelines
-                # ("six different LLVM-IR intermediary representations of
-                # each source code", Section IV-A)
-                for pipeline_name in config.pipelines:
-                    variant_ir = (
-                        t_ir
-                        if pipeline_name == "O0"
-                        else apply_pipeline(t_ir, pipeline_name)
-                    )
-                    generated_samples.extend(
-                        _safe_extract(
-                            transformed, variant_ir, pipeline_name, app,
-                            inst2vec, walk_space, config, extract_rng,
-                        )
-                    )
+        payload = shards[app.name]
+        benchmark_samples.extend(payload["benchmark"])
+        generated_samples.extend(payload["generated"])
+        stats.drops.extend(payload["drops"])
 
     benchmark = LoopDataset(benchmark_samples, name="benchmark")
     generated = LoopDataset(generated_samples, name="generated")
 
+    pool = benchmark_samples + generated_samples
+    stats.suite_counts = dict(Counter(s.suite for s in pool))
+    stats.app_counts = dict(Counter(s.app for s in pool))
+
     train, test = _balance_and_split(
         benchmark, generated, config, balance_rng, split_rng
     )
+    stats.wall_seconds = time.perf_counter() - t_start
     return AssembledData(
         config=config,
         benchmark=benchmark,
@@ -225,29 +388,15 @@ def _assemble(config: DatasetConfig) -> AssembledData:
         test=test,
         inst2vec=inst2vec,
         walk_space=walk_space,
+        stats=stats,
     )
 
 
-def _safe_extract(
-    program, ir_program, variant, app, inst2vec, walk_space, config, rng
-) -> List[LoopSample]:
-    """Extract with oracle labels; a variant that fails to run is skipped
-    (e.g. an interchanged nest that walks out of bounds)."""
-    try:
-        return extract_loop_samples(
-            program,
-            None,
-            inst2vec,
-            walk_space,
-            suite="Generated",
-            app=app.name,
-            gamma=config.gamma,
-            variant=variant,
-            ir_program=ir_program,
-            rng=rng,
-        )
-    except InterpreterError:
-        return []
+def _shard_valid(payload) -> bool:
+    """A usable shard entry (corrupt entries are already misses upstream)."""
+    return isinstance(payload, dict) and {
+        "benchmark", "generated", "drops"
+    } <= set(payload)
 
 
 def _base_program_key(sample: LoopSample) -> str:
@@ -267,7 +416,11 @@ def _balance_and_split(
     negatives = [s for s in pool if s.label == 0]
     n = min(config.n_per_class, len(positives), len(negatives))
     if n == 0:
-        raise DatasetError("dataset pool has an empty class")
+        raise DatasetError(
+            f"dataset pool has an empty class "
+            f"({len(positives)} parallel / {len(negatives)} non-parallel); "
+            f"widen apps/transforms or lower n_per_class"
+        )
 
     chosen = balanced_subset(positives, negatives, n, balance_rng)
     return train_test_split(
@@ -343,7 +496,11 @@ def train_test_split(
                 test.extend(group)
                 sent_to_test += 1
     if not train or not test:
-        raise DatasetError("degenerate split: one side is empty")
+        raise DatasetError(
+            f"degenerate split: train={len(train)} test={len(test)} samples "
+            f"across {sum(len(g) for g in by_app.values())} group(s); "
+            f"need at least two groups with samples on both sides"
+        )
     return (
         LoopDataset(train, name="train"),
         LoopDataset(test, name="test"),

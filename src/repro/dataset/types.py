@@ -13,6 +13,7 @@ family needs, precomputed once —
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -55,6 +56,31 @@ class LoopSample:
             )
         if self.label not in (0, 1):
             raise DatasetError(f"{self.sample_id}: label must be 0/1")
+
+    def fingerprint(self) -> str:
+        """Stable digest of the full sample content (arrays included).
+
+        Two samples fingerprint equally iff every field that reaches a
+        model or a split decision is byte-identical — the equality the
+        parallel-assembly differential tests assert.
+        """
+        digest = hashlib.sha256()
+        for part in (
+            self.sample_id, self.loop_id, self.program_name,
+            self.app, self.suite, str(self.label),
+        ):
+            digest.update(part.encode("utf-8"))
+            digest.update(b"\x00")
+        for array in (
+            self.adjacency, self.x_semantic,
+            self.x_structural, self.loop_features,
+        ):
+            arr = np.ascontiguousarray(np.asarray(array, dtype=np.float64))
+            digest.update(repr(arr.shape).encode("utf-8"))
+            digest.update(arr.tobytes())
+        digest.update("\x1f".join(self.statements).encode("utf-8"))
+        digest.update(repr(sorted(self.tool_votes.items())).encode("utf-8"))
+        return digest.hexdigest()
 
 
 @dataclass
@@ -102,3 +128,15 @@ class LoopDataset:
             f"LoopDataset({self.name}: {len(self)} samples, "
             f"{pos} parallel / {neg} non-parallel, suites={suites})"
         )
+
+    def fingerprint(self) -> str:
+        """Order-sensitive digest over all sample fingerprints.
+
+        Two datasets fingerprint equally iff they hold byte-identical
+        samples in the same order (the dataset ``name`` is bookkeeping and
+        deliberately excluded).
+        """
+        digest = hashlib.sha256()
+        for sample in self.samples:
+            digest.update(sample.fingerprint().encode("ascii"))
+        return digest.hexdigest()

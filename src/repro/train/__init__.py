@@ -10,7 +10,7 @@ from repro.train.adapters import (
     NCCAdapter,
     SingleViewAdapter,
 )
-from repro.train.data import cached_loop_samples
+from repro.train.data import cached_loop_samples, cached_samples_for_programs
 from repro.train.eval import evaluate_adapter, evaluate_tool_votes
 from repro.train.importance import view_importance
 from repro.train.pretrain import PretrainConfig, pretrain_dgcnn
@@ -21,6 +21,7 @@ __all__ = [
     "ModelAdapter", "MVGNNAdapter", "DGCNNAdapter", "StaticGNNAdapter",
     "NCCAdapter", "SingleViewAdapter",
     "cached_loop_samples",
+    "cached_samples_for_programs",
     "evaluate_adapter", "evaluate_tool_votes",
     "view_importance",
     "PretrainConfig", "pretrain_dgcnn",

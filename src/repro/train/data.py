@@ -21,7 +21,8 @@ distribution; they just differ in which concrete walks are sampled.
 
 from __future__ import annotations
 
-from typing import List, Mapping, Optional
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -116,3 +117,81 @@ def cached_loop_samples(
         sample.validate()
         samples.append(sample)
     return samples
+
+
+def _cached_samples_job(payload) -> Tuple[List[LoopSample], int, int]:
+    """Worker body for :func:`cached_samples_for_programs`.
+
+    Rebuilds a :class:`FeatureCache` over the shared on-disk directory, so
+    workers cooperate through the disk (atomic writes make concurrent
+    misses safe — last writer wins with identical content) and returns its
+    local hit/miss counters for aggregation.
+    """
+    (program, labels, inst2vec, walk_space, cache, suite, app, gamma,
+     walk_seed) = payload
+    samples = cached_loop_samples(
+        program, labels, inst2vec, walk_space, cache,
+        suite=suite, app=app, gamma=gamma, walk_seed=walk_seed,
+    )
+    hits, misses = cache.snapshot()
+    return samples, hits, misses
+
+
+def cached_samples_for_programs(
+    items: Sequence[Tuple[Program, Optional[Mapping[str, int]]]],
+    inst2vec: Inst2Vec,
+    walk_space: AnonymousWalkSpace,
+    cache: FeatureCache,
+    suite: str,
+    app: str,
+    gamma: int = 30,
+    walk_seed: int = 0,
+    n_workers: int = 1,
+) -> Tuple[List[LoopSample], int, int]:
+    """Fan :func:`cached_loop_samples` over ``items`` — one (program,
+    labels) pair per task — across ``n_workers`` processes.
+
+    Returns ``(samples, cache_hits, cache_misses)`` with samples in item
+    order.  Results are identical for any worker count: each call derives
+    its walks from the fixed ``walk_seed``, never from shared generator
+    state.  With ``n_workers=1`` no processes are spawned and the parent's
+    ``cache`` counters advance as before.
+    """
+    if n_workers <= 1:
+        samples: List[LoopSample] = []
+        for program, labels in items:
+            samples.extend(
+                cached_loop_samples(
+                    program, labels, inst2vec, walk_space, cache,
+                    suite=suite, app=app, gamma=gamma, walk_seed=walk_seed,
+                )
+            )
+        hits, misses = cache.snapshot()
+        return samples, hits, misses
+
+    payloads = [
+        (program, labels, inst2vec, walk_space, cache, suite, app, gamma,
+         walk_seed)
+        for program, labels in items
+    ]
+    samples = []
+    hits = misses = 0
+    import multiprocessing as mp
+
+    mp_context = (
+        mp.get_context("fork")
+        if "fork" in mp.get_all_start_methods()
+        else None
+    )
+    with ProcessPoolExecutor(
+        max_workers=n_workers, mp_context=mp_context
+    ) as executor:
+        for job_samples, job_hits, job_misses in executor.map(
+            _cached_samples_job, payloads
+        ):
+            samples.extend(job_samples)
+            hits += job_hits
+            misses += job_misses
+    cache.hits += hits
+    cache.misses += misses
+    return samples, cache.hits, cache.misses

@@ -7,7 +7,7 @@ experiments are reproducible from a single integer seed.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -29,12 +29,22 @@ def ensure_rng(rng: RngLike = None) -> np.random.Generator:
     raise TypeError(f"cannot build a Generator from {type(rng).__name__}")
 
 
+def spawn_seeds(rng: RngLike, n: int) -> List[int]:
+    """Split ``rng`` into ``n`` independent integer seeds.
+
+    Seeds are plain ints so they can cross process boundaries (the parallel
+    dataset assembler ships one per extraction task) and so a retried task
+    can rebuild an *identical* generator instead of resuming a mutated one.
+    """
+    parent = ensure_rng(rng)
+    seeds = parent.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [int(s) for s in seeds]
+
+
 def spawn_rngs(rng: RngLike, n: int) -> Sequence[np.random.Generator]:
     """Split ``rng`` into ``n`` independent child generators.
 
     Uses the SeedSequence spawning protocol so children are statistically
     independent regardless of how the parent is later used.
     """
-    parent = ensure_rng(rng)
-    seeds = parent.integers(0, 2**63 - 1, size=n, dtype=np.int64)
-    return [np.random.default_rng(int(s)) for s in seeds]
+    return [np.random.default_rng(s) for s in spawn_seeds(rng, n)]

@@ -1,9 +1,12 @@
-"""Shared fixtures."""
+"""Shared fixtures + hypothesis profiles."""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.embeddings.anonwalk import AnonymousWalkSpace
 from repro.embeddings.inst2vec import Inst2Vec
@@ -15,6 +18,25 @@ from tests.helpers import (
     build_sequential_program,
     lower_and_verify,
 )
+
+# Property-test depth is an environment decision, not a per-test one: the
+# default ("ci") profile keeps tier-1 fast; the nightly workflow exports
+# REPRO_HYPOTHESIS_PROFILE=nightly for a much deeper sweep of the same
+# properties.  deadline is disabled everywhere — profiling-backed examples
+# have legitimately heavy-tailed runtimes.
+settings.register_profile(
+    "ci",
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "nightly",
+    max_examples=250,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "ci"))
 
 
 @pytest.fixture(scope="session")

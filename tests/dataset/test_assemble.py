@@ -1,15 +1,19 @@
 """Balancing and splitting logic (unit level; full assembly is covered by
-the integration suite)."""
+the integration suite).  The hypothesis classes at the bottom state the
+split invariants as properties over arbitrary pools."""
 
 import numpy as np
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.dataset.assemble import (
     DatasetConfig,
+    _balance_and_split,
     balanced_subset,
     train_test_split,
 )
-from repro.dataset.types import LoopSample
+from repro.dataset.types import LoopDataset, LoopSample
 from repro.errors import DatasetError
 
 
@@ -102,6 +106,108 @@ class TestSplit:
         train, test = train_test_split(samples, 0.75, np.random.default_rng(4))
         fraction = len(train) / (len(train) + len(test))
         assert 0.6 < fraction < 0.9
+
+
+@st.composite
+def pools(draw):
+    """Arbitrary labeled pools: 1-3 apps, 1-5 groups each, 1-6 loops per
+    group, any label pattern — including the degenerate shapes (one group
+    total, one-class pools) the splitter must reject cleanly."""
+    samples = []
+    sid = 0
+    for a in range(draw(st.integers(1, 3))):
+        for g in range(draw(st.integers(1, 5))):
+            for _ in range(draw(st.integers(1, 6))):
+                samples.append(
+                    _sample(
+                        f"s{sid}", draw(st.integers(0, 1)),
+                        f"app{a}prog{g}", app=f"APP{a}",
+                    )
+                )
+                sid += 1
+    return samples
+
+
+class TestSplitProperties:
+    @given(
+        samples=pools(),
+        fraction=st.floats(min_value=0.05, max_value=0.95),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_split_is_a_grouped_partition(self, samples, fraction, seed):
+        """Whenever the split succeeds: it is an exact partition of the
+        pool, no group straddles it, every multi-group app keeps at least
+        one group on the test side, and the per-app train share overshoots
+        its target by less than one group.  When it fails, it fails with
+        DatasetError — never an unexplained crash."""
+        try:
+            train, test = train_test_split(
+                samples, fraction, np.random.default_rng(seed)
+            )
+        except DatasetError as exc:
+            assert "degenerate split" in str(exc)
+            return
+
+        got = sorted(s.sample_id for s in list(train) + list(test))
+        assert got == sorted(s.sample_id for s in samples)
+
+        train_groups = {s.program_name for s in train}
+        test_groups = {s.program_name for s in test}
+        assert not train_groups & test_groups
+
+        by_app = {}
+        for s in samples:
+            by_app.setdefault(s.app, {}).setdefault(
+                s.program_name, []
+            ).append(s)
+        for app, groups in by_app.items():
+            if len(groups) < 2:
+                continue
+            assert any(s.app == app for s in test), (
+                f"{app} has {len(groups)} groups but none reached test"
+            )
+            app_total = sum(len(g) for g in groups.values())
+            train_total = sum(1 for s in train if s.app == app)
+            max_group = max(len(g) for g in groups.values())
+            assert train_total < fraction * app_total + max_group
+
+    @given(
+        samples=pools(),
+        n=st.integers(min_value=1, max_value=20),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_balanced_subset_exact_or_typed_error(self, samples, n, seed):
+        pos = [s for s in samples if s.label == 1]
+        neg = [s for s in samples if s.label == 0]
+        rng = np.random.default_rng(seed)
+        if n > len(pos) or n > len(neg):
+            with pytest.raises(DatasetError):
+                balanced_subset(pos, neg, n, rng)
+            return
+        chosen = balanced_subset(pos, neg, n, rng)
+        labels = [s.label for s in chosen]
+        assert labels.count(1) == n and labels.count(0) == n
+        # sampling without replacement: no sample appears twice
+        ids = [s.sample_id for s in chosen]
+        assert len(ids) == len(set(ids))
+        assert set(ids) <= {s.sample_id for s in samples}
+
+    @given(samples=pools(), seed=st.integers(0, 2**31 - 1))
+    def test_one_class_pool_is_a_clear_dataset_error(self, samples, seed):
+        """`_balance_and_split` on a pool where one class is empty must
+        raise DatasetError naming the class imbalance, not crash inside
+        the sampler."""
+        one_class = [s for s in samples if s.label == 1]
+        config = DatasetConfig(n_per_class=4)
+        rng = np.random.default_rng(seed)
+        with pytest.raises(DatasetError, match="empty class"):
+            _balance_and_split(
+                LoopDataset(one_class, name="benchmark"),
+                LoopDataset([], name="generated"),
+                config,
+                rng,
+                rng,
+            )
 
 
 class TestConfig:

@@ -1,0 +1,203 @@
+"""Metamorphic correctness of the dataset augmentation pipeline.
+
+The augmentation premise (Section IV-A) is that source transforms and
+compiler pipelines manufacture *new training examples with known labels*.
+That only holds if each transform preserves the properties the dataset
+relies on.  These tests state those invariants explicitly and check them
+against the dynamic oracle, per transform:
+
+* every transform preserves the loop-id set and loop count — loop ids are
+  positional (``prog:main:L3``), and the transforms rewrite loop bodies
+  without adding or removing loops;
+* ``ops`` (operator strength substitution) preserves each loop's oracle
+  label exactly — rewriting ``2*x`` as ``x+x`` cannot change a dependence;
+* ``order`` (loop interchange) preserves the *multiset* of labels: an
+  interchange may move the parallel dimension between the two interchanged
+  headers, but cannot manufacture or destroy parallelism elsewhere;
+* ``dep`` (dependence injection) only flips labels one way, 1 -> 0 — it
+  adds a loop-carried dependence, it can never remove one;
+* every compiler pipeline is semantics-preserving, so the oracle labels of
+  a pipeline variant equal the O0 labels of the same source;
+* the transformed program's name keys to the source program's *no common
+  objects* group, so augmented variants can never straddle the split.
+
+A transform variant that fails to lower/verify or to execute is the
+documented drop path (see :mod:`repro.dataset.parallel`) — the invariant
+checked here is that nothing *other* than those typed errors ever escapes.
+"""
+
+from collections import Counter
+from functools import lru_cache
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.oracle import classify_all_loops
+from repro.benchsuite.registry import TABLE_II_COUNTS, build_app
+from repro.dataset.assemble import DatasetConfig, _base_program_key
+from repro.dataset.transforms import apply_transform
+from repro.errors import InterpreterError, IRError
+from repro.ir.lowering import lower_program
+from repro.ir.verify import verify_program
+from repro.profiler.interpreter import profile_program
+
+#: the transform/pipeline vocabulary under test is exactly what assembly uses
+TRANSFORMS = sorted(set(DatasetConfig().transforms))
+PIPELINES = [p for p in DatasetConfig().pipelines if p != "O0"]
+
+#: small applications: cheap to profile, still covers NPB/PolyBench/BOTS
+QUICK_APPS = ("EP", "IS", "CG", "2mm", "jacobi-2d", "trmm", "fib", "nqueens")
+
+
+@lru_cache(maxsize=None)
+def _programs(app_name):
+    return tuple(build_app(app_name).programs)
+
+
+def oracle_labels(program, pipeline=None):
+    """loop_id -> 0/1 oracle labels, as dataset extraction assigns them
+    (executed For loops with an induction variable).
+
+    Returns None when the variant fails to lower, verify, or execute —
+    the assembly drop path — and lets any *other* exception propagate.
+    """
+    try:
+        ir = lower_program(program)
+        verify_program(ir)
+        if pipeline is not None:
+            from repro.ir.passes import apply_pipeline
+
+            ir = apply_pipeline(ir, pipeline)
+        report = profile_program(ir)
+    except (IRError, InterpreterError):
+        return None
+    return {
+        loop_id: int(result.parallel)
+        for loop_id, result in classify_all_loops(ir, report).items()
+        if result.executed and ir.all_loops()[loop_id].var
+    }
+
+
+def transformed(program, transform, seed):
+    out = apply_transform(program, transform, rng=np.random.default_rng(seed))
+    out.name = f"{program.name}+{transform}0"
+    return out
+
+
+def check_invariants(program, transform, seed):
+    """The per-(program, transform, seed) metamorphic contract."""
+    base = oracle_labels(program)
+    if base is None:
+        return  # source itself is un-runnable; nothing to compare against
+    variant = transformed(program, transform, seed)
+
+    # group key: augmented variants key back to the source program
+    class _S:
+        program_name = variant.name
+
+    assert _base_program_key(_S) == program.name
+
+    labels = oracle_labels(variant)
+    if labels is None:
+        return  # typed drop path; anything else would have raised above
+
+    # loop identity: same loops, same count
+    assert set(labels) == set(base), (
+        f"{transform} changed the loop-id set of {program.name}"
+    )
+    assert len(labels) == len(base)
+
+    if transform == "ops":
+        assert labels == base, (
+            f"ops changed oracle labels of {program.name}: {base} -> {labels}"
+        )
+    elif transform == "order":
+        assert Counter(labels.values()) == Counter(base.values()), (
+            f"order changed the label multiset of {program.name}"
+        )
+    elif transform == "dep":
+        for loop_id, label in labels.items():
+            assert label <= base[loop_id], (
+                f"dep flipped {program.name}:{loop_id} from non-parallel "
+                f"to parallel"
+            )
+    else:  # a transform added to DatasetConfig without a stated invariant
+        pytest.fail(f"no metamorphic invariant declared for {transform!r}")
+
+
+programs_strategy = st.builds(
+    lambda app, i: _programs(app)[i % len(_programs(app))],
+    st.sampled_from(QUICK_APPS),
+    st.integers(min_value=0, max_value=40),
+)
+
+
+class TestTransformInvariants:
+    @given(
+        program=programs_strategy,
+        transform=st.sampled_from(TRANSFORMS),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_transform_preserves_contract(self, program, transform, seed):
+        check_invariants(program, transform, seed)
+
+    @pytest.mark.parametrize("transform", TRANSFORMS)
+    def test_transform_contract_on_tiny_roster(self, transform):
+        """Deterministic floor under the hypothesis test: the tiny-config
+        roster, two seeds each, always in tier-1."""
+        for app_name in DatasetConfig.tiny().apps:
+            for program in _programs(app_name):
+                for seed in (0, 1):
+                    check_invariants(program, transform, seed)
+
+
+class TestPipelineInvariants:
+    @given(
+        program=programs_strategy,
+        pipeline=st.sampled_from(PIPELINES),
+    )
+    def test_pipeline_preserves_oracle_labels(self, program, pipeline):
+        base = oracle_labels(program)
+        if base is None:
+            return
+        optimized = oracle_labels(program, pipeline=pipeline)
+        assert optimized == base, (
+            f"{pipeline} changed oracle labels of {program.name}"
+        )
+
+    @given(
+        program=programs_strategy,
+        transform=st.sampled_from(TRANSFORMS),
+        pipeline=st.sampled_from(PIPELINES),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_pipeline_preserves_labels_of_transformed(
+        self, program, transform, pipeline, seed
+    ):
+        """The composed augmentation (transform, then pipeline) — exactly
+        what :func:`build_extraction_tasks` emits — keeps the label the
+        oracle assigned at O0."""
+        variant = transformed(program, transform, seed)
+        base = oracle_labels(variant)
+        if base is None:
+            return
+        optimized = oracle_labels(variant, pipeline=pipeline)
+        if optimized is None:
+            return  # pipeline variant independently un-runnable: drop path
+        assert optimized == base, (
+            f"{pipeline} changed oracle labels of transformed "
+            f"{variant.name}"
+        )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("app_name", sorted(TABLE_II_COUNTS))
+def test_metamorphic_sweep_full_roster(app_name):
+    """Nightly-depth sweep: every transform against every application
+    (programs capped per app to bound runtime)."""
+    for program in _programs(app_name)[:4]:
+        for transform in TRANSFORMS:
+            for seed in (0, 1):
+                check_invariants(program, transform, seed)

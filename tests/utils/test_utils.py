@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.utils.cache import DiskCache, stable_hash
-from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.rng import ensure_rng, spawn_rngs, spawn_seeds
 from repro.utils.timing import Timer
 
 
@@ -35,6 +35,33 @@ class TestRng:
         a = [c.random() for c in spawn_rngs(3, 3)]
         b = [c.random() for c in spawn_rngs(3, 3)]
         assert a == b
+
+    def test_spawn_seeds_deterministic_plain_ints(self):
+        a = spawn_seeds(np.random.default_rng(3), 5)
+        b = spawn_seeds(np.random.default_rng(3), 5)
+        assert a == b
+        assert all(type(s) is int and s >= 0 for s in a)
+        assert len(set(a)) == 5
+
+    def test_spawn_seeds_consistent_with_spawn_rngs(self):
+        # spawn_rngs(parent, n) must be exactly default_rng over
+        # spawn_seeds of the same parent — the parallel task runner relies
+        # on this to rebuild a task's generator from its stored seed
+        seeds = spawn_seeds(np.random.default_rng(11), 4)
+        via_seeds = [np.random.default_rng(s).random() for s in seeds]
+        via_rngs = [c.random() for c in spawn_rngs(11, 4)]
+        assert via_seeds == via_rngs
+
+    def test_spawn_seeds_prefix_stable(self):
+        # the first k seeds do not depend on how many are drawn in total,
+        # so shrinking a task list never reshuffles the surviving seeds
+        assert (
+            spawn_seeds(np.random.default_rng(5), 6)[:3]
+            == spawn_seeds(np.random.default_rng(5), 3)
+        )
+
+    def test_spawn_seeds_zero(self):
+        assert spawn_seeds(np.random.default_rng(0), 0) == []
 
 
 class TestStableHash:

@@ -5,7 +5,7 @@ export PYTHONPATH := src
 COV_FLOOR ?= 85
 
 .PHONY: test test-fast test-nightly test-cov bench bench-runtime bench-train \
-	bench-assembly docs-check
+	bench-assembly bench-serve serve-smoke docs-check
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -41,6 +41,20 @@ bench-train:
 
 bench-assembly:
 	$(PYTHON) -m pytest benchmarks/bench_assembly_throughput.py --benchmark-only -q
+
+# Micro-batched vs batch-size-1 serving throughput + open-loop deadline
+# check. QUICK=1 runs the small ungated CI variant.
+bench-serve:
+ifdef QUICK
+	$(PYTHON) benchmarks/bench_serve_latency.py --quick
+else
+	$(PYTHON) -m pytest benchmarks/bench_serve_latency.py --benchmark-only -q
+endif
+
+# End-to-end serving smoke: subprocess server, concurrent HTTP clients,
+# /metrics conservation, SIGTERM -> 130.
+serve-smoke:
+	$(PYTHON) benchmarks/serve_smoke.py
 
 docs-check:
 	$(PYTHON) -m pytest tests/docs/ -q

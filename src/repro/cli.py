@@ -23,17 +23,28 @@ Commands
     the parallel fault-tolerant executor and print the assembly statistics:
     per-suite loop counts, drop reasons, retries, cache/shard hits, and the
     split summaries.  ``--tiny``/``--full`` select the configuration scale.
+``serve [--app NAME] [--port P]``
+    Start the async micro-batching inference service (:mod:`repro.serve`):
+    an MV-GNN trained on the app's labeled loops behind an HTTP API
+    (``POST /v1/classify``, ``GET /metrics``, ...).  Runs until SIGINT or
+    SIGTERM, then shuts down cleanly with exit code 130.  See
+    docs/SERVING.md.
 ``suggest --app NAME [--program N]``
     Print one program of an application as annotated C-like source with
     OpenMP pragma suggestions.
 ``patterns --app NAME``
     Summarize the parallel-pattern distribution of an application.
+
+Long-running commands (``serve``, ``train``, ``dataset``) map SIGTERM and
+Ctrl-C to a clean shutdown with exit code 130 instead of a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
+import threading
 from collections import Counter
 from typing import List, Optional
 
@@ -58,18 +69,20 @@ def _cmd_table2(_args) -> int:
     return 0
 
 
-def _batched_gnn_predictions(spec, batch_size: int, epochs: int, seed: int = 0):
-    """(loop_id -> MV-GNN label, engine) via the batched runtime.
+def _build_app_engine(spec, batch_size: int, epochs: int, seed: int = 0):
+    """(engine, loop samples) for one application via the batched runtime.
 
-    Extracts the app's loop samples once, optionally trains a small MV-GNN
-    on them (the labels are the app's authored annotations), and classifies
-    every loop through ``Engine.predict_many``.
+    Extracts the app's loop samples once and optionally trains a small
+    MV-GNN on them (the labels are the app's authored annotations).  Shared
+    by ``classify --batch`` (one-shot predictions) and ``serve`` (the
+    long-lived service's model + example pool).
     """
     from repro.dataset.extraction import extract_loop_samples
     from repro.dataset.types import LoopDataset
     from repro.embeddings.anonwalk import AnonymousWalkSpace
     from repro.embeddings.inst2vec import Inst2Vec
     from repro.models.dgcnn import DGCNNConfig
+    from repro.models.mvgnn import MVGNNConfig
     from repro.runtime import Engine
     from repro.train.adapters import MVGNNAdapter
     from repro.train.config import TrainConfig
@@ -99,8 +112,6 @@ def _batched_gnn_predictions(spec, batch_size: int, epochs: int, seed: int = 0):
         )
 
     semantic_dim = samples[0].x_semantic.shape[1]
-    from repro.models.mvgnn import MVGNNConfig
-
     config = MVGNNConfig(
         semantic_features=semantic_dim,
         walk_types=walk_space.num_types,
@@ -119,6 +130,12 @@ def _batched_gnn_predictions(spec, batch_size: int, epochs: int, seed: int = 0):
         adapter.model, inst2vec=inst2vec, walk_space=walk_space,
         batch_size=batch_size,
     )
+    return engine, samples
+
+
+def _batched_gnn_predictions(spec, batch_size: int, epochs: int, seed: int = 0):
+    """(loop_id -> MV-GNN label, engine) via the batched runtime."""
+    engine, samples = _build_app_engine(spec, batch_size, epochs, seed)
     predicted = engine.predict_many(samples)
     return (
         {s.loop_id: int(p) for s, p in zip(samples, predicted)},
@@ -126,7 +143,56 @@ def _batched_gnn_predictions(spec, batch_size: int, epochs: int, seed: int = 0):
     )
 
 
+def _install_sigterm_handler() -> None:
+    """Map SIGTERM to KeyboardInterrupt so ``main`` exits 130 cleanly.
+
+    Long-running commands (train, dataset) call this; ``serve`` installs
+    its own asyncio signal handlers instead.  No-op off the main thread
+    (signal handlers may only be set there).
+    """
+    if threading.current_thread() is not threading.main_thread():
+        return
+
+    def _raise(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _raise)
+    except (OSError, ValueError):  # pragma: no cover - exotic platforms
+        pass
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve import InferenceService, ServeConfig, serve_forever
+
+    spec = build_app(args.app)
+    print(f"building engine for {args.app} ({spec.suite}): "
+          f"{spec.loop_count} loops, {args.epochs} training epochs")
+    engine, samples = _build_app_engine(
+        spec, batch_size=args.max_batch_size, epochs=args.epochs,
+        seed=args.seed,
+    )
+    config = ServeConfig(
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        max_queue_depth=args.queue_depth,
+        default_deadline_ms=args.deadline_ms if args.deadline_ms > 0 else None,
+        executor_workers=args.workers,
+        host=args.host,
+        port=args.port,
+    )
+    service = InferenceService(engine, config, examples=samples)
+    print(f"micro-batcher: max_batch_size={config.max_batch_size}, "
+          f"max_wait_ms={config.max_wait_ms}, "
+          f"queue_depth={config.max_queue_depth}, "
+          f"deadline_ms={config.default_deadline_ms}", flush=True)
+    return asyncio.run(serve_forever(service, config))
+
+
 def _cmd_train(args) -> int:
+    _install_sigterm_handler()
     spec = build_app(args.app)
     from repro.dataset.types import LoopDataset
     from repro.embeddings.anonwalk import AnonymousWalkSpace
@@ -198,6 +264,7 @@ def _cmd_train(args) -> int:
 
 
 def _cmd_dataset(args) -> int:
+    _install_sigterm_handler()
     from repro.dataset.assemble import DatasetConfig, assemble_dataset
 
     if args.full:
@@ -395,6 +462,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dataset.set_defaults(fn=_cmd_dataset)
 
+    serve = sub.add_parser(
+        "serve",
+        help="start the async micro-batching inference service "
+             "(see docs/SERVING.md)",
+    )
+    serve.add_argument(
+        "--app", default="fib", choices=app_names(),
+        help="application whose loops train/feed the served model",
+    )
+    serve.add_argument(
+        "--epochs", type=int, default=0,
+        help="MV-GNN training epochs on the app's labels before serving "
+             "(0 = untrained demo weights)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8100,
+        help="bind port (0 = let the OS pick; the chosen port is printed)",
+    )
+    serve.add_argument(
+        "--max-batch-size", type=int, default=32,
+        help="graphs coalesced per engine dispatch",
+    )
+    serve.add_argument(
+        "--max-wait-ms", type=float, default=5.0,
+        help="batching window anchored to the oldest queued request",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=256,
+        help="admission-control bound; beyond it requests get 429",
+    )
+    serve.add_argument(
+        "--deadline-ms", type=float, default=1000.0,
+        help="default per-request deadline (0 = no deadline)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help="inference executor threads",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.set_defaults(fn=_cmd_serve)
+
     suggest = sub.add_parser(
         "suggest", help="OpenMP suggestions for one program"
     )
@@ -414,6 +523,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
+    except KeyboardInterrupt:
+        # Ctrl-C or SIGTERM (see _install_sigterm_handler) on a
+        # long-running command: report the conventional 128+SIGINT code
+        # instead of dumping a traceback.
+        print("interrupted", file=sys.stderr)
+        return 130
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

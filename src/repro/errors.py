@@ -53,3 +53,32 @@ class ConfigError(ReproError):
 
 class EngineError(ReproError):
     """Batched inference runtime failure (bad input kind, missing extractor)."""
+
+
+class ServeError(ReproError):
+    """Inference-service failure (batcher shutdown, internal error)."""
+
+
+class WireError(ServeError):
+    """Malformed request payload (maps to HTTP 400)."""
+
+
+class QueueFullError(ServeError):
+    """Admission control rejected the request: the queue is at capacity.
+
+    Maps to HTTP 429; ``retry_after_s`` is the suggested client back-off,
+    surfaced as a ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 0.05) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class DeadlineExceededError(ServeError):
+    """The request's deadline expired before a response could be served.
+
+    Raised both for requests shed while still queued and for requests whose
+    batch finished after the deadline — a deadline is a promise to never
+    serve late.  Maps to HTTP 504.
+    """

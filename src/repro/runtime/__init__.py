@@ -9,7 +9,7 @@ measured throughput.
 """
 
 from repro.runtime.batch import GraphBatch, iter_chunks
-from repro.runtime.engine import Engine, EngineStats
+from repro.runtime.engine import Engine, EngineStats, GraphInput
 from repro.runtime.features import (
     FeatureCache,
     embedder_fingerprint,
@@ -21,6 +21,7 @@ __all__ = [
     "EngineStats",
     "FeatureCache",
     "GraphBatch",
+    "GraphInput",
     "embedder_fingerprint",
     "iter_chunks",
     "subpeg_adjacency",

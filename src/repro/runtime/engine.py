@@ -14,6 +14,7 @@ safely share a model with a training loop.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
@@ -30,7 +31,24 @@ from repro.peg.graph import PEG
 from repro.runtime.batch import GraphBatch, iter_chunks
 from repro.runtime.features import FeatureCache, subpeg_adjacency
 
-LoopInput = Union[LoopSample, PEG]
+@dataclass(frozen=True)
+class GraphInput:
+    """Pre-extracted model inputs for one loop sub-PEG.
+
+    The wire-level input kind: callers (the serving layer, remote clients)
+    that already hold the three feature arrays hand them over directly,
+    with no dataset metadata and no extractor round-trip.  Shapes follow
+    :class:`~repro.dataset.types.LoopSample`: ``adjacency`` is ``(n, n)``,
+    the two feature matrices have ``n`` rows.
+    """
+
+    x_semantic: np.ndarray
+    x_structural: np.ndarray
+    adjacency: np.ndarray
+    graph_id: str = ""
+
+
+LoopInput = Union[LoopSample, PEG, GraphInput]
 
 
 @dataclass
@@ -96,6 +114,14 @@ class Engine:
         self.gamma = gamma
         self.walk_seed = walk_seed
         self.stats = EngineStats()
+        # Serializes stats mutation and the model's eval/train mode flips so
+        # predict_many is safe to call from several threads at once (the
+        # serving layer's inference executor does exactly that).  The
+        # forward pass itself runs outside the lock — it only reads model
+        # weights — so concurrent batches still overlap inside BLAS.
+        self._state_lock = threading.Lock()
+        self._active_calls = 0
+        self._restore_training = False
 
     # -- input adaptation ----------------------------------------------------
 
@@ -104,6 +130,11 @@ class Engine:
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, str]:
         if isinstance(loop, LoopSample):
             return loop.x_semantic, loop.x_structural, loop.adjacency, loop.sample_id
+        if isinstance(loop, GraphInput):
+            return (
+                loop.x_semantic, loop.x_structural, loop.adjacency,
+                loop.graph_id or f"graph-{pos}",
+            )
         if isinstance(loop, PEG):
             if self.inst2vec is None or self.walk_space is None:
                 raise EngineError(
@@ -117,7 +148,7 @@ class Engine:
             return semantic, structural, subpeg_adjacency(loop), loop.name
         raise EngineError(
             f"unsupported loop input #{pos}: {type(loop).__name__} "
-            "(expected LoopSample or PEG)"
+            "(expected LoopSample, PEG, or GraphInput)"
         )
 
     def _batch_for(self, loops: Sequence[LoopInput], start: int) -> GraphBatch:
@@ -147,13 +178,12 @@ class Engine:
         size = batch_size if batch_size is not None else self.batch_size
         if size <= 0:
             raise EngineError(f"batch_size must be positive, got {size}")
-        hits0, misses0 = self.cache.snapshot()
         started = time.perf_counter()
 
-        was_training = self.model.training
-        self.model.eval()
+        self._enter_eval()
         try:
             rows: List[np.ndarray] = []
+            batches = 0
             with no_grad():
                 start = 0
                 for chunk in iter_chunks(loops, size):
@@ -165,18 +195,39 @@ class Engine:
                         batch.sizes,
                     )
                     rows.append(logits.data)
-                    self.stats.batches += 1
+                    batches += 1
                     start += len(chunk)
         finally:
-            if was_training:
-                self.model.train()
+            self._exit_eval()
 
-        self.stats.graphs += len(loops)
-        self.stats.seconds += time.perf_counter() - started
-        hits1, misses1 = self.cache.snapshot()
-        self.stats.cache_hits += hits1 - hits0
-        self.stats.cache_misses += misses1 - misses0
+        elapsed = time.perf_counter() - started
+        with self._state_lock:
+            self.stats.batches += batches
+            self.stats.graphs += len(loops)
+            self.stats.seconds += elapsed
+            # Concurrent callers' cache hits/misses cannot be attributed
+            # per-call, so the engine mirrors the cache's own cumulative
+            # counters rather than diffing snapshots around the call.
+            self.stats.cache_hits, self.stats.cache_misses = (
+                self.cache.snapshot()
+            )
         return np.concatenate(rows, axis=0)
+
+    def _enter_eval(self) -> None:
+        """First concurrent call flips the model to eval; the rest ride it."""
+        with self._state_lock:
+            if self._active_calls == 0:
+                self._restore_training = self.model.training
+                if self._restore_training:
+                    self.model.eval()
+            self._active_calls += 1
+
+    def _exit_eval(self) -> None:
+        with self._state_lock:
+            self._active_calls -= 1
+            if self._active_calls == 0 and self._restore_training:
+                self.model.train()
+                self._restore_training = False
 
     def predict_many(
         self, loops: Sequence[LoopInput], batch_size: Optional[int] = None

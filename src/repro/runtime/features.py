@@ -19,6 +19,7 @@ cacheable at all.
 from __future__ import annotations
 
 import hashlib
+import threading
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -89,6 +90,12 @@ class FeatureCache:
         self.disk = disk if disk is not None else DiskCache()
         self.hits = 0
         self.misses = 0
+        # Guards counter mutation only: the serving layer calls
+        # predict_many from a thread pool, so hits/misses increments must
+        # not race.  Disk I/O stays outside the lock — DiskCache writes are
+        # atomic renames, and a double-compute race between two missing
+        # threads is benign because extraction is deterministic.
+        self._lock = threading.Lock()
 
     # -- semantic view -------------------------------------------------------
 
@@ -173,13 +180,16 @@ class FeatureCache:
     def _get_or_compute(self, key: str, fn) -> np.ndarray:
         cached = self.disk.get(key)
         if cached is not None:
-            self.hits += 1
+            with self._lock:
+                self.hits += 1
             return cached
-        self.misses += 1
+        with self._lock:
+            self.misses += 1
         value = fn()
         self.disk.put(key, value)
         return value
 
     def snapshot(self) -> Tuple[int, int]:
         """Current ``(hits, misses)`` counters."""
-        return self.hits, self.misses
+        with self._lock:
+            return self.hits, self.misses

@@ -1,0 +1,44 @@
+"""Async micro-batching inference service.
+
+The serving layer over :mod:`repro.runtime`: a long-lived asyncio process
+that coalesces concurrent loop-classification requests into engine batches
+(:class:`MicroBatcher`), rejects overload explicitly instead of queueing
+unboundedly (:class:`~repro.errors.QueueFullError` /
+:class:`~repro.errors.DeadlineExceededError`), and exposes a stdlib-only
+HTTP API (:class:`HttpServer`) with Prometheus metrics
+(:mod:`repro.serve.metrics`).  Start one from the command line with
+``python -m repro serve``; see docs/SERVING.md for the API reference,
+tuning guide, and metrics catalog.
+"""
+
+from repro.serve.batcher import USE_DEFAULT, MicroBatcher
+from repro.serve.config import ServeConfig
+from repro.serve.http import HttpServer, serve_forever
+from repro.serve.metrics import (
+    BATCH_SIZE_BUCKETS,
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ServeMetrics,
+    bind_engine_stats,
+)
+from repro.serve.service import InferenceService
+
+__all__ = [
+    "BATCH_SIZE_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HttpServer",
+    "InferenceService",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "MicroBatcher",
+    "ServeConfig",
+    "ServeMetrics",
+    "USE_DEFAULT",
+    "bind_engine_stats",
+    "serve_forever",
+]

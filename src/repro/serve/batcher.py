@@ -1,0 +1,299 @@
+"""Dynamic micro-batching with admission control and load shedding.
+
+The :class:`MicroBatcher` is the scheduling core of ``repro.serve``: callers
+``await submit(loop)`` one graph at a time, and a single dispatcher task
+coalesces whatever is queued into a batch for ``Engine.predict_many`` when
+either
+
+* ``max_batch_size`` requests are waiting, or
+* the **oldest** queued request has waited ``max_wait_ms``
+
+— the classic dynamic-batching policy (dispatch windows anchored to the
+head of the queue, so the first arrival bounds everyone's added latency).
+The numpy forward pass runs in a thread-pool executor via
+``loop.run_in_executor``, keeping the event loop free to admit requests
+while a batch is inside the model.
+
+Overload is handled explicitly rather than absorbed:
+
+* **Admission control** — a request arriving to a full queue
+  (``max_queue_depth``) raises :class:`~repro.errors.QueueFullError`
+  immediately (HTTP 429 upstream) with a retry-after hint.
+* **Deadlines** — each request carries an absolute deadline (defaulting to
+  ``default_deadline_ms``).  Requests are shed with
+  :class:`~repro.errors.DeadlineExceededError` if the deadline expires
+  while queued *or* if their batch completes past it: a deadline is a
+  promise to never serve late.
+
+Every admitted request resolves exactly once — with a label, a shed error,
+or a shutdown error; the property tests in ``tests/serve/test_batcher.py``
+drive arbitrary arrival interleavings against that invariant.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, List, Optional, Sequence
+
+from repro.errors import DeadlineExceededError, QueueFullError, ServeError
+from repro.serve.config import ServeConfig
+from repro.serve.metrics import ServeMetrics
+
+class _UseDefault:
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "USE_DEFAULT"
+
+
+#: sentinel for ``submit(deadline_ms=...)``: "apply the configured default"
+#: (as opposed to ``None``, which explicitly disables the deadline)
+USE_DEFAULT = _UseDefault()
+
+
+@dataclass
+class _Pending:
+    item: Any
+    future: "asyncio.Future"
+    enqueued_at: float
+    deadline: Optional[float]  # absolute, on the batcher's clock
+
+
+class MicroBatcher:
+    """Queue + dispatcher turning single submissions into engine batches.
+
+    Parameters
+    ----------
+    predict_fn:
+        ``Sequence[item] -> Sequence[label]``, typically
+        ``engine.predict_many``; runs inside the thread executor, so it
+        must be thread-safe (the Engine is — see docs/RUNTIME.md).
+    config:
+        Batching/admission knobs (:class:`ServeConfig`).
+    metrics:
+        Destination for counters and latency histograms; a private
+        :class:`ServeMetrics` when omitted.
+    clock:
+        Monotonic time source; injectable for tests.
+    """
+
+    def __init__(
+        self,
+        predict_fn: Callable[[Sequence[Any]], Sequence[Any]],
+        config: Optional[ServeConfig] = None,
+        metrics: Optional[ServeMetrics] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._predict_fn = predict_fn
+        self.config = config if config is not None else ServeConfig()
+        self.metrics = metrics if metrics is not None else ServeMetrics()
+        self._clock = clock
+        self._pending: Deque[_Pending] = deque()
+        self._wakeup: Optional[asyncio.Event] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._running = False
+        self.metrics.bind_queue_depth(lambda: float(len(self._pending)))
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._pending)
+
+    async def start(self) -> None:
+        if self._running:
+            raise ServeError("batcher already started")
+        self._loop = asyncio.get_running_loop()
+        self._wakeup = asyncio.Event()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.executor_workers,
+            thread_name_prefix="repro-serve-infer",
+        )
+        self._running = True
+        self._dispatcher = self._loop.create_task(
+            self._run(), name="repro-serve-dispatcher"
+        )
+
+    async def stop(self) -> None:
+        """Stop dispatching; still-queued requests fail with a shutdown error.
+
+        A batch already inside the engine is allowed to finish and resolve
+        its futures — cancelling mid-inference would leave callers hanging
+        on futures nobody owns anymore.
+        """
+        if not self._running:
+            return
+        self._running = False
+        if self._wakeup is not None:
+            self._wakeup.set()
+        if self._dispatcher is not None:
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:  # pragma: no cover - external cancel
+                pass
+            self._dispatcher = None
+        while self._pending:
+            pending = self._pending.popleft()
+            if not pending.future.done():
+                pending.future.set_exception(
+                    ServeError("server shutting down")
+                )
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    # -- submission ----------------------------------------------------------
+
+    async def submit(self, item: Any, deadline_ms: Any = USE_DEFAULT) -> Any:
+        """Admit one request and await its label.
+
+        Raises :class:`QueueFullError` at admission when the queue is at
+        capacity, :class:`DeadlineExceededError` when the request cannot be
+        served within its deadline, :class:`ServeError` on shutdown or an
+        engine failure.
+        """
+        if not self._running:
+            raise ServeError("batcher is not running")
+        if len(self._pending) >= self.config.max_queue_depth:
+            self.metrics.shed_queue_full.inc()
+            raise QueueFullError(
+                f"queue full ({self.config.max_queue_depth} waiting)",
+                retry_after_s=self.config.retry_after_s,
+            )
+        now = self._clock()
+        if deadline_ms is USE_DEFAULT:
+            deadline_ms = self.config.default_deadline_ms
+        deadline = None if deadline_ms is None else now + deadline_ms / 1000.0
+        pending = _Pending(
+            item=item,
+            future=self._loop.create_future(),
+            enqueued_at=now,
+            deadline=deadline,
+        )
+        self.metrics.requests.inc()
+        self._pending.append(pending)
+        self._wakeup.set()
+        label = await pending.future
+        self.metrics.e2e.observe(self._clock() - now)
+        self.metrics.responses.inc()
+        return label
+
+    # -- dispatch loop -------------------------------------------------------
+
+    async def _run(self) -> None:
+        try:
+            await self._dispatch_forever()
+        except Exception as exc:  # dispatcher bug: fail loudly, not hang
+            self._running = False
+            while self._pending:
+                pending = self._pending.popleft()
+                if not pending.future.done():
+                    pending.future.set_exception(
+                        ServeError(f"dispatcher crashed: {exc}")
+                    )
+            raise
+
+    async def _dispatch_forever(self) -> None:
+        cfg = self.config
+        while self._running:
+            # sleep until at least one request is queued
+            while not self._pending and self._running:
+                self._wakeup.clear()
+                await self._wakeup.wait()
+            if not self._running:
+                return
+            # batching window: anchored to the oldest queued request
+            window_end = self._pending[0].enqueued_at + cfg.max_wait_ms / 1000.0
+            while self._running and len(self._pending) < cfg.max_batch_size:
+                remaining = window_end - self._clock()
+                if remaining <= 0:
+                    break
+                self._wakeup.clear()
+                try:
+                    await asyncio.wait_for(
+                        self._wakeup.wait(), timeout=remaining
+                    )
+                except asyncio.TimeoutError:
+                    break
+            if not self._running:
+                return
+            batch = self._drain_batch()
+            if batch:
+                await self._dispatch(batch)
+
+    def _drain_batch(self) -> List[_Pending]:
+        """Pop up to ``max_batch_size`` live requests, shedding stale ones."""
+        now = self._clock()
+        batch: List[_Pending] = []
+        while self._pending and len(batch) < self.config.max_batch_size:
+            pending = self._pending.popleft()
+            if pending.future.done():  # cancelled / disconnected caller
+                continue
+            if pending.deadline is not None and now > pending.deadline:
+                self._shed(pending)
+                continue
+            batch.append(pending)
+        return batch
+
+    def _shed(self, pending: _Pending) -> None:
+        self.metrics.shed_deadline.inc()
+        if not pending.future.done():
+            pending.future.set_exception(
+                DeadlineExceededError(
+                    "deadline exceeded after "
+                    f"{(self._clock() - pending.enqueued_at) * 1000:.1f}ms"
+                )
+            )
+
+    async def _dispatch(self, batch: List[_Pending]) -> None:
+        dispatched_at = self._clock()
+        for pending in batch:
+            self.metrics.queue_wait.observe(
+                dispatched_at - pending.enqueued_at
+            )
+        self.metrics.batch_size.observe(len(batch))
+        self.metrics.inflight_batches.inc()
+        try:
+            labels = await self._loop.run_in_executor(
+                self._executor,
+                self._predict_fn,
+                [pending.item for pending in batch],
+            )
+        except Exception as exc:  # engine failure: fail the batch, keep serving
+            for pending in batch:
+                self.metrics.errors.inc()
+                if not pending.future.done():
+                    pending.future.set_exception(
+                        ServeError(f"inference failed: {exc}")
+                    )
+            return
+        finally:
+            self.metrics.inflight_batches.dec()
+            self.metrics.inference.observe(self._clock() - dispatched_at)
+        if len(labels) != len(batch):
+            for pending in batch:
+                self.metrics.errors.inc()
+                if not pending.future.done():
+                    pending.future.set_exception(
+                        ServeError(
+                            f"engine returned {len(labels)} labels "
+                            f"for {len(batch)} inputs"
+                        )
+                    )
+            return
+        completed_at = self._clock()
+        for pending, label in zip(batch, labels):
+            if pending.future.done():
+                continue
+            if pending.deadline is not None and completed_at > pending.deadline:
+                self._shed(pending)  # never serve late
+            else:
+                pending.future.set_result(label)

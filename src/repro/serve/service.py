@@ -1,0 +1,173 @@
+"""The inference service: engine + micro-batcher + wire codec + metrics.
+
+:class:`InferenceService` is the transport-independent core of
+``repro.serve`` — the HTTP front end (:mod:`repro.serve.http`), the load
+generator (``benchmarks/bench_serve_latency.py``), and the tests all speak
+to this layer.  It owns an :class:`~repro.runtime.engine.Engine`, runs every
+admitted request through one shared :class:`~repro.serve.batcher.MicroBatcher`
+(so single and batch endpoints coalesce into the same engine batches), and
+exports both its own and the engine's statistics through one
+:class:`~repro.serve.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.errors import ServeError, WireError
+from repro.runtime.engine import Engine
+from repro.serve import wire
+from repro.serve.batcher import USE_DEFAULT, MicroBatcher
+from repro.serve.config import ServeConfig
+from repro.serve.metrics import MetricsRegistry, ServeMetrics, bind_engine_stats
+
+
+class InferenceService:
+    """Long-lived classification service over one Engine.
+
+    Parameters
+    ----------
+    engine:
+        The (thread-safe) batched inference engine; its ``predict_many``
+        runs inside the batcher's thread executor.
+    config:
+        Batching / admission / HTTP knobs.
+    registry:
+        Metrics destination, shared with the front end; fresh when omitted.
+    examples:
+        Optional pool of :class:`~repro.dataset.types.LoopSample` served by
+        ``example_payload`` (the ``GET /v1/example`` endpoint) so clients
+        can fetch a valid request shape without knowing the model dims.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        config: Optional[ServeConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+        examples: Optional[Sequence[Any]] = None,
+    ) -> None:
+        self.engine = engine
+        self.config = config if config is not None else ServeConfig()
+        self.metrics = ServeMetrics(registry)
+        bind_engine_stats(self.metrics.registry, engine)
+        self.batcher = MicroBatcher(
+            self._predict, self.config, metrics=self.metrics
+        )
+        self._examples = list(examples) if examples else []
+        self._example_cursor = 0
+        self._started_at: Optional[float] = None
+
+    def _predict(self, items: Sequence[Any]) -> List[int]:
+        """Executor-side hop into the engine; plain ints for JSON encoding."""
+        return [int(label) for label in
+                self.engine.predict_many(items, batch_size=len(items))]
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        await self.batcher.start()
+        self._started_at = time.monotonic()
+
+    async def stop(self) -> None:
+        await self.batcher.stop()
+
+    @property
+    def running(self) -> bool:
+        return self.batcher.running
+
+    # -- endpoints -----------------------------------------------------------
+
+    async def classify(self, payload: Any) -> Dict[str, Any]:
+        """One loop object -> ``{"id", "label"}``.
+
+        Raises WireError / QueueFullError / DeadlineExceededError /
+        ServeError; the transport maps them to status codes.
+        """
+        if not isinstance(payload, Mapping):
+            raise WireError(
+                f"request: expected a JSON object, got {type(payload).__name__}"
+            )
+        deadline_ms = wire.decode_deadline_ms(payload, default=USE_DEFAULT)
+        graph = wire.decode_loop(payload)
+        label = await self.batcher.submit(graph, deadline_ms=deadline_ms)
+        return {"id": graph.graph_id, "label": label}
+
+    async def classify_batch(self, payload: Any) -> Dict[str, Any]:
+        """``{"loops": [...]}`` -> per-loop results, individually batched.
+
+        Each loop is submitted to the same micro-batcher as single
+        requests, so one large client batch and many small clients coalesce
+        identically.  Per-item failures (shed, deadline) are reported
+        in-place rather than failing the whole request:
+        ``{"results": [{"id", "label"} | {"id", "error", "status"}]}``.
+        """
+        if not isinstance(payload, Mapping):
+            raise WireError(
+                f"request: expected a JSON object, got {type(payload).__name__}"
+            )
+        deadline_ms = wire.decode_deadline_ms(payload, default=USE_DEFAULT)
+        graphs = wire.decode_batch(payload)
+
+        async def one(graph) -> Dict[str, Any]:
+            label = await self.batcher.submit(graph, deadline_ms=deadline_ms)
+            return {"id": graph.graph_id, "label": label}
+
+        outcomes = await asyncio.gather(
+            *(one(graph) for graph in graphs), return_exceptions=True
+        )
+        results: List[Dict[str, Any]] = []
+        for graph, outcome in zip(graphs, outcomes):
+            if isinstance(outcome, dict):
+                results.append(outcome)
+            elif isinstance(outcome, ServeError):
+                results.append({
+                    "id": graph.graph_id,
+                    "error": str(outcome),
+                    "status": _status_for(outcome),
+                })
+            elif isinstance(outcome, BaseException):
+                raise outcome
+        return {"results": results}
+
+    def example_payload(self) -> Dict[str, Any]:
+        """A valid classify request built from the example pool (rotating)."""
+        if not self._examples:
+            raise WireError("no example pool configured on this server")
+        sample = self._examples[self._example_cursor % len(self._examples)]
+        self._example_cursor += 1
+        return wire.sample_to_wire(sample)
+
+    def health(self) -> Dict[str, Any]:
+        uptime = (
+            time.monotonic() - self._started_at
+            if self._started_at is not None else 0.0
+        )
+        return {
+            "status": "ok" if self.running else "stopped",
+            "model": type(self.engine.model).__name__,
+            "uptime_s": round(uptime, 3),
+            "queue_depth": self.batcher.queue_depth,
+            "max_batch_size": self.config.max_batch_size,
+            "max_wait_ms": self.config.max_wait_ms,
+            "requests_total": int(self.metrics.requests.value),
+            "responses_total": int(self.metrics.responses.value),
+        }
+
+    def metrics_text(self) -> str:
+        return self.metrics.registry.render()
+
+
+def _status_for(exc: ServeError) -> int:
+    """HTTP status for a typed serve error (shared with the front end)."""
+    from repro.errors import DeadlineExceededError, QueueFullError
+
+    if isinstance(exc, WireError):
+        return 400
+    if isinstance(exc, QueueFullError):
+        return 429
+    if isinstance(exc, DeadlineExceededError):
+        return 504
+    return 500

@@ -1,0 +1,165 @@
+"""JSON wire format for classification requests and responses.
+
+A *loop object* is the JSON shape of one
+:class:`~repro.runtime.engine.GraphInput`:
+
+.. code-block:: json
+
+    {
+      "id": "BT/loop0",
+      "x_semantic":   [[...], ...],
+      "x_structural": [[...], ...],
+      "adjacency":    [[...], ...],
+      "deadline_ms":  200
+    }
+
+``x_semantic`` is ``(n, d_sem)``, ``x_structural`` is ``(n, walk_types)``,
+``adjacency`` is the ``(n, n)`` undirected 0/1 matrix; ``id`` and
+``deadline_ms`` are optional.  Arrays decode to float64 — Python's JSON
+round-trips float64 exactly (shortest-repr), which is what lets the
+differential tests pin served predictions byte-identical to direct
+``Engine.predict_many`` output.
+
+All validation failures raise :class:`~repro.errors.WireError`, which the
+HTTP layer maps to a 400 with the message in the body.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import WireError
+from repro.runtime.engine import GraphInput
+
+#: hard cap on nodes per graph — a wire-level sanity bound, far above any
+#: real sub-PEG, protecting the server from accidental giant payloads
+MAX_NODES = 4096
+
+#: hard cap on loops per classify_batch request
+MAX_BATCH_ITEMS = 1024
+
+
+def parse_json(body: bytes) -> Any:
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"request body is not valid JSON: {exc}") from None
+
+
+def _decode_matrix(obj: Mapping, key: str, where: str) -> np.ndarray:
+    if key not in obj:
+        raise WireError(f"{where}: missing required field {key!r}")
+    try:
+        matrix = np.asarray(obj[key], dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise WireError(f"{where}: field {key!r} is not numeric: {exc}") from None
+    if matrix.ndim != 2:
+        raise WireError(
+            f"{where}: field {key!r} must be a 2-D array, "
+            f"got shape {matrix.shape}"
+        )
+    if matrix.shape[0] == 0:
+        raise WireError(f"{where}: field {key!r} has zero rows")
+    if not np.all(np.isfinite(matrix)):
+        raise WireError(f"{where}: field {key!r} contains NaN or Inf")
+    return matrix
+
+
+def decode_loop(obj: Any, pos: int = 0) -> GraphInput:
+    """One wire loop object -> a validated :class:`GraphInput`."""
+    where = f"loop #{pos}"
+    if not isinstance(obj, Mapping):
+        raise WireError(f"{where}: expected a JSON object, got {type(obj).__name__}")
+    adjacency = _decode_matrix(obj, "adjacency", where)
+    n = adjacency.shape[0]
+    if adjacency.shape != (n, n):
+        raise WireError(
+            f"{where}: adjacency must be square, got {adjacency.shape}"
+        )
+    if n > MAX_NODES:
+        raise WireError(f"{where}: {n} nodes exceeds the {MAX_NODES} limit")
+    x_semantic = _decode_matrix(obj, "x_semantic", where)
+    x_structural = _decode_matrix(obj, "x_structural", where)
+    for key, matrix in (("x_semantic", x_semantic), ("x_structural", x_structural)):
+        if matrix.shape[0] != n:
+            raise WireError(
+                f"{where}: {key} has {matrix.shape[0]} rows but the "
+                f"adjacency has {n}"
+            )
+    graph_id = obj.get("id", "")
+    if not isinstance(graph_id, str):
+        raise WireError(f"{where}: id must be a string")
+    return GraphInput(
+        x_semantic=x_semantic,
+        x_structural=x_structural,
+        adjacency=adjacency,
+        graph_id=graph_id or f"graph-{pos}",
+    )
+
+
+def decode_deadline_ms(
+    obj: Mapping, default: Any = None, where: str = "request"
+) -> Any:
+    """The request's ``deadline_ms``: ``default`` when the field is absent.
+
+    An explicit JSON ``null`` returns None — "no deadline for this
+    request" — which is distinct from the field being absent (server
+    default applies; callers pass :data:`repro.serve.batcher.USE_DEFAULT`).
+    """
+    if "deadline_ms" not in obj:
+        return default
+    value = obj["deadline_ms"]
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise WireError(f"{where}: deadline_ms must be a number or null")
+    if value <= 0:
+        raise WireError(f"{where}: deadline_ms must be positive, got {value}")
+    return float(value)
+
+
+def decode_batch(obj: Any) -> List[GraphInput]:
+    """A classify_batch payload ``{"loops": [...]}`` -> GraphInputs."""
+    if not isinstance(obj, Mapping):
+        raise WireError(
+            f"request: expected a JSON object, got {type(obj).__name__}"
+        )
+    loops = obj.get("loops")
+    if not isinstance(loops, Sequence) or isinstance(loops, (str, bytes)):
+        raise WireError('request: missing or non-array "loops" field')
+    if not loops:
+        raise WireError('request: "loops" is empty')
+    if len(loops) > MAX_BATCH_ITEMS:
+        raise WireError(
+            f"request: {len(loops)} loops exceeds the "
+            f"{MAX_BATCH_ITEMS} per-request limit"
+        )
+    return [decode_loop(item, pos) for pos, item in enumerate(loops)]
+
+
+def encode_loop(
+    x_semantic: np.ndarray,
+    x_structural: np.ndarray,
+    adjacency: np.ndarray,
+    loop_id: str = "",
+) -> Dict[str, Any]:
+    """Feature arrays -> a wire loop object (the inverse of decode_loop)."""
+    obj: Dict[str, Any] = {
+        "x_semantic": np.asarray(x_semantic, dtype=np.float64).tolist(),
+        "x_structural": np.asarray(x_structural, dtype=np.float64).tolist(),
+        "adjacency": np.asarray(adjacency, dtype=np.float64).tolist(),
+    }
+    if loop_id:
+        obj["id"] = loop_id
+    return obj
+
+
+def sample_to_wire(sample) -> Dict[str, Any]:
+    """A :class:`~repro.dataset.types.LoopSample` -> wire loop object."""
+    return encode_loop(
+        sample.x_semantic, sample.x_structural, sample.adjacency,
+        loop_id=sample.sample_id,
+    )

@@ -1,0 +1,58 @@
+"""Shared builders for the serve test suite: a tiny real engine and
+random-but-valid wire payloads matching its dimensions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.dgcnn import DGCNNConfig
+from repro.models.mvgnn import MVGNN, MVGNNConfig
+from repro.runtime import Engine, GraphInput
+
+SEM_FEATURES = 12
+WALK_TYPES = 5
+
+
+def tiny_model(rng_seed: int = 0) -> MVGNN:
+    config = MVGNNConfig(
+        semantic_features=SEM_FEATURES,
+        walk_types=WALK_TYPES,
+        view_features=8,
+        node_view=DGCNNConfig(in_features=SEM_FEATURES, sortpool_k=6),
+        struct_view=DGCNNConfig(in_features=8, sortpool_k=6),
+    )
+    model = MVGNN(config, rng=rng_seed)
+    model.eval()
+    return model
+
+
+def tiny_engine(batch_size: int = 32) -> Engine:
+    return Engine(tiny_model(), batch_size=batch_size)
+
+
+def random_graph(rng: np.random.Generator, n: int, graph_id: str = "") -> GraphInput:
+    adjacency = (rng.random((n, n)) < 0.4).astype(float)
+    adjacency = np.maximum(adjacency, adjacency.T)
+    np.fill_diagonal(adjacency, 0.0)
+    return GraphInput(
+        x_semantic=rng.normal(size=(n, SEM_FEATURES)),
+        x_structural=rng.dirichlet(np.ones(WALK_TYPES), size=n),
+        adjacency=adjacency,
+        graph_id=graph_id or f"g{n}",
+    )
+
+
+def graph_payload(graph: GraphInput) -> dict:
+    return {
+        "id": graph.graph_id,
+        "x_semantic": graph.x_semantic.tolist(),
+        "x_structural": graph.x_structural.tolist(),
+        "adjacency": graph.adjacency.tolist(),
+    }
+
+
+def random_payloads(rng: np.random.Generator, sizes) -> list:
+    return [
+        graph_payload(random_graph(rng, n, graph_id=f"g{pos}"))
+        for pos, n in enumerate(sizes)
+    ]

@@ -1,0 +1,366 @@
+"""MicroBatcher: coalescing, admission control, deadlines, and the
+exactly-one-outcome invariant under arbitrary arrival interleavings."""
+
+import asyncio
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DeadlineExceededError, QueueFullError, ServeError
+from repro.serve import MicroBatcher, ServeConfig
+
+
+class RecordingEngine:
+    """Fake predict_fn: labels each item by identity, records batch sizes."""
+
+    def __init__(self, delay_s: float = 0.0, fail: bool = False):
+        self.batches = []
+        self.delay_s = delay_s
+        self.fail = fail
+        self._lock = threading.Lock()
+
+    def __call__(self, items):
+        with self._lock:
+            self.batches.append(len(items))
+        if self.delay_s:
+            import time
+
+            time.sleep(self.delay_s)
+        if self.fail:
+            raise RuntimeError("model exploded")
+        return [item * 10 for item in items]
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def with_batcher(config, engine, body):
+    batcher = MicroBatcher(engine, config)
+    await batcher.start()
+    try:
+        return await body(batcher)
+    finally:
+        await batcher.stop()
+
+
+class TestBasics:
+    def test_single_request_round_trip(self):
+        engine = RecordingEngine()
+
+        async def body(batcher):
+            assert await batcher.submit(7) == 70
+
+        run(with_batcher(ServeConfig(max_wait_ms=1), engine, body))
+        assert engine.batches == [1]
+
+    def test_concurrent_requests_coalesce(self):
+        engine = RecordingEngine()
+        config = ServeConfig(max_batch_size=32, max_wait_ms=20)
+
+        async def body(batcher):
+            labels = await asyncio.gather(
+                *(batcher.submit(i) for i in range(10))
+            )
+            assert labels == [i * 10 for i in range(10)]
+
+        run(with_batcher(config, engine, body))
+        # ten concurrent submissions into a 20ms window: far fewer than
+        # ten dispatches (deterministically 1 unless the scheduler stalls)
+        assert len(engine.batches) < 10
+        assert sum(engine.batches) == 10
+
+    def test_full_batch_dispatches_before_window(self):
+        engine = RecordingEngine()
+        # window absurdly long: only the size trigger can dispatch
+        config = ServeConfig(max_batch_size=4, max_wait_ms=60_000)
+
+        async def body(batcher):
+            labels = await asyncio.gather(
+                *(batcher.submit(i) for i in range(8))
+            )
+            assert labels == [i * 10 for i in range(8)]
+
+        run(with_batcher(config, engine, body))
+        assert all(size <= 4 for size in engine.batches)
+        assert sum(engine.batches) == 8
+
+    def test_results_match_submission_order_not_batch_order(self):
+        engine = RecordingEngine()
+        config = ServeConfig(max_batch_size=3, max_wait_ms=5)
+
+        async def body(batcher):
+            tasks = [
+                asyncio.create_task(batcher.submit(i)) for i in range(7)
+            ]
+            return await asyncio.gather(*tasks)
+
+        labels = run(with_batcher(config, engine, body))
+        assert labels == [i * 10 for i in range(7)]
+
+    def test_submit_before_start_rejected(self):
+        batcher = MicroBatcher(RecordingEngine())
+
+        async def body():
+            with pytest.raises(ServeError):
+                await batcher.submit(1)
+
+        run(body())
+
+    def test_double_start_rejected(self):
+        engine = RecordingEngine()
+
+        async def body():
+            batcher = MicroBatcher(engine, ServeConfig())
+            await batcher.start()
+            try:
+                with pytest.raises(ServeError):
+                    await batcher.start()
+            finally:
+                await batcher.stop()
+
+        run(body())
+
+
+class TestAdmissionControl:
+    def test_queue_full_rejects_immediately(self):
+        release = threading.Event()
+
+        def slow_engine(items):
+            release.wait(timeout=5)
+            return [item * 10 for item in items]
+
+        config = ServeConfig(
+            max_batch_size=1, max_wait_ms=0, max_queue_depth=2,
+            retry_after_s=0.25,
+        )
+
+        async def body(batcher):
+            # dispatch one batch and block it inside the engine...
+            inflight = asyncio.create_task(batcher.submit(0, deadline_ms=None))
+            await asyncio.sleep(0.02)
+            # ...then fill the queue while the dispatcher cannot drain
+            queued = [
+                asyncio.create_task(batcher.submit(i, deadline_ms=None))
+                for i in (1, 2)
+            ]
+            await asyncio.sleep(0.02)
+            assert batcher.queue_depth == config.max_queue_depth
+            with pytest.raises(QueueFullError) as excinfo:
+                await batcher.submit(99)
+            assert excinfo.value.retry_after_s == 0.25
+            assert batcher.metrics.shed_queue_full.value == 1
+            release.set()
+            assert await asyncio.gather(inflight, *queued) == [0, 10, 20]
+
+        run(with_batcher(config, slow_engine, body))
+
+class TestDeadlines:
+    def test_expired_deadline_shed_not_served(self):
+        release = threading.Event()
+
+        def slow_engine(items):
+            release.wait(timeout=5)
+            return [item * 10 for item in items]
+
+        config = ServeConfig(max_batch_size=1, max_wait_ms=0)
+
+        async def body(batcher):
+            # first request occupies the engine; second's deadline expires
+            # while it waits in the queue
+            blocker = asyncio.create_task(batcher.submit(1, deadline_ms=5000))
+            await asyncio.sleep(0.01)
+            doomed = asyncio.create_task(batcher.submit(2, deadline_ms=1))
+            await asyncio.sleep(0.05)
+            release.set()
+            assert await blocker == 10
+            with pytest.raises(DeadlineExceededError):
+                await doomed
+            assert batcher.metrics.shed_deadline.value == 1
+
+        run(with_batcher(config, slow_engine, body))
+
+    def test_deadline_none_never_sheds(self):
+        engine = RecordingEngine(delay_s=0.01)
+        config = ServeConfig(
+            max_batch_size=4, max_wait_ms=1, default_deadline_ms=None
+        )
+
+        async def body(batcher):
+            labels = await asyncio.gather(
+                *(batcher.submit(i, deadline_ms=None) for i in range(4))
+            )
+            assert labels == [0, 10, 20, 30]
+            assert batcher.metrics.shed_deadline.value == 0
+
+        run(with_batcher(config, engine, body))
+
+    def test_late_batch_completion_sheds(self):
+        """A deadline is a promise: results computed too late are dropped."""
+
+        def slow_engine(items):
+            import time
+
+            time.sleep(0.05)
+            return [item * 10 for item in items]
+
+        config = ServeConfig(max_batch_size=1, max_wait_ms=0)
+
+        async def body(batcher):
+            with pytest.raises(DeadlineExceededError):
+                # admitted and dispatched immediately, but inference takes
+                # 50ms against a 10ms deadline
+                await batcher.submit(1, deadline_ms=10)
+
+        run(with_batcher(config, slow_engine, body))
+
+
+class TestFailures:
+    def test_engine_failure_fails_batch_but_keeps_serving(self):
+        engine = RecordingEngine(fail=True)
+        config = ServeConfig(max_batch_size=4, max_wait_ms=1)
+
+        async def body(batcher):
+            with pytest.raises(ServeError, match="inference failed"):
+                await batcher.submit(1)
+            assert batcher.metrics.errors.value == 1
+            # the dispatcher survives: next request gets its own answer
+            engine.fail = False
+            assert await batcher.submit(3) == 30
+
+        run(with_batcher(config, engine, body))
+
+    def test_wrong_cardinality_fails_batch(self):
+        config = ServeConfig(max_batch_size=4, max_wait_ms=1)
+
+        async def body(batcher):
+            with pytest.raises(ServeError, match="labels"):
+                await batcher.submit(1)
+
+        run(with_batcher(config, lambda items: [1, 2, 3], body))
+
+    def test_stop_fails_pending_requests(self):
+        release = threading.Event()
+
+        def slow_engine(items):
+            release.wait(timeout=5)
+            return [item * 10 for item in items]
+
+        config = ServeConfig(max_batch_size=1, max_wait_ms=0)
+
+        async def body():
+            batcher = MicroBatcher(slow_engine, config)
+            await batcher.start()
+            inflight = asyncio.create_task(batcher.submit(1))
+            await asyncio.sleep(0.01)
+            queued = asyncio.create_task(batcher.submit(2))
+            await asyncio.sleep(0.01)
+            release.set()
+            await batcher.stop()
+            assert await inflight == 10  # in-flight batch completes
+            with pytest.raises(ServeError, match="shutting down"):
+                await queued
+
+        run(body())
+
+
+# -- property tests ----------------------------------------------------------
+
+arrival_plan = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),      # pre-submit delay ticks
+        st.sampled_from(["default", "none", "past"]),  # deadline kind
+    ),
+    min_size=1,
+    max_size=24,
+)
+
+
+@settings(deadline=None)
+@given(
+    plan=arrival_plan,
+    max_batch_size=st.integers(min_value=1, max_value=8),
+    max_wait_ms=st.sampled_from([0.0, 1.0, 5.0]),
+)
+def test_every_request_resolves_exactly_once(plan, max_batch_size, max_wait_ms):
+    """Any interleaving of arrivals yields each request exactly one outcome,
+    batches never exceed max_batch_size, and pre-expired requests are shed."""
+    engine = RecordingEngine()
+    config = ServeConfig(
+        max_batch_size=max_batch_size,
+        max_wait_ms=max_wait_ms,
+        max_queue_depth=1000,              # admission never interferes here
+        default_deadline_ms=10_000.0,
+    )
+
+    async def body():
+        batcher = MicroBatcher(engine, config)
+        await batcher.start()
+
+        async def submit_one(pos, delay_ticks, deadline_kind):
+            for _ in range(delay_ticks):
+                await asyncio.sleep(0)
+            if deadline_kind == "default":
+                return await batcher.submit(pos)
+            if deadline_kind == "none":
+                return await batcher.submit(pos, deadline_ms=None)
+            # "past": expires essentially immediately — may race dispatch,
+            # so either outcome type is legal, but exactly one must happen
+            return await batcher.submit(pos, deadline_ms=1e-6)
+
+        outcomes = await asyncio.gather(
+            *(
+                submit_one(pos, delay, kind)
+                for pos, (delay, kind) in enumerate(plan)
+            ),
+            return_exceptions=True,
+        )
+        await batcher.stop()
+        return outcomes
+
+    outcomes = asyncio.run(body())
+
+    assert len(outcomes) == len(plan)           # exactly one outcome each
+    served = shed = 0
+    for pos, ((_, kind), outcome) in enumerate(zip(plan, outcomes)):
+        if isinstance(outcome, DeadlineExceededError):
+            shed += 1
+            assert kind == "past", f"request {pos} shed without cause"
+        elif isinstance(outcome, BaseException):
+            raise outcome                        # no other failure is legal
+        else:
+            served += 1
+            assert outcome == pos * 10, f"request {pos} got wrong label"
+    assert served + shed == len(plan)
+    assert all(size <= max_batch_size for size in engine.batches)
+    assert sum(engine.batches) == served
+
+
+@settings(deadline=None)
+@given(plan=st.lists(st.integers(min_value=1, max_value=30), min_size=1,
+                     max_size=10))
+def test_burst_conservation(plan):
+    """Sequential bursts: every submission is served exactly once and batch
+    sizes partition the total."""
+    engine = RecordingEngine()
+    config = ServeConfig(max_batch_size=8, max_wait_ms=1.0,
+                         max_queue_depth=1000)
+
+    async def body():
+        batcher = MicroBatcher(engine, config)
+        await batcher.start()
+        total = 0
+        for burst in plan:
+            labels = await asyncio.gather(
+                *(batcher.submit(total + i) for i in range(burst))
+            )
+            assert labels == [(total + i) * 10 for i in range(burst)]
+            total += burst
+        await batcher.stop()
+        return total
+
+    total = asyncio.run(body())
+    assert sum(engine.batches) == total
+    assert all(1 <= size <= 8 for size in engine.batches)

@@ -1,0 +1,106 @@
+"""End-to-end ``repro serve`` subprocess: real sockets, real signals.
+
+Starts the CLI on an OS-picked port, does an example -> classify round
+trip over HTTP, scrapes /metrics, then SIGTERMs the process and asserts
+the conventional 130 exit with a clean-shutdown message.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+STARTUP_TIMEOUT_S = 90
+
+
+@pytest.fixture(scope="module")
+def serve_process():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONUNBUFFERED"] = "1"
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--app", "fib",
+         "--epochs", "0", "--port", "0", "--max-wait-ms", "2"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    port = None
+    deadline = time.monotonic() + STARTUP_TIMEOUT_S
+    lines = []
+    try:
+        while time.monotonic() < deadline:
+            line = process.stdout.readline()
+            if not line:
+                break
+            lines.append(line)
+            if "listening on http://" in line:
+                port = int(line.rsplit(":", 1)[1])
+                break
+        if port is None:
+            process.kill()
+            pytest.fail(f"server never announced a port; output: {lines}")
+        yield process, port
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10)
+
+
+def _get(port, path, timeout=15):
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}{path}", timeout=timeout
+    ) as resp:
+        return resp.status, resp.read()
+
+
+def _post(port, path, payload, timeout=15):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as resp:
+        return resp.status, resp.read()
+
+
+class TestServeSubprocess:
+    def test_health_example_classify_metrics(self, serve_process):
+        _, port = serve_process
+        status, raw = _get(port, "/healthz")
+        assert status == 200
+        assert json.loads(raw)["status"] == "ok"
+
+        status, raw = _get(port, "/v1/example")
+        assert status == 200
+        example = json.loads(raw)
+        assert {"x_semantic", "x_structural", "adjacency"} <= set(example)
+
+        status, raw = _post(port, "/v1/classify", example)
+        assert status == 200
+        result = json.loads(raw)
+        assert isinstance(result["label"], int)
+        assert result["id"] == example["id"]
+
+        status, raw = _get(port, "/metrics")
+        assert status == 200
+        text = raw.decode()
+        assert "serve_responses_total 1" in text
+        assert "serve_shed_queue_full_total 0" in text
+
+    def test_sigterm_exits_130_cleanly(self, serve_process):
+        process, port = serve_process
+        process.send_signal(signal.SIGTERM)
+        returncode = process.wait(timeout=30)
+        tail = process.stdout.read()
+        assert returncode == 130
+        assert "shut down cleanly" in tail

@@ -1,0 +1,209 @@
+"""Observability core: counters, gauges, streaming histograms, and the
+Prometheus text exposition."""
+
+import threading
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ServeError
+from repro.serve.metrics import (
+    BATCH_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ServeMetrics,
+    bind_engine_stats,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("c_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_cannot_decrease(self):
+        with pytest.raises(ServeError):
+            Counter("c_total").inc(-1)
+
+    def test_thread_safe_increments(self):
+        counter = Counter("c_total")
+
+        def hammer():
+            for _ in range(10_000):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 80_000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec(3)
+        assert gauge.value == 9
+
+    def test_callback_backed(self):
+        state = {"depth": 7}
+        gauge = Gauge("g", fn=lambda: state["depth"])
+        assert gauge.value == 7
+        state["depth"] = 3
+        assert gauge.value == 3
+        with pytest.raises(ServeError):
+            gauge.set(1)
+
+
+class TestHistogram:
+    def test_bucket_assignment_and_totals(self):
+        hist = Histogram("h_seconds", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(55.55)
+        samples = dict(hist.samples())
+        assert samples['h_seconds_bucket{le="0.1"}'] == 1
+        assert samples['h_seconds_bucket{le="1"}'] == 2  # cumulative
+        assert samples['h_seconds_bucket{le="10"}'] == 3
+        assert samples['h_seconds_bucket{le="+Inf"}'] == 4
+        assert samples["h_seconds_count"] == 4
+
+    def test_quantiles_interpolate(self):
+        hist = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        for _ in range(100):
+            hist.observe(1.5)  # all mass in the (1, 2] bucket
+        p50 = hist.quantile(0.5)
+        assert 1.0 <= p50 <= 2.0
+        # exactly-linear interpolation: rank 50 of 100 -> midpoint
+        assert p50 == pytest.approx(1.5)
+
+    def test_quantile_order(self):
+        hist = Histogram("h", buckets=(0.001, 0.01, 0.1, 1.0))
+        for pos in range(1000):
+            hist.observe(0.0005 * (pos % 100 + 1))
+        p = hist.percentiles()
+        assert p["p50"] <= p["p95"] <= p["p99"]
+
+    def test_empty_histogram(self):
+        hist = Histogram("h")
+        assert hist.quantile(0.99) == 0.0
+        assert hist.mean() == 0.0
+
+    def test_overflow_clamps_to_top_bound(self):
+        hist = Histogram("h", buckets=(1.0, 2.0))
+        hist.observe(100.0)
+        assert hist.quantile(0.99) == 2.0
+
+    def test_invalid_buckets_rejected(self):
+        with pytest.raises(ServeError):
+            Histogram("h", buckets=())
+        with pytest.raises(ServeError):
+            Histogram("h", buckets=(2.0, 1.0))
+        with pytest.raises(ServeError):
+            Histogram("h", buckets=(1.0, float("inf")))
+
+    def test_invalid_quantile_rejected(self):
+        with pytest.raises(ServeError):
+            Histogram("h").quantile(1.5)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1,
+                    max_size=200))
+    def test_count_and_sum_track_observations(self, values):
+        hist = Histogram("h", buckets=(0.1, 1.0, 10.0))
+        for value in values:
+            hist.observe(value)
+        assert hist.count == len(values)
+        assert hist.sum == pytest.approx(sum(values))
+        # quantiles stay within [0, top bound]
+        assert 0.0 <= hist.quantile(0.99) <= 10.0
+
+
+class TestRegistry:
+    def test_get_or_create_dedupes(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", "help")
+        b = registry.counter("x_total")
+        assert a is b
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ServeError):
+            registry.gauge("x")
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ServeError):
+            MetricsRegistry().counter("bad name!")
+
+    def test_render_prometheus_format(self):
+        registry = MetricsRegistry()
+        registry.counter("req_total", "requests").inc(3)
+        registry.gauge("depth", "queue depth").set(2)
+        hist = registry.histogram("lat_seconds", "latency", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        text = registry.render()
+        assert "# HELP req_total requests" in text
+        assert "# TYPE req_total counter" in text
+        assert "req_total 3" in text
+        assert "# TYPE depth gauge" in text
+        assert "depth 2" in text
+        assert "# TYPE lat_seconds histogram" in text
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+        assert "lat_seconds_sum 0.05" in text
+        assert "lat_seconds_count 1" in text
+        assert text.endswith("\n")
+
+
+class TestServeMetrics:
+    def test_standard_set_registered(self):
+        metrics = ServeMetrics()
+        text = metrics.registry.render()
+        for name in (
+            "serve_requests_total", "serve_responses_total",
+            "serve_shed_queue_full_total", "serve_shed_deadline_total",
+            "serve_queue_wait_seconds", "serve_batch_size",
+            "serve_inference_seconds", "serve_request_seconds",
+            "serve_queue_depth", "serve_inflight_batches",
+        ):
+            assert name in text
+
+    def test_batch_size_buckets(self):
+        metrics = ServeMetrics()
+        assert metrics.batch_size.bounds == tuple(
+            float(b) for b in BATCH_SIZE_BUCKETS
+        )
+
+    def test_bind_queue_depth(self):
+        metrics = ServeMetrics()
+        metrics.bind_queue_depth(lambda: 42.0)
+        assert metrics.queue_depth.value == 42.0
+        assert "serve_queue_depth 42" in metrics.registry.render()
+
+
+class TestEngineStatsBinding:
+    def test_engine_stats_exported(self):
+        from tests.serve.helpers import tiny_engine
+
+        engine = tiny_engine()
+        registry = MetricsRegistry()
+        bind_engine_stats(registry, engine)
+        assert "engine_graphs 0" in registry.render()
+        import numpy as np
+
+        from tests.serve.helpers import random_graph
+
+        rng = np.random.default_rng(0)
+        engine.predict_many([random_graph(rng, 4), random_graph(rng, 3)])
+        text = registry.render()
+        assert "engine_graphs 2" in text
+        assert "engine_batches 1" in text

@@ -1,0 +1,307 @@
+"""InferenceService: wire decoding, differential equivalence with the
+direct Engine path, per-item batch outcomes, and error typing."""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ServeError, WireError
+from repro.serve import InferenceService, ServeConfig
+from repro.serve.wire import (
+    MAX_BATCH_ITEMS,
+    decode_batch,
+    decode_deadline_ms,
+    decode_loop,
+    parse_json,
+)
+
+from tests.serve.helpers import (
+    graph_payload,
+    random_graph,
+    random_payloads,
+    tiny_engine,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def with_service(engine, config, body, **kwargs):
+    service = InferenceService(engine, config, **kwargs)
+    await service.start()
+    try:
+        return await body(service)
+    finally:
+        await service.stop()
+
+
+class TestWire:
+    def test_round_trip(self, rng):
+        graph = random_graph(rng, 5, graph_id="x")
+        decoded = decode_loop(graph_payload(graph))
+        np.testing.assert_array_equal(decoded.x_semantic, graph.x_semantic)
+        np.testing.assert_array_equal(decoded.adjacency, graph.adjacency)
+        assert decoded.graph_id == "x"
+
+    def test_json_round_trip_is_exact(self, rng):
+        """float64 -> JSON -> float64 is lossless (shortest-repr)."""
+        graph = random_graph(rng, 6)
+        wire_bytes = json.dumps(graph_payload(graph)).encode()
+        decoded = decode_loop(parse_json(wire_bytes))
+        assert decoded.x_semantic.tobytes() == graph.x_semantic.tobytes()
+        assert decoded.x_structural.tobytes() == graph.x_structural.tobytes()
+        assert decoded.adjacency.tobytes() == graph.adjacency.tobytes()
+
+    def test_missing_field_rejected(self, rng):
+        payload = graph_payload(random_graph(rng, 3))
+        del payload["adjacency"]
+        with pytest.raises(WireError, match="adjacency"):
+            decode_loop(payload)
+
+    def test_non_numeric_rejected(self, rng):
+        payload = graph_payload(random_graph(rng, 3))
+        payload["x_semantic"][0][0] = "NaN-as-string"
+        with pytest.raises(WireError, match="numeric"):
+            decode_loop(payload)
+
+    def test_nan_rejected(self, rng):
+        payload = graph_payload(random_graph(rng, 3))
+        payload["adjacency"][0][0] = float("nan")
+        with pytest.raises(WireError, match="NaN"):
+            decode_loop(payload)
+
+    def test_non_square_adjacency_rejected(self, rng):
+        payload = graph_payload(random_graph(rng, 3))
+        payload["adjacency"] = [[0.0, 1.0]]
+        with pytest.raises(WireError, match="square"):
+            decode_loop(payload)
+
+    def test_row_mismatch_rejected(self, rng):
+        payload = graph_payload(random_graph(rng, 3))
+        payload["x_semantic"] = payload["x_semantic"][:2]
+        with pytest.raises(WireError, match="rows"):
+            decode_loop(payload)
+
+    def test_ragged_rows_rejected(self, rng):
+        payload = graph_payload(random_graph(rng, 3))
+        payload["x_semantic"][1] = payload["x_semantic"][1][:-1]
+        with pytest.raises(WireError):
+            decode_loop(payload)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(WireError, match="object"):
+            decode_loop([1, 2, 3])
+
+    def test_batch_limits(self, rng):
+        with pytest.raises(WireError, match="loops"):
+            decode_batch({"loops": []})
+        with pytest.raises(WireError, match="loops"):
+            decode_batch({"nope": 1})
+        too_many = {"loops": [{}] * (MAX_BATCH_ITEMS + 1)}
+        with pytest.raises(WireError, match="limit"):
+            decode_batch(too_many)
+
+    def test_deadline_decoding(self):
+        sentinel = object()
+        assert decode_deadline_ms({}, default=sentinel) is sentinel
+        assert decode_deadline_ms({"deadline_ms": None}) is None
+        assert decode_deadline_ms({"deadline_ms": 250}) == 250.0
+        with pytest.raises(WireError):
+            decode_deadline_ms({"deadline_ms": -1})
+        with pytest.raises(WireError):
+            decode_deadline_ms({"deadline_ms": True})
+        with pytest.raises(WireError):
+            decode_deadline_ms({"deadline_ms": "soon"})
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(WireError, match="JSON"):
+            parse_json(b"{nope")
+
+
+class TestDifferential:
+    """Served predictions are byte-identical to direct Engine output."""
+
+    def test_classify_matches_engine(self, rng):
+        engine = tiny_engine()
+        graphs = [random_graph(rng, n, graph_id=f"g{i}")
+                  for i, n in enumerate((3, 7, 1, 5, 9, 2, 4, 6))]
+        direct = engine.predict_many(graphs)
+        assert direct.dtype == np.int64
+        # requests travel the full wire encode -> JSON -> decode path
+        payloads = [
+            parse_json(json.dumps(graph_payload(g)).encode()) for g in graphs
+        ]
+
+        async def body(service):
+            results = await asyncio.gather(
+                *(service.classify(p) for p in payloads)
+            )
+            return [r["label"] for r in results]
+
+        served = run(with_service(
+            engine, ServeConfig(max_batch_size=4, max_wait_ms=2), body
+        ))
+        assert np.array_equal(
+            np.asarray(served, dtype=np.int64), direct
+        )
+
+    def test_classify_batch_matches_engine(self, rng):
+        engine = tiny_engine()
+        graphs = [random_graph(rng, n) for n in (4, 2, 8, 3, 6)]
+        direct = list(engine.predict_many(graphs))
+        payload = {"loops": [graph_payload(g) for g in graphs]}
+
+        async def body(service):
+            out = await service.classify_batch(payload)
+            return [r["label"] for r in out["results"]]
+
+        served = run(with_service(
+            engine, ServeConfig(max_batch_size=3, max_wait_ms=1), body
+        ))
+        assert served == [int(x) for x in direct]
+
+    def test_single_and_batch_agree(self, rng):
+        engine = tiny_engine()
+        graph = random_graph(rng, 5)
+
+        async def body(service):
+            single = await service.classify(graph_payload(graph))
+            batch = await service.classify_batch(
+                {"loops": [graph_payload(graph)]}
+            )
+            return single["label"], batch["results"][0]["label"]
+
+        single, batched = run(with_service(engine, ServeConfig(), body))
+        assert single == batched == int(engine.predict_many([graph])[0])
+
+
+class TestServiceBehavior:
+    def test_ids_preserved(self, rng):
+        engine = tiny_engine()
+        payloads = random_payloads(rng, (3, 5, 2))
+
+        async def body(service):
+            out = await service.classify_batch({"loops": payloads})
+            return [r["id"] for r in out["results"]]
+
+        ids = run(with_service(engine, ServeConfig(max_wait_ms=1), body))
+        assert ids == ["g0", "g1", "g2"]
+
+    def test_wire_error_raises_before_submission(self, rng):
+        engine = tiny_engine()
+
+        async def body(service):
+            with pytest.raises(WireError):
+                await service.classify({"bad": "payload"})
+            assert service.metrics.requests.value == 0
+
+        run(with_service(engine, ServeConfig(), body))
+
+    def test_batch_reports_per_item_errors(self, rng):
+        """Overload failures are reported in place, not as a whole-request
+        failure; the admitted item still gets its label."""
+        engine = tiny_engine()
+        payloads = random_payloads(rng, (3, 4, 2))
+        # depth-1 queue: all three submissions land in the same event-loop
+        # pass (before the dispatcher can drain), so the first is admitted
+        # and the other two are deterministically shed with 429
+        config = ServeConfig(
+            max_batch_size=1, max_wait_ms=0, max_queue_depth=1
+        )
+
+        async def body(service):
+            out = await service.classify_batch({"loops": payloads})
+            first, second, third = out["results"]
+            expected = int(engine.predict_many([decode_loop(payloads[0])])[0])
+            assert first == {"id": "g0", "label": expected}
+            for rejected, expect_id in ((second, "g1"), (third, "g2")):
+                assert rejected["id"] == expect_id
+                assert rejected["status"] == 429
+                assert "queue full" in rejected["error"]
+            assert service.metrics.shed_queue_full.value == 2
+
+        run(with_service(engine, config, body))
+
+    def test_health_and_metrics_text(self, rng):
+        engine = tiny_engine()
+        payloads = random_payloads(rng, (3,))
+
+        async def body(service):
+            await service.classify(payloads[0])
+            health = service.health()
+            assert health["status"] == "ok"
+            assert health["model"] == "MVGNN"
+            assert health["requests_total"] == 1
+            text = service.metrics_text()
+            assert "serve_requests_total 1" in text
+            assert "serve_responses_total 1" in text
+            assert 'serve_batch_size_bucket{le="1"} 1' in text
+            assert "engine_graphs 1" in text
+
+        run(with_service(engine, ServeConfig(max_wait_ms=1), body))
+
+    def test_example_payload_round_trips(self, tiny_inst2vec, walk_space):
+        """The example pool serves payloads the service itself accepts."""
+        from repro.dataset.extraction import extract_loop_samples
+
+        from tests.helpers import build_mixed_program
+
+        samples = extract_loop_samples(
+            build_mixed_program(), None, tiny_inst2vec, walk_space,
+            suite="t", app="mixed", gamma=10, rng=0,
+        )
+        from repro.models.dgcnn import DGCNNConfig
+        from repro.models.mvgnn import MVGNN, MVGNNConfig
+        from repro.runtime import Engine
+
+        config = MVGNNConfig(
+            semantic_features=samples[0].x_semantic.shape[1],
+            walk_types=walk_space.num_types,
+            node_view=DGCNNConfig(
+                in_features=samples[0].x_semantic.shape[1], sortpool_k=6
+            ),
+            struct_view=DGCNNConfig(in_features=200, sortpool_k=6),
+        )
+        model = MVGNN(config, rng=0)
+        model.eval()
+        engine = Engine(model)
+        direct = engine.predict_many(samples)
+
+        async def body(service):
+            labels = []
+            for pos in range(len(samples)):
+                example = service.example_payload()
+                result = await service.classify(example)
+                labels.append(result["label"])
+            return labels
+
+        served = run(with_service(
+            engine, ServeConfig(max_wait_ms=1), body, examples=samples,
+        ))
+        assert served == [int(x) for x in direct]
+
+    def test_example_pool_empty_raises(self):
+        engine = tiny_engine()
+
+        async def body(service):
+            with pytest.raises(WireError, match="example"):
+                service.example_payload()
+
+        run(with_service(engine, ServeConfig(), body))
+
+    def test_stopped_service_rejects(self, rng):
+        engine = tiny_engine()
+        payloads = random_payloads(rng, (3,))
+
+        async def body():
+            service = InferenceService(engine, ServeConfig())
+            await service.start()
+            await service.stop()
+            assert not service.running
+            with pytest.raises(ServeError):
+                await service.classify(payloads[0])
+
+        run(body())

@@ -65,3 +65,40 @@ class TestCli:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestInterruptExit:
+    """Ctrl-C / SIGTERM on any command exits 130, not a traceback."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [["train", "--app", "fib"], ["dataset", "--tiny"], ["serve"]],
+        ids=["train", "dataset", "serve"],
+    )
+    def test_keyboard_interrupt_exits_130(self, argv, capsys, monkeypatch):
+        import repro.cli as cli
+
+        def interrupted(args):
+            raise KeyboardInterrupt
+
+        # main() builds a fresh parser per call, and build_parser resolves
+        # the _cmd_* globals at that moment — so patching the module
+        # attribute is enough
+        monkeypatch.setattr(cli, f"_cmd_{argv[0]}", interrupted)
+        assert main(argv) == 130
+        assert "interrupted" in capsys.readouterr().err
+
+    def test_sigterm_handler_raises_keyboard_interrupt(self):
+        import signal
+
+        import repro.cli as cli
+
+        previous = signal.getsignal(signal.SIGTERM)
+        try:
+            cli._install_sigterm_handler()
+            handler = signal.getsignal(signal.SIGTERM)
+            assert callable(handler)
+            with pytest.raises(KeyboardInterrupt):
+                handler(signal.SIGTERM, None)
+        finally:
+            signal.signal(signal.SIGTERM, previous)

@@ -5,7 +5,7 @@ export PYTHONPATH := src
 COV_FLOOR ?= 85
 
 .PHONY: test test-fast test-nightly test-cov bench bench-runtime bench-train \
-	bench-assembly bench-serve serve-smoke docs-check
+	bench-assembly bench-serve serve-smoke docs-check lint-dataset
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -58,3 +58,9 @@ serve-smoke:
 
 docs-check:
 	$(PYTHON) -m pytest tests/docs/ -q
+
+# Static consistency analyzer over the tiny dataset configuration
+# (see docs/LINT.md). --strict fails the build on WARNING findings too;
+# --quick keeps it inside the CI budget.
+lint-dataset:
+	$(PYTHON) -m repro lint --tiny --strict --quick

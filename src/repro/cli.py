@@ -29,6 +29,13 @@ Commands
     (``POST /v1/classify``, ``GET /metrics``, ...).  Runs until SIGINT or
     SIGTERM, then shuts down cleanly with exit code 130.  See
     docs/SERVING.md.
+``lint [--tiny|--fast|--full] [--strict] [--quick] [--json]``
+    Run the :mod:`repro.lint` static consistency analyzer over the selected
+    dataset configuration: IR rules on every program variant, PEG rules on
+    the built graphs, dataset rules (duplicates, balance, structural
+    validity) and the DS005 label cross-validation against the static
+    dependence prover.  Exit code 0 = clean, 1 = findings at failing
+    severity, 2 = the analyzer itself failed.  See docs/LINT.md.
 ``suggest --app NAME [--program N]``
     Print one program of an application as annotated C-like source with
     OpenMP pragma suggestions.
@@ -293,6 +300,112 @@ def _cmd_dataset(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    _install_sigterm_handler()
+    from repro.dataset.assemble import (
+        DatasetConfig,
+        assemble_dataset,
+        programs_for_config,
+    )
+    from repro.dataset.types import LoopDataset
+    from repro.errors import ReproError as _ReproError
+    from repro.ir.passes.pipeline import apply_pipeline
+    from repro.lint import (
+        LintConfig,
+        LintReport,
+        lint_dataset,
+        lint_ir,
+        lint_peg,
+        lint_program,
+        render_json,
+        render_text,
+    )
+    from repro.peg.builder import build_peg
+    from repro.peg.subgraph import all_loop_subpegs
+    from repro.profiler import profile_program
+
+    if args.full:
+        config = DatasetConfig(seed=args.seed)
+        scale = "full (paper)"
+    elif args.tiny:
+        config = DatasetConfig.tiny(seed=args.seed)
+        scale = "tiny"
+    else:
+        config = DatasetConfig.fast(seed=args.seed)
+        scale = "fast"
+    config.use_cache = not args.no_cache
+    config.n_workers = args.workers
+
+    suppress = tuple(
+        s for chunk in (args.suppress or []) for s in chunk.split(",") if s
+    )
+    lint_cfg = LintConfig(
+        suppress=suppress, strict=args.strict, quick=args.quick
+    )
+    report = LintReport(lint_cfg)
+
+    def note(msg: str) -> None:
+        if not args.json:
+            print(msg, flush=True)
+
+    note(f"linting {scale} dataset configuration (seed {config.seed}, "
+         f"{'quick' if args.quick else 'deep'} mode)")
+
+    # -- IR + AST rules over every program variant the config builds ------
+    programs = programs_for_config(config)
+    for name in sorted(programs):
+        program = programs[name]
+        report.extend(lint_program(program, lint_cfg))
+        try:
+            ir = lower_program(program)
+        except _ReproError:
+            continue  # assembly drops unlowerable variants; not lint's call
+        report.extend(lint_ir(ir, lint_cfg))
+        if args.quick or "+" in name:
+            continue  # deep mode: pipeline variants of base programs only
+        for pipeline_name in config.pipelines:
+            try:
+                variant = apply_pipeline(ir, pipeline_name)
+            except _ReproError:
+                continue
+            report.extend(lint_ir(variant, lint_cfg))
+    note(f"  ir: {len(programs)} program(s) checked")
+
+    # -- PEG rules over built graphs (deep mode: needs profiling) ----------
+    if not args.quick:
+        base = [n for n in sorted(programs) if "+" not in n]
+        n_pegs = 0
+        for name in base:
+            try:
+                ir = lower_program(programs[name])
+                verify_program(ir)
+                peg = build_peg(ir, profile_program(ir))
+            except _ReproError:
+                continue
+            report.extend(lint_peg(peg, lint_cfg, full_graph=True))
+            for sub in all_loop_subpegs(peg).values():
+                report.extend(lint_peg(sub, lint_cfg, full_graph=False))
+            n_pegs += 1
+        note(f"  peg: {n_pegs} graph(s) + sub-PEGs checked")
+
+    # -- dataset rules + DS005 label cross-validation ----------------------
+    data = assemble_dataset(config)
+    pool = LoopDataset(
+        list(data.benchmark) + list(data.generated), name="pool"
+    )
+    report.extend(lint_dataset(pool, lint_cfg, programs=programs))
+    crossval = report.stats.get("crossval", {})
+    note(f"  dataset: {len(pool)} sample(s); label crossval judged "
+         f"{crossval.get('judged', 0)} "
+         f"({crossval.get('contradictions', 0)} contradiction(s))")
+
+    if args.json:
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    return report.exit_code()
+
+
 def _cmd_classify(args) -> int:
     spec = build_app(args.app)
     print(f"{args.app} ({spec.suite}): {spec.loop_count} loops, "
@@ -461,6 +574,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="retries per failed extraction task before dropping it",
     )
     dataset.set_defaults(fn=_cmd_dataset)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the static consistency analyzer (see docs/LINT.md)",
+    )
+    lint_scale = lint.add_mutually_exclusive_group()
+    lint_scale.add_argument(
+        "--full", action="store_true",
+        help="lint the paper-fidelity configuration (slow; default: fast)",
+    )
+    lint_scale.add_argument(
+        "--tiny", action="store_true",
+        help="lint the tiny (CI/smoke) configuration",
+    )
+    lint.add_argument(
+        "--strict", action="store_true",
+        help="WARNING findings also fail (exit 1)",
+    )
+    lint.add_argument(
+        "--quick", action="store_true",
+        help="skip profiling-backed PEG checks and per-variant IR lint "
+             "(the CI budget mode)",
+    )
+    lint.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable JSON report instead of text",
+    )
+    lint.add_argument(
+        "--suppress", action="append", metavar="RULES", default=[],
+        help="comma-separated rule IDs or layer prefixes to suppress "
+             "(e.g. DS003 or PEG); repeatable",
+    )
+    lint.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore and do not write the on-disk dataset/shard cache",
+    )
+    lint.add_argument(
+        "--workers", type=int, default=1,
+        help="extraction worker processes if assembly has to run",
+    )
+    lint.add_argument("--seed", type=int, default=7)
+    lint.set_defaults(fn=_cmd_lint)
 
     serve = sub.add_parser(
         "serve",

@@ -49,7 +49,7 @@ from repro.utils.cache import DiskCache, stable_hash
 from repro.utils.rng import ensure_rng, spawn_rngs, spawn_seeds
 
 #: bump when extraction/assembly semantics change; invalidates disk caches
-_PIPELINE_VERSION = 3
+_PIPELINE_VERSION = 5
 
 #: DatasetConfig knobs that tune the executor, not the dataset content —
 #: excluded from the cache key so serial and parallel builds share entries.
@@ -75,6 +75,11 @@ class DatasetConfig:
     inst2vec_epochs: int = 3
     apps: Optional[Tuple[str, ...]] = None   # None = full Table II roster
     use_cache: bool = True
+    # run repro.lint during assembly: quarantine structurally invalid
+    # samples (ERROR findings become DropRecords) and cross-validate
+    # oracle labels against the static dependence prover (DS005).
+    # Content-affecting, so part of the cache key.
+    lint: bool = True
     # executor knobs (content-neutral; see _EXECUTOR_KNOBS)
     n_workers: int = 1
     task_timeout_s: Optional[float] = 300.0
@@ -201,7 +206,7 @@ def build_extraction_tasks(
     """
     tasks: List[ExtractionTask] = []
 
-    def add(program, labels, suite, app_name, variant, required):
+    def add(program, labels, suite, app_name, variant, required, quirks=()):
         tasks.append(
             ExtractionTask(
                 index=len(tasks),
@@ -211,6 +216,7 @@ def build_extraction_tasks(
                 app=app_name,
                 variant=variant,
                 required=required,
+                quirk_loops=tuple(quirks),
             )
         )
 
@@ -222,7 +228,15 @@ def build_extraction_tasks(
                 for loop_id, loop in app.loops.items()
                 if loop.program_name == program.name
             }
-            add(program, labels, app.suite, app.name, "O0", required=True)
+            quirks = sorted(
+                loop_id
+                for loop_id, loop in app.loops.items()
+                if loop.program_name == program.name and loop.annotation_quirk
+            )
+            add(
+                program, labels, app.suite, app.name, "O0",
+                required=True, quirks=quirks,
+            )
 
     # -- generated pool: pipeline variants + source transforms -------------
     n_slots = sum(
@@ -340,20 +354,19 @@ def _assemble(config: DatasetConfig) -> AssembledData:
             drops_by_app.setdefault(drop.app, []).append(drop)
         for app in missing:
             app_tasks = tasks_by_app[app.name]
+            app_drops = drops_by_app.get(app.name, [])
+            benchmark_clean: List[LoopSample] = []
+            generated_clean: List[LoopSample] = []
+            for task in app_tasks:
+                samples = per_task[task.index]
+                if config.lint:
+                    samples = _quarantine(samples, task, stats, app_drops)
+                (benchmark_clean if task.labels is not None
+                 else generated_clean).extend(samples)
             payload = {
-                "benchmark": [
-                    s
-                    for task in app_tasks
-                    if task.labels is not None
-                    for s in per_task[task.index]
-                ],
-                "generated": [
-                    s
-                    for task in app_tasks
-                    if task.labels is None
-                    for s in per_task[task.index]
-                ],
-                "drops": drops_by_app.get(app.name, []),
+                "benchmark": benchmark_clean,
+                "generated": generated_clean,
+                "drops": app_drops,
             }
             shards[app.name] = payload
             if shard_cache is not None:
@@ -368,6 +381,38 @@ def _assemble(config: DatasetConfig) -> AssembledData:
         benchmark_samples.extend(payload["benchmark"])
         generated_samples.extend(payload["generated"])
         stats.drops.extend(payload["drops"])
+
+    if config.lint:
+        # DS005: cross-validate every label against the static dependence
+        # prover; a contradicted label is a corrupted sample, not noise.
+        from repro.lint.core import LintReport
+        from repro.lint.dataset_rules import cross_validate_labels
+
+        programs = {task.program.name: task.program for task in tasks}
+        report = LintReport()
+        stats.crossval = cross_validate_labels(
+            report, benchmark_samples + generated_samples, programs
+        )
+        if report.errors:
+            stats.lint_findings.extend(f.to_dict() for f in report.errors)
+            bad_ids = {f.details.get("sample_id") for f in report.errors}
+            for pool_list in (benchmark_samples, generated_samples):
+                kept: List[LoopSample] = []
+                for s in pool_list:
+                    if s.sample_id in bad_ids:
+                        stats.lint_quarantined += 1
+                        stats.drops.append(DropRecord(
+                            program_name=s.program_name,
+                            app=s.app,
+                            variant=str(s.meta.get("variant", "?")),
+                            reason="lint:DS005",
+                            attempts=0,
+                            detail=f"label contradicts static verdict "
+                                   f"(sample {s.sample_id})",
+                        ))
+                    else:
+                        kept.append(s)
+                pool_list[:] = kept
 
     benchmark = LoopDataset(benchmark_samples, name="benchmark")
     generated = LoopDataset(generated_samples, name="generated")
@@ -392,11 +437,77 @@ def _assemble(config: DatasetConfig) -> AssembledData:
     )
 
 
+def _quarantine(
+    samples: List[LoopSample],
+    task: ExtractionTask,
+    stats: AssemblyStats,
+    drops: List[DropRecord],
+) -> List[LoopSample]:
+    """Drop samples with ERROR-level structural lint findings.
+
+    Each quarantined sample becomes a ``DropRecord`` with reason
+    ``lint:<RULEID>`` so broken extractions surface in
+    :meth:`AssemblyStats.summary` exactly like crashed or timed-out
+    variants do.
+    """
+    from repro.lint.runner import lint_samples
+
+    clean: List[LoopSample] = []
+    for sample in samples:
+        report = lint_samples([sample])
+        if not report.errors:
+            clean.append(sample)
+            continue
+        stats.lint_quarantined += 1
+        stats.lint_findings.extend(f.to_dict() for f in report.errors)
+        rule_ids = sorted({f.rule_id for f in report.errors})
+        drops.append(DropRecord(
+            program_name=task.program.name,
+            app=task.app,
+            variant=task.variant,
+            reason=f"lint:{rule_ids[0]}",
+            attempts=0,
+            detail="; ".join(f.message for f in report.errors[:3]),
+        ))
+    return clean
+
+
 def _shard_valid(payload) -> bool:
-    """A usable shard entry (corrupt entries are already misses upstream)."""
-    return isinstance(payload, dict) and {
-        "benchmark", "generated", "drops"
-    } <= set(payload)
+    """A usable shard entry: well-shaped *and* structurally clean.
+
+    Cached shards are revalidated with the cheap structural lint rules
+    before reuse — a shard written by an older/buggier extractor (or
+    corrupted in a way that still unpickles) is treated as a miss and
+    recomputed rather than poisoning the dataset.
+    """
+    if not (
+        isinstance(payload, dict)
+        and {"benchmark", "generated", "drops"} <= set(payload)
+    ):
+        return False
+    try:
+        from repro.lint.runner import lint_samples
+
+        samples = list(payload["benchmark"]) + list(payload["generated"])
+        report = lint_samples(samples)
+    except Exception:
+        return False  # entries that are not LoopSamples at all
+    return not report.errors
+
+
+def programs_for_config(config: DatasetConfig) -> Dict[str, object]:
+    """Program name -> source AST for every task a config would build.
+
+    Mirrors ``_assemble``'s RNG spawn order exactly, so transformed
+    programs are byte-identical to the ones the assembly used — the map a
+    caller needs to run DS005 label cross-validation against an already
+    assembled dataset (the ``repro lint`` CLI path).
+    """
+    rng = ensure_rng(config.seed)
+    _, _, _, transform_rng, _ = spawn_rngs(rng, 5)
+    apps = _selected_apps(config)
+    tasks = build_extraction_tasks(apps, config, transform_rng)
+    return {task.program.name: task.program for task in tasks}
 
 
 def _base_program_key(sample: LoopSample) -> str:

@@ -33,7 +33,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -62,8 +62,11 @@ class ExtractionTask:
 
     ``labels`` carries authored annotations (the benchmark pool); ``None``
     means every executed loop is labeled by the dynamic oracle (the
-    generated pool).  ``required`` tasks abort assembly on persistent
-    failure instead of being dropped.
+    generated pool).  ``quirk_loops`` names the loops whose authored label
+    is deliberate annotation noise (cf. IS #452) — their samples get
+    ``meta["annotation_quirk"]`` so the DS005 cross-validator knows the
+    label is untrusted by design.  ``required`` tasks abort assembly on
+    persistent failure instead of being dropped.
     """
 
     index: int
@@ -74,6 +77,7 @@ class ExtractionTask:
     variant: str
     seed: int = 0
     required: bool = False
+    quirk_loops: Tuple[str, ...] = ()
 
     def describe(self) -> str:
         return f"{self.program.name}/{self.variant}"
@@ -100,7 +104,7 @@ class DropRecord:
     program_name: str
     app: str
     variant: str
-    reason: str                       # "interpreter" | "timeout" | "lowering" | "worker-crash" | "error:<T>"
+    reason: str                       # "interpreter" | "timeout" | "lowering" | "worker-crash" | "error:<T>" | "lint:<RULE>"
     attempts: int
     detail: str = ""
 
@@ -133,6 +137,10 @@ class AssemblyStats:
     shard_hits: int = 0
     shard_misses: int = 0
     cache_hit: bool = False           # whole-dataset DiskCache entry
+    # lint accounting (repro.lint runs inside assembly when config.lint)
+    lint_quarantined: int = 0         # samples dropped by ERROR findings
+    lint_findings: List[Dict] = field(default_factory=list)  # Finding.to_dict()s
+    crossval: Dict[str, int] = field(default_factory=dict)   # DS005 coverage
 
     def drop_reasons(self) -> Dict[str, int]:
         reasons: Dict[str, int] = {}
@@ -160,6 +168,20 @@ class AssemblyStats:
             lines.append("dropped variants: 0")
         if self.n_retries:
             lines.append(f"task retries: {self.n_retries}")
+        if self.lint_findings or self.lint_quarantined:
+            lines.append(
+                f"lint: {len(self.lint_findings)} finding(s), "
+                f"{self.lint_quarantined} sample(s) quarantined"
+            )
+        if self.crossval:
+            lines.append(
+                "label crossval: "
+                f"{self.crossval.get('judged', 0)} judged, "
+                f"{self.crossval.get('provably_parallel', 0)} provably "
+                "parallel, "
+                f"{self.crossval.get('provably_serial', 0)} provably serial, "
+                f"{self.crossval.get('contradictions', 0)} contradiction(s)"
+            )
         lines.append(
             f"cache: dataset {'hit' if self.cache_hit else 'miss'}, "
             f"shards {self.shard_hits} hit / {self.shard_misses} miss"
@@ -225,7 +247,7 @@ def execute_task(task: ExtractionTask, ctx: WorkerContext) -> List[LoopSample]:
     verify_program(ir)
     if task.variant != "O0":
         ir = apply_pipeline(ir, task.variant)
-    return extract_loop_samples(
+    samples = extract_loop_samples(
         task.program,
         task.labels,
         ctx.inst2vec,
@@ -237,6 +259,10 @@ def execute_task(task: ExtractionTask, ctx: WorkerContext) -> List[LoopSample]:
         ir_program=ir,
         rng=rng,
     )
+    for sample in samples:
+        if sample.loop_id in task.quirk_loops:
+            sample.meta["annotation_quirk"] = True
+    return samples
 
 
 ExecuteFn = Callable[[ExtractionTask, WorkerContext], List[LoopSample]]

@@ -63,6 +63,22 @@ class WireError(ServeError):
     """Malformed request payload (maps to HTTP 400)."""
 
 
+class GraphValidationError(WireError):
+    """A decodable request whose graph fails structural validation.
+
+    Distinct from :class:`WireError` (undecodable JSON / missing fields /
+    non-numeric data, HTTP 400): the payload parsed fine but the decoded
+    arrays violate a model-input invariant — wrong shapes, NaN/Inf, an
+    asymmetric or non-binary adjacency, too many nodes.  Maps to HTTP 422;
+    ``findings`` carries machine-readable lint findings (plain dicts,
+    JSON-ready) for the response payload.
+    """
+
+    def __init__(self, message: str, findings=None) -> None:
+        super().__init__(message)
+        self.findings = list(findings or [])
+
+
 class QueueFullError(ServeError):
     """Admission control rejected the request: the queue is at capacity.
 

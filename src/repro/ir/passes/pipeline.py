@@ -9,7 +9,8 @@ surfaces — with identical run-time behaviour and identical loop labels.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+import os
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigError
 from repro.ir.linear import IRProgram
@@ -41,15 +42,49 @@ def pipeline_names() -> List[str]:
     return list(OPT_PIPELINES)
 
 
-def apply_pipeline(program: IRProgram, name: str) -> IRProgram:
-    """Apply the named pipeline to a copy of ``program``."""
+#: environment flag: when set to a non-empty value other than "0", every
+#: pass application is followed by a full ``ir.verify`` run.  The test
+#: suite sets it (tests/conftest.py) so every optimization variant used in
+#: dataset assembly is verified; production builds skip the overhead.
+VERIFY_ENV = "REPRO_VERIFY_PASSES"
+
+
+def _verify_from_env() -> bool:
+    value = os.environ.get(VERIFY_ENV, "")
+    return bool(value) and value != "0"
+
+
+def apply_pipeline(
+    program: IRProgram, name: str, verify: Optional[bool] = None
+) -> IRProgram:
+    """Apply the named pipeline to a copy of ``program``.
+
+    ``verify=True`` re-runs :func:`repro.ir.verify.verify_program` after
+    every pass, attributing the failure to the pass that produced the bad
+    IR; ``None`` (default) consults the :data:`VERIFY_ENV` environment
+    flag.
+    """
     try:
         passes = OPT_PIPELINES[name]
     except KeyError:
         raise ConfigError(
             f"unknown pipeline {name!r}; choose from {pipeline_names()}"
         ) from None
+    if verify is None:
+        verify = _verify_from_env()
     out = clone_program(program)
     for pipeline_pass in passes:
         out = pipeline_pass(out)
+        if verify:
+            from repro.errors import IRError
+            from repro.ir.verify import verify_program
+
+            try:
+                verify_program(out)
+            except IRError as exc:
+                raise IRError(
+                    f"pipeline {name!r}: pass "
+                    f"{getattr(pipeline_pass, '__name__', pipeline_pass)!r} "
+                    f"produced invalid IR: {exc}"
+                ) from exc
     return out

@@ -1,0 +1,207 @@
+"""IR rules: LinearIR well-formedness beyond :mod:`repro.ir.verify`.
+
+``ir.verify`` raises on hard contract violations (SSA, dominance,
+terminators).  The lint rules here cover shapes that *pass* the verifier
+but indicate a broken producer: unreachable blocks left behind by a
+transformation, loop metadata whose bracketing pseudo-ops have gone
+missing or migrated into impossible positions, registers flowing into a
+loop from blocks that do not dominate it, and degenerate source-level
+loop bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.ir import ast_nodes as ast
+from repro.ir.linear import IRFunction, IRProgram, Opcode
+from repro.lint.core import LintReport, Severity, rule
+
+IR001 = rule(
+    "IR001", "ir", Severity.ERROR,
+    "every basic block must be reachable from the function entry",
+)
+IR002 = rule(
+    "IR002", "ir", Severity.ERROR,
+    "loop metadata, bracketing pseudo-ops, and cross-loop register uses "
+    "must be consistent",
+)
+IR003 = rule(
+    "IR003", "ir", Severity.ERROR,
+    "constant loop bounds must describe a terminating, non-empty iteration "
+    "space (zero-trip loops warn; non-positive steps error)",
+)
+
+
+def check_ir_function(report: LintReport, fn: IRFunction, program: IRProgram) -> None:
+    _check_reachability(report, fn)
+    _check_loop_structure(report, fn)
+
+
+def check_ir_program(report: LintReport, program: IRProgram) -> None:
+    for fn in program.functions.values():
+        check_ir_function(report, fn, program)
+
+
+# -- IR001: reachability ----------------------------------------------------
+
+
+def _check_reachability(report: LintReport, fn: IRFunction) -> None:
+    if not fn.blocks:
+        return
+    labels = {b.label for b in fn.blocks}
+    seen: Set[str] = set()
+    stack = [fn.blocks[0].label]
+    while stack:
+        label = stack.pop()
+        if label in seen or label not in labels:
+            continue
+        seen.add(label)
+        for succ in fn.block(label).successors():
+            stack.append(succ)
+    for block in fn.blocks:
+        if block.label not in seen:
+            report.emit(
+                IR001, f"ir:{fn.name}/{block.label}",
+                "block is unreachable from the function entry",
+                {"function": fn.name, "block": block.label},
+            )
+
+
+# -- IR002: loop structure --------------------------------------------------
+
+
+def _check_loop_structure(report: LintReport, fn: IRFunction) -> None:
+    labels = {b.label for b in fn.blocks}
+    # where each bracketing pseudo-op of each loop lives
+    op_blocks: Dict[str, Dict[Opcode, Set[str]]] = {}
+    for block in fn.blocks:
+        for instr in block.instrs:
+            if instr.opcode in (Opcode.LOOPENTER, Opcode.LOOPNEXT, Opcode.LOOPEXIT):
+                loop_id = instr.operands[0]
+                op_blocks.setdefault(loop_id, {}).setdefault(
+                    instr.opcode, set()
+                ).add(block.label)
+
+    from repro.profiler.static_info import loop_block_sets
+
+    block_sets = loop_block_sets(fn)
+
+    for loop_id, info in fn.loops.items():
+        where = f"ir:{fn.name}/{loop_id}"
+        for field_name, label in (
+            ("header", info.header),
+            ("body_entry", info.body_entry),
+            ("exit", info.exit),
+        ):
+            if label not in labels:
+                report.emit(
+                    IR002, where,
+                    f"loop {field_name} block {label!r} does not exist",
+                    {"loop": loop_id, "field": field_name, "block": label},
+                )
+        ops = op_blocks.get(loop_id, {})
+        for opcode in (Opcode.LOOPENTER, Opcode.LOOPNEXT, Opcode.LOOPEXIT):
+            if not ops.get(opcode):
+                report.emit(
+                    IR002, where,
+                    f"loop has no {opcode.value} pseudo-op",
+                    {"loop": loop_id, "missing": opcode.value},
+                )
+        loop_blocks = block_sets.get(loop_id, set())
+        if loop_blocks:
+            inside_enter = ops.get(Opcode.LOOPENTER, set()) & loop_blocks
+            if inside_enter:
+                report.emit(
+                    IR002, where,
+                    f"loopenter appears inside the loop body "
+                    f"({sorted(inside_enter)})",
+                    {"loop": loop_id, "blocks": sorted(inside_enter)},
+                )
+            outside_next = ops.get(Opcode.LOOPNEXT, set()) - loop_blocks
+            if outside_next:
+                report.emit(
+                    IR002, where,
+                    f"loopnext appears outside the loop body "
+                    f"({sorted(outside_next)})",
+                    {"loop": loop_id, "blocks": sorted(outside_next)},
+                )
+            _check_loop_register_flow(report, fn, loop_id, loop_blocks, where)
+
+
+def _check_loop_register_flow(
+    report: LintReport,
+    fn: IRFunction,
+    loop_id: str,
+    loop_blocks: Set[str],
+    where: str,
+) -> None:
+    """Use-before-def across the loop boundary: a register used inside the
+    loop must be defined inside it or in a block dominating the header
+    (SSA dominance alone cannot see this when the CFG is also broken)."""
+    from repro.ir.dominators import compute_dominators, dominates
+    from repro.ir.linear import Reg
+
+    info = fn.loops[loop_id]
+    if info.header not in {b.label for b in fn.blocks}:
+        return
+    dom = compute_dominators(fn)
+    def_block: Dict[str, str] = {}
+    for block in fn.blocks:
+        for instr in block.instrs:
+            if instr.result is not None:
+                def_block.setdefault(instr.result.name, block.label)
+    for block in fn.blocks:
+        if block.label not in loop_blocks:
+            continue
+        for instr in block.instrs:
+            for op in instr.operands:
+                if not isinstance(op, Reg):
+                    continue
+                src = def_block.get(op.name)
+                if src is None:
+                    continue  # undefined registers are ir.verify's domain
+                if src in loop_blocks or dominates(dom, src, info.header):
+                    continue
+                report.emit(
+                    IR002, where,
+                    f"register %{op.name} used in loop block {block.label} is "
+                    f"defined in {src}, which neither belongs to the loop nor "
+                    f"dominates its header",
+                    {
+                        "loop": loop_id, "register": op.name,
+                        "use_block": block.label, "def_block": src,
+                    },
+                )
+
+
+# -- IR003: degenerate source-level loop bounds -----------------------------
+
+
+def check_ast_program(report: LintReport, program: ast.Program) -> None:
+    """AST-level checks (IR003): degenerate ``For`` bounds."""
+    for fn in program.functions.values():
+        for loop in ast.loops_in(fn.body):
+            loop_id = loop.loop_id or f"{fn.name}:<anon>@{loop.line}"
+            where = f"ast:{program.name}/{loop_id}"
+            step = loop.step
+            if isinstance(step, ast.Const) and step.value <= 0:
+                report.emit(
+                    IR003, where,
+                    f"constant step {step.value} is not positive: the loop "
+                    "never advances",
+                    {"loop": loop_id, "step": step.value},
+                )
+                continue
+            if (
+                isinstance(loop.lo, ast.Const)
+                and isinstance(loop.hi, ast.Const)
+                and loop.lo.value >= loop.hi.value
+            ):
+                report.emit(
+                    IR003, where,
+                    f"constant bounds [{loop.lo.value}, {loop.hi.value}) give "
+                    "a zero-trip loop",
+                    {"loop": loop_id, "lo": loop.lo.value, "hi": loop.hi.value},
+                    severity=Severity.WARNING,
+                )

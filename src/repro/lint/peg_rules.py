@@ -1,0 +1,237 @@
+"""PEG rules: structural invariants of PEGs and sub-PEG views.
+
+``full_graph=True`` enables checks that only hold on a whole-program PEG
+(carried-loop references must resolve to loop nodes); sub-PEG views
+legitimately drop the loop nodes their dependence edges were carried by.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.analysis.features import FEATURE_NAMES
+from repro.peg.graph import PEG, EdgeKind
+from repro.lint.core import LintReport, Severity, rule
+
+import math
+
+PEG001 = rule(
+    "PEG001", "peg", Severity.ERROR,
+    "edge endpoints and adjacency indexes must be consistent with the node "
+    "and edge tables",
+)
+PEG002 = rule(
+    "PEG002", "peg", Severity.ERROR,
+    "the CHILD hierarchy must be acyclic with at most one parent per node",
+)
+PEG003 = rule(
+    "PEG003", "peg", Severity.ERROR,
+    "dependence edges must aggregate at least one dependence; self-dependence "
+    "edges must be loop-carried",
+)
+PEG004 = rule(
+    "PEG004", "peg", Severity.ERROR,
+    "node features must be finite, non-negative, and use known feature names",
+)
+PEG005 = rule(
+    "PEG005", "peg", Severity.WARNING,
+    "sub-PEG size should not exceed the model's SortPooling k",
+)
+
+#: default SortPooling k (repro.models.dgcnn.DGCNNConfig.sortpool_k)
+_DEFAULT_SORTPOOL_K = 135
+
+
+def check_peg(
+    report: LintReport,
+    peg: PEG,
+    where_prefix: str = "",
+    full_graph: bool = True,
+    sortpool_k: int = _DEFAULT_SORTPOOL_K,
+) -> None:
+    where = where_prefix or f"peg:{peg.name}"
+    _check_endpoints(report, peg, where)
+    _check_hierarchy(report, peg, where)
+    _check_dep_edges(report, peg, where, full_graph)
+    _check_features(report, peg, where)
+    if not full_graph and len(peg.nodes) > sortpool_k:
+        report.emit(
+            PEG005, where,
+            f"sub-PEG has {len(peg.nodes)} nodes; SortPooling keeps only "
+            f"{sortpool_k} — the tail is truncated",
+            {"nodes": len(peg.nodes), "sortpool_k": sortpool_k},
+        )
+
+
+# -- PEG001 -----------------------------------------------------------------
+
+
+def _check_endpoints(report: LintReport, peg: PEG, where: str) -> None:
+    for i, edge in enumerate(peg.edges):
+        for end, nid in (("src", edge.src), ("dst", edge.dst)):
+            if nid not in peg.nodes:
+                report.emit(
+                    PEG001, where,
+                    f"{edge.kind.value} edge #{i} {end} {nid!r} is not a node",
+                    {"edge": i, "end": end, "node": nid},
+                )
+    # adjacency indexes must cover exactly the edge list
+    indexed: Set[int] = set()
+    for nid, idxs in peg._out.items():
+        for idx in idxs:
+            if idx >= len(peg.edges) or peg.edges[idx].src != nid:
+                report.emit(
+                    PEG001, where,
+                    f"out-index of node {nid!r} references edge #{idx} "
+                    "with a different source",
+                    {"node": nid, "edge": idx},
+                )
+            else:
+                indexed.add(idx)
+    for nid, idxs in peg._in.items():
+        for idx in idxs:
+            if idx >= len(peg.edges) or peg.edges[idx].dst != nid:
+                report.emit(
+                    PEG001, where,
+                    f"in-index of node {nid!r} references edge #{idx} "
+                    "with a different sink",
+                    {"node": nid, "edge": idx},
+                )
+    missing = set(range(len(peg.edges))) - indexed
+    for idx in sorted(missing):
+        edge = peg.edges[idx]
+        report.emit(
+            PEG001, where,
+            f"edge #{idx} ({edge.src!r} -> {edge.dst!r}) is absent from the "
+            "out-index",
+            {"edge": idx, "src": edge.src, "dst": edge.dst},
+        )
+
+
+# -- PEG002 -----------------------------------------------------------------
+
+
+def _check_hierarchy(report: LintReport, peg: PEG, where: str) -> None:
+    # walk the edge list directly, not peg.children(): the adjacency index
+    # may itself be corrupt (PEG001's findings) and must not crash us here
+    parents: Dict[str, Set[str]] = {}
+    children: Dict[str, list] = {}
+    for edge in peg.edges:
+        if edge.kind is not EdgeKind.CHILD:
+            continue
+        children.setdefault(edge.src, []).append(edge.dst)
+        if edge.dst in peg.nodes:
+            parents.setdefault(edge.dst, set()).add(edge.src)
+    for nid in sorted(parents):
+        if len(parents[nid]) > 1:
+            report.emit(
+                PEG002, where,
+                f"node {nid!r} has {len(parents[nid])} hierarchy parents "
+                f"({sorted(parents[nid])})",
+                {"node": nid, "parents": sorted(parents[nid])},
+            )
+    # cycle detection over CHILD edges (iterative three-color DFS)
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {nid: WHITE for nid in peg.nodes}
+    for root in peg.nodes:
+        if color[root] != WHITE:
+            continue
+        stack = [(root, iter(children.get(root, ())))]
+        color[root] = GRAY
+        while stack:
+            nid, it = stack[-1]
+            advanced = False
+            for child in it:
+                if child not in color:
+                    continue  # dangling endpoint: PEG001's finding
+                if color[child] == GRAY:
+                    report.emit(
+                        PEG002, where,
+                        f"hierarchy cycle through {child!r}",
+                        {"node": child},
+                    )
+                elif color[child] == WHITE:
+                    color[child] = GRAY
+                    stack.append((child, iter(children.get(child, ()))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[nid] = BLACK
+                stack.pop()
+
+
+# -- PEG003 -----------------------------------------------------------------
+
+_DEP_KINDS = {"RAW", "WAR", "WAW"}
+
+
+def _check_dep_edges(
+    report: LintReport, peg: PEG, where: str, full_graph: bool
+) -> None:
+    loop_ids = {
+        node.loop_id for node in peg.loop_nodes() if node.loop_id is not None
+    }
+    for i, edge in enumerate(peg.edges):
+        if edge.kind is not EdgeKind.DEP:
+            continue
+        unknown = set(edge.dep_counts) - _DEP_KINDS
+        if unknown:
+            report.emit(
+                PEG003, where,
+                f"dep edge #{i} has unknown kinds {sorted(unknown)}",
+                {"edge": i, "kinds": sorted(unknown)},
+            )
+        if edge.total_deps <= 0:
+            report.emit(
+                PEG003, where,
+                f"dep edge #{i} ({edge.src!r} -> {edge.dst!r}) aggregates "
+                "zero dependences",
+                {"edge": i, "src": edge.src, "dst": edge.dst},
+            )
+        if edge.src == edge.dst and not edge.carried_loops:
+            report.emit(
+                PEG003, where,
+                f"self-dependence edge #{i} on {edge.src!r} is not carried "
+                "by any loop (an intra-iteration self-dependence is vacuous)",
+                {"edge": i, "node": edge.src},
+            )
+        if full_graph:
+            for lid in sorted(edge.carried_loops):
+                if lid not in loop_ids:
+                    report.emit(
+                        PEG003, where,
+                        f"dep edge #{i} is carried by unknown loop {lid!r}",
+                        {"edge": i, "loop": lid},
+                    )
+
+
+# -- PEG004 -----------------------------------------------------------------
+
+
+def _check_features(report: LintReport, peg: PEG, where: str) -> None:
+    known = set(FEATURE_NAMES)
+    for nid in sorted(peg.nodes):
+        node = peg.nodes[nid]
+        for name, value in node.features.items():
+            if name not in known:
+                report.emit(
+                    PEG004, where,
+                    f"node {nid!r} has unknown feature {name!r}",
+                    {"node": nid, "feature": name},
+                    severity=Severity.WARNING,
+                )
+                continue
+            if not math.isfinite(value):
+                report.emit(
+                    PEG004, where,
+                    f"node {nid!r} feature {name!r} is non-finite ({value})",
+                    {"node": nid, "feature": name, "value": repr(value)},
+                )
+            elif value < 0.0:
+                report.emit(
+                    PEG004, where,
+                    f"node {nid!r} feature {name!r} is negative ({value}); "
+                    "dynamic features are log1p-compressed counts and can "
+                    "never be negative",
+                    {"node": nid, "feature": name, "value": value},
+                )

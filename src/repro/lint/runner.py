@@ -1,0 +1,96 @@
+"""Lint entry points: one function per artifact kind.
+
+Each function returns a :class:`~repro.lint.core.LintReport`; callers
+decide what to do with findings (quarantine a sample, fail a build, turn
+them into an HTTP 422 payload).  All entry points accept a shared
+:class:`~repro.lint.core.LintConfig` for suppressions/strictness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.dataset.types import LoopDataset, LoopSample
+from repro.ir import ast_nodes as ast
+from repro.ir.linear import IRProgram
+from repro.lint import dataset_rules, graph_rules, ir_rules, peg_rules
+from repro.lint.core import LintConfig, LintReport
+from repro.peg.graph import PEG
+
+
+def lint_ir(
+    program: IRProgram, config: Optional[LintConfig] = None
+) -> LintReport:
+    """IR rules (IR001/IR002) over one lowered program."""
+    report = LintReport(config)
+    ir_rules.check_ir_program(report, program)
+    return report
+
+
+def lint_program(
+    program: ast.Program, config: Optional[LintConfig] = None
+) -> LintReport:
+    """AST rules (IR003) over one MiniC program."""
+    report = LintReport(config)
+    ir_rules.check_ast_program(report, program)
+    return report
+
+
+def lint_peg(
+    peg: PEG,
+    config: Optional[LintConfig] = None,
+    full_graph: bool = True,
+    sortpool_k: int = peg_rules._DEFAULT_SORTPOOL_K,
+) -> LintReport:
+    """PEG rules (PEG001–PEG005) over a PEG or sub-PEG view."""
+    report = LintReport(config)
+    peg_rules.check_peg(
+        report, peg, full_graph=full_graph, sortpool_k=sortpool_k
+    )
+    return report
+
+
+def lint_graph_arrays(
+    adjacency: np.ndarray,
+    x_semantic: np.ndarray,
+    x_structural: np.ndarray,
+    where: str = "graph",
+    config: Optional[LintConfig] = None,
+    max_nodes: Optional[int] = None,
+) -> LintReport:
+    """GR rules over one raw array triple (the serving admission gate)."""
+    report = LintReport(config)
+    graph_rules.check_graph_arrays(
+        report, adjacency, x_semantic, x_structural, where, max_nodes
+    )
+    return report
+
+
+def lint_samples(
+    samples: Iterable[LoopSample], config: Optional[LintConfig] = None
+) -> LintReport:
+    """Per-sample structural rules (GR + DS004) — the cheap subset used to
+    quarantine samples during assembly and revalidate cached shards."""
+    report = LintReport(config)
+    for sample in samples:
+        dataset_rules.check_sample_structure(report, sample)
+    return report
+
+
+def lint_dataset(
+    dataset: LoopDataset,
+    config: Optional[LintConfig] = None,
+    programs: Optional[Mapping[str, ast.Program]] = None,
+) -> LintReport:
+    """Dataset rules (DS001–DS004, plus DS005 when ``programs`` maps the
+    dataset's program names to their source ASTs)."""
+    report = LintReport(config)
+    dataset_rules.check_dataset(report, dataset)
+    if programs is not None:
+        counters = dataset_rules.cross_validate_labels(
+            report, dataset.samples, programs
+        )
+        report.stats["crossval"] = counters
+    return report

@@ -1,0 +1,522 @@
+"""Conservative static loop-carried dependence tests over MiniC ASTs.
+
+This module is the engine behind lint rule ``DS005`` (label
+cross-validation).  It classifies a ``For`` loop into one of three
+verdicts **without executing anything**:
+
+* ``PROVABLY_PARALLEL`` — no loop-carried dependence the oracle would
+  count as a blocker can exist;
+* ``PROVABLY_SERIAL`` — a blocking loop-carried dependence *must*
+  manifest on every execution that enters the loop;
+* ``UNKNOWN`` — anything the conservative machinery cannot settle.
+
+The prover mirrors the exact semantics of the dynamic oracle
+(:mod:`repro.analysis.oracle`): dependences on the loop's own induction
+variable are ignored, carried WAR/WAW on scalars are always privatizable,
+carried RAW on a recognized reduction accumulator is excused, and *any*
+carried dependence on an array blocks.  Only verdicts that are provable
+under those semantics are returned; everything else is ``UNKNOWN``, so a
+disagreement between a verdict and the oracle label is always a bug in
+the artifact (or in one of the two analyses) — never an expected
+approximation gap.
+
+Scope restrictions (violating any of them yields ``UNKNOWN``):
+
+* the loop body must be straight-line: no nested ``For``/``While``,
+  no ``If``/``Break``/``Return``, no calls except pure math intrinsics
+  in expression position;
+* neither the loop variable nor any enclosing loop variable is assigned
+  in the body;
+* array subscripts must normalize through
+  :func:`repro.tools.affine.normalize_affine` into ``c·v + invariant``
+  with an integer coefficient ``c`` on the loop variable, no composite
+  terms involving it, and all other terms built from scalars that the
+  body never writes.
+
+Serial proofs additionally require a compile-time iteration space
+(integer ``Const`` bounds/step, trip count ≥ 2) so the dependence is
+guaranteed to occur dynamically whenever the loop runs at all.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.ir import ast_nodes as ast
+from repro.tools.affine import AffineForm, gcd_test, normalize_affine
+
+
+class StaticVerdict(enum.Enum):
+    PROVABLY_PARALLEL = "provably_parallel"
+    PROVABLY_SERIAL = "provably_serial"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class StaticLoopAnalysis:
+    """Verdict plus the evidence trail for one loop."""
+
+    loop_id: str
+    verdict: StaticVerdict
+    reasons: List[str] = field(default_factory=list)
+
+    def reason_text(self) -> str:
+        return "; ".join(self.reasons) if self.reasons else "no evidence"
+
+
+def _unknown(loop_id: str, why: str) -> StaticLoopAnalysis:
+    return StaticLoopAnalysis(loop_id, StaticVerdict.UNKNOWN, [why])
+
+
+# ---------------------------------------------------------------------------
+# Body scanning
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Access:
+    """One array access with a strict affine subscript ``c·v + k`` where
+    every non-``v`` term is loop-invariant (verified by the caller)."""
+
+    array: str
+    is_write: bool
+    coeff: float                       # integer-valued coefficient of v
+    const: float
+    other: Dict[Tuple[str, ...], float]  # invariant terms (coeffs)
+    form: AffineForm
+    line: int
+
+
+class _BodyScan:
+    """Flat facts about a straight-line loop body."""
+
+    def __init__(self) -> None:
+        self.scalar_reads: List[str] = []          # in evaluation order
+        self.scalar_events: List[Tuple[str, str]] = []  # ("r"|"w", name)
+        self.scalars_written: Set[str] = set()
+        self.self_referencing: Set[str] = set()    # x = ...x... assignments
+        self.array_reads: List[ast.Load] = []
+        self.array_writes: List[ast.Store] = []
+        self.bail: Optional[str] = None
+
+
+_INTRINSICS = set(ast.INTRINSICS)
+
+
+def _expr_events(expr: ast.Expr, scan: _BodyScan) -> None:
+    """Record scalar reads / array loads of ``expr`` in evaluation order."""
+    if scan.bail:
+        return
+    if isinstance(expr, ast.Var):
+        scan.scalar_events.append(("r", expr.name))
+        scan.scalar_reads.append(expr.name)
+        return
+    if isinstance(expr, ast.Load):
+        _expr_events(expr.index, scan)
+        scan.array_reads.append(expr)
+        return
+    if isinstance(expr, ast.CallExpr):
+        if expr.fn not in _INTRINSICS:
+            scan.bail = f"call to non-intrinsic {expr.fn!r}"
+            return
+        for arg in expr.args:
+            _expr_events(arg, scan)
+        return
+    for child in expr.children():
+        _expr_events(child, scan)
+
+
+def _scan_body(body: Sequence[ast.Stmt]) -> _BodyScan:
+    """Scan a loop body; sets ``bail`` when it is not straight-line."""
+    scan = _BodyScan()
+    for stmt in body:
+        if scan.bail:
+            break
+        if isinstance(stmt, ast.Assign):
+            _expr_events(stmt.expr, scan)
+            scan.scalar_events.append(("w", stmt.name))
+            scan.scalars_written.add(stmt.name)
+            if any(
+                isinstance(e, ast.Var) and e.name == stmt.name
+                for e in ast.walk_exprs(stmt.expr)
+            ):
+                scan.self_referencing.add(stmt.name)
+        elif isinstance(stmt, ast.Store):
+            _expr_events(stmt.index, scan)
+            _expr_events(stmt.expr, scan)
+            scan.array_writes.append(stmt)
+        else:
+            scan.bail = f"non-straight-line statement {type(stmt).__name__}"
+    return scan
+
+
+def _first_event_is_write(scan: _BodyScan, name: str) -> bool:
+    for kind, sym in scan.scalar_events:
+        if sym == name:
+            return kind == "w"
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Affine access classification
+# ---------------------------------------------------------------------------
+
+
+def _strict_affine(
+    index: ast.Expr,
+    var: str,
+    written_scalars: Set[str],
+    is_write: bool,
+    array: str,
+    line: int,
+) -> Optional[_Access]:
+    """Normalize ``index`` into the strict ``c·v + invariant`` shape.
+
+    Returns None when the access is not analyzable: non-affine, composite
+    terms involving ``var`` (the flattened-2D ``v * N`` pattern — the
+    symbolic stride defeats sound integer reasoning), non-integer
+    coefficient/constant, or parameters the body also writes (then they
+    are not iteration-invariant).
+    """
+    form = normalize_affine(index, {var})
+    if form is None:
+        return None
+    coeff = form.coeffs.get((var,), 0.0)
+    if not float(coeff).is_integer() or not float(form.const).is_integer():
+        return None
+    other: Dict[Tuple[str, ...], float] = {}
+    for term, c in form.coeffs.items():
+        if term == (var,):
+            continue
+        if var in term:
+            return None  # composite term involving the loop variable
+        if any(sym in written_scalars for sym in term):
+            return None  # coefficient on a non-invariant symbol
+        other[term] = c
+    return _Access(
+        array=array, is_write=is_write, coeff=coeff, const=form.const,
+        other=other, form=form, line=line,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Iteration space
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _IterSpace:
+    """Concrete integer iteration set {lo, lo+step, ... < hi}."""
+
+    lo: int
+    hi: int
+    step: int
+
+    @property
+    def trips(self) -> int:
+        if self.step <= 0 or self.hi <= self.lo:
+            return 0
+        return -(-(self.hi - self.lo) // self.step)  # ceil div
+
+
+def _concrete_space(loop: ast.For) -> Optional[_IterSpace]:
+    vals = []
+    for e in (loop.lo, loop.hi, loop.step):
+        if not isinstance(e, ast.Const) or not float(e.value).is_integer():
+            return None
+        vals.append(int(e.value))
+    lo, hi, step = vals
+    if step <= 0:
+        return None  # MiniC For semantics assume a positive step
+    return _IterSpace(lo, hi, step)
+
+
+# ---------------------------------------------------------------------------
+# Pairwise dependence disproof / proof
+# ---------------------------------------------------------------------------
+
+
+def _pair_no_carried_dep(
+    a: _Access,
+    b: _Access,
+    var: str,
+    step: Optional[int],
+    space: Optional[_IterSpace],
+) -> Optional[str]:
+    """Disprove a cross-iteration collision between ``a`` and ``b``.
+
+    Returns a reason string when *no* v1 ≠ v2 can satisfy
+    ``a(v1) == b(v2)``, or None when a collision may exist.  Sound for
+    symbolic bounds: the invariant terms cancel because both accesses see
+    the same parameter values during one execution of the loop.  ``step``
+    is the loop step when it is a known integer constant (then
+    ``v1 - v2`` is an exact nonzero multiple of it even when the bounds
+    are symbolic); ``space`` additionally pins lo/hi.
+    """
+    if a.other != b.other:
+        return None  # different parametric structure: cannot compare
+    dk = b.const - a.const
+    ca, cb = a.coeff, b.coeff
+    if ca == 0.0 and cb == 0.0:
+        if dk != 0.0:
+            return "distinct fixed cells"
+        return None  # same fixed cell every iteration: definite collision
+    if ca == cb:
+        if dk == 0.0:
+            return "identical subscripts only collide in-iteration"
+        # c·(v1 - v2) = dk with v1 - v2 a nonzero multiple of the step;
+        # without a constant integer step v1 - v2 is unconstrained.
+        if step is None:
+            return None
+        q = dk / (ca * step)
+        if not float(q).is_integer():
+            return "offset not a multiple of coefficient times step"
+        if space is not None and abs(int(q)) >= space.trips:
+            return "offset exceeds the trip count"
+        return None
+    # differing coefficients: integer-infeasibility (gcd) needs an integral
+    # iteration set, which a concrete space guarantees
+    if space is not None:
+        if not gcd_test(a.form, b.form, var):
+            return "gcd test proves no integer solution"
+        lo_last = space.lo + (space.trips - 1) * space.step
+        lhs_min = min(ca * space.lo, ca * lo_last) - max(
+            cb * space.lo, cb * lo_last
+        )
+        lhs_max = max(ca * space.lo, ca * lo_last) - min(
+            cb * space.lo, cb * lo_last
+        )
+        if not (lhs_min <= dk <= lhs_max):
+            return "Banerjee bounds exclude a collision"
+    return None
+
+
+def _pair_definite_carried_dep(
+    a: _Access, b: _Access, space: _IterSpace
+) -> Optional[str]:
+    """Prove a cross-iteration collision between ``a`` and ``b`` occurs.
+
+    Requires a concrete iteration space with trips ≥ 2.  Returns a reason
+    string when some v1 ≠ v2 in the space *must* collide, None otherwise.
+    """
+    if a.other != b.other or space.trips < 2:
+        return None
+    dk = b.const - a.const
+    ca, cb = a.coeff, b.coeff
+    if ca == 0.0 and cb == 0.0:
+        if dk == 0.0:
+            return "same fixed cell touched every iteration"
+        return None
+    if ca == cb:
+        if dk == 0.0:
+            return None  # only same-iteration collisions
+        q = dk / (ca * space.step)
+        if float(q).is_integer() and 1 <= abs(int(q)) <= space.trips - 1:
+            return f"constant dependence distance {int(abs(q))}"
+        return None
+    return None  # differing coefficients: existence not attempted
+
+
+# ---------------------------------------------------------------------------
+# Loop-level verdicts
+# ---------------------------------------------------------------------------
+
+
+def analyze_loop_static(
+    loop: ast.For,
+    enclosing_vars: Sequence[str] = (),
+) -> StaticLoopAnalysis:
+    """Classify one ``For`` loop; see the module docstring for semantics.
+
+    ``enclosing_vars`` are the induction variables of loops *around*
+    ``loop`` — they are loop-invariant symbols during one execution of
+    ``loop`` unless the body writes them (which forfeits analyzability).
+    """
+    loop_id = loop.loop_id or "<anon>"
+    if not loop.var:
+        return _unknown(loop_id, "loop has no induction variable")
+
+    early_space = _concrete_space(loop)
+    if early_space is not None and early_space.trips <= 1:
+        # at most one iteration per activation: no pair of iterations
+        # exists for any dependence to be carried by this loop (holds for
+        # arbitrary bodies, including nested loops and calls)
+        return StaticLoopAnalysis(
+            loop_id,
+            StaticVerdict.PROVABLY_PARALLEL,
+            [f"constant bounds give trip count {early_space.trips}"],
+        )
+
+    scan = _scan_body(loop.body)
+    if scan.bail:
+        return _unknown(loop_id, scan.bail)
+    if loop.var in scan.scalars_written:
+        return _unknown(loop_id, "body assigns the induction variable")
+    for outer in enclosing_vars:
+        if outer in scan.scalars_written:
+            return _unknown(loop_id, f"body assigns enclosing loop var {outer!r}")
+
+    space = _concrete_space(loop)
+    step_int: Optional[int] = None
+    if isinstance(loop.step, ast.Const) and float(loop.step.value).is_integer():
+        step_int = int(loop.step.value)
+        if step_int <= 0:
+            return _unknown(loop_id, "non-positive constant step")
+
+    # -- collect array accesses ------------------------------------------
+    accesses: Dict[str, List[_Access]] = {}
+    unanalyzable_arrays: Set[str] = set()
+    for store in scan.array_writes:
+        acc = _strict_affine(
+            store.index, loop.var, scan.scalars_written, True, store.array,
+            store.line,
+        )
+        if acc is None:
+            unanalyzable_arrays.add(store.array)
+        else:
+            accesses.setdefault(store.array, []).append(acc)
+    read_arrays: Set[str] = set()
+    for load in scan.array_reads:
+        read_arrays.add(load.array)
+        acc = _strict_affine(
+            load.index, loop.var, scan.scalars_written, False, load.array, 0
+        )
+        if acc is None:
+            unanalyzable_arrays.add(load.array)
+        else:
+            accesses.setdefault(load.array, []).append(acc)
+
+    written_arrays = {s.array for s in scan.array_writes}
+
+    # -- serial proof: one definite blocker suffices ---------------------
+    if space is not None and space.trips >= 2:
+        serial = _prove_serial(loop, scan, accesses, written_arrays, space)
+        if serial is not None:
+            return StaticLoopAnalysis(
+                loop_id, StaticVerdict.PROVABLY_SERIAL, [serial]
+            )
+
+    # -- parallel proof: every potential blocker must be disproved -------
+    parallel_reasons = _prove_parallel(
+        loop, scan, accesses, written_arrays, unanalyzable_arrays,
+        step_int, space,
+    )
+    if parallel_reasons is not None:
+        return StaticLoopAnalysis(
+            loop_id, StaticVerdict.PROVABLY_PARALLEL, parallel_reasons
+        )
+    return _unknown(loop_id, "no provable verdict")
+
+
+def _prove_serial(
+    loop: ast.For,
+    scan: _BodyScan,
+    accesses: Dict[str, List[_Access]],
+    written_arrays: Set[str],
+    space: _IterSpace,
+) -> Optional[str]:
+    # Blocker A: scalar carried RAW that provably is not a reduction.
+    # First event is a read (so iteration k+1 reads iteration k's value)
+    # and no assignment to the scalar mentions it on its own RHS (so the
+    # IR-level recognizer cannot see a load-feeds-store update chain).
+    for name in sorted(scan.scalars_written):
+        if name == loop.var:
+            continue
+        if name in scan.self_referencing:
+            continue
+        events = [ev for ev in scan.scalar_events if ev[1] == name]
+        if events and events[0][0] == "r":
+            return (
+                f"scalar {name!r} is read before it is written and is not a "
+                f"reduction: unavoidable carried RAW"
+            )
+    # Blocker B: array pair with a provable cross-iteration collision.
+    for array in sorted(written_arrays):
+        accs = accesses.get(array, [])
+        for i, a in enumerate(accs):
+            for b in accs[i:]:
+                if not (a.is_write or b.is_write):
+                    continue
+                why = _pair_definite_carried_dep(a, b, space)
+                if why is None and a is not b:
+                    why = _pair_definite_carried_dep(b, a, space)
+                if why is not None:
+                    return f"array {array!r}: {why}"
+    return None
+
+
+def _prove_parallel(
+    loop: ast.For,
+    scan: _BodyScan,
+    accesses: Dict[str, List[_Access]],
+    written_arrays: Set[str],
+    unanalyzable_arrays: Set[str],
+    step: Optional[int],
+    space: Optional[_IterSpace],
+) -> Optional[List[str]]:
+    reasons: List[str] = []
+    # Scalars: every written scalar must be written before any read in
+    # each iteration — then no RAW can be carried, and the oracle excuses
+    # carried WAR/WAW on scalars as privatizable.
+    private: List[str] = []
+    for name in sorted(scan.scalars_written):
+        if name == loop.var:
+            return None  # handled earlier, defensive
+        if not _first_event_is_write(scan, name):
+            return None  # possible carried RAW we cannot excuse
+        private.append(name)
+    if private:
+        reasons.append(f"scalars write-first (privatizable): {', '.join(private)}")
+    # Arrays: every array with a write must be fully analyzable and every
+    # pair involving a write disproved.  Read-only arrays carry no deps.
+    for array in sorted(written_arrays):
+        if array in unanalyzable_arrays:
+            return None
+        accs = accesses.get(array, [])
+        for i, a in enumerate(accs):
+            for b in accs[i:]:
+                if not (a.is_write or b.is_write):
+                    continue
+                why = _pair_no_carried_dep(a, b, loop.var, step, space)
+                if why is None:
+                    return None
+        reasons.append(f"array {array!r}: all access pairs disproved")
+    if not written_arrays and not scan.scalars_written:
+        reasons.append("body writes nothing the loop could carry")
+    return reasons
+
+
+# ---------------------------------------------------------------------------
+# Program-level driver
+# ---------------------------------------------------------------------------
+
+
+def static_loop_verdicts(program: ast.Program) -> Dict[str, StaticLoopAnalysis]:
+    """Analyze every ``For`` loop of ``program``, keyed by ``loop_id``.
+
+    Loops without a ``loop_id`` are skipped (they cannot be matched to
+    samples or oracle results).
+    """
+    out: Dict[str, StaticLoopAnalysis] = {}
+    for fn in program.functions.values():
+        _walk(fn.body, (), out)
+    return out
+
+
+def _walk(
+    body: Sequence[ast.Stmt],
+    enclosing: Tuple[str, ...],
+    out: Dict[str, StaticLoopAnalysis],
+) -> None:
+    for stmt in body:
+        if isinstance(stmt, ast.For):
+            if stmt.loop_id is not None:
+                out[stmt.loop_id] = analyze_loop_static(stmt, enclosing)
+            _walk(stmt.body, enclosing + (stmt.var,), out)
+        elif isinstance(stmt, ast.While):
+            _walk(stmt.body, enclosing, out)
+        elif isinstance(stmt, ast.If):
+            _walk(stmt.then_body, enclosing, out)
+            _walk(stmt.else_body, enclosing, out)

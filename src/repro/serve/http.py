@@ -19,6 +19,8 @@ Routes
 ==========================  =====================================================
 
 Error mapping: :class:`~repro.errors.WireError` -> 400,
+:class:`~repro.errors.GraphValidationError` -> 422 (with a machine-readable
+``findings`` list from the lint admission gate),
 :class:`~repro.errors.QueueFullError` -> 429 (with ``Retry-After``),
 :class:`~repro.errors.DeadlineExceededError` -> 504, any other
 :class:`~repro.errors.ServeError` -> 500.
@@ -34,6 +36,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.errors import (
     DeadlineExceededError,
+    GraphValidationError,
     QueueFullError,
     ServeError,
     WireError,
@@ -48,6 +51,7 @@ _REASONS = {
     404: "Not Found",
     405: "Method Not Allowed",
     413: "Payload Too Large",
+    422: "Unprocessable Entity",
     429: "Too Many Requests",
     500: "Internal Server Error",
     504: "Gateway Timeout",
@@ -201,6 +205,12 @@ class HttpServer:
                 )
                 return 200, result, "application/json", {}
             return 404, {"error": f"no such route: {path}"}, "application/json", {}
+        except GraphValidationError as exc:
+            self.service.metrics.invalid_graphs.inc()
+            return (
+                422, {"error": str(exc), "findings": exc.findings},
+                "application/json", {},
+            )
         except WireError as exc:
             self.service.metrics.bad_requests.inc()
             return 400, {"error": str(exc)}, "application/json", {}

@@ -328,6 +328,9 @@ class ServeMetrics:
             "serve_errors_total", "Requests failed by an internal error")
         self.bad_requests = r.counter(
             "serve_bad_requests_total", "Malformed payloads (HTTP 400)")
+        self.invalid_graphs = r.counter(
+            "serve_invalid_graphs_total",
+            "Decodable payloads whose graph failed structural lint (HTTP 422)")
         self.queue_wait = r.histogram(
             "serve_queue_wait_seconds",
             "Time from admission to batch dispatch")

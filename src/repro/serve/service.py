@@ -162,8 +162,14 @@ class InferenceService:
 
 def _status_for(exc: ServeError) -> int:
     """HTTP status for a typed serve error (shared with the front end)."""
-    from repro.errors import DeadlineExceededError, QueueFullError
+    from repro.errors import (
+        DeadlineExceededError,
+        GraphValidationError,
+        QueueFullError,
+    )
 
+    if isinstance(exc, GraphValidationError):
+        return 422
     if isinstance(exc, WireError):
         return 400
     if isinstance(exc, QueueFullError):

@@ -20,8 +20,16 @@ round-trips float64 exactly (shortest-repr), which is what lets the
 differential tests pin served predictions byte-identical to direct
 ``Engine.predict_many`` output.
 
-All validation failures raise :class:`~repro.errors.WireError`, which the
-HTTP layer maps to a 400 with the message in the body.
+Failures split into two classes:
+
+* **Undecodable** — not JSON, not an object, a required field missing or
+  non-numeric: :class:`~repro.errors.WireError`, HTTP 400.
+* **Decodable but structurally invalid** — wrong shapes, NaN/Inf, an
+  asymmetric / non-binary / self-looped adjacency, too many nodes: the
+  arrays are run through the GR lint rules
+  (:mod:`repro.lint.graph_rules`) and failures raise
+  :class:`~repro.errors.GraphValidationError`, HTTP 422 with the finding
+  list in the response body.
 """
 
 from __future__ import annotations
@@ -31,7 +39,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import WireError
+from repro.errors import GraphValidationError, WireError
 from repro.runtime.engine import GraphInput
 
 #: hard cap on nodes per graph — a wire-level sanity bound, far above any
@@ -50,22 +58,46 @@ def parse_json(body: bytes) -> Any:
 
 
 def _decode_matrix(obj: Mapping, key: str, where: str) -> np.ndarray:
+    """Decode one array field; raises only for *undecodable* data (400).
+
+    Shape / finiteness / content invariants are the GR lint rules' job
+    (:func:`validate_graph_arrays`) so their diagnostics carry rule IDs.
+    """
     if key not in obj:
         raise WireError(f"{where}: missing required field {key!r}")
     try:
-        matrix = np.asarray(obj[key], dtype=np.float64)
+        return np.asarray(obj[key], dtype=np.float64)
     except (TypeError, ValueError) as exc:
         raise WireError(f"{where}: field {key!r} is not numeric: {exc}") from None
-    if matrix.ndim != 2:
-        raise WireError(
-            f"{where}: field {key!r} must be a 2-D array, "
-            f"got shape {matrix.shape}"
-        )
-    if matrix.shape[0] == 0:
-        raise WireError(f"{where}: field {key!r} has zero rows")
-    if not np.all(np.isfinite(matrix)):
-        raise WireError(f"{where}: field {key!r} contains NaN or Inf")
-    return matrix
+
+
+def validate_graph_arrays(
+    adjacency: np.ndarray,
+    x_semantic: np.ndarray,
+    x_structural: np.ndarray,
+    where: str,
+) -> None:
+    """Admission gate: run the GR lint rules over a decoded array triple.
+
+    Raises :class:`GraphValidationError` (HTTP 422) when any ERROR-level
+    finding fires; the exception carries the findings as plain dicts for
+    the response payload.
+    """
+    from repro.lint.core import findings_to_wire
+    from repro.lint.runner import lint_graph_arrays
+
+    report = lint_graph_arrays(
+        adjacency, x_semantic, x_structural, where=where, max_nodes=MAX_NODES
+    )
+    errors = report.errors
+    if not errors:
+        return
+    shown = "; ".join(f.message for f in errors[:3])
+    if len(errors) > 3:
+        shown += f" (+{len(errors) - 3} more)"
+    raise GraphValidationError(
+        f"{where}: invalid graph: {shown}", findings_to_wire(errors)
+    )
 
 
 def decode_loop(obj: Any, pos: int = 0) -> GraphInput:
@@ -74,24 +106,12 @@ def decode_loop(obj: Any, pos: int = 0) -> GraphInput:
     if not isinstance(obj, Mapping):
         raise WireError(f"{where}: expected a JSON object, got {type(obj).__name__}")
     adjacency = _decode_matrix(obj, "adjacency", where)
-    n = adjacency.shape[0]
-    if adjacency.shape != (n, n):
-        raise WireError(
-            f"{where}: adjacency must be square, got {adjacency.shape}"
-        )
-    if n > MAX_NODES:
-        raise WireError(f"{where}: {n} nodes exceeds the {MAX_NODES} limit")
     x_semantic = _decode_matrix(obj, "x_semantic", where)
     x_structural = _decode_matrix(obj, "x_structural", where)
-    for key, matrix in (("x_semantic", x_semantic), ("x_structural", x_structural)):
-        if matrix.shape[0] != n:
-            raise WireError(
-                f"{where}: {key} has {matrix.shape[0]} rows but the "
-                f"adjacency has {n}"
-            )
     graph_id = obj.get("id", "")
     if not isinstance(graph_id, str):
         raise WireError(f"{where}: id must be a string")
+    validate_graph_arrays(adjacency, x_semantic, x_structural, where)
     return GraphInput(
         x_semantic=x_semantic,
         x_structural=x_structural,

@@ -38,6 +38,11 @@ settings.register_profile(
 )
 settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "ci"))
 
+# Verify the IR after every optimization pass throughout the test suite:
+# any pipeline variant that dataset assembly builds during tests is checked
+# by repro.ir.verify, not just the post-lowering IR.
+os.environ.setdefault("REPRO_VERIFY_PASSES", "1")
+
 
 @pytest.fixture(scope="session")
 def tiny_inst2vec() -> Inst2Vec:

@@ -269,6 +269,46 @@ class TestShardCache:
         assert second.stats.shard_misses == 1
         _identity(first, second)
 
+    def test_content_corrupt_shard_revalidated(self, monkeypatch, tmp_path):
+        """A shard that unpickles fine but holds structurally invalid
+        samples is caught by the lint revalidation and treated as a miss —
+        never served back into the dataset."""
+        config = self._cached_config(monkeypatch, tmp_path)
+        first = assemble_dataset(config)
+
+        from repro.utils.cache import DiskCache
+
+        cache = DiskCache(tmp_path)
+        cache.path_for(config.cache_key()).unlink()
+        key = config.shard_key("IS")
+        payload = cache.get(key)
+        pool = list(payload["benchmark"]) + list(payload["generated"])
+        assert pool
+        pool[0].adjacency[0, 0] = float("nan")  # GR002 territory
+        cache.put(key, payload)
+
+        second = assemble_dataset(config)
+        assert second.stats.shard_hits == 3
+        assert second.stats.shard_misses == 1
+        _identity(first, second)
+
+    def test_shard_missing_section_is_a_miss(self, monkeypatch, tmp_path):
+        config = self._cached_config(monkeypatch, tmp_path)
+        first = assemble_dataset(config)
+
+        from repro.utils.cache import DiskCache
+
+        cache = DiskCache(tmp_path)
+        cache.path_for(config.cache_key()).unlink()
+        key = config.shard_key("EP")
+        payload = cache.get(key)
+        del payload["drops"]
+        cache.put(key, payload)
+
+        second = assemble_dataset(config)
+        assert second.stats.shard_misses == 1
+        _identity(first, second)
+
     def test_corrupted_dataset_entry_recomputes(self, monkeypatch, tmp_path):
         config = self._cached_config(monkeypatch, tmp_path)
         first = assemble_dataset(config)

@@ -1,0 +1,78 @@
+"""Per-pass verification inside ``apply_pipeline``.
+
+The REPRO_VERIFY_PASSES flag (set for the whole test suite by
+tests/conftest.py) re-runs ``ir.verify`` after every optimization pass,
+so any pipeline variant dataset assembly builds is checked, not just the
+post-lowering IR.  These tests pin the flag semantics, the explicit
+``verify=`` override, and the failure attribution — a corrupting pass is
+named together with its pipeline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir.passes.clone import clone_program
+from repro.ir.passes.pipeline import (
+    OPT_PIPELINES,
+    VERIFY_ENV,
+    apply_pipeline,
+    pipeline_names,
+)
+
+from tests.helpers import build_mixed_program, lower_and_verify
+
+
+@pytest.fixture()
+def mixed_ir():
+    return lower_and_verify(build_mixed_program())
+
+
+def _drop_terminators(program):
+    """A 'pass' that returns structurally broken IR."""
+    out = clone_program(program)
+    for fn in out.functions.values():
+        fn.blocks[0].instrs = [
+            i for i in fn.blocks[0].instrs if i is not fn.blocks[0].terminator
+        ]
+    return out
+
+
+class TestEveryVariantVerifies:
+    @pytest.mark.parametrize("name", pipeline_names())
+    def test_variant_passes_per_pass_verification(self, mixed_ir, name):
+        apply_pipeline(mixed_ir, name, verify=True)
+
+
+class TestCorruptingPassAttribution:
+    def test_failure_names_pipeline_and_pass(self, mixed_ir, monkeypatch):
+        monkeypatch.setitem(OPT_PIPELINES, "BAD", (_drop_terminators,))
+        with pytest.raises(IRError, match=r"pipeline 'BAD'.*_drop_terminators"):
+            apply_pipeline(mixed_ir, "BAD", verify=True)
+
+    def test_without_verify_corruption_passes_through(self, mixed_ir, monkeypatch):
+        monkeypatch.setitem(OPT_PIPELINES, "BAD", (_drop_terminators,))
+        out = apply_pipeline(mixed_ir, "BAD", verify=False)
+        assert out.functions["main"].blocks[0].terminator is None
+
+
+class TestEnvFlag:
+    def test_env_enables_verification(self, mixed_ir, monkeypatch):
+        monkeypatch.setitem(OPT_PIPELINES, "BAD", (_drop_terminators,))
+        monkeypatch.setenv(VERIFY_ENV, "1")
+        with pytest.raises(IRError, match="BAD"):
+            apply_pipeline(mixed_ir, "BAD")
+
+    @pytest.mark.parametrize("value", ["", "0"])
+    def test_env_off_values_disable_verification(
+        self, mixed_ir, monkeypatch, value
+    ):
+        monkeypatch.setitem(OPT_PIPELINES, "BAD", (_drop_terminators,))
+        monkeypatch.setenv(VERIFY_ENV, value)
+        apply_pipeline(mixed_ir, "BAD")  # no verification, no raise
+
+    def test_explicit_argument_beats_env(self, mixed_ir, monkeypatch):
+        monkeypatch.setitem(OPT_PIPELINES, "BAD", (_drop_terminators,))
+        monkeypatch.setenv(VERIFY_ENV, "1")
+        apply_pipeline(mixed_ir, "BAD", verify=False)

@@ -1,0 +1,251 @@
+"""The conservative static dependence prover behind DS005.
+
+The prover's contract is asymmetric: it may say UNKNOWN whenever it
+likes, but a PROVABLY_* verdict must be *certain* under the dynamic
+oracle's semantics.  These tests pin the provable cases (textbook doall
+and recurrence shapes), the mandatory-UNKNOWN cases (reductions,
+symbolic steps, calls), and the soundness guards that keep the prover
+from overclaiming.
+"""
+
+import pytest
+
+from repro.ir import ast_nodes as ast
+from repro.ir.builder import ProgramBuilder
+from repro.lint.static_dep import (
+    StaticVerdict,
+    analyze_loop_static,
+    static_loop_verdicts,
+)
+
+from tests.helpers import (
+    build_doall_program,
+    build_mixed_program,
+    build_reduction_program,
+    build_sequential_program,
+    loop_ids,
+)
+
+P = StaticVerdict.PROVABLY_PARALLEL
+S = StaticVerdict.PROVABLY_SERIAL
+U = StaticVerdict.UNKNOWN
+
+
+def verdicts_in_order(program):
+    table = static_loop_verdicts(program)
+    return [table[lid].verdict for lid in loop_ids(program)]
+
+
+class TestCanonicalPrograms:
+    def test_doall_loops_provably_parallel(self):
+        assert verdicts_in_order(build_doall_program()) == [P, P]
+
+    def test_recurrence_provably_serial(self):
+        (verdict,) = verdicts_in_order(build_sequential_program())
+        assert verdict is S
+        table = static_loop_verdicts(build_sequential_program())
+        (analysis,) = table.values()
+        assert "distance" in analysis.reason_text()
+
+    def test_reduction_is_unknown(self):
+        # s += a[i] is parallelizable *because* the oracle excuses
+        # recognized reductions; the prover cannot prove the reduction
+        # recognizer fires, so it must abstain in both directions.
+        init, red = verdicts_in_order(build_reduction_program())
+        assert init is P and red is U
+
+    def test_mixed_program(self):
+        init, stencil, recurrence, reduction = verdicts_in_order(
+            build_mixed_program()
+        )
+        assert init is P
+        assert stencil is P        # reads a[i-1], a[i+1]; a is read-only here
+        assert recurrence is S     # a[i] = a[i-1] + ...: distance 1
+        assert reduction is U
+
+
+def _loop(body, lo=0.0, hi=8.0, step=1.0, var="i"):
+    return ast.For(
+        var=var, lo=ast.Const(lo), hi=ast.Const(hi), body=body,
+        step=ast.Const(step), loop_id="t:l",
+    )
+
+
+def _idx(*, coeff, const, var="i"):
+    return ast.BinOp(
+        "+", ast.BinOp("*", ast.Const(coeff), ast.Var(var)), ast.Const(const)
+    )
+
+
+class TestSubscriptPairs:
+    def test_strided_disjoint_lanes_parallel(self):
+        # a[2i] written, a[2i+1] read: offset 1 not divisible by 2*step
+        loop = _loop([
+            ast.Store("a", _idx(coeff=2, const=0),
+                      ast.Load("a", _idx(coeff=2, const=1))),
+        ])
+        assert analyze_loop_static(loop).verdict is P
+
+    def test_symbolic_step_blocks_divisibility_proof(self):
+        # with step k (unknown) the 2i vs 2i+1 lanes CAN collide
+        # (e.g. k=0.5): the divisibility disproof must not apply
+        loop = ast.For(
+            var="i", lo=ast.Const(0), hi=ast.Const(8),
+            body=[
+                ast.Store("a", _idx(coeff=2, const=0),
+                          ast.Load("a", _idx(coeff=2, const=1))),
+            ],
+            step=ast.Var("k"), loop_id="t:l",
+        )
+        assert analyze_loop_static(loop).verdict is U
+
+    def test_distance_beyond_trip_count_parallel(self):
+        # a[i] vs a[i+100] on an 8-trip loop can never meet
+        loop = _loop([
+            ast.Store("a", _idx(coeff=1, const=0),
+                      ast.Load("a", _idx(coeff=1, const=100))),
+        ])
+        assert analyze_loop_static(loop).verdict is P
+
+    def test_distance_inside_trip_count_serial(self):
+        loop = _loop([
+            ast.Store("a", _idx(coeff=1, const=0),
+                      ast.Load("a", _idx(coeff=1, const=-3))),
+        ])
+        analysis = analyze_loop_static(loop)
+        assert analysis.verdict is S
+
+    def test_fixed_cell_write_serial(self):
+        # a[5] = a[5] + ... every iteration: WAW/RAW carried for certain
+        loop = _loop([
+            ast.Store("a", ast.Const(5),
+                      ast.Load("a", ast.Const(5))),
+        ])
+        assert analyze_loop_static(loop).verdict is S
+
+    def test_distinct_fixed_cells_still_waw_serial(self):
+        # the read at a[4] never collides with the write at a[3], but the
+        # write itself is a carried WAW (the oracle blocks on array WAW —
+        # the t_waw_fixed benchmark template encodes this very shape)
+        loop = _loop([
+            ast.Store("a", ast.Const(3), ast.Load("a", ast.Const(4))),
+        ])
+        analysis = analyze_loop_static(loop)
+        assert analysis.verdict is S
+        assert "fixed cell" in analysis.reason_text()
+
+    def test_read_only_arrays_ignored(self):
+        loop = _loop([
+            ast.Store("b", _idx(coeff=1, const=0),
+                      ast.Load("a", ast.Const(0))),
+        ])
+        assert analyze_loop_static(loop).verdict is P
+
+
+class TestScalarRules:
+    def test_write_first_scalar_is_privatizable(self):
+        # t = a[i]; b[i] = t — carried scalar deps are WAR/WAW only,
+        # which the oracle privatizes
+        loop = _loop([
+            ast.Assign("t", ast.Load("a", ast.Var("i"))),
+            ast.Store("b", ast.Var("i"), ast.Var("t")),
+        ])
+        assert analyze_loop_static(loop).verdict is P
+
+    def test_read_first_scalar_blocks(self):
+        # b[i] = t; t = a[i] — t read before written, not a reduction
+        loop = _loop([
+            ast.Store("b", ast.Var("i"), ast.Var("t")),
+            ast.Assign("t", ast.Load("a", ast.Var("i"))),
+        ])
+        analysis = analyze_loop_static(loop)
+        assert analysis.verdict is S
+        assert "carried RAW" in analysis.reason_text()
+
+    def test_self_referencing_scalar_abstains(self):
+        # t = t + 1 might be recognized as a reduction: abstain
+        loop = _loop([
+            ast.Assign("t", ast.BinOp("+", ast.Var("t"), ast.Const(1))),
+            ast.Store("b", ast.Var("i"), ast.Var("t")),
+        ])
+        assert analyze_loop_static(loop).verdict is U
+
+
+class TestConservativeBailouts:
+    def test_zero_trip_loop_parallel(self):
+        loop = _loop(
+            [ast.Store("a", ast.Const(0), ast.Load("a", ast.Const(0)))],
+            lo=5.0, hi=5.0,
+        )
+        assert analyze_loop_static(loop).verdict is P
+
+    def test_single_trip_loop_parallel(self):
+        loop = _loop(
+            [ast.Store("a", ast.Const(0), ast.Load("a", ast.Const(0)))],
+            lo=0.0, hi=1.0,
+        )
+        assert analyze_loop_static(loop).verdict is P
+
+    def test_call_in_body_abstains(self):
+        loop = _loop([ast.CallStmt("helper", (ast.Var("i"),))])
+        assert analyze_loop_static(loop).verdict is U
+
+    def test_induction_write_abstains(self):
+        loop = _loop([ast.Assign("i", ast.Const(0))])
+        assert analyze_loop_static(loop).verdict is U
+
+    def test_enclosing_var_write_abstains(self):
+        loop = _loop([
+            ast.Assign("j", ast.Const(0)),
+            ast.Store("a", ast.Var("i"), ast.Var("j")),
+        ])
+        assert analyze_loop_static(loop, enclosing_vars=("j",)).verdict is U
+        # without the enclosing declaration, j is an ordinary write-first
+        # scalar and the loop is provable
+        assert analyze_loop_static(loop).verdict is P
+
+    def test_nonaffine_write_subscript_abstains(self):
+        loop = _loop([
+            ast.Store(
+                "a", ast.BinOp("*", ast.Var("i"), ast.Var("i")), ast.Const(1)
+            ),
+        ])
+        assert analyze_loop_static(loop).verdict is U
+
+    def test_subscript_through_written_scalar_abstains(self):
+        # a[t] where t is rewritten in the body: the subscript is not
+        # loop-invariant even though it normalizes as a parameter term
+        loop = _loop([
+            ast.Assign("t", ast.Load("b", ast.Var("i"))),
+            ast.Store("a", ast.Var("t"), ast.Const(1)),
+        ])
+        assert analyze_loop_static(loop).verdict is U
+
+    def test_while_in_body_abstains(self):
+        loop = _loop([
+            ast.While(ast.Const(0), [ast.Assign("t", ast.Const(1))]),
+        ])
+        assert analyze_loop_static(loop).verdict is U
+
+
+class TestProgramWalk:
+    def test_nested_loops_both_analyzed(self):
+        pb = ProgramBuilder("nest")
+        pb.array("a", 16)
+        with pb.function("main") as fb:
+            with fb.loop("i", 0, 4) as i:
+                with fb.loop("j", 0, 4) as j:
+                    fb.store("a", fb.add(fb.mul(i, 4.0), j), j)
+        program = pb.build()
+        table = static_loop_verdicts(program)
+        assert len(table) == 2
+
+    def test_loops_without_id_skipped(self):
+        fn = ast.Function("main", (), [
+            ast.For(var="i", lo=ast.Const(0), hi=ast.Const(2),
+                    body=[ast.Assign("x", ast.Var("i"))], loop_id=None),
+        ])
+        program = ast.Program(
+            functions={"main": fn}, arrays={}, entry="main", name="anon"
+        )
+        assert static_loop_verdicts(program) == {}

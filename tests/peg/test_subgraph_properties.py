@@ -1,0 +1,122 @@
+"""Property suite for sub-PEG extraction.
+
+``PEG.subgraph`` is the structural foundation of every sample the models
+see; the lint PEG rules assume its invariants hold for *any* node subset.
+Hypothesis drives arbitrary subsets of a real PEG through ``subgraph``
+and checks the induced-view laws; a second class pins the loop-sub-PEG
+semantics (hierarchy closure, dependence-edge induction) the extraction
+pipeline relies on.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GraphError
+from repro.lint.runner import lint_peg
+from repro.peg.builder import build_peg, loop_node_id
+from repro.peg.graph import EdgeKind
+from repro.peg.subgraph import all_loop_subpegs, loop_subpeg
+
+from tests.helpers import build_mixed_program, profile
+
+
+@pytest.fixture(scope="module")
+def peg():
+    ir, report = profile(build_mixed_program())
+    from repro.analysis.features import attach_node_features
+
+    g = build_peg(ir, report)
+    attach_node_features(g, ir, report)
+    return g
+
+
+def node_subsets(peg):
+    return st.sets(
+        st.sampled_from(sorted(peg.nodes)), min_size=1
+    )
+
+
+class TestSubgraphLaws:
+    @given(data=st.data())
+    def test_nodes_are_exactly_the_request(self, peg, data):
+        keep = data.draw(node_subsets(peg))
+        sub = peg.subgraph(keep)
+        assert set(sub.nodes) == keep
+        # node objects are shared views, not copies
+        for nid in keep:
+            assert sub.nodes[nid] is peg.nodes[nid]
+
+    @given(data=st.data())
+    def test_edges_are_exactly_the_induced_set(self, peg, data):
+        keep = data.draw(node_subsets(peg))
+        sub = peg.subgraph(keep)
+        expected = [
+            (e.src, e.dst, e.kind)
+            for e in peg.edges
+            if e.src in keep and e.dst in keep
+        ]
+        assert [(e.src, e.dst, e.kind) for e in sub.edges] == expected
+
+    @given(data=st.data())
+    def test_endpoints_and_indexes_consistent(self, peg, data):
+        # the exact invariant lint rules PEG001/PEG002 check: any induced
+        # view must be internally consistent
+        keep = data.draw(node_subsets(peg))
+        sub = peg.subgraph(keep)
+        report = lint_peg(sub, full_graph=False)
+        assert [f for f in report.findings if f.rule_id != "PEG005"] == []
+
+    @given(data=st.data())
+    def test_subgraph_is_idempotent(self, peg, data):
+        keep = data.draw(node_subsets(peg))
+        once = peg.subgraph(keep)
+        twice = once.subgraph(keep)
+        assert set(twice.nodes) == set(once.nodes)
+        assert [(e.src, e.dst, e.kind) for e in twice.edges] == [
+            (e.src, e.dst, e.kind) for e in once.edges
+        ]
+
+    @given(data=st.data())
+    def test_monotone_in_the_node_set(self, peg, data):
+        keep = data.draw(node_subsets(peg))
+        smaller = data.draw(st.sets(st.sampled_from(sorted(keep)), min_size=1))
+        big, small = peg.subgraph(keep), peg.subgraph(smaller)
+        small_edges = {(e.src, e.dst, e.kind) for e in small.edges}
+        big_edges = {(e.src, e.dst, e.kind) for e in big.edges}
+        assert small_edges <= big_edges
+
+    def test_unknown_nodes_rejected(self, peg):
+        with pytest.raises(GraphError, match="unknown nodes"):
+            peg.subgraph({"not-a-node"})
+
+
+class TestLoopSubpegs:
+    def test_covers_every_loop(self, peg):
+        subs = all_loop_subpegs(peg)
+        loop_ids = {n.loop_id for n in peg.loop_nodes()}
+        assert set(subs) == loop_ids
+
+    def test_hierarchy_closure(self, peg):
+        for loop_id, sub in all_loop_subpegs(peg).items():
+            root = loop_node_id(loop_id)
+            expected = {root} | set(peg.descendants(root))
+            assert set(sub.nodes) == expected
+
+    def test_context_adds_only_dependence_frontier(self, peg):
+        for loop_id in all_loop_subpegs(peg):
+            plain = loop_subpeg(peg, loop_id)
+            ctx = loop_subpeg(peg, loop_id, include_context=True)
+            extra = set(ctx.nodes) - set(plain.nodes)
+            for nid in extra:
+                touches = any(
+                    (e.src in plain.nodes or e.dst in plain.nodes)
+                    for e in peg.out_edges(nid, EdgeKind.DEP)
+                    + peg.in_edges(nid, EdgeKind.DEP)
+                )
+                assert touches, (loop_id, nid)
+
+    def test_unknown_loop_rejected(self, peg):
+        with pytest.raises(GraphError, match="no loop node"):
+            loop_subpeg(peg, "ghost:loop")

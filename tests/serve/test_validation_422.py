@@ -1,0 +1,120 @@
+"""The 400/422 admission split.
+
+An *undecodable* payload (bad JSON, missing field, non-numeric cell) is a
+400; a payload that decodes into arrays but fails the structural lint
+(GR rules) is a 422 carrying the findings, counted by its own metric.
+The differential class pins that valid payloads are untouched by the
+admission gate — byte-identical decode, no spurious findings.
+"""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphValidationError, WireError
+from repro.serve.service import _status_for
+from repro.serve.wire import decode_loop
+
+from tests.serve.helpers import graph_payload, random_graph, random_payloads
+from tests.serve.test_http import config_on_free_port, http_request, with_server
+
+
+def asymmetric_payload(rng, n=4):
+    graph = random_graph(rng, n, graph_id="bad")
+    payload = graph_payload(graph)
+    payload["adjacency"][0][1] = 1.0
+    payload["adjacency"][1][0] = 0.0
+    return payload
+
+
+class TestDecodeSplit:
+    def test_structural_failure_raises_validation_error(self, rng):
+        with pytest.raises(GraphValidationError) as exc_info:
+            decode_loop(asymmetric_payload(rng))
+        findings = exc_info.value.findings
+        assert findings and all(isinstance(f, dict) for f in findings)
+        assert {f["rule_id"] for f in findings} == {"GR003"}
+        json.dumps(findings)  # wire-ready as-is
+
+    def test_validation_error_is_a_wire_error(self, rng):
+        # callers that only know WireError keep working
+        with pytest.raises(WireError):
+            decode_loop(asymmetric_payload(rng))
+
+    def test_undecodable_payload_is_not_a_validation_error(self, rng):
+        payload = graph_payload(random_graph(rng, 3))
+        del payload["adjacency"]
+        with pytest.raises(WireError) as exc_info:
+            decode_loop(payload)
+        assert not isinstance(exc_info.value, GraphValidationError)
+
+    def test_nan_is_validation_not_decode(self, rng):
+        # numeric but non-finite: decodes into arrays, fails GR002
+        payload = graph_payload(random_graph(rng, 3))
+        payload["adjacency"][0][0] = float("nan")
+        with pytest.raises(GraphValidationError) as exc_info:
+            decode_loop(payload)
+        assert any(f["rule_id"] == "GR002" for f in exc_info.value.findings)
+
+    def test_status_mapping(self, rng):
+        try:
+            decode_loop(asymmetric_payload(rng))
+        except WireError as exc:
+            assert _status_for(exc) == 422
+        try:
+            decode_loop({"x_semantic": [[1.0]]})
+        except WireError as exc:
+            assert _status_for(exc) == 400
+
+    def test_valid_payload_decodes_byte_identically(self, rng):
+        graph = random_graph(rng, 6, graph_id="ok")
+        decoded = decode_loop(graph_payload(graph))
+        assert decoded.adjacency.tobytes() == graph.adjacency.tobytes()
+        assert decoded.x_semantic.tobytes() == graph.x_semantic.tobytes()
+        assert decoded.x_structural.tobytes() == graph.x_structural.tobytes()
+
+
+class TestHttp422:
+    def test_invalid_graph_is_422_with_findings(self, rng):
+        async def body(port, service):
+            status, _, raw = await http_request(
+                port, "POST", "/v1/classify", body=asymmetric_payload(rng)
+            )
+            assert status == 422
+            response = json.loads(raw)
+            assert "invalid graph" in response["error"]
+            assert {f["rule_id"] for f in response["findings"]} == {"GR003"}
+            assert service.metrics.invalid_graphs.value == 1
+            assert service.metrics.bad_requests.value == 0
+
+        asyncio.run(with_server(config_on_free_port(), body))
+
+    def test_batch_with_one_bad_graph_is_422(self, rng):
+        async def body(port, service):
+            loops = random_payloads(rng, [3, 4])
+            loops.append(asymmetric_payload(rng))
+            status, _, raw = await http_request(
+                port, "POST", "/v1/classify_batch", body={"loops": loops}
+            )
+            # batch decode is all-or-nothing: a malformed member rejects
+            # the request before anything reaches the batcher
+            assert status == 422
+            assert json.loads(raw)["findings"]
+            assert service.metrics.invalid_graphs.value == 1
+
+        asyncio.run(with_server(config_on_free_port(), body))
+
+    def test_valid_traffic_untouched_by_the_gate(self, rng):
+        async def body(port, service):
+            for payload in random_payloads(rng, [3, 5, 7]):
+                status, _, raw = await http_request(
+                    port, "POST", "/v1/classify", body=payload
+                )
+                assert status == 200
+                assert json.loads(raw)["label"] in (0, 1)
+            assert service.metrics.invalid_graphs.value == 0
+            assert service.metrics.bad_requests.value == 0
+
+        asyncio.run(with_server(config_on_free_port(), body))

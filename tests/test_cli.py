@@ -49,6 +49,23 @@ class TestCli:
         ) == 0
         assert "path=per-sample (reference)" in capsys.readouterr().out
 
+    def test_lint_tiny_quick(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["lint", "--tiny", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "ir:" in out and "dataset:" in out
+        assert "label crossval judged" in out
+        assert "lint: clean" in out
+
+    def test_lint_json_output(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["lint", "--tiny", "--quick", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True and payload["findings"] == []
+        assert payload["stats"]["crossval"]["judged"] > 0
+
     def test_suggest(self, capsys):
         assert main(["suggest", "--app", "nqueens"]) == 0
         out = capsys.readouterr().out

@@ -5,7 +5,8 @@ export PYTHONPATH := src
 COV_FLOOR ?= 85
 
 .PHONY: test test-fast test-nightly test-cov bench bench-runtime bench-train \
-	bench-assembly bench-serve serve-smoke docs-check lint-dataset
+	bench-assembly bench-serve bench-serve-fleet serve-fleet serve-smoke \
+	docs-check lint-dataset
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -50,6 +51,22 @@ ifdef QUICK
 else
 	$(PYTHON) -m pytest benchmarks/bench_serve_latency.py --benchmark-only -q
 endif
+
+# Multi-process fleet scaling: FleetService at worker counts 1/2/4,
+# content-hash shard routing, open-loop deadline check.  The near-linear
+# scaling floor only gates on hosts with >= 4 cores; QUICK=1 runs the
+# small ungated CI variant.
+bench-serve-fleet:
+ifdef QUICK
+	$(PYTHON) benchmarks/bench_serve_latency.py --fleet --quick
+else
+	$(PYTHON) benchmarks/bench_serve_latency.py --fleet
+endif
+
+# Run a local 4-worker serving fleet (supervisor + sharded engine
+# workers; see docs/OPERATIONS.md for the runbook).
+serve-fleet:
+	$(PYTHON) -m repro serve --app fib --epochs 0 --port 8100 --workers 4
 
 # End-to-end serving smoke: subprocess server, concurrent HTTP clients,
 # /metrics conservation, SIGTERM -> 130.

@@ -17,13 +17,24 @@ Every closed-loop label is also checked against a direct
 ``Engine.predict_many`` call over the same inputs: serving must not change
 predictions.
 
+**Fleet mode** (``--fleet``) drives :class:`repro.serve.FleetService`
+instead — the multi-process supervisor + sharded-worker stack — at worker
+counts 1, 2 and 4 over a content-diverse pool (every item hashes to its
+own shard key).  Labels are again pinned to a direct
+``Engine.predict_many``, the open-loop served p99 must stay under the
+deadline, and with >= 4 cores the 4-worker throughput must be
+near-linear over the 1-worker fleet (gated off on smaller hosts and in
+``--quick`` mode, where the table still prints).
+
 Runs two ways:
 
 * ``pytest benchmarks/bench_serve_latency.py --benchmark-only`` — the full
-  measurement with the >= 2x throughput floor.
-* ``python benchmarks/bench_serve_latency.py --quick`` — small CI mode:
-  verifies the differential and deadline properties, prints the speedup
-  without gating on it (shared runners are too noisy to assert timing).
+  measurement with the >= 2x throughput floor (plus the fleet scaling
+  assertion when the host has the cores for it).
+* ``python benchmarks/bench_serve_latency.py --quick [--fleet]`` — small
+  CI mode: verifies the differential and deadline properties, prints the
+  speedup without gating on it (shared runners are too noisy to assert
+  timing).
 """
 
 import argparse
@@ -45,7 +56,8 @@ from repro.errors import DeadlineExceededError  # noqa: E402
 from repro.models.dgcnn import DGCNNConfig  # noqa: E402
 from repro.models.mvgnn import MVGNN, MVGNNConfig  # noqa: E402
 from repro.runtime import Engine  # noqa: E402
-from repro.serve import MicroBatcher, ServeConfig  # noqa: E402
+from repro.runtime.engine import GraphInput  # noqa: E402
+from repro.serve import FleetService, MicroBatcher, ServeConfig  # noqa: E402
 
 from tests.helpers import build_mixed_program, lower_and_verify  # noqa: E402
 
@@ -55,6 +67,10 @@ DEADLINE_MS = 1000.0
 #: served p99 may exceed the deadline only by scheduler jitter, not by
 #: the batcher serving late (which it never does)
 DEADLINE_SLACK = 1.25
+FLEET_WORKER_COUNTS = (1, 2, 4)
+#: 4 workers vs a 1-worker fleet: near-linear minus supervisor/IPC
+#: overhead; only asserted when the host actually has >= 4 cores
+FLEET_SCALING_FLOOR = 2.4
 
 
 def _pool_and_engine(pool_size):
@@ -212,6 +228,172 @@ def _check_deadline(result):
     assert result["open_served"] > 0, "open loop served nothing"
 
 
+# -- fleet mode --------------------------------------------------------------
+
+
+def _fleet_pool(pool, engine):
+    """A content-diverse GraphInput pool from the sample pool.
+
+    The sample pool repeats a handful of unique loops, which would hash to
+    a handful of shard keys and starve most workers.  Jittering the
+    semantic features makes every item its own shard key; the differential
+    check still holds exactly because it compares against the direct
+    engine on the *same* jittered inputs.
+    """
+    rng = np.random.default_rng(7)
+    diverse = []
+    for pos, sample in enumerate(pool):
+        diverse.append(GraphInput(
+            x_semantic=sample.x_semantic + rng.normal(
+                scale=1e-6, size=sample.x_semantic.shape
+            ),
+            x_structural=sample.x_structural,
+            adjacency=sample.adjacency,
+            graph_id=f"fleet{pos}",
+        ))
+    return diverse
+
+
+async def _fleet_closed_loop(service, items, concurrency):
+    """C clients against FleetService.submit_graph -> (elapsed_s, labels)."""
+    work = deque(enumerate(items))
+    labels = [None] * len(items)
+
+    async def client():
+        while True:
+            try:
+                pos, item = work.popleft()
+            except IndexError:
+                return
+            labels[pos] = await service.submit_graph(item, deadline_ms=None)
+
+    started = time.perf_counter()
+    await asyncio.gather(*(client() for _ in range(concurrency)))
+    return time.perf_counter() - started, labels
+
+
+async def _fleet_open_loop(service, items, interval_s, deadline_ms):
+    """Fixed-rate arrivals -> (served, shed, served-p99 seconds)."""
+    tasks = []
+    for item in items:
+        tasks.append(asyncio.ensure_future(
+            service.submit_graph(item, deadline_ms=deadline_ms)
+        ))
+        await asyncio.sleep(interval_s)
+    outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+    served = shed = 0
+    for outcome in outcomes:
+        if isinstance(outcome, DeadlineExceededError):
+            shed += 1
+        elif isinstance(outcome, BaseException):
+            raise outcome
+        else:
+            served += 1
+    return served, shed, service.metrics.e2e.percentiles()["p99"]
+
+
+async def _fleet_pass(engine, n_workers, items, concurrency, open_items,
+                      deadline_ms):
+    config = ServeConfig(
+        max_batch_size=32, max_wait_ms=2.0, max_queue_depth=4096,
+        default_deadline_ms=None, fleet_workers=n_workers,
+    )
+    service = FleetService(engine, config)
+    await service.start()
+    try:
+        elapsed, labels = await _fleet_closed_loop(
+            service, items, concurrency
+        )
+        # open loop at ~60% of this fleet's measured closed-loop capacity
+        interval_s = max(1e-4, 0.6 * elapsed / len(items))
+        served, shed, p99 = await _fleet_open_loop(
+            service, open_items, interval_s, deadline_ms
+        )
+        shards_hit = sum(
+            1 for shard in range(n_workers)
+            if service.fleet_metrics.shard_requests(shard).value > 0
+        )
+    finally:
+        await service.stop()
+    return {
+        "workers": n_workers,
+        "elapsed": elapsed,
+        "labels": labels,
+        "open_served": served,
+        "open_shed": shed,
+        "open_p99_s": p99,
+        "shards_hit": shards_hit,
+    }
+
+
+def measure_fleet(quick=False, concurrency=CONCURRENCY,
+                  worker_counts=FLEET_WORKER_COUNTS):
+    pool_size = 64 if quick else 192
+    pool, engine = _pool_and_engine(pool_size)
+    items = _fleet_pool(pool, engine)
+    direct = [int(x) for x in engine.predict_many(items)]
+    open_items = items if quick else items[:128]
+
+    passes = []
+    for n_workers in worker_counts:
+        result = asyncio.run(_fleet_pass(
+            engine, n_workers, items, concurrency, open_items, DEADLINE_MS
+        ))
+        assert result["labels"] == direct, (
+            f"fleet serving with {n_workers} worker(s) changed labels"
+        )
+        del result["labels"]
+        passes.append(result)
+    base = passes[0]["elapsed"]
+    for result in passes:
+        result["speedup"] = base / result["elapsed"]
+    return {"requests": len(items), "passes": passes}
+
+
+def _report_fleet(result, emit, concurrency=CONCURRENCY):
+    requests = result["requests"]
+    emit(f"{'fleet workers':<16}{'wall s':>8}{'req/sec':>9}"
+         f"{'vs 1w':>7}{'shards hit':>12}{'open p99 ms':>13}{'shed':>6}")
+    for row in result["passes"]:
+        emit(f"{row['workers']:<16}{row['elapsed']:>8.2f}"
+             f"{requests / row['elapsed']:>9.0f}"
+             f"{row['speedup']:>6.1f}x"
+             f"{row['shards_hit']:>12}"
+             f"{row['open_p99_s'] * 1000:>13.1f}{row['open_shed']:>6}")
+    emit(f"closed loop: {concurrency} clients, {requests} content-distinct "
+         f"requests, labels identical to direct Engine.predict_many")
+    emit(f"open loop deadline {DEADLINE_MS:.0f}ms; host cores: "
+         f"{os.cpu_count()}")
+
+
+def _check_fleet(result, gate_scaling):
+    for row in result["passes"]:
+        assert row["open_served"] > 0, (
+            f"{row['workers']}-worker open loop served nothing"
+        )
+        assert row["open_p99_s"] <= DEADLINE_MS / 1000.0 * DEADLINE_SLACK, (
+            f"{row['workers']}-worker served p99 "
+            f"{row['open_p99_s'] * 1000:.1f}ms exceeds the "
+            f"{DEADLINE_MS:.0f}ms deadline (+{DEADLINE_SLACK:.0%} slack)"
+        )
+        assert row["shards_hit"] == row["workers"], (
+            f"content routing starved shards: only {row['shards_hit']} of "
+            f"{row['workers']} saw traffic"
+        )
+    if gate_scaling:
+        top = result["passes"][-1]
+        assert top["speedup"] >= FLEET_SCALING_FLOOR, (
+            f"expected >={FLEET_SCALING_FLOOR}x from {top['workers']} "
+            f"workers vs 1, got {top['speedup']:.2f}x"
+        )
+
+
+def _scaling_gate(quick):
+    """Assert near-linear scaling only where it is physically possible."""
+    cores = os.cpu_count() or 1
+    return not quick and cores >= max(FLEET_WORKER_COUNTS)
+
+
 def test_serve_latency(benchmark):
     from benchmarks.common import banner, emit
 
@@ -237,6 +419,24 @@ def test_serve_latency(benchmark):
     )
 
 
+def test_fleet_scaling(benchmark):
+    from benchmarks.common import banner, emit
+
+    result = measure_fleet()
+    banner(f"Serving fleet: worker scaling over content-hash shards "
+           f"({CONCURRENCY} closed-loop clients)")
+    _report_fleet(result, emit)
+    _check_fleet(result, gate_scaling=_scaling_gate(quick=False))
+
+    pool, engine = _pool_and_engine(64)
+    items = _fleet_pool(pool, engine)
+    benchmark(
+        lambda: asyncio.run(_fleet_pass(
+            engine, 2, items, 16, items[:32], DEADLINE_MS
+        ))
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -244,8 +444,25 @@ def main(argv=None) -> int:
         help="small CI mode: verify differential + deadline properties, "
              "print the speedup, no timing assertion",
     )
+    parser.add_argument(
+        "--fleet", action="store_true",
+        help="benchmark FleetService (multi-process worker fleet) over "
+             "worker counts 1/2/4 instead of the single-process batcher",
+    )
     parser.add_argument("--concurrency", type=int, default=CONCURRENCY)
     args = parser.parse_args(argv)
+
+    if args.fleet:
+        result = measure_fleet(quick=args.quick, concurrency=args.concurrency)
+        _report_fleet(result, print, concurrency=args.concurrency)
+        gate = _scaling_gate(args.quick)
+        _check_fleet(result, gate_scaling=gate)
+        if not gate:
+            cores = os.cpu_count() or 1
+            why = "quick mode" if args.quick else f"only {cores} core(s)"
+            print(f"scaling floor not gated ({why}); "
+                  f"4-worker speedup {result['passes'][-1]['speedup']:.2f}x")
+        return 0
 
     result = measure(quick=args.quick, concurrency=args.concurrency)
     _report(result, print, concurrency=args.concurrency)

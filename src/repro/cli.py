@@ -23,12 +23,20 @@ Commands
     the parallel fault-tolerant executor and print the assembly statistics:
     per-suite loop counts, drop reasons, retries, cache/shard hits, and the
     split summaries.  ``--tiny``/``--full`` select the configuration scale.
-``serve [--app NAME] [--port P]``
+``serve [run] [--app NAME] [--port P] [--workers N]``
     Start the async micro-batching inference service (:mod:`repro.serve`):
     an MV-GNN trained on the app's labeled loops behind an HTTP API
-    (``POST /v1/classify``, ``GET /metrics``, ...).  Runs until SIGINT or
-    SIGTERM, then shuts down cleanly with exit code 130.  See
-    docs/SERVING.md.
+    (``POST /v1/classify``, ``GET /metrics``, ...).  With ``--workers N``
+    (N > 1) the service runs as a multi-process fleet — a supervisor
+    pre-forks N engine workers, routes requests by content hash, respawns
+    dead workers, and supports rolling restart / hot weight reload (see
+    docs/OPERATIONS.md).  Runs until SIGINT or SIGTERM, then shuts down
+    cleanly with exit code 130.  See docs/SERVING.md.
+``serve reload [--host H] [--port P] [--checkpoint F]``
+    Ask a running fleet server to hot-reload its model weights
+    (``POST /admin/reload``), blue-green with zero dropped requests;
+    ``--checkpoint`` names an npz from :func:`repro.nn.serialize.save_params`
+    to load first.
 ``lint [--tiny|--fast|--full] [--strict] [--quick] [--json]``
     Run the :mod:`repro.lint` static consistency analyzer over the selected
     dataset configuration: IR rules on every program variant, PEG rules on
@@ -169,10 +177,48 @@ def _install_sigterm_handler() -> None:
         pass
 
 
+def _cmd_serve_reload(args) -> int:
+    """``repro serve reload``: POST /admin/reload on a running fleet."""
+    import json as _json
+    import urllib.error
+    import urllib.request
+
+    url = f"http://{args.host}:{args.port}/admin/reload"
+    body = b""
+    if args.checkpoint:
+        body = _json.dumps({"checkpoint": args.checkpoint}).encode()
+    request = urllib.request.Request(
+        url, data=body, method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=120.0) as response:
+            result = _json.loads(response.read().decode())
+    except urllib.error.HTTPError as exc:
+        detail = exc.read().decode(errors="replace")
+        print(f"error: {url} -> {exc.code}: {detail}", file=sys.stderr)
+        return 2
+    except (urllib.error.URLError, OSError) as exc:
+        print(f"error: cannot reach {url}: {exc}", file=sys.stderr)
+        return 2
+    swapped = result.get("swapped", result.get("workers", "?"))
+    source = args.checkpoint if args.checkpoint else "current master weights"
+    print(f"reloaded {swapped} worker(s) from {source}")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     import asyncio
 
-    from repro.serve import InferenceService, ServeConfig, serve_forever
+    from repro.serve import (
+        FleetService,
+        InferenceService,
+        ServeConfig,
+        serve_forever,
+    )
+
+    if args.action == "reload":
+        return _cmd_serve_reload(args)
 
     spec = build_app(args.app)
     print(f"building engine for {args.app} ({spec.suite}): "
@@ -186,11 +232,17 @@ def _cmd_serve(args) -> int:
         max_wait_ms=args.max_wait_ms,
         max_queue_depth=args.queue_depth,
         default_deadline_ms=args.deadline_ms if args.deadline_ms > 0 else None,
-        executor_workers=args.workers,
         host=args.host,
         port=args.port,
+        fleet_workers=args.workers,
     )
-    service = InferenceService(engine, config, examples=samples)
+    if args.workers > 1:
+        service = FleetService(engine, config, examples=samples)
+        print(f"fleet: {args.workers} engine worker processes, "
+              f"content-hash shard routing, "
+              f"retries={config.worker_retries}", flush=True)
+    else:
+        service = InferenceService(engine, config, examples=samples)
     print(f"micro-batcher: max_batch_size={config.max_batch_size}, "
           f"max_wait_ms={config.max_wait_ms}, "
           f"queue_depth={config.max_queue_depth}, "
@@ -620,7 +672,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser(
         "serve",
         help="start the async micro-batching inference service "
-             "(see docs/SERVING.md)",
+             "(see docs/SERVING.md; fleet operations in docs/OPERATIONS.md)",
+    )
+    serve.add_argument(
+        "action", nargs="?", default="run", choices=["run", "reload"],
+        help="run = start a server (default); reload = ask a running fleet "
+             "to hot-reload its weights via POST /admin/reload",
     )
     serve.add_argument(
         "--app", default="fib", choices=app_names(),
@@ -654,7 +711,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--workers", type=int, default=1,
-        help="inference executor threads",
+        help="engine worker processes: 1 = in-process single engine, "
+             ">1 = multi-process fleet with content-hash shard routing",
+    )
+    serve.add_argument(
+        "--checkpoint", default=None, metavar="NPZ",
+        help="with the reload action: npz weight file "
+             "(repro.nn.serialize.save_params) to load before the rolling "
+             "swap",
     )
     serve.add_argument("--seed", type=int, default=0)
     serve.set_defaults(fn=_cmd_serve)

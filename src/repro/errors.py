@@ -79,6 +79,18 @@ class GraphValidationError(WireError):
         self.findings = list(findings or [])
 
 
+class WorkerExitedError(ServeError):
+    """An engine worker process died or hung mid-request.
+
+    Raised supervisor-side (:mod:`repro.serve.supervisor`) when the pipe to
+    a worker breaks, the worker's process is found dead, or an IPC request
+    exceeds its timeout.  The fleet retries the affected batch on a
+    replacement worker up to ``worker_retries`` times before letting this
+    escape to the client as a 500 — the chaos suite asserts it never does
+    for a single worker kill.
+    """
+
+
 class QueueFullError(ServeError):
     """Admission control rejected the request: the queue is at capacity.
 

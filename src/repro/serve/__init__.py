@@ -1,23 +1,37 @@
-"""Async micro-batching inference service.
+"""Async micro-batching inference service, single-process or fleet.
 
-The serving layer over :mod:`repro.runtime`: a long-lived asyncio process
-that coalesces concurrent loop-classification requests into engine batches
-(:class:`MicroBatcher`), rejects overload explicitly instead of queueing
-unboundedly (:class:`~repro.errors.QueueFullError` /
+The serving layer over :mod:`repro.runtime`: a long-lived asyncio front
+end that coalesces concurrent loop-classification requests into engine
+batches (:class:`MicroBatcher`), rejects overload explicitly instead of
+queueing unboundedly (:class:`~repro.errors.QueueFullError` /
 :class:`~repro.errors.DeadlineExceededError`), and exposes a stdlib-only
 HTTP API (:class:`HttpServer`) with Prometheus metrics
-(:mod:`repro.serve.metrics`).  Start one from the command line with
-``python -m repro serve``; see docs/SERVING.md for the API reference,
-tuning guide, and metrics catalog.
+(:mod:`repro.serve.metrics`).
+
+Two execution modes share that front end:
+
+* **single-process** (:class:`InferenceService`) — one in-process engine
+  behind one micro-batcher;
+* **fleet** (:class:`FleetService`) — a :class:`Supervisor` pre-forks N
+  engine worker processes, requests route to per-worker shards by content
+  hash (each worker's FeatureCache stays hot on its shard), dead workers
+  respawn with the lost batch retried invisibly, and rolling restart /
+  hot weight reload swap workers blue-green with zero dropped requests.
+
+Start one from the command line with ``python -m repro serve``
+(``--workers N`` for the fleet); see docs/SERVING.md for the API
+reference and tuning guide, docs/OPERATIONS.md for the fleet runbook.
 """
 
 from repro.serve.batcher import USE_DEFAULT, MicroBatcher
 from repro.serve.config import ServeConfig
+from repro.serve.fleet import FleetService, content_shard
 from repro.serve.http import HttpServer, serve_forever
 from repro.serve.metrics import (
     BATCH_SIZE_BUCKETS,
     LATENCY_BUCKETS,
     Counter,
+    FleetMetrics,
     Gauge,
     Histogram,
     MetricsRegistry,
@@ -25,10 +39,13 @@ from repro.serve.metrics import (
     bind_engine_stats,
 )
 from repro.serve.service import InferenceService
+from repro.serve.supervisor import Supervisor, WorkerHandle, WorkerPayload
 
 __all__ = [
     "BATCH_SIZE_BUCKETS",
     "Counter",
+    "FleetMetrics",
+    "FleetService",
     "Gauge",
     "Histogram",
     "HttpServer",
@@ -38,7 +55,11 @@ __all__ = [
     "MicroBatcher",
     "ServeConfig",
     "ServeMetrics",
+    "Supervisor",
     "USE_DEFAULT",
+    "WorkerHandle",
+    "WorkerPayload",
     "bind_engine_stats",
+    "content_shard",
     "serve_forever",
 ]

@@ -53,6 +53,21 @@ class ServeConfig:
         Largest accepted request body (HTTP 413 beyond it).
     request_timeout_s:
         Idle read timeout per HTTP connection.
+    fleet_workers:
+        Engine worker *processes*.  1 keeps the single-process service
+        (one in-process engine); >1 starts the sharded multi-process fleet
+        (:mod:`repro.serve.fleet`) — the CLI's ``repro serve --workers N``.
+    worker_retries:
+        How many times one predict batch may be re-sent to a fresh worker
+        after its worker died mid-request, before failing the batch.
+    worker_start_timeout_s:
+        How long a freshly spawned worker may take to answer its first
+        ping before the supervisor declares the spawn failed.
+    worker_request_timeout_s:
+        Per-IPC-request ceiling.  A worker silent past it is presumed hung,
+        killed, and the batch retried (counts against ``worker_retries``).
+    health_interval_s:
+        Supervisor health-check poll period for dead-worker detection.
     """
 
     max_batch_size: int = 32
@@ -65,6 +80,12 @@ class ServeConfig:
     port: int = 8100
     max_body_bytes: int = 8 * 1024 * 1024
     request_timeout_s: float = 60.0
+    # -- multi-process fleet (repro.serve.fleet; ignored single-process) ----
+    fleet_workers: int = 1
+    worker_retries: int = 2
+    worker_start_timeout_s: float = 60.0
+    worker_request_timeout_s: float = 120.0
+    health_interval_s: float = 0.1
 
     def __post_init__(self) -> None:
         if self.max_batch_size <= 0:
@@ -94,6 +115,23 @@ class ServeConfig:
         if self.request_timeout_s <= 0:
             raise ConfigError(
                 f"request_timeout_s must be positive, got {self.request_timeout_s}")
+        if self.fleet_workers <= 0:
+            raise ConfigError(
+                f"fleet_workers must be positive, got {self.fleet_workers}")
+        if self.worker_retries < 0:
+            raise ConfigError(
+                f"worker_retries must be >= 0, got {self.worker_retries}")
+        if self.worker_start_timeout_s <= 0:
+            raise ConfigError(
+                "worker_start_timeout_s must be positive, "
+                f"got {self.worker_start_timeout_s}")
+        if self.worker_request_timeout_s <= 0:
+            raise ConfigError(
+                "worker_request_timeout_s must be positive, "
+                f"got {self.worker_request_timeout_s}")
+        if self.health_interval_s <= 0:
+            raise ConfigError(
+                f"health_interval_s must be positive, got {self.health_interval_s}")
 
     def with_updates(self, **changes) -> "ServeConfig":
         """A copy with ``changes`` applied (validation re-runs)."""

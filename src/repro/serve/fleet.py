@@ -1,0 +1,262 @@
+"""Sharded multi-process serving: content-hash routing over a worker fleet.
+
+:class:`FleetService` is the multi-process sibling of
+:class:`~repro.serve.service.InferenceService` — the same transport-facing
+surface (``classify`` / ``classify_batch`` / ``health`` / ``metrics_text``
+/ ``example_payload``), so :class:`~repro.serve.http.HttpServer` and
+``serve_forever`` drive either without knowing which they hold.  Behind
+that surface the work fans out:
+
+* requests are validated **at the front end, pre-routing** (the 400/422
+  lint gate of :mod:`repro.serve.wire` runs before any worker is chosen,
+  so malformed traffic never costs a fleet round-trip);
+* each decoded graph is routed to a worker slot by a **content hash** of
+  its feature arrays (:func:`content_shard`) — the same graph always lands
+  on the same worker, so every worker's FeatureCache stays hot on exactly
+  its shard of the keyspace;
+* each shard owns a :class:`~repro.serve.batcher.MicroBatcher` whose
+  predict_fn is :meth:`~repro.serve.supervisor.Supervisor.predict` — the
+  single-process batching policy (size-or-window coalescing, admission
+  control, deadlines) applies per shard, and worker death mid-batch is
+  retried invisibly;
+* rolling restart and hot weight reload are one
+  :meth:`reload` call away (the ``POST /admin/reload`` route), blue-green
+  per slot with zero dropped requests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import time
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ServeError, WireError
+from repro.runtime.engine import GraphInput
+from repro.serve import wire
+from repro.serve.batcher import USE_DEFAULT, MicroBatcher
+from repro.serve.config import ServeConfig
+from repro.serve.metrics import FleetMetrics, MetricsRegistry, ServeMetrics
+from repro.serve.service import _status_for
+from repro.serve.supervisor import Supervisor, WorkerPayload
+
+
+def content_shard(graph: GraphInput, n_shards: int) -> int:
+    """Stable shard index in ``[0, n_shards)`` from the graph's content.
+
+    Hashes the raw bytes of all three feature arrays (shape-prefixed, so
+    reshapes change the key the way they change the features), mirroring
+    the content-keyed FeatureCache: identical inputs always route to the
+    same worker, which is what keeps that worker's cache hot on its shard.
+    """
+    digest = hashlib.sha256()
+    for array in (graph.x_semantic, graph.x_structural, graph.adjacency):
+        contiguous = np.ascontiguousarray(array, dtype=np.float64)
+        digest.update(str(contiguous.shape).encode())
+        digest.update(contiguous.tobytes())
+    return int.from_bytes(digest.digest()[:8], "big") % n_shards
+
+
+class FleetService:
+    """Long-lived classification service over N engine worker processes.
+
+    Parameters
+    ----------
+    engine:
+        A fully built :class:`~repro.runtime.engine.Engine`; its model and
+        extractor configuration are shipped to every worker
+        (:class:`~repro.serve.supervisor.WorkerPayload`), and its model
+        remains the master copy that :meth:`reload` pushes back out.
+    config:
+        Fleet + batching knobs; ``config.fleet_workers`` fixes the worker
+        count.
+    registry:
+        Metrics destination shared with the front end; fresh when omitted.
+    examples:
+        Optional pool backing ``GET /v1/example``, as on the
+        single-process service.
+    """
+
+    def __init__(
+        self,
+        engine,
+        config: Optional[ServeConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+        examples: Optional[Sequence[Any]] = None,
+    ) -> None:
+        self.engine = engine
+        self.config = config if config is not None else ServeConfig()
+        self.n_workers = self.config.fleet_workers
+        self.metrics = ServeMetrics(registry)
+        self.fleet_metrics = FleetMetrics(self.metrics.registry)
+        self.supervisor = Supervisor(
+            WorkerPayload.from_engine(engine), self.config,
+            metrics=self.fleet_metrics,
+        )
+        # one micro-batcher per shard; the shared ServeMetrics aggregates
+        # admission/latency across shards while FleetMetrics splits routing
+        self.batchers: List[MicroBatcher] = [
+            MicroBatcher(
+                self._shard_predict_fn(slot), self.config,
+                metrics=self.metrics,
+            )
+            for slot in range(self.n_workers)
+        ]
+        self.metrics.bind_queue_depth(
+            lambda: float(sum(b.queue_depth for b in self.batchers))
+        )
+        for shard in range(self.n_workers):
+            self.fleet_metrics.shard_requests(shard)  # pre-register at zero
+        self._examples = list(examples) if examples else []
+        self._example_cursor = 0
+        self._started_at: Optional[float] = None
+        self._admin_lock = asyncio.Lock()
+
+    def _shard_predict_fn(self, slot: int):
+        def predict(items: Sequence[Any]) -> List[int]:
+            return self.supervisor.predict(slot, items)
+        return predict
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        loop = asyncio.get_running_loop()
+        # spawning + warm pings block; keep the event loop responsive
+        await loop.run_in_executor(None, self.supervisor.start)
+        for batcher in self.batchers:
+            await batcher.start()
+        self._started_at = time.monotonic()
+
+    async def stop(self) -> None:
+        for batcher in self.batchers:
+            await batcher.stop()
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.supervisor.stop)
+
+    @property
+    def running(self) -> bool:
+        return self.supervisor.running and all(
+            batcher.running for batcher in self.batchers
+        )
+
+    # -- routing -------------------------------------------------------------
+
+    async def submit_graph(self, graph: GraphInput,
+                           deadline_ms: Any = USE_DEFAULT) -> int:
+        """Route one decoded graph to its content shard and await the label.
+
+        The entry point shared by the HTTP endpoints and the fleet
+        benchmark's load generators (which skip JSON entirely).
+        """
+        shard = content_shard(graph, self.n_workers)
+        self.fleet_metrics.shard_requests(shard).inc()
+        return await self.batchers[shard].submit(graph, deadline_ms=deadline_ms)
+
+    # -- endpoints (same shapes as InferenceService) -------------------------
+
+    async def classify(self, payload: Any) -> Dict[str, Any]:
+        if not isinstance(payload, Mapping):
+            raise WireError(
+                f"request: expected a JSON object, got {type(payload).__name__}"
+            )
+        deadline_ms = wire.decode_deadline_ms(payload, default=USE_DEFAULT)
+        graph = wire.decode_loop(payload)  # 400/422 here, pre-routing
+        label = await self.submit_graph(graph, deadline_ms=deadline_ms)
+        return {"id": graph.graph_id, "label": label}
+
+    async def classify_batch(self, payload: Any) -> Dict[str, Any]:
+        if not isinstance(payload, Mapping):
+            raise WireError(
+                f"request: expected a JSON object, got {type(payload).__name__}"
+            )
+        deadline_ms = wire.decode_deadline_ms(payload, default=USE_DEFAULT)
+        graphs = wire.decode_batch(payload)  # all-or-nothing, pre-routing
+
+        outcomes = await asyncio.gather(
+            *(self.submit_graph(graph, deadline_ms=deadline_ms)
+              for graph in graphs),
+            return_exceptions=True,
+        )
+        results: List[Dict[str, Any]] = []
+        for graph, outcome in zip(graphs, outcomes):
+            if isinstance(outcome, ServeError):
+                results.append({
+                    "id": graph.graph_id,
+                    "error": str(outcome),
+                    "status": _status_for(outcome),
+                })
+            elif isinstance(outcome, BaseException):
+                raise outcome
+            else:
+                results.append({"id": graph.graph_id, "label": outcome})
+        return {"results": results}
+
+    def example_payload(self) -> Dict[str, Any]:
+        if not self._examples:
+            raise WireError("no example pool configured on this server")
+        sample = self._examples[self._example_cursor % len(self._examples)]
+        self._example_cursor += 1
+        return wire.sample_to_wire(sample)
+
+    def health(self) -> Dict[str, Any]:
+        uptime = (
+            time.monotonic() - self._started_at
+            if self._started_at is not None else 0.0
+        )
+        return {
+            "status": "ok" if self.running else "stopped",
+            "model": type(self.engine.model).__name__,
+            "mode": "fleet",
+            "uptime_s": round(uptime, 3),
+            "queue_depth": sum(b.queue_depth for b in self.batchers),
+            "max_batch_size": self.config.max_batch_size,
+            "max_wait_ms": self.config.max_wait_ms,
+            "requests_total": int(self.metrics.requests.value),
+            "responses_total": int(self.metrics.responses.value),
+            "fleet_size": self.n_workers,
+            "workers": self.supervisor.describe(),
+        }
+
+    def metrics_text(self) -> str:
+        return self.metrics.registry.render()
+
+    # -- fleet administration ------------------------------------------------
+
+    async def reload(self, checkpoint: Optional[str] = None) -> Dict[str, Any]:
+        """Rolling blue-green reload of every worker; zero dropped requests.
+
+        With ``checkpoint`` (an npz path from
+        :func:`repro.nn.serialize.save_params`) the master model first
+        loads those weights, then every replacement worker is warmed with
+        them before being swapped in.  Without, the current master weights
+        are pushed — which doubles as a plain hot restart with a weight
+        refresh.  Serialized: concurrent reload requests queue.
+        """
+        async with self._admin_lock:
+            loop = asyncio.get_running_loop()
+
+            def run() -> Dict[str, Any]:
+                if checkpoint is not None:
+                    from repro.nn.serialize import load_params
+
+                    try:
+                        load_params(self.engine.model, checkpoint)
+                    except (OSError, ValueError) as exc:
+                        raise ServeError(
+                            f"cannot load checkpoint {checkpoint!r}: {exc}"
+                        ) from exc
+                return self.supervisor.reload_weights(self.engine.model)
+
+            result = await loop.run_in_executor(None, run)
+            result["checkpoint"] = checkpoint
+            return result
+
+    async def restart(self) -> Dict[str, Any]:
+        """Rolling restart without touching weights (fresh worker caches)."""
+        async with self._admin_lock:
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(
+                None, self.supervisor.rolling_restart
+            )

@@ -14,9 +14,17 @@ Routes
 ``POST /v1/classify``       one loop object -> ``{"id", "label"}``
 ``POST /v1/classify_batch`` ``{"loops": [...]}`` -> ``{"results": [...]}``
 ``GET  /v1/example``        a valid classify payload from the example pool
-``GET  /healthz``           liveness + config summary
+``GET  /healthz``           liveness + config summary (+ per-worker status)
 ``GET  /metrics``           Prometheus text exposition
+``POST /admin/reload``      fleet mode: rolling hot weight reload (409 else)
+``POST /admin/restart``     fleet mode: rolling worker restart (409 else)
 ==========================  =====================================================
+
+The ``service`` behind the front end is either the single-process
+:class:`~repro.serve.service.InferenceService` or the multi-process
+:class:`~repro.serve.fleet.FleetService` — both expose the same endpoint
+surface, so routing below never branches on the mode (except the admin
+routes, which require a fleet).
 
 Error mapping: :class:`~repro.errors.WireError` -> 400,
 :class:`~repro.errors.GraphValidationError` -> 422 (with a machine-readable
@@ -38,6 +46,7 @@ from repro.errors import (
     DeadlineExceededError,
     GraphValidationError,
     QueueFullError,
+    ReproError,
     ServeError,
     WireError,
 )
@@ -50,6 +59,7 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    409: "Conflict",
     413: "Payload Too Large",
     422: "Unprocessable Entity",
     429: "Too Many Requests",
@@ -204,6 +214,10 @@ class HttpServer:
                     wire.parse_json(body)
                 )
                 return 200, result, "application/json", {}
+            if path in ("/admin/reload", "/admin/restart"):
+                if method != "POST":
+                    return 405, {"error": "use POST"}, "application/json", {}
+                return await self._route_admin(path, body)
             return 404, {"error": f"no such route: {path}"}, "application/json", {}
         except GraphValidationError as exc:
             self.service.metrics.invalid_graphs.inc()
@@ -224,6 +238,42 @@ class HttpServer:
             return 504, {"error": str(exc)}, "application/json", {}
         except ServeError as exc:
             return 500, {"error": str(exc)}, "application/json", {}
+        except ReproError as exc:
+            # non-serve library failure surfaced by an admin action (e.g. a
+            # bad reload checkpoint): an error response, not a dead socket
+            return 500, {"error": str(exc)}, "application/json", {}
+
+    async def _route_admin(
+        self, path: str, body: bytes
+    ) -> Tuple[int, Any, str, Dict[str, str]]:
+        """Fleet administration: rolling reload / restart (fleet mode only).
+
+        On a single-process service (no fleet behind the front end) these
+        answer 409 so operators learn the server has nothing to roll.
+        ``/admin/reload`` accepts an optional JSON body
+        ``{"checkpoint": "<npz path>"}`` to load fresh weights first.
+        """
+        if not hasattr(self.service, "reload"):
+            return (
+                409,
+                {"error": "not a fleet: start with --workers N to enable "
+                          "rolling reload/restart"},
+                "application/json", {},
+            )
+        if path == "/admin/restart":
+            return 200, await self.service.restart(), "application/json", {}
+        checkpoint = None
+        if body:
+            payload = wire.parse_json(body)
+            if not isinstance(payload, dict):
+                raise WireError("admin/reload: body must be a JSON object")
+            checkpoint = payload.get("checkpoint")
+            if checkpoint is not None and not isinstance(checkpoint, str):
+                raise WireError("admin/reload: checkpoint must be a string")
+        return (
+            200, await self.service.reload(checkpoint=checkpoint),
+            "application/json", {},
+        )
 
     # -- response writing ----------------------------------------------------
 

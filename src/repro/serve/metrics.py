@@ -45,14 +45,35 @@ def _check_name(name: str) -> str:
     return name
 
 
+def _labeled_name(name: str, labels: Optional[Dict[str, str]]) -> str:
+    """``name{k="v",...}`` in sorted label order; plain ``name`` unlabeled.
+
+    The Prometheus child-series form — the fleet uses it for per-worker
+    samples (``serve_worker_up{worker="2"}``) while the registry still
+    emits one HELP/TYPE header per family.
+    """
+    if not labels:
+        return name
+    rendered = ",".join(
+        f'{_check_name(k)}="{v}"' for k, v in sorted(labels.items())
+    )
+    return f"{name}{{{rendered}}}"
+
+
 class Counter:
     """Monotonically increasing count."""
 
     kind = "counter"
 
-    def __init__(self, name: str, help_text: str = "") -> None:
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Optional[Dict[str, str]] = None,
+    ) -> None:
         self.name = _check_name(name)
         self.help_text = help_text
+        self.sample_name = _labeled_name(self.name, labels)
         self._value = 0.0
         self._lock = threading.Lock()
 
@@ -68,7 +89,7 @@ class Counter:
             return self._value
 
     def samples(self) -> List[Tuple[str, float]]:
-        return [(self.name, self.value)]
+        return [(self.sample_name, self.value)]
 
 
 class Gauge:
@@ -81,9 +102,11 @@ class Gauge:
         name: str,
         help_text: str = "",
         fn: Optional[Callable[[], float]] = None,
+        labels: Optional[Dict[str, str]] = None,
     ) -> None:
         self.name = _check_name(name)
         self.help_text = help_text
+        self.sample_name = _labeled_name(self.name, labels)
         self._fn = fn
         self._value = 0.0
         self._lock = threading.Lock()
@@ -115,7 +138,7 @@ class Gauge:
             return self._value
 
     def samples(self) -> List[Tuple[str, float]]:
-        return [(self.name, self.value)]
+        return [(self.sample_name, self.value)]
 
 
 class Histogram:
@@ -240,36 +263,61 @@ def _format(value: float) -> str:
 
 
 class MetricsRegistry:
-    """Named metrics with get-or-create accessors and text exposition."""
+    """Named metrics with get-or-create accessors and text exposition.
+
+    Metrics are keyed by their full child-series name — a labeled counter
+    (``serve_worker_up{worker="2"}``) registers one child per label set
+    under a shared *family* (base name), and ``render`` emits HELP/TYPE
+    once per family followed by every child's samples.  All children of a
+    family must share one metric type.
+    """
 
     def __init__(self) -> None:
         self._metrics: Dict[str, object] = {}
         self._lock = threading.Lock()
 
-    def _get_or_create(self, cls, name: str, help_text: str, **kwargs):
+    def _get_or_create(
+        self, cls, name: str, help_text: str,
+        labels: Optional[Dict[str, str]] = None, **kwargs
+    ):
+        key = _labeled_name(_check_name(name), labels)
         with self._lock:
-            existing = self._metrics.get(name)
+            existing = self._metrics.get(key)
             if existing is not None:
                 if not isinstance(existing, cls):
                     raise ServeError(
-                        f"metric {name} already registered as "
+                        f"metric {key} already registered as "
                         f"{type(existing).__name__}"
                     )
                 return existing
+            for other in self._metrics.values():
+                if other.name == name and not isinstance(other, cls):
+                    raise ServeError(
+                        f"metric family {name} already registered as "
+                        f"{type(other).__name__}"
+                    )
+            if labels is not None and cls is not Histogram:
+                kwargs["labels"] = labels
             metric = cls(name, help_text, **kwargs)
-            self._metrics[name] = metric
+            self._metrics[key] = metric
             return metric
 
-    def counter(self, name: str, help_text: str = "") -> Counter:
-        return self._get_or_create(Counter, name, help_text)
+    def counter(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Optional[Dict[str, str]] = None,
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help_text, labels=labels)
 
     def gauge(
         self,
         name: str,
         help_text: str = "",
         fn: Optional[Callable[[], float]] = None,
+        labels: Optional[Dict[str, str]] = None,
     ) -> Gauge:
-        return self._get_or_create(Gauge, name, help_text, fn=fn)
+        return self._get_or_create(Gauge, name, help_text, labels=labels, fn=fn)
 
     def histogram(
         self,
@@ -280,6 +328,7 @@ class MetricsRegistry:
         return self._get_or_create(Histogram, name, help_text, buckets=buckets)
 
     def get(self, name: str):
+        """Lookup by full child-series name (plain name when unlabeled)."""
         with self._lock:
             return self._metrics.get(name)
 
@@ -287,11 +336,18 @@ class MetricsRegistry:
         """Prometheus text exposition format (version 0.0.4)."""
         lines: List[str] = []
         with self._lock:
-            metrics = sorted(self._metrics.items())
-        for name, metric in metrics:
-            if metric.help_text:
-                lines.append(f"# HELP {name} {metric.help_text}")
-            lines.append(f"# TYPE {name} {metric.kind}")
+            # group every family's children together even when an unrelated
+            # name would sort between a family's plain and labeled series
+            metrics = sorted(
+                self._metrics.items(), key=lambda kv: (kv[1].name, kv[0])
+            )
+        emitted_families = set()
+        for _, metric in metrics:
+            if metric.name not in emitted_families:
+                emitted_families.add(metric.name)
+                if metric.help_text:
+                    lines.append(f"# HELP {metric.name} {metric.help_text}")
+                lines.append(f"# TYPE {metric.name} {metric.kind}")
             for sample_name, value in metric.samples():
                 lines.append(f"{sample_name} {_render_value(value)}")
         return "\n".join(lines) + "\n"
@@ -352,6 +408,47 @@ class ServeMetrics:
     def bind_queue_depth(self, fn: Callable[[], float]) -> None:
         """Make queue depth a pull gauge over the live queue."""
         self.queue_depth.bind(fn)
+
+
+class FleetMetrics:
+    """Per-worker / per-shard metric families for the multi-process fleet.
+
+    One instance per :class:`~repro.serve.fleet.FleetService`; the
+    supervisor records lifecycle events, the shard router records routing
+    decisions.  Children are created lazily per worker slot / shard index
+    (label values are slot indices, stable across respawns — a respawned
+    worker keeps its slot's series, which is what makes
+    ``serve_worker_restarts_total`` meaningful).
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.fleet_size = self.registry.gauge(
+            "serve_fleet_size", "Configured engine worker processes")
+        self.reloads = self.registry.counter(
+            "serve_worker_reloads_total",
+            "Completed rolling reload/restart sweeps across the fleet")
+        self.retried_batches = self.registry.counter(
+            "serve_worker_retried_batches_total",
+            "Predict batches re-sent after a worker died mid-request")
+
+    def worker_up(self, slot: int) -> Gauge:
+        return self.registry.gauge(
+            "serve_worker_up",
+            "1 while the slot's engine worker process is live",
+            labels={"worker": str(slot)})
+
+    def worker_restarts(self, slot: int) -> Counter:
+        return self.registry.counter(
+            "serve_worker_restarts_total",
+            "Times the slot's worker was respawned after dying",
+            labels={"worker": str(slot)})
+
+    def shard_requests(self, shard: int) -> Counter:
+        return self.registry.counter(
+            "serve_shard_requests_total",
+            "Requests routed to the shard by graph content hash",
+            labels={"shard": str(shard)})
 
 
 def bind_engine_stats(registry: MetricsRegistry, engine) -> None:

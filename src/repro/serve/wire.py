@@ -183,3 +183,66 @@ def sample_to_wire(sample) -> Dict[str, Any]:
         sample.x_semantic, sample.x_structural, sample.adjacency,
         loop_id=sample.sample_id,
     )
+
+
+# ---------------------------------------------------------------------------
+# worker IPC protocol (the serving fleet)
+# ---------------------------------------------------------------------------
+#
+# The multi-process fleet (:mod:`repro.serve.supervisor`) speaks a tiny
+# framed protocol over ``multiprocessing.Connection`` pipes.  Every frame is
+# a 3-tuple ``(kind, req_id, payload)``:
+#
+# ==============  =======================  ================================
+# kind            payload (request)        payload (reply)
+# ==============  =======================  ================================
+# ``predict``     list of engine inputs    list of int labels
+# ``ping``        None                     worker info dict (pid, shard...)
+# ``reload``      {name: ndarray} params   worker info dict
+# ``stats``       None                     EngineStats dict
+# ``shutdown``    None                     None (worker exits after reply)
+# ==============  =======================  ================================
+#
+# Replies use kind ``ok`` or ``err`` (payload = message string).  The pipe
+# pickles frames, so arrays travel as numpy objects — no JSON round-trip on
+# the hot path.  ``check_frame`` guards both directions: a malformed frame
+# raises :class:`WireError` rather than crashing the peer's loop.
+
+IPC_PREDICT = "predict"
+IPC_PING = "ping"
+IPC_RELOAD = "reload"
+IPC_STATS = "stats"
+IPC_SHUTDOWN = "shutdown"
+IPC_OK = "ok"
+IPC_ERR = "err"
+
+#: frame kinds a worker accepts
+IPC_REQUEST_KINDS = (IPC_PREDICT, IPC_PING, IPC_RELOAD, IPC_STATS,
+                     IPC_SHUTDOWN)
+#: frame kinds the supervisor-side handle accepts back
+IPC_REPLY_KINDS = (IPC_OK, IPC_ERR)
+
+
+def make_frame(kind: str, req_id: int, payload: Any = None) -> Tuple:
+    """Build one IPC frame; the only constructor either peer uses."""
+    return (kind, req_id, payload)
+
+
+def check_frame(obj: Any, expect: Sequence[str]) -> Tuple[str, int, Any]:
+    """Validate a received frame -> ``(kind, req_id, payload)``.
+
+    ``expect`` is the set of kinds legal in this direction.  Raises
+    :class:`WireError` on anything else — the receiving loop treats that as
+    a protocol violation from a confused peer, not a crash.
+    """
+    if not isinstance(obj, tuple) or len(obj) != 3:
+        raise WireError(
+            f"ipc: expected a (kind, req_id, payload) frame, got "
+            f"{type(obj).__name__}"
+        )
+    kind, req_id, payload = obj
+    if kind not in expect:
+        raise WireError(f"ipc: unexpected frame kind {kind!r}")
+    if not isinstance(req_id, int):
+        raise WireError(f"ipc: req_id must be int, got {type(req_id).__name__}")
+    return kind, req_id, payload

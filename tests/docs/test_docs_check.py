@@ -1,7 +1,9 @@
-"""Docs stay honest: every module path and file path they mention exists.
+"""Docs stay honest: every module path, file path, CLI flag, and make
+target they mention exists.
 
 Run standalone via ``make docs-check``; also part of the tier-1 suite so
-a refactor that renames a module cannot leave docs/ pointing at ghosts.
+a refactor that renames a module, drops a ``--flag``, or removes a
+Makefile target cannot leave docs/ pointing at ghosts.
 """
 
 import importlib
@@ -18,6 +20,52 @@ PATH_REF = re.compile(
     r"\b(?:docs|src|tests|benchmarks|examples)/[A-Za-z0-9_./-]*[A-Za-z0-9_]"
 )
 MD_LINK = re.compile(r"\]\(([^)#]+)(?:#[^)]*)?\)")
+LONG_FLAG = re.compile(r"(?<![\w-])--[a-z][a-z0-9-]*")
+MAKE_TARGET_REF = re.compile(r"\bmake\s+([a-z][a-z0-9-]*)")
+ADD_ARGUMENT_FLAG = re.compile(r"""add_argument\(\s*['"](--[a-z][a-z0-9-]*)""")
+MAKEFILE_TARGET = re.compile(r"^([A-Za-z][A-Za-z0-9_-]*)\s*:", re.MULTILINE)
+
+#: long options in docs/ that belong to external tools, not this repo
+#: (curl, pip, pytest-benchmark, argparse's built-in help)
+EXTERNAL_FLAGS = {
+    "--benchmark-only",   # pytest-benchmark
+    "--data",             # curl
+    "--no-build-isolation",  # pip
+    "--help",             # argparse built-in
+}
+
+
+def _repo_cli_flags():
+    """Every long option any ``repro`` subcommand accepts, via the real
+    parser (so renames in cli.py are caught, not just deletions)."""
+    from repro.cli import build_parser
+
+    flags = set()
+    stack = [build_parser()]
+    while stack:
+        parser = stack.pop()
+        for action in parser._actions:
+            flags.update(
+                opt for opt in action.option_strings if opt.startswith("--")
+            )
+            if hasattr(action, "choices") and isinstance(action.choices, dict):
+                stack.extend(
+                    sub for sub in action.choices.values()
+                    if hasattr(sub, "_actions")
+                )
+    return flags
+
+
+def _benchmark_flags():
+    """Long options declared by the standalone benchmark drivers."""
+    flags = set()
+    for path in (REPO_ROOT / "benchmarks").glob("*.py"):
+        flags.update(ADD_ARGUMENT_FLAG.findall(path.read_text()))
+    return flags
+
+
+def _makefile_targets():
+    return set(MAKEFILE_TARGET.findall((REPO_ROOT / "Makefile").read_text()))
 
 
 def _doc_ids():
@@ -75,6 +123,30 @@ def test_file_paths_exist(doc):
         }
     )
     assert not bad, f"{doc.name} references nonexistent files: {bad}"
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=_doc_ids())
+def test_cli_flags_exist(doc):
+    """Every ``--flag`` a doc names is a real option of the repro CLI, a
+    benchmark driver, or a declared external tool."""
+    known = _repo_cli_flags() | _benchmark_flags() | EXTERNAL_FLAGS
+    text = doc.read_text()
+    bad = sorted(set(LONG_FLAG.findall(text)) - known)
+    assert not bad, (
+        f"{doc.name} documents flags no CLI or benchmark accepts: {bad} "
+        f"(external-tool flags go in EXTERNAL_FLAGS)"
+    )
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=_doc_ids())
+def test_make_targets_exist(doc):
+    targets = _makefile_targets()
+    text = doc.read_text()
+    bad = sorted(set(MAKE_TARGET_REF.findall(text)) - targets)
+    assert not bad, (
+        f"{doc.name} references make targets missing from the Makefile: "
+        f"{bad}"
+    )
 
 
 @pytest.mark.parametrize("doc", DOC_FILES, ids=_doc_ids())

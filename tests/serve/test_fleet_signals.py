@@ -1,0 +1,171 @@
+"""End-to-end ``repro serve --workers 2`` subprocess: the signal matrix.
+
+The fleet's two signal contracts, exercised against a real server process
+over real sockets (companion to the in-process chaos tests in
+``test_fleet.py``):
+
+* **SIGKILL of a single worker** — the supervisor respawns it (new pid,
+  same slot) and keeps serving; the supervisor process itself stays up.
+* **SIGTERM to the supervisor** — every worker is drained via shutdown
+  frames and the server exits 130 with the clean-shutdown message, same
+  contract as single-process serve.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+STARTUP_TIMEOUT_S = 120
+
+
+@pytest.fixture(scope="module")
+def fleet_process():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONUNBUFFERED"] = "1"
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--app", "fib",
+         "--epochs", "0", "--port", "0", "--max-wait-ms", "2",
+         "--workers", "2"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    port = None
+    deadline = time.monotonic() + STARTUP_TIMEOUT_S
+    lines = []
+    try:
+        while time.monotonic() < deadline:
+            line = process.stdout.readline()
+            if not line:
+                break
+            lines.append(line)
+            if "listening on http://" in line:
+                port = int(line.rsplit(":", 1)[1])
+                break
+        if port is None:
+            process.kill()
+            pytest.fail(f"fleet never announced a port; output: {lines}")
+        yield process, port
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10)
+
+
+def _get_json(port, path, timeout=15):
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}{path}", timeout=timeout
+    ) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _post_json(port, path, payload, timeout=30):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _worker_pids(port):
+    _, health = _get_json(port, "/healthz")
+    return {w["worker"]: w["pid"] for w in health["workers"]}
+
+
+class TestFleetSignals:
+    def test_health_shows_two_live_workers(self, fleet_process):
+        _, port = fleet_process
+        status, health = _get_json(port, "/healthz")
+        assert status == 200
+        assert health["mode"] == "fleet"
+        assert health["fleet_size"] == 2
+        assert all(w["up"] for w in health["workers"])
+
+    def test_worker_sigkill_respawns_and_serving_continues(self, fleet_process):
+        process, port = fleet_process
+        before = _worker_pids(port)
+        assert len(before) == 2 and all(before.values())
+
+        os.kill(before[0], signal.SIGKILL)
+
+        deadline = time.monotonic() + 60
+        respawned = None
+        while time.monotonic() < deadline:
+            after = _worker_pids(port)
+            if after[0] and after[0] != before[0]:
+                respawned = after
+                break
+            time.sleep(0.1)
+        assert respawned is not None, "worker 0 was never respawned"
+        assert respawned[1] == before[1]  # sibling slot untouched
+        assert process.poll() is None  # supervisor survived
+
+        # server still answers classification traffic after the kill
+        status, example = _get_json(port, "/v1/example")
+        assert status == 200
+        status, result = _post_json(port, "/v1/classify", example)
+        assert status == 200
+        assert isinstance(result["label"], int)
+
+        _, health = _get_json(port, "/healthz")
+        restarts = {w["worker"]: w["restarts"] for w in health["workers"]}
+        assert restarts[0] >= 1
+
+    def test_admin_reload_over_http(self, fleet_process):
+        _, port = fleet_process
+        status, result = _post_json(port, "/admin/reload", {}, timeout=120)
+        assert status == 200
+        assert result["workers"] == 2
+        assert result["reloaded_weights"] is True
+
+    def test_cli_reload_command(self, fleet_process):
+        _, port = fleet_process
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        done = subprocess.run(
+            [sys.executable, "-m", "repro", "serve", "reload",
+             "--host", "127.0.0.1", "--port", str(port)],
+            capture_output=True, text=True, env=env, timeout=180,
+        )
+        assert done.returncode == 0, done.stderr
+        assert "reloaded 2 worker(s)" in done.stdout
+
+    def test_sigterm_drains_workers_and_exits_130(self, fleet_process):
+        process, port = fleet_process
+        worker_pids = list(_worker_pids(port).values())
+        process.send_signal(signal.SIGTERM)
+        returncode = process.wait(timeout=60)
+        tail = process.stdout.read()
+        assert returncode == 130
+        assert "shut down cleanly" in tail
+        # drained, not orphaned: no worker pid survives the supervisor
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            alive = [pid for pid in worker_pids if _pid_alive(pid)]
+            if not alive:
+                break
+            time.sleep(0.1)
+        assert not alive, f"orphaned worker processes: {alive}"
+
+
+def _pid_alive(pid):
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - different uid
+        return True
+    return True

@@ -4,9 +4,9 @@ export PYTHONPATH := src
 # coverage floor (%) for the training fast path and batched runtime
 COV_FLOOR ?= 85
 
-.PHONY: test test-fast test-nightly test-cov bench bench-runtime bench-train \
-	bench-assembly bench-serve bench-serve-fleet serve-fleet serve-smoke \
-	docs-check lint-dataset
+.PHONY: test test-fast test-nightly test-cov test-tape bench bench-runtime \
+	bench-train bench-assembly bench-serve bench-serve-fleet serve-fleet \
+	serve-smoke docs-check lint-dataset
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -30,6 +30,14 @@ test-cov:
 	else \
 		echo "pytest-cov not installed; skipping coverage (pip install -e .[cov])"; \
 	fi
+
+# Tape-compiler wall: differential (byte-identity + gradient parity),
+# hypothesis properties, and golden-tape regression (see docs/RUNTIME.md).
+test-tape:
+	REPRO_HYPOTHESIS_PROFILE=ci $(PYTHON) -m pytest \
+		tests/runtime/test_tape_differential.py \
+		tests/runtime/test_tape_properties.py \
+		tests/runtime/test_tape_golden.py -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q

@@ -4,9 +4,17 @@ Packs N sub-PEGs into one block-diagonal forward pass
 (:mod:`repro.runtime`) and compares graphs/sec against the sequential
 per-graph ``model(x, walks, adj)`` loop.  The numbers recorded here back
 the batch-size guidance in docs/RUNTIME.md.
+
+Run directly with ``--compare-compile`` to benchmark the trace-compiled
+tape interpreter (:mod:`repro.runtime.tape`) against the layer-by-layer
+interpreted forward at batch size 32: verifies the logits are
+byte-identical, gates a >= 1.2x speedup, and records the table in
+``benchmark_results/results_tape.txt``.
 """
 
+import argparse
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -103,3 +111,117 @@ def test_runtime_batched_throughput(benchmark):
     assert best_large >= 3.0, (
         f"expected >=3x speedup at some batch_size >= 16, got {speedups}"
     )
+
+
+# -- tape-compiled vs interpreted forward (--compare-compile) ---------------
+
+COMPILE_BATCH_SIZE = 32
+COMPILE_SPEEDUP_FLOOR = 1.2
+
+
+def measure_compile(quick=False):
+    """Interpreted-vs-tape numbers at the production batch size.
+
+    Both engines share the model and classify the same pool; the compiled
+    engine's first pass (recording the tape) is kept out of the timed reps,
+    matching the serving fleet's warm-up behaviour.
+    """
+    pool, model = _pool_and_model()
+    reps = 2 if quick else REPS
+    interpreted = Engine(model, batch_size=COMPILE_BATCH_SIZE, compile=False)
+    compiled = Engine(model, batch_size=COMPILE_BATCH_SIZE, compile=True)
+
+    interp_logits = interpreted.logits_many(pool)
+    compiled.warm_up()
+    compiled_logits = compiled.logits_many(pool)
+    identical = bool(np.array_equal(interp_logits, compiled_logits))
+    max_diff = float(np.max(np.abs(interp_logits - compiled_logits)))
+
+    interp_time = _best_of(lambda: interpreted.predict_many(pool), reps)
+    compiled_time = _best_of(lambda: compiled.predict_many(pool), reps)
+    return {
+        "pool": len(pool),
+        "batch_size": COMPILE_BATCH_SIZE,
+        "identical": identical,
+        "max_diff": max_diff,
+        "interpreted_time": interp_time,
+        "compiled_time": compiled_time,
+        "interpreted_rate": len(pool) / interp_time,
+        "compiled_rate": len(pool) / compiled_time,
+        "speedup": interp_time / compiled_time,
+    }
+
+
+def _report_compile(result, out) -> None:
+    out("=" * 72)
+    out(f"Tape-compiled vs interpreted forward "
+        f"(bench_runtime_throughput --compare-compile, "
+        f"batch={result['batch_size']}, {result['pool']} graphs)")
+    out("=" * 72)
+    out(f"{'path':<24}{'wall s':>9}{'graphs/sec':>12}{'speedup':>9}")
+    out(f"{'interpreted':<24}{result['interpreted_time']:>9.3f}"
+        f"{result['interpreted_rate']:>12.0f}{1.0:>8.1f}x")
+    out(f"{'tape-compiled':<24}{result['compiled_time']:>9.3f}"
+        f"{result['compiled_rate']:>12.0f}{result['speedup']:>8.2f}x")
+    out(f"logits byte-identical: {result['identical']} "
+        f"(max abs diff {result['max_diff']:.1e})")
+
+
+def test_tape_compile_differential(benchmark):
+    result = measure_compile(quick=True)
+    banner("Tape-compiled vs interpreted forward (batch=32)")
+    _report_compile(result, emit)
+    assert result["identical"], (
+        f"tape logits drifted from interpreted by {result['max_diff']:.3e}"
+    )
+    pool, model = _pool_and_model()
+    engine = Engine(model, batch_size=COMPILE_BATCH_SIZE, compile=True)
+    engine.warm_up()
+    predictions = benchmark(lambda: engine.predict_many(pool))
+    assert predictions.shape == (len(pool),)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--compare-compile", action="store_true",
+        help="compare Engine(compile=True) against Engine(compile=False) "
+             "at batch size 32; record benchmark_results/results_tape.txt",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="fewer timing reps; verify byte-identity but do not gate the "
+             "speedup floor",
+    )
+    args = parser.parse_args(argv)
+    if not args.compare_compile:
+        parser.error("nothing to do: pass --compare-compile")
+
+    result = measure_compile(quick=args.quick)
+    results_dir = Path(__file__).resolve().parent.parent / "benchmark_results"
+    results_dir.mkdir(exist_ok=True)
+    out_path = results_dir / "results_tape.txt"
+    with open(out_path, "a") as fh:
+        def record(line: str) -> None:
+            fh.write(line + "\n")
+            print(line)
+
+        _report_compile(result, record)
+        if not result["identical"]:
+            record("FAIL: tape logits drifted from the interpreted forward")
+            return 1
+        if args.quick:
+            record(f"quick mode: speedup {result['speedup']:.2f}x "
+                   f"(floor not gated)")
+            return 0
+        if result["speedup"] < COMPILE_SPEEDUP_FLOOR:
+            record(f"FAIL: speedup {result['speedup']:.2f}x below the "
+                   f"{COMPILE_SPEEDUP_FLOOR}x floor")
+            return 1
+        record(f"PASS: speedup {result['speedup']:.2f}x "
+               f">= {COMPILE_SPEEDUP_FLOOR}x floor")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -84,7 +84,9 @@ def _cmd_table2(_args) -> int:
     return 0
 
 
-def _build_app_engine(spec, batch_size: int, epochs: int, seed: int = 0):
+def _build_app_engine(
+    spec, batch_size: int, epochs: int, seed: int = 0, compile: bool = True
+):
     """(engine, loop samples) for one application via the batched runtime.
 
     Extracts the app's loop samples once and optionally trains a small
@@ -143,14 +145,18 @@ def _build_app_engine(spec, batch_size: int, epochs: int, seed: int = 0):
         )
     engine = Engine(
         adapter.model, inst2vec=inst2vec, walk_space=walk_space,
-        batch_size=batch_size,
+        batch_size=batch_size, compile=compile,
     )
     return engine, samples
 
 
-def _batched_gnn_predictions(spec, batch_size: int, epochs: int, seed: int = 0):
+def _batched_gnn_predictions(
+    spec, batch_size: int, epochs: int, seed: int = 0, compile: bool = True
+):
     """(loop_id -> MV-GNN label, engine) via the batched runtime."""
-    engine, samples = _build_app_engine(spec, batch_size, epochs, seed)
+    engine, samples = _build_app_engine(
+        spec, batch_size, epochs, seed, compile=compile
+    )
     predicted = engine.predict_many(samples)
     return (
         {s.loop_id: int(p) for s, p in zip(samples, predicted)},
@@ -225,7 +231,7 @@ def _cmd_serve(args) -> int:
           f"{spec.loop_count} loops, {args.epochs} training epochs")
     engine, samples = _build_app_engine(
         spec, batch_size=args.max_batch_size, epochs=args.epochs,
-        seed=args.seed,
+        seed=args.seed, compile=not args.no_compile,
     )
     config = ServeConfig(
         max_batch_size=args.max_batch_size,
@@ -305,8 +311,14 @@ def _cmd_train(args) -> int:
     train_config = TrainConfig(
         epochs=args.epochs, lr=args.lr, batch_size=args.batch_size,
         sortpool_k=8, seed=args.seed, batched=not args.per_sample,
+        compiled=not args.no_compile,
     )
-    path = "per-sample (reference)" if args.per_sample else "batched"
+    if args.per_sample:
+        path = "per-sample (reference)"
+    elif args.no_compile:
+        path = "batched (hand-written autograd)"
+    else:
+        path = "batched (tape-compiled)"
     print(f"training MV-GNN: {train_config.epochs} epochs, "
           f"batch_size={train_config.batch_size}, path={path}")
     curves = train_model(
@@ -369,6 +381,7 @@ def _cmd_lint(args) -> int:
         lint_ir,
         lint_peg,
         lint_program,
+        lint_tape_consistency,
         render_json,
         render_text,
     )
@@ -451,6 +464,14 @@ def _cmd_lint(args) -> int:
          f"{crossval.get('judged', 0)} "
          f"({crossval.get('contradictions', 0)} contradiction(s))")
 
+    # -- GR005: tape-compiled vs interpreted forward over real samples ----
+    # cheap enough to run under --quick; compares the serving fleet's
+    # compiled path against the reference interpreter on this dataset
+    report.extend(lint_tape_consistency(pool, lint_cfg))
+    tape_stats = report.stats.get("tape_consistency", {})
+    note(f"  tape: compiled forward matched against interpreted on "
+         f"{tape_stats.get('graphs', 0)} sample(s)")
+
     if args.json:
         print(render_json(report))
     else:
@@ -466,7 +487,8 @@ def _cmd_classify(args) -> int:
     engine = None
     if args.batch:
         gnn_votes, engine = _batched_gnn_predictions(
-            spec, batch_size=args.batch_size, epochs=args.epochs
+            spec, batch_size=args.batch_size, epochs=args.epochs,
+            compile=not args.no_compile,
         )
     header = (
         f"{'loop':<22}{'label':>6}{'oracle':>8}{'pattern':>12}"
@@ -569,6 +591,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="MV-GNN training epochs on the app's own labels "
              "(0 = untrained demo; with --batch)",
     )
+    classify.add_argument(
+        "--no-compile", action="store_true",
+        help="disable the trace-compiled forward; use the layer-by-layer "
+             "interpreted path (with --batch)",
+    )
     classify.set_defaults(fn=_cmd_classify)
 
     train = sub.add_parser(
@@ -586,6 +613,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--per-sample", action="store_true",
         help="use the per-sample reference training path instead of the "
              "batched fast path",
+    )
+    train.add_argument(
+        "--no-compile", action="store_true",
+        help="disable the tape-compiled forward/backward in the batched "
+             "path; use the hand-written autograd instead",
     )
     train.add_argument("--lr", type=float, default=2e-3)
     train.add_argument("--seed", type=int, default=0)
@@ -719,6 +751,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="with the reload action: npz weight file "
              "(repro.nn.serialize.save_params) to load before the rolling "
              "swap",
+    )
+    serve.add_argument(
+        "--no-compile", action="store_true",
+        help="serve with the interpreted forward instead of the "
+             "trace-compiled tape (workers then skip tape warm-up)",
     )
     serve.add_argument("--seed", type=int, default=0)
     serve.set_defaults(fn=_cmd_serve)

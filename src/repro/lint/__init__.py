@@ -51,6 +51,7 @@ from repro.lint.runner import (
     lint_peg,
     lint_program,
     lint_samples,
+    lint_tape_consistency,
 )
 from repro.lint.static_dep import (
     StaticVerdict,
@@ -63,6 +64,7 @@ from repro.lint import dataset_rules as _dataset_rules  # noqa: F401
 from repro.lint import graph_rules as _graph_rules  # noqa: F401
 from repro.lint import ir_rules as _ir_rules  # noqa: F401
 from repro.lint import peg_rules as _peg_rules  # noqa: F401
+from repro.lint import tape_rules as _tape_rules  # noqa: F401
 
 __all__ = [
     "Finding",
@@ -80,6 +82,7 @@ __all__ = [
     "lint_peg",
     "lint_program",
     "lint_samples",
+    "lint_tape_consistency",
     "render_json",
     "render_text",
     "rule",

@@ -15,7 +15,7 @@ import numpy as np
 from repro.dataset.types import LoopDataset, LoopSample
 from repro.ir import ast_nodes as ast
 from repro.ir.linear import IRProgram
-from repro.lint import dataset_rules, graph_rules, ir_rules, peg_rules
+from repro.lint import dataset_rules, graph_rules, ir_rules, peg_rules, tape_rules
 from repro.lint.core import LintConfig, LintReport
 from repro.peg.graph import PEG
 
@@ -76,6 +76,21 @@ def lint_samples(
     report = LintReport(config)
     for sample in samples:
         dataset_rules.check_sample_structure(report, sample)
+    return report
+
+
+def lint_tape_consistency(
+    samples: Iterable[LoopSample],
+    config: Optional[LintConfig] = None,
+    max_graphs: Optional[int] = None,
+) -> LintReport:
+    """GR005: the tape-compiled forward must match the interpreted one on
+    real samples (NaN/shape/value drift).  Cheap enough for ``--quick``."""
+    report = LintReport(config)
+    compared = tape_rules.check_tape_consistency(
+        report, samples, max_graphs=max_graphs
+    )
+    report.stats["tape_consistency"] = {"graphs": compared}
     return report
 
 

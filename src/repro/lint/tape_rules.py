@@ -1,0 +1,115 @@
+"""GR005: tape-compiled vs interpreted forward consistency.
+
+The trace-compiled runtime (:mod:`repro.runtime.tape`) promises outputs
+byte-identical to the layer-by-layer interpreted forward.  This rule drives
+both paths over real dataset samples with a deterministic probe model and
+emits a finding on any NaN, shape drift, or value drift between them — the
+runtime analogue of the GR001–GR004 raw-array checks, run as part of
+``repro lint`` so dataset validation also exercises the compiled path the
+serving fleet uses.
+
+Heavy dependencies (models, the runtime engine) are imported lazily so the
+lint framework itself stays importable without the model stack.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.lint.core import LintReport, Severity, rule
+
+GR005 = rule(
+    "GR005", "graph", Severity.ERROR,
+    "tape-compiled forward must match the interpreted forward exactly",
+)
+
+#: deterministic probe-model seed — findings must be reproducible run-to-run
+_PROBE_SEED = 0
+
+#: graphs compared per lint run; the tape is shape-specialized per batch
+#: size, so a handful of ragged samples covers the interesting classes
+_DEFAULT_MAX_GRAPHS = 8
+
+
+def check_tape_consistency(
+    report: LintReport,
+    samples: Iterable,
+    where: str = "dataset",
+    max_graphs: Optional[int] = None,
+) -> int:
+    """Run GR005 over ``samples`` (LoopSample-likes), emitting into ``report``.
+
+    Builds a small deterministic MV-GNN sized to the samples' feature
+    dimensions, classifies up to ``max_graphs`` of them through both the
+    tape-compiled and the interpreted engine paths, and compares the logit
+    matrices.  Returns the number of graphs compared (0 when there is
+    nothing to check).
+    """
+    from repro.models.dgcnn import DGCNNConfig
+    from repro.models.mvgnn import MVGNN, MVGNNConfig
+    from repro.runtime.engine import Engine
+    from repro.runtime.features import FeatureCache
+
+    limit = _DEFAULT_MAX_GRAPHS if max_graphs is None else max_graphs
+    picked = [s for _, s in zip(range(limit), samples)]
+    if not picked:
+        return 0
+
+    sem_dim = int(np.asarray(picked[0].x_semantic).shape[1])
+    walk_dim = int(np.asarray(picked[0].x_structural).shape[1])
+    config = MVGNNConfig(
+        semantic_features=sem_dim,
+        walk_types=walk_dim,
+        view_features=16,
+        node_view=DGCNNConfig(sortpool_k=6),
+        struct_view=DGCNNConfig(sortpool_k=6),
+    )
+    model = MVGNN(config, rng=_PROBE_SEED)
+    model.eval()
+
+    # one shared cache: the compiled path's hoisted D̃⁻¹Ã blocks feed the
+    # interpreted engine too, so the comparison also covers the hoisting
+    cache = FeatureCache()
+    compiled = Engine(model, cache=cache, compile=True).logits_many(picked)
+    interpreted = Engine(model, cache=cache, compile=False).logits_many(picked)
+
+    if compiled.shape != interpreted.shape:
+        report.emit(
+            GR005, where,
+            f"tape logits shape {compiled.shape} != interpreted "
+            f"{interpreted.shape}",
+            {
+                "compiled_shape": list(compiled.shape),
+                "interpreted_shape": list(interpreted.shape),
+            },
+        )
+        return len(picked)
+
+    bad_nan = int(np.sum(~np.isfinite(compiled)))
+    if bad_nan:
+        report.emit(
+            GR005, where,
+            f"tape logits contain {bad_nan} NaN/Inf values "
+            f"(interpreted has {int(np.sum(~np.isfinite(interpreted)))})",
+            {"count": bad_nan},
+        )
+
+    drift = np.abs(compiled - interpreted)
+    drift = drift[np.isfinite(drift)]
+    max_drift = float(drift.max()) if drift.size else 0.0
+    if not np.array_equal(compiled, interpreted):
+        rows = np.where(
+            ~np.all(
+                np.isclose(compiled, interpreted, rtol=0.0, atol=0.0),
+                axis=1,
+            )
+        )[0]
+        report.emit(
+            GR005, where,
+            f"tape logits drift from interpreted on {rows.size} of "
+            f"{len(picked)} graphs (max abs drift {max_drift:.3e})",
+            {"graphs": [int(r) for r in rows[:16]], "max_drift": max_drift},
+        )
+    return len(picked)

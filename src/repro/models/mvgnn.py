@@ -24,7 +24,7 @@ import numpy as np
 from repro.errors import ModelError
 from repro.models.dgcnn import DGCNN, DGCNNConfig
 from repro.nn.layers import Dense, Module
-from repro.nn.tensor import Tensor, concat
+from repro.nn.tensor import Tensor, as_tensor, concat
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
 
 
@@ -94,7 +94,7 @@ class MVGNN(Module):
                 f"expected {self.config.walk_types} walk types, "
                 f"got {x_structural.shape[1]}"
             )
-        return self.walk_reduce(self.walk_embed(Tensor(x_structural)))
+        return self.walk_reduce(self.walk_embed(as_tensor(x_structural)))
 
     def view_embeddings(
         self,

@@ -178,7 +178,11 @@ class GraphConv(Module):
             raise ModelError(
                 f"GraphConv: {h.shape[0]} node rows vs {adj_norm.shape[0]} adj rows"
             )
-        if is_sparse_matrix(adj_norm):
+        trace = getattr(h, "_trace", None)
+        if trace is not None:
+            # tape recording: the adjacency is an execution-time input slot
+            propagated = trace.adj_matmul(adj_norm, h)
+        elif is_sparse_matrix(adj_norm):
             propagated = sparse_matmul(adj_norm, h)
         else:
             propagated = Tensor(adj_norm) @ h
@@ -236,6 +240,11 @@ class SortPooling(Module):
                 f"SortPooling.segment_call: {h.shape[0]} rows vs "
                 f"sum(sizes)={total}"
             )
+        trace = getattr(h, "_trace", None)
+        if trace is not None:
+            # the sort order is data-dependent, so tape recording emits a
+            # dynamic primitive instead of baking this batch's indices
+            return trace.segment_sort_pool(h, sizes, self.k)
         channels = h.shape[1]
         # gather through an appended zero row so per-segment padding stays a
         # single differentiable take_rows instead of a concat per graph
@@ -393,6 +402,11 @@ class Dropout(Module):
     def __call__(self, x: Tensor) -> Tensor:
         if not self.training or self.rate <= 0.0:
             return x
+        trace = getattr(x, "_trace", None)
+        if trace is not None:
+            # masks are drawn from this layer's rng at tape execution time,
+            # keeping the draw order identical to the interpreted path
+            return trace.dropout(x, self.rate, self._rng)
         mask = dropout_mask(x.shape, self.rate, self._rng)
         return x * Tensor(mask)
 

@@ -1,0 +1,514 @@
+"""Primitive-op registry + VJP table for the trace-compiled runtime.
+
+Every numeric operation the MV-GNN batched forward performs is expressible
+as one of the primitives below.  Each primitive carries
+
+* ``forward(inputs, attrs, out=None)`` — the exact numpy computation the
+  autograd :mod:`repro.nn.tensor` closures perform (same clips, same masks,
+  same epsilon floors), optionally writing into a caller-owned ``out``
+  buffer so the tape interpreter can reuse allocations across calls;
+* ``forward_res(inputs, attrs)`` — forward plus the *residuals* the
+  backward pass needs for data-dependent ops (dropout masks, SortPooling
+  gather indices);
+* ``vjp(grad, inputs, out, res, attrs, needed)`` — one gradient per input
+  (``None`` where ``needed`` is False or the input is non-differentiable),
+  mirroring the hand-written VJPs in :mod:`repro.nn.tensor` /
+  :mod:`repro.nn.layers`.
+
+The registry is what makes a recorded tape self-contained: the tracer in
+:mod:`repro.runtime.tape` only ever emits names from :data:`PRIMITIVES`,
+and the interpreter and the mechanical backward both dispatch through it.
+
+Classification flags drive the interpreter's optimizations:
+
+* ``kind`` — ``"unary_ew"`` / ``"binary_ew"`` primitives are candidates
+  for adjacent-elementwise fusion; ``"other"`` ops break a chain.
+* ``fresh`` — True when the output never aliases an input (a fresh
+  allocation or the provided ``out`` buffer), i.e. it is safe to execute a
+  fused chain in place on top of it and to back it with a reused buffer.
+  View-producing ops (reshape/transpose/basic indexing) are not fresh.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.nn.functional import dropout_mask
+from repro.nn.tensor import _is_basic_index, _unbroadcast
+
+Arrays = Tuple[np.ndarray, ...]
+Attrs = Dict[str, object]
+
+
+class Primitive:
+    """One registered tape op: forward, residual forward, and VJP."""
+
+    __slots__ = ("name", "fwd", "fwd_res", "vjp", "kind", "fresh", "out_shape")
+
+    def __init__(
+        self,
+        name: str,
+        fwd: Callable[[Arrays, Attrs, Optional[np.ndarray]], np.ndarray],
+        vjp: Callable[..., Tuple[Optional[np.ndarray], ...]],
+        kind: str = "other",
+        fresh: bool = True,
+        out_shape: Optional[Callable[[Arrays, Attrs], Tuple[int, ...]]] = None,
+        fwd_res: Optional[Callable[[Arrays, Attrs], Tuple[np.ndarray, object]]] = None,
+    ) -> None:
+        self.name = name
+        self.fwd = fwd
+        self.vjp = vjp
+        self.kind = kind
+        self.fresh = fresh
+        self.out_shape = out_shape
+        self.fwd_res = fwd_res
+
+    def forward(self, ins: Arrays, attrs: Attrs, out=None) -> np.ndarray:
+        return self.fwd(ins, attrs, out)
+
+    def forward_res(self, ins: Arrays, attrs: Attrs):
+        """(output, residual) — residual is None for data-independent ops."""
+        if self.fwd_res is not None:
+            return self.fwd_res(ins, attrs)
+        return self.fwd(ins, attrs, None), None
+
+    @property
+    def elementwise(self) -> bool:
+        return self.kind in ("unary_ew", "binary_ew")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Primitive({self.name!r})"
+
+
+PRIMITIVES: Dict[str, Primitive] = {}
+
+
+def _register(prim: Primitive) -> Primitive:
+    if prim.name in PRIMITIVES:
+        raise ModelError(f"duplicate primitive {prim.name!r}")
+    PRIMITIVES[prim.name] = prim
+    return prim
+
+
+def _finish(result: np.ndarray, out: Optional[np.ndarray]) -> np.ndarray:
+    """Land ``result`` in ``out`` when a buffer was provided."""
+    if out is None:
+        return result
+    np.copyto(out, result)
+    return out
+
+
+# -- elementwise binaries ----------------------------------------------------
+
+
+def _broadcast_shape(ins: Arrays, attrs: Attrs) -> Tuple[int, ...]:
+    return np.broadcast_shapes(ins[0].shape, ins[1].shape)
+
+
+def _same_shape(ins: Arrays, attrs: Attrs) -> Tuple[int, ...]:
+    return ins[0].shape
+
+
+_register(Primitive(
+    "add",
+    lambda ins, attrs, out: np.add(ins[0], ins[1], out=out),
+    lambda g, ins, out, res, attrs, needed: (
+        _unbroadcast(g, ins[0].shape) if needed[0] else None,
+        _unbroadcast(g, ins[1].shape) if needed[1] else None,
+    ),
+    kind="binary_ew", out_shape=_broadcast_shape,
+))
+
+_register(Primitive(
+    "sub",
+    lambda ins, attrs, out: np.subtract(ins[0], ins[1], out=out),
+    lambda g, ins, out, res, attrs, needed: (
+        _unbroadcast(g, ins[0].shape) if needed[0] else None,
+        _unbroadcast(-g, ins[1].shape) if needed[1] else None,
+    ),
+    kind="binary_ew", out_shape=_broadcast_shape,
+))
+
+_register(Primitive(
+    "mul",
+    lambda ins, attrs, out: np.multiply(ins[0], ins[1], out=out),
+    lambda g, ins, out, res, attrs, needed: (
+        _unbroadcast(g * ins[1], ins[0].shape) if needed[0] else None,
+        _unbroadcast(g * ins[0], ins[1].shape) if needed[1] else None,
+    ),
+    kind="binary_ew", out_shape=_broadcast_shape,
+))
+
+_register(Primitive(
+    "div",
+    lambda ins, attrs, out: np.divide(ins[0], ins[1], out=out),
+    lambda g, ins, out, res, attrs, needed: (
+        _unbroadcast(g / ins[1], ins[0].shape) if needed[0] else None,
+        _unbroadcast(-g * ins[0] / (ins[1] ** 2), ins[1].shape)
+        if needed[1] else None,
+    ),
+    kind="binary_ew", out_shape=_broadcast_shape,
+))
+
+
+# -- elementwise unaries -----------------------------------------------------
+
+
+_register(Primitive(
+    "neg",
+    lambda ins, attrs, out: np.negative(ins[0], out=out),
+    lambda g, ins, out, res, attrs, needed: ((-g) if needed[0] else None,),
+    kind="unary_ew", out_shape=_same_shape,
+))
+
+_register(Primitive(
+    "pow",
+    lambda ins, attrs, out: np.power(ins[0], attrs["exponent"], out=out),
+    lambda g, ins, out, res, attrs, needed: (
+        (g * attrs["exponent"] * ins[0] ** (attrs["exponent"] - 1))
+        if needed[0] else None,
+    ),
+    kind="unary_ew", out_shape=_same_shape,
+))
+
+_register(Primitive(
+    "tanh",
+    lambda ins, attrs, out: np.tanh(ins[0], out=out),
+    lambda g, ins, out, res, attrs, needed: (
+        (g * (1.0 - out ** 2)) if needed[0] else None,
+    ),
+    kind="unary_ew", out_shape=_same_shape,
+))
+
+_register(Primitive(
+    "relu",
+    # exact Tensor.relu numerics: x * (x > 0), not maximum(x, 0)
+    lambda ins, attrs, out: np.multiply(ins[0], ins[0] > 0.0, out=out),
+    lambda g, ins, out, res, attrs, needed: (
+        (g * (ins[0] > 0.0)) if needed[0] else None,
+    ),
+    kind="unary_ew", out_shape=_same_shape,
+))
+
+_register(Primitive(
+    "sigmoid",
+    lambda ins, attrs, out: _finish(
+        1.0 / (1.0 + np.exp(-np.clip(ins[0], -500.0, 500.0))), out
+    ),
+    lambda g, ins, out, res, attrs, needed: (
+        (g * out * (1.0 - out)) if needed[0] else None,
+    ),
+    kind="unary_ew", out_shape=_same_shape,
+))
+
+_register(Primitive(
+    "exp",
+    lambda ins, attrs, out: np.exp(np.clip(ins[0], -700.0, 700.0), out=out),
+    lambda g, ins, out, res, attrs, needed: ((g * out) if needed[0] else None,),
+    kind="unary_ew", out_shape=_same_shape,
+))
+
+_register(Primitive(
+    "log",
+    lambda ins, attrs, out: np.log(np.maximum(ins[0], 1e-300), out=out),
+    lambda g, ins, out, res, attrs, needed: (
+        (g / np.maximum(ins[0], 1e-300)) if needed[0] else None,
+    ),
+    kind="unary_ew", out_shape=_same_shape,
+))
+
+
+# -- linear algebra ----------------------------------------------------------
+
+
+def _matmul_fwd(ins: Arrays, attrs: Attrs, out) -> np.ndarray:
+    a, b = ins
+    if out is not None and a.ndim == 2 and b.ndim == 2:
+        return np.matmul(a, b, out=out)
+    return _finish(a @ b, out) if out is not None else a @ b
+
+
+def _matmul_vjp(g, ins, out, res, attrs, needed):
+    a, b = ins
+    da = db = None
+    if needed[0]:
+        da = np.outer(g, b) if b.ndim == 1 else g @ b.T
+    if needed[1]:
+        db = np.outer(a, g) if a.ndim == 1 else a.T @ g
+    return da, db
+
+
+def _matmul_shape(ins: Arrays, attrs: Attrs):
+    a, b = ins
+    if a.ndim == 2 and b.ndim == 2:
+        return (a.shape[0], b.shape[1])
+    return np.broadcast_shapes(a.shape[:-1] + b.shape[1:])  # pragma: no cover
+
+
+_register(Primitive("matmul", _matmul_fwd, _matmul_vjp, out_shape=_matmul_shape))
+
+
+def _adj_matmul_fwd(ins: Arrays, attrs: Attrs, out) -> np.ndarray:
+    matrix, h = ins
+    return _finish(np.asarray(matrix @ h), out)
+
+
+def _adj_matmul_vjp(g, ins, out, res, attrs, needed):
+    matrix, _h = ins
+    if not needed[1]:
+        return None, None
+    if hasattr(matrix, "tocsr"):  # scipy sparse: VJP is matrixᵀ @ grad
+        return None, np.asarray(matrix.T.tocsr() @ g)
+    return None, np.asarray(matrix).T @ g
+
+
+_register(Primitive("adj_matmul", _adj_matmul_fwd, _adj_matmul_vjp))
+
+
+# -- reductions --------------------------------------------------------------
+
+
+def _reduce_shape(ins: Arrays, attrs: Attrs):
+    a = ins[0]
+    axis, keepdims = attrs.get("axis"), attrs.get("keepdims", False)
+    if axis is None:
+        return (1,) * a.ndim if keepdims else ()
+    shape = list(a.shape)
+    if keepdims:
+        shape[axis] = 1
+    else:
+        del shape[axis]
+    return tuple(shape)
+
+
+def _sum_vjp(g, ins, out, res, attrs, needed):
+    if not needed[0]:
+        return (None,)
+    a = ins[0]
+    axis, keepdims = attrs.get("axis"), attrs.get("keepdims", False)
+    g = np.asarray(g)
+    if axis is not None and not keepdims:
+        g = np.expand_dims(g, axis)
+    return (np.broadcast_to(g, a.shape).copy(),)
+
+
+_register(Primitive(
+    "sum",
+    lambda ins, attrs, out: _finish(
+        ins[0].sum(axis=attrs.get("axis"), keepdims=attrs.get("keepdims", False)),
+        out,
+    ),
+    _sum_vjp,
+    out_shape=_reduce_shape,
+))
+
+
+def _max_vjp(g, ins, out, res, attrs, needed):
+    if not needed[0]:
+        return (None,)
+    a = ins[0]
+    axis, keepdims = attrs["axis"], attrs.get("keepdims", False)
+    expanded = a.max(axis=axis, keepdims=True)
+    mask = a == expanded
+    counts = mask.sum(axis=axis, keepdims=True)
+    g = np.asarray(g)
+    if not keepdims:
+        g = np.expand_dims(g, axis)
+    return (mask * g / counts,)
+
+
+_register(Primitive(
+    "max",
+    lambda ins, attrs, out: _finish(
+        ins[0].max(axis=attrs["axis"], keepdims=attrs.get("keepdims", False)),
+        out,
+    ),
+    _max_vjp,
+    out_shape=_reduce_shape,
+))
+
+
+# -- shape / gather (view-producing ops are not ``fresh``) -------------------
+
+
+_register(Primitive(
+    "reshape",
+    lambda ins, attrs, out: ins[0].reshape(attrs["shape"]),
+    lambda g, ins, out, res, attrs, needed: (
+        g.reshape(ins[0].shape) if needed[0] else None,
+    ),
+    fresh=False,
+))
+
+_register(Primitive(
+    "transpose",
+    lambda ins, attrs, out: ins[0].T,
+    lambda g, ins, out, res, attrs, needed: (g.T if needed[0] else None,),
+    fresh=False,
+))
+
+
+def _index_vjp(g, ins, out, res, attrs, needed):
+    if not needed[0]:
+        return (None,)
+    key = attrs["key"]
+    grad_in = np.zeros_like(ins[0])
+    if _is_basic_index(key):
+        grad_in[key] += g
+    else:
+        np.add.at(grad_in, key, g)
+    return (grad_in,)
+
+
+_register(Primitive(
+    "index",
+    lambda ins, attrs, out: ins[0][attrs["key"]],
+    _index_vjp,
+    fresh=False,
+))
+
+
+def _gather_vjp(g, ins, out, res, attrs, needed):
+    if not needed[0]:
+        return (None,)
+    grad_in = np.zeros_like(ins[0])
+    np.add.at(grad_in, attrs["indices"], g)
+    return (grad_in,)
+
+
+_register(Primitive(
+    "gather",
+    lambda ins, attrs, out: (
+        np.take(ins[0], attrs["indices"], axis=0, out=out)
+        if out is not None else ins[0][attrs["indices"]]
+    ),
+    _gather_vjp,
+    out_shape=lambda ins, attrs: attrs["indices"].shape + ins[0].shape[1:],
+))
+
+
+def _concat_fwd(ins: Arrays, attrs: Attrs, out) -> np.ndarray:
+    axis = attrs.get("axis", 0)
+    if out is not None:
+        return np.concatenate(ins, axis=axis, out=out)
+    return np.concatenate(ins, axis=axis)
+
+
+def _concat_vjp(g, ins, out, res, attrs, needed):
+    axis = attrs.get("axis", 0)
+    offsets = np.cumsum([0] + [a.shape[axis] for a in ins])
+    grads = []
+    for pos, a in enumerate(ins):
+        if not needed[pos]:
+            grads.append(None)
+            continue
+        index = [slice(None)] * g.ndim
+        index[axis] = slice(offsets[pos], offsets[pos + 1])
+        grads.append(g[tuple(index)])
+    return tuple(grads)
+
+
+def _concat_shape(ins: Arrays, attrs: Attrs):
+    axis = attrs.get("axis", 0)
+    shape = list(ins[0].shape)
+    shape[axis] = sum(a.shape[axis] for a in ins)
+    return tuple(shape)
+
+
+_register(Primitive("concat", _concat_fwd, _concat_vjp, out_shape=_concat_shape))
+
+
+# -- data-dependent ops (carry residuals for backward) -----------------------
+
+
+def _sort_pool_indices(x: np.ndarray, sizes, k: int) -> np.ndarray:
+    """Per-segment stable descending argsort of the last channel, truncated
+    to ``k`` and padded with the sentinel row ``total`` — byte-identical to
+    ``SortPooling.segment_call``'s per-segment ``np.argsort(-seg, "stable")``
+    loop (lexsort and argsort share the same stable ordering semantics)."""
+    sizes = np.asarray(sizes, dtype=np.int64)
+    total = int(x.shape[0])
+    num = int(sizes.shape[0])
+    seg_ids = np.repeat(np.arange(num), sizes)
+    order = np.lexsort((-x[:, -1], seg_ids))
+    offsets = np.concatenate([[0], np.cumsum(sizes)])
+    k = int(k)
+    indices = np.full(num * k, total, dtype=np.int64)
+    for g in range(num):
+        take = min(int(sizes[g]), k)
+        indices[g * k : g * k + take] = order[offsets[g] : offsets[g] + take]
+    return indices
+
+
+def _segment_sort_pool_fwd_res(ins: Arrays, attrs: Attrs):
+    x, sizes = ins
+    indices = _sort_pool_indices(x, sizes, attrs["k"])
+    return _segment_sort_pool_apply(x, indices, None), indices
+
+
+def _segment_sort_pool_apply(x, indices, out):
+    total = x.shape[0]
+    padded = indices == total
+    safe = np.where(padded, 0, indices)
+    result = np.take(x, safe, axis=0, out=out)
+    result[padded] = 0.0
+    return result
+
+
+def _segment_sort_pool_fwd(ins: Arrays, attrs: Attrs, out) -> np.ndarray:
+    x, sizes = ins
+    return _segment_sort_pool_apply(x, _sort_pool_indices(x, sizes, attrs["k"]), out)
+
+
+def _segment_sort_pool_vjp(g, ins, out, res, attrs, needed):
+    if not needed[0]:
+        return None, None
+    x = ins[0]
+    indices = res
+    grad_in = np.zeros_like(x)
+    live = indices < x.shape[0]
+    np.add.at(grad_in, indices[live], g[live])
+    return grad_in, None
+
+
+_register(Primitive(
+    "segment_sort_pool",
+    _segment_sort_pool_fwd,
+    _segment_sort_pool_vjp,
+    out_shape=lambda ins, attrs: (
+        len(ins[1]) * int(attrs["k"]),
+    ) + ins[0].shape[1:],
+    fwd_res=_segment_sort_pool_fwd_res,
+))
+
+
+def _dropout_fwd_res(ins: Arrays, attrs: Attrs):
+    x = ins[0]
+    mask = dropout_mask(x.shape, attrs["rate"], attrs["rng"])
+    return x * mask, mask
+
+
+def _dropout_fwd(ins: Arrays, attrs: Attrs, out) -> np.ndarray:
+    x = ins[0]
+    mask = dropout_mask(x.shape, attrs["rate"], attrs["rng"])
+    return np.multiply(x, mask, out=out)
+
+
+_register(Primitive(
+    "dropout",
+    _dropout_fwd,
+    lambda g, ins, out, res, attrs, needed: (
+        (g * res) if needed[0] else None, ),
+    out_shape=_same_shape,
+    fwd_res=_dropout_fwd_res,
+))
+
+
+def get_primitive(name: str) -> Primitive:
+    prim = PRIMITIVES.get(name)
+    if prim is None:
+        raise ModelError(f"unknown primitive {name!r}")
+    return prim

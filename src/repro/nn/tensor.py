@@ -402,9 +402,25 @@ def as_tensor(value, requires_grad: bool = False) -> Tensor:
     return Tensor(value, requires_grad=requires_grad)
 
 
+def _active_trace(*tensors):
+    """The tape-recording context of any TraceTensor operand, if present.
+
+    Duck-typed (``_trace`` attribute) so the autograd core stays free of a
+    dependency on :mod:`repro.runtime.tape`, which imports this module.
+    """
+    for t in tensors:
+        trace = getattr(t, "_trace", None)
+        if trace is not None:
+            return trace
+    return None
+
+
 def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Differentiable concatenation."""
     tensors = [as_tensor(t) for t in tensors]
+    trace = _active_trace(*tensors)
+    if trace is not None:
+        return trace.concat(tensors, axis)
     out_data = np.concatenate([t.data for t in tensors], axis=axis)
     sizes = [t.data.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
@@ -450,6 +466,9 @@ def sparse_matmul(matrix, h: Tensor) -> Tensor:
     dense ``(m, n)`` adjacency would be quadratic in the batch size.
     """
     h = as_tensor(h)
+    trace = _active_trace(h)
+    if trace is not None:
+        return trace.adj_matmul(matrix, h)
     out_data = np.asarray(matrix @ h.data)
     matrix_t = matrix.T.tocsr()
 

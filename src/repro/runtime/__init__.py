@@ -4,8 +4,11 @@ Serving-oriented layer over the paper's models: pack many loop sub-PEGs
 into one block-diagonal forward pass (:class:`GraphBatch` + the models'
 ``forward_batch`` paths), memoize expensive feature extraction by content
 hash (:class:`FeatureCache`), and expose both through
-:meth:`Engine.predict_many`.  See ``docs/RUNTIME.md`` for the API guide and
-measured throughput.
+:meth:`Engine.predict_many`.  The forward itself is trace-compiled by
+default (:mod:`repro.runtime.tape`): one recorded :class:`Tape` of
+primitive ops per batch-shape class, executed by a fusing, buffer-reusing
+interpreter that is byte-identical to the interpreted path.  See
+``docs/RUNTIME.md`` for the API guide and measured throughput.
 """
 
 from repro.runtime.batch import GraphBatch, iter_chunks
@@ -15,6 +18,15 @@ from repro.runtime.features import (
     embedder_fingerprint,
     subpeg_adjacency,
 )
+from repro.runtime.tape import (
+    Tape,
+    TapeExecutor,
+    TapeOp,
+    format_tape,
+    record_tape,
+    trace_dgcnn_forward,
+    trace_mvgnn_forward,
+)
 
 __all__ = [
     "Engine",
@@ -22,7 +34,14 @@ __all__ = [
     "FeatureCache",
     "GraphBatch",
     "GraphInput",
+    "Tape",
+    "TapeExecutor",
+    "TapeOp",
     "embedder_fingerprint",
+    "format_tape",
     "iter_chunks",
+    "record_tape",
     "subpeg_adjacency",
+    "trace_dgcnn_forward",
+    "trace_mvgnn_forward",
 ]

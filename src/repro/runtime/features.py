@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import hashlib
 import threading
+from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -27,6 +28,7 @@ import numpy as np
 from repro.analysis.features import FEATURE_NAMES
 from repro.embeddings.anonwalk import AnonymousWalkSpace, structural_node_features
 from repro.embeddings.inst2vec import Inst2Vec
+from repro.nn.layers import normalized_adjacency
 from repro.peg.graph import PEG
 from repro.utils.cache import DiskCache, stable_hash
 from repro.utils.rng import ensure_rng
@@ -86,6 +88,9 @@ class FeatureCache:
     :meth:`snapshot` returns them for engine statistics.
     """
 
+    #: in-memory entries kept by the normalized-adjacency memo (LRU)
+    ADJ_MEMO_MAX = 4096
+
     def __init__(self, disk: Optional[DiskCache] = None) -> None:
         self.disk = disk if disk is not None else DiskCache()
         self.hits = 0
@@ -96,6 +101,16 @@ class FeatureCache:
         # atomic renames, and a double-compute race between two missing
         # threads is benign because extraction is deterministic.
         self._lock = threading.Lock()
+        # Structure-only computations hoisted out of the per-batch forward
+        # by the tape runtime: the normalized D̃⁻¹Ã block of a graph depends
+        # only on its adjacency bytes, so repeat classifications of the
+        # same loop skip the normalization entirely.  Separate counters —
+        # these are in-memory, per-process, and much cheaper than the disk
+        # feature entries tracked by ``hits``/``misses``.
+        self._adj_memo: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self._adj_lock = threading.Lock()
+        self.adj_hits = 0
+        self.adj_misses = 0
 
     # -- semantic view -------------------------------------------------------
 
@@ -174,6 +189,32 @@ class FeatureCache:
             return features
 
         return self._get_or_compute(key, compute)
+
+    # -- graph structure (tape-runtime hoisting) -----------------------------
+
+    def normalized_block(self, adjacency: np.ndarray) -> np.ndarray:
+        """Memoized row-normalized ``D̃⁻¹Ã`` block for one graph.
+
+        Keyed by the adjacency's content bytes; callers must treat the
+        returned array as read-only (``GraphBatch`` block-stacks it without
+        writing).  This is the shape/structure computation the tape runtime
+        hoists out of every forward pass into the cache entry.
+        """
+        arr = np.ascontiguousarray(adjacency, dtype=np.float64)
+        key = f"{arr.shape[0]}-{hashlib.sha256(arr.tobytes()).hexdigest()}"
+        with self._adj_lock:
+            cached = self._adj_memo.get(key)
+            if cached is not None:
+                self.adj_hits += 1
+                self._adj_memo.move_to_end(key)
+                return cached
+            self.adj_misses += 1
+        block = normalized_adjacency(arr)
+        with self._adj_lock:
+            self._adj_memo[key] = block
+            while len(self._adj_memo) > self.ADJ_MEMO_MAX:
+                self._adj_memo.popitem(last=False)
+        return block
 
     # -- bookkeeping --------------------------------------------------------
 

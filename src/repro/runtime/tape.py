@@ -1,0 +1,691 @@
+"""Trace-compile the batched MV-GNN forward into a linear tape of primitives.
+
+``record_tape`` runs a model's ``forward_batch`` once with the inputs
+wrapped in :class:`TraceTensor` — a :class:`~repro.nn.tensor.Tensor`
+subclass whose operations append :class:`TapeOp` records (primitive name,
+input slots, output slot, attrs) instead of autograd closures.  The result
+is a :class:`Tape`: a flat program over numbered slots whose structure
+depends only on the model architecture, the number of graphs ``B`` in the
+pack, and the train/eval mode — node counts, adjacency matrices, and
+feature values all flow in as inputs at execution time, so one tape per
+``(architecture, B, mode)`` serves every batch of that shape class.
+
+Three ways to run a tape:
+
+* :meth:`Tape.execute` — the unfused reference interpreter (one primitive
+  per step), used by the differential tests as the ground truth.
+* :class:`TapeExecutor` — the optimized inference interpreter: adjacent
+  elementwise ops are fused into in-place chains on top of their producer
+  (``build_plan``/:func:`unfuse_plan` round-trip exactly), and every
+  fresh-output step owns a cached buffer reused across ``predict_many``
+  calls (callers receive copies, so reuse never aliases a live result).
+* :meth:`Tape.forward_values` + :meth:`Tape.backward` — forward with
+  residuals, then a mechanical reverse sweep through the primitive VJP
+  table that accumulates straight into ``Parameter.grad`` — the
+  tape-derived replacement for the hand-written autograd backward.
+
+Parameter slots read ``Parameter.data`` live at execution time, so
+optimizer steps and the serving fleet's in-place hot weight reload take
+effect without re-tracing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import EngineError, ModelError
+from repro.nn.layers import Parameter
+from repro.nn.primitives import PRIMITIVES, Primitive, get_primitive
+from repro.nn.tensor import Tensor, no_grad
+
+__all__ = [
+    "Tape",
+    "TapeOp",
+    "TraceTensor",
+    "record_tape",
+    "trace_mvgnn_forward",
+    "trace_dgcnn_forward",
+    "build_plan",
+    "unfuse_plan",
+    "TapeExecutor",
+    "format_tape",
+]
+
+
+@dataclass(eq=False)
+class TapeOp:
+    """One recorded primitive application (identity semantics: attrs may
+    hold ndarrays, so field-wise equality would be ill-defined)."""
+
+    prim: str
+    inputs: Tuple[int, ...]
+    out: int
+    attrs: Dict[str, object] = field(default_factory=dict)
+    shape: Tuple[int, ...] = ()     # trace-time output shape (fusion hint)
+
+
+class Tape:
+    """A recorded linear program over numbered value slots."""
+
+    def __init__(self) -> None:
+        self.ops: List[TapeOp] = []
+        self.input_slots: Dict[str, int] = {}
+        self.array_inputs: set = set()
+        self.param_slots: Dict[int, str] = {}
+        self.params: Dict[int, Parameter] = {}
+        self.consts: Dict[int, np.ndarray] = {}
+        self.output: int = -1
+        self.num_slots: int = 0
+        self._needs: Optional[set] = None
+
+    # -- construction (used by the tracer) ----------------------------------
+
+    def new_slot(self) -> int:
+        slot = self.num_slots
+        self.num_slots += 1
+        return slot
+
+    def add_input(self, name: str, array: bool) -> int:
+        if name in self.input_slots:
+            raise EngineError(f"duplicate tape input {name!r}")
+        slot = self.new_slot()
+        self.input_slots[name] = slot
+        if array:
+            self.array_inputs.add(name)
+        return slot
+
+    def add_param(self, name: str, param: Parameter) -> int:
+        slot = self.new_slot()
+        self.param_slots[slot] = name
+        self.params[slot] = param
+        return slot
+
+    def add_const(self, data: np.ndarray) -> int:
+        slot = self.new_slot()
+        self.consts[slot] = np.array(data, dtype=np.float64, copy=True)
+        return slot
+
+    # -- execution ----------------------------------------------------------
+
+    def seed_values(self, bindings: Dict[str, object]) -> List[object]:
+        """Slot table with inputs/params/consts filled in."""
+        values: List[object] = [None] * self.num_slots
+        for slot, data in self.consts.items():
+            values[slot] = data
+        for slot, param in self.params.items():
+            values[slot] = param.data      # live read: survives hot reload
+        for name, slot in self.input_slots.items():
+            if name not in bindings:
+                raise EngineError(f"tape execution missing input {name!r}")
+            value = bindings[name]
+            if name in self.array_inputs:
+                value = np.asarray(value, dtype=np.float64)
+            values[slot] = value
+        return values
+
+    def execute(self, bindings: Dict[str, object]) -> np.ndarray:
+        """Unfused reference interpretation; returns a fresh output array."""
+        values = self.seed_values(bindings)
+        for op in self.ops:
+            prim = get_primitive(op.prim)
+            ins = tuple(values[s] for s in op.inputs)
+            values[op.out] = prim.forward(ins, op.attrs)
+        return np.array(values[self.output], copy=True)
+
+    def forward_values(self, bindings: Dict[str, object]):
+        """Forward keeping every slot value + per-op residuals (training)."""
+        values = self.seed_values(bindings)
+        residuals: List[object] = [None] * len(self.ops)
+        for pos, op in enumerate(self.ops):
+            prim = get_primitive(op.prim)
+            ins = tuple(values[s] for s in op.inputs)
+            values[op.out], residuals[pos] = prim.forward_res(ins, op.attrs)
+        return values, residuals
+
+    # -- mechanical backward ------------------------------------------------
+
+    def needs_grad(self) -> set:
+        """Slots whose gradient is required (params + their descendants)."""
+        if self._needs is None:
+            needs = set(self.param_slots)
+            for op in self.ops:
+                if any(s in needs for s in op.inputs):
+                    needs.add(op.out)
+            self._needs = needs
+        return self._needs
+
+    def backward(
+        self,
+        grad: np.ndarray,
+        values: Sequence[object],
+        residuals: Sequence[object],
+    ) -> None:
+        """Reverse sweep through the VJP table; accumulates into
+        ``Parameter.grad`` exactly like the hand-written autograd path."""
+        needs = self.needs_grad()
+        if self.output not in needs:
+            return
+        grads: Dict[int, np.ndarray] = {
+            self.output: np.asarray(grad, dtype=np.float64)
+        }
+        for pos in range(len(self.ops) - 1, -1, -1):
+            op = self.ops[pos]
+            g = grads.pop(op.out, None)
+            if g is None or op.out not in needs:
+                continue
+            prim = get_primitive(op.prim)
+            needed = tuple(s in needs for s in op.inputs)
+            if not any(needed):
+                continue
+            ins = tuple(values[s] for s in op.inputs)
+            partials = prim.vjp(
+                g, ins, values[op.out], residuals[pos], op.attrs, needed
+            )
+            for slot, partial in zip(op.inputs, partials):
+                if partial is None:
+                    continue
+                if slot in grads:
+                    # non-inplace: partials may be views of upstream grads
+                    grads[slot] = grads[slot] + partial
+                else:
+                    grads[slot] = partial
+        for slot, param in self.params.items():
+            partial = grads.get(slot)
+            if partial is not None:
+                param._accumulate(np.asarray(partial, dtype=np.float64))
+
+    def signature(self) -> str:
+        """Stable digest of the recorded structure (golden regression)."""
+        return hashlib.sha256(format_tape(self).encode()).hexdigest()[:16]
+
+
+# -- tracing -----------------------------------------------------------------
+
+
+class TraceState:
+    """Mutable recording context shared by all TraceTensors of one trace."""
+
+    def __init__(self, tape: Tape, param_names: Dict[int, str]) -> None:
+        self.tape = tape
+        self.param_names = param_names       # id(param) -> dotted name
+        self.objects: Dict[int, int] = {}    # id(obj) -> slot (adj, sizes)
+        self._tensor_slots: Dict[int, int] = {}
+        # keep every cached tensor alive for the trace: the id() keys above
+        # are only unique while the object exists, and transient scalar
+        # promotions (e.g. ``t + 0.5``) die right after their op is emitted,
+        # letting a later, different constant inherit the recycled id and
+        # silently alias the stale slot
+        self._tensor_refs: List[Tensor] = []
+
+    # -- slot resolution ----------------------------------------------------
+
+    def slot_for_tensor(self, t: Tensor) -> int:
+        if isinstance(t, TraceTensor):
+            if t._trace is not self:
+                raise EngineError("mixed tensors from two different traces")
+            return t._slot
+        key = id(t)
+        slot = self._tensor_slots.get(key)
+        if slot is None:
+            if isinstance(t, Parameter):
+                name = self.param_names.get(key)
+                if name is None:
+                    name = f"param{len(self.tape.params)}"
+                slot = self.tape.add_param(name, t)
+            else:
+                slot = self.tape.add_const(t.data)
+            self._tensor_slots[key] = slot
+            self._tensor_refs.append(t)
+        return slot
+
+    def slot_for_object(self, obj) -> int:
+        slot = self.objects.get(id(obj))
+        if slot is None:
+            raise EngineError(
+                "tracing reached a graph-structure object (adjacency/sizes) "
+                "that was not registered as a tape input"
+            )
+        return slot
+
+    def emit(
+        self,
+        prim: str,
+        inputs: Tuple[int, ...],
+        attrs: Dict[str, object],
+        data: np.ndarray,
+    ) -> "TraceTensor":
+        slot = self.tape.new_slot()
+        self.tape.ops.append(
+            TapeOp(prim, inputs, slot, attrs, tuple(np.shape(data)))
+        )
+        return TraceTensor(data, self, slot)
+
+    # -- hooks reached from repro.nn via duck typing ------------------------
+
+    def concat(self, tensors: Sequence[Tensor], axis: int) -> "TraceTensor":
+        slots = tuple(self.slot_for_tensor(t) for t in tensors)
+        data = np.concatenate([t.data for t in tensors], axis=axis)
+        return self.emit("concat", slots, {"axis": axis}, data)
+
+    def adj_matmul(self, matrix, h: Tensor) -> "TraceTensor":
+        m_slot = self.slot_for_object(matrix)
+        h_slot = self.slot_for_tensor(h)
+        data = np.asarray(matrix @ h.data)
+        return self.emit("adj_matmul", (m_slot, h_slot), {}, data)
+
+    def segment_sort_pool(self, h: Tensor, sizes, k: int) -> "TraceTensor":
+        h_slot = self.slot_for_tensor(h)
+        s_slot = self.slot_for_object(sizes)
+        attrs = {"k": int(k)}
+        data = get_primitive("segment_sort_pool").forward(
+            (h.data, np.asarray(sizes, dtype=np.int64)), attrs
+        )
+        return self.emit("segment_sort_pool", (h_slot, s_slot), attrs, data)
+
+    def dropout(self, x: Tensor, rate: float, rng) -> "TraceTensor":
+        x_slot = self.slot_for_tensor(x)
+        # trace-time values use a throwaway generator so the layer's own rng
+        # is not consumed by recording (execution draws the real masks)
+        from repro.nn.functional import dropout_mask
+        from repro.utils.rng import ensure_rng
+
+        preview = dropout_mask(x.shape, rate, ensure_rng(0))
+        return self.emit(
+            "dropout", (x_slot,), {"rate": float(rate), "rng": rng},
+            x.data * preview,
+        )
+
+
+class TraceTensor(Tensor):
+    """A Tensor whose operations are recorded onto a :class:`Tape`.
+
+    Every operation also computes real values (through the same primitive
+    forwards the interpreter uses), so shape checks and data-dependent
+    control flow in the model see concrete arrays while tracing.
+    """
+
+    __slots__ = ("_trace", "_slot")
+
+    def __init__(self, data, trace: TraceState, slot: int) -> None:
+        super().__init__(data)
+        self._trace = trace
+        self._slot = slot
+
+    # -- helpers ------------------------------------------------------------
+
+    def _emit_binary(self, prim: str, other, reflected: bool = False):
+        state = self._trace
+        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        other_slot = state.slot_for_tensor(other_t)
+        if reflected:
+            ins_slots = (other_slot, self._slot)
+            ins = (other_t.data, self.data)
+        else:
+            ins_slots = (self._slot, other_slot)
+            ins = (self.data, other_t.data)
+        data = get_primitive(prim).forward(ins, {})
+        return state.emit(prim, ins_slots, {}, data)
+
+    def _emit_unary(self, prim: str, attrs: Optional[Dict[str, object]] = None):
+        attrs = attrs or {}
+        data = get_primitive(prim).forward((self.data,), attrs)
+        return self._trace.emit(prim, (self._slot,), attrs, data)
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def __add__(self, other):
+        return self._emit_binary("add", other)
+
+    def __radd__(self, other):
+        return self._emit_binary("add", other, reflected=True)
+
+    def __mul__(self, other):
+        return self._emit_binary("mul", other)
+
+    def __rmul__(self, other):
+        return self._emit_binary("mul", other, reflected=True)
+
+    def __sub__(self, other):
+        return self._emit_binary("sub", other)
+
+    def __rsub__(self, other):
+        return self._emit_binary("sub", other, reflected=True)
+
+    def __truediv__(self, other):
+        return self._emit_binary("div", other)
+
+    def __rtruediv__(self, other):
+        return self._emit_binary("div", other, reflected=True)
+
+    def __matmul__(self, other):
+        return self._emit_binary("matmul", other)
+
+    def __rmatmul__(self, other):
+        return self._emit_binary("matmul", other, reflected=True)
+
+    def __neg__(self):
+        return self._emit_unary("neg")
+
+    def __pow__(self, exponent):
+        if not isinstance(exponent, (int, float)):
+            raise ModelError("Tensor ** only supports scalar exponents")
+        return self._emit_unary("pow", {"exponent": float(exponent)})
+
+    # -- nonlinearities -----------------------------------------------------
+
+    def exp(self):
+        return self._emit_unary("exp")
+
+    def log(self):
+        return self._emit_unary("log")
+
+    def tanh(self):
+        return self._emit_unary("tanh")
+
+    def sigmoid(self):
+        return self._emit_unary("sigmoid")
+
+    def relu(self):
+        return self._emit_unary("relu")
+
+    # -- reductions ---------------------------------------------------------
+
+    def sum(self, axis=None, keepdims=False):
+        return self._emit_unary("sum", {"axis": axis, "keepdims": keepdims})
+
+    def max(self, axis, keepdims=False):
+        return self._emit_unary("max", {"axis": axis, "keepdims": keepdims})
+
+    # mean() is inherited: sum()/count routes through the overrides above
+
+    # -- shape / gather -----------------------------------------------------
+
+    def reshape(self, *shape):
+        return self._emit_unary("reshape", {"shape": tuple(shape)})
+
+    def transpose(self):
+        return self._emit_unary("transpose")
+
+    def __getitem__(self, key):
+        return self._emit_unary("index", {"key": key})
+
+    def take_rows(self, indices):
+        indices = np.asarray(indices, dtype=np.int64)
+        return self._emit_unary("gather", {"indices": indices})
+
+    def pad_rows(self, total_rows):
+        rows, cols = self.data.shape
+        if rows > total_rows:
+            raise ModelError(f"cannot pad {rows} rows down to {total_rows}")
+        if rows == total_rows:
+            return self
+        # concat a constant zero block: same numbers as Tensor.pad_rows
+        state = self._trace
+        zeros = Tensor(np.zeros((total_rows - rows, cols)))
+        return state.concat([self, zeros], axis=0)
+
+    def detach(self):
+        return Tensor(self.data)
+
+    def backward(self, grad=None):
+        raise ModelError(
+            "backward() during tracing — use Tape.backward on the recording"
+        )
+
+
+def record_tape(
+    fn,
+    arrays: Dict[str, np.ndarray],
+    objects: Dict[str, object],
+    params: Dict[str, Parameter],
+) -> Tape:
+    """Trace ``fn(**inputs)`` into a :class:`Tape`.
+
+    ``arrays`` are float inputs wrapped as :class:`TraceTensor`; ``objects``
+    are opaque structure inputs (sparse adjacency, sizes vector) registered
+    by identity so layer hooks can map them back to slots; ``params`` names
+    the model's live parameters (``model.named_parameters()``).
+    """
+    tape = Tape()
+    state = TraceState(tape, {id(p): name for name, p in params.items()})
+    bound: Dict[str, object] = {}
+    for name, arr in arrays.items():
+        slot = tape.add_input(name, array=True)
+        bound[name] = TraceTensor(
+            np.asarray(arr, dtype=np.float64), state, slot
+        )
+    for name, obj in objects.items():
+        slot = tape.add_input(name, array=False)
+        state.objects[id(obj)] = slot
+        bound[name] = obj
+    with no_grad():
+        out = fn(**bound)
+    if not isinstance(out, TraceTensor) or out._trace is not state:
+        raise EngineError(
+            "tracing escaped the tape: the forward returned a tensor that "
+            "was not recorded (an op bypassed the TraceTensor overrides)"
+        )
+    tape.output = out._slot
+    return tape
+
+
+def trace_mvgnn_forward(model, x_semantic, x_structural, adj_norm, sizes) -> Tape:
+    """Record ``MVGNN.forward_batch`` for this pack's shape class."""
+    def fn(x_semantic, x_structural, adj_norm, sizes):
+        return model.forward_batch(x_semantic, x_structural, adj_norm, sizes)
+
+    return record_tape(
+        fn,
+        arrays={"x_semantic": x_semantic, "x_structural": x_structural},
+        objects={"adj_norm": adj_norm, "sizes": sizes},
+        params=model.named_parameters(),
+    )
+
+
+def trace_dgcnn_forward(model, x, adj_norm, sizes) -> Tape:
+    """Record ``DGCNN.forward_batch`` for this pack's shape class."""
+    def fn(x, adj_norm, sizes):
+        return model.forward_batch(x, adj_norm, sizes)
+
+    return record_tape(
+        fn,
+        arrays={"x": x},
+        objects={"adj_norm": adj_norm, "sizes": sizes},
+        params=model.named_parameters(),
+    )
+
+
+# -- fusion plan -------------------------------------------------------------
+
+
+@dataclass
+class PlanStep:
+    """One interpreter step: a base op plus an in-place elementwise chain.
+
+    ``chain`` entries are ``(op, other_slot, base_on_left)``: unary links
+    have ``other_slot is None``; binary links apply the op between the
+    running value and ``values[other_slot]`` in the recorded operand order.
+    """
+
+    base: TapeOp
+    chain: List[Tuple[TapeOp, Optional[int], bool]] = field(default_factory=list)
+
+    @property
+    def out(self) -> int:
+        return self.chain[-1][0].out if self.chain else self.base.out
+
+
+def _chain_link(op: TapeOp, producer_out: int, tape: Tape, use_count):
+    """Classify ``op`` as a fusable chain link on top of ``producer_out``,
+    or return None.  Fusable links consume the producer exactly once and —
+    for binaries — pair it with a fixed-shape const/param operand that
+    broadcasts without growing the producer's shape (bias adds, scalings),
+    so executing in place on the producer's buffer is value-preserving."""
+    prim = PRIMITIVES.get(op.prim)
+    if prim is None or not prim.elementwise:
+        return None
+    if use_count.get(producer_out, 0) != 1 or producer_out == tape.output:
+        return None
+    if prim.kind == "unary_ew":
+        return (op, None, True) if op.inputs == (producer_out,) else None
+    a, b = op.inputs
+    if a == producer_out and b != producer_out:
+        other, left = b, True
+    elif b == producer_out and a != producer_out:
+        other, left = a, False
+    else:
+        return None
+    if other not in tape.consts and other not in tape.params:
+        return None
+    other_shape = (
+        tape.consts[other].shape
+        if other in tape.consts else tape.params[other].shape
+    )
+    # in-place on the producer's buffer must preserve its shape for every
+    # batch of this shape class: allow scalar/all-ones operands or strictly
+    # lower-rank broadcasts (bias rows) — never rank-matching blocks whose
+    # leading dim could differ at another node count
+    if len(other_shape) >= len(op.shape) and not all(d == 1 for d in other_shape):
+        return None
+    if tuple(np.broadcast_shapes(op.shape, other_shape)) != tuple(op.shape):
+        return None
+    return op, other, left
+
+
+def build_plan(tape: Tape) -> List[PlanStep]:
+    """Fuse adjacent elementwise ops onto their producer."""
+    use_count: Dict[int, int] = {tape.output: 1}
+    for op in tape.ops:
+        for slot in op.inputs:
+            use_count[slot] = use_count.get(slot, 0) + 1
+    steps: List[PlanStep] = []
+    pos = 0
+    ops = tape.ops
+    while pos < len(ops):
+        base = ops[pos]
+        step = PlanStep(base)
+        pos += 1
+        if get_primitive(base.prim).fresh:
+            current = base
+            while pos < len(ops):
+                link = _chain_link(ops[pos], current.out, tape, use_count)
+                if link is None:
+                    break
+                step.chain.append(link)
+                current = ops[pos]
+                pos += 1
+        steps.append(step)
+    return steps
+
+
+def unfuse_plan(steps: Sequence[PlanStep]) -> List[TapeOp]:
+    """Flatten a plan back to the canonical op list (exact round-trip)."""
+    ops: List[TapeOp] = []
+    for step in steps:
+        ops.append(step.base)
+        ops.extend(op for op, _other, _left in step.chain)
+    return ops
+
+
+class TapeExecutor:
+    """Fused, buffer-reusing tape interpreter for inference.
+
+    One executor per recorded tape; ``new_buffers()`` hands out a per-thread
+    buffer table (the serving layer calls ``run`` from several threads), and
+    ``run`` returns a fresh copy of the output so later calls can never
+    overwrite a result the caller still holds.
+    """
+
+    def __init__(self, tape: Tape) -> None:
+        self.tape = tape
+        self.plan = build_plan(tape)
+        flat = unfuse_plan(self.plan)
+        if len(flat) != len(tape.ops) or any(
+            a is not b for a, b in zip(flat, tape.ops)
+        ):
+            raise EngineError("fusion plan does not round-trip the tape")
+
+    def new_buffers(self) -> List[Optional[np.ndarray]]:
+        return [None] * len(self.plan)
+
+    def run(
+        self,
+        bindings: Dict[str, object],
+        buffers: Optional[List[Optional[np.ndarray]]] = None,
+    ) -> np.ndarray:
+        tape = self.tape
+        values = tape.seed_values(bindings)
+        for pos, step in enumerate(self.plan):
+            op = step.base
+            prim = get_primitive(op.prim)
+            ins = tuple(values[s] for s in op.inputs)
+            out = None
+            if buffers is not None and prim.fresh and prim.out_shape is not None:
+                shape = prim.out_shape(ins, op.attrs)
+                buf = buffers[pos]
+                if buf is None or buf.shape != tuple(shape):
+                    buf = np.empty(shape, dtype=np.float64)
+                    buffers[pos] = buf
+                out = buf
+            value = prim.forward(ins, op.attrs, out=out)
+            for chain_op, other, left in step.chain:
+                chain_prim = get_primitive(chain_op.prim)
+                # chains only start on fresh outputs, so in-place is safe
+                if other is None:
+                    value = chain_prim.forward((value,), chain_op.attrs, out=value)
+                else:
+                    pair = (value, values[other]) if left else (values[other], value)
+                    value = chain_prim.forward(pair, chain_op.attrs, out=value)
+            values[step.out] = value
+        return np.array(values[tape.output], copy=True)
+
+
+# -- human-readable serialization (golden-tape regression) -------------------
+
+
+def _format_attr(value) -> str:
+    if isinstance(value, np.ndarray):
+        digest = hashlib.sha256(np.ascontiguousarray(value).tobytes())
+        return f"{value.dtype}[{'x'.join(map(str, value.shape))}]#{digest.hexdigest()[:10]}"
+    if hasattr(value, "random"):          # numpy Generator (dropout)
+        return "<rng>"
+    if isinstance(value, tuple):
+        return "(" + ", ".join(_format_attr(v) for v in value) + ")"
+    if isinstance(value, slice):
+        fmt = lambda x: "" if x is None else str(x)  # noqa: E731
+        return f"{fmt(value.start)}:{fmt(value.stop)}" + (
+            f":{value.step}" if value.step is not None else ""
+        )
+    return repr(value)
+
+
+def format_tape(tape: Tape, title: str = "tape") -> str:
+    """Deterministic human-readable rendering of a recorded tape."""
+    lines = [f"# {title}"]
+    for name, slot in tape.input_slots.items():
+        kind = "array" if name in tape.array_inputs else "object"
+        lines.append(f"%{slot:03d} = input {name} [{kind}]")
+    for slot, name in tape.param_slots.items():
+        shape = "x".join(map(str, tape.params[slot].shape))
+        lines.append(f"%{slot:03d} = param {name} ({shape})")
+    for slot, data in tape.consts.items():
+        lines.append(f"%{slot:03d} = const {_format_attr(data)}")
+    for op in tape.ops:
+        args = ", ".join(f"%{s:03d}" for s in op.inputs)
+        attrs = ""
+        if op.attrs:
+            rendered = ", ".join(
+                f"{k}={_format_attr(v)}" for k, v in sorted(op.attrs.items())
+            )
+            attrs = f" {{{rendered}}}"
+        shape = "x".join(map(str, op.shape))
+        lines.append(
+            f"%{op.out:03d} = {op.prim}({args}){attrs} -> ({shape})"
+        )
+    lines.append(f"# output %{tape.output:03d}")
+    return "\n".join(lines) + "\n"

@@ -68,6 +68,7 @@ class WorkerPayload:
     batch_size: int = 32
     gamma: int = 30
     walk_seed: int = 0
+    compile: bool = True
 
     @classmethod
     def from_engine(cls, engine) -> "WorkerPayload":
@@ -78,6 +79,7 @@ class WorkerPayload:
             batch_size=engine.batch_size,
             gamma=engine.gamma,
             walk_seed=engine.walk_seed,
+            compile=getattr(engine, "compile", True),
         )
 
     def build_engine(self):
@@ -90,6 +92,7 @@ class WorkerPayload:
             batch_size=self.batch_size,
             gamma=self.gamma,
             walk_seed=self.walk_seed,
+            compile=self.compile,
         )
 
 
@@ -137,6 +140,12 @@ def worker_main(conn, slot: int, generation: int, payload: WorkerPayload) -> Non
         pass
 
     engine = payload.build_engine()
+    try:
+        # record the forward tapes (full batch + single graph) before the
+        # worker reports ready, so first requests never pay tracing latency
+        engine.warm_up()
+    except Exception:  # pragma: no cover - defensive: serve uncompiled
+        engine.compile = False
 
     def info() -> Dict[str, Any]:
         return {

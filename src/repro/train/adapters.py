@@ -27,6 +27,11 @@ from repro.nn.functional import (
 from repro.nn.layers import Module, normalized_adjacency
 from repro.nn.tensor import Tensor, no_grad
 from repro.runtime.batch import GraphBatch
+from repro.runtime.tape import (
+    Tape,
+    trace_dgcnn_forward,
+    trace_mvgnn_forward,
+)
 from repro.utils.rng import RngLike
 
 
@@ -44,6 +49,9 @@ class ModelAdapter:
 
     name = "model"
     supports_batched_training = False
+    #: adapters whose packed forward can be trace-compiled set this; the
+    #: trainer then flips ``compiled`` from ``TrainConfig.compiled``
+    supports_compiled_training = False
 
     @property
     def module(self) -> Module:
@@ -98,6 +106,10 @@ class _PerGraphAdapter(ModelAdapter):
 
     def __init__(self) -> None:
         self._prepared: Dict[str, _PreparedGraph] = {}
+        # tape-compiled packed forward/backward (see repro.runtime.tape):
+        # one recording per (graph count, train/eval mode) shape class
+        self.compiled = False
+        self._tapes: Dict[tuple, Tape] = {}
 
     def _logits(self, sample: LoopSample) -> Tensor:
         raise NotImplementedError
@@ -145,10 +157,47 @@ class _PerGraphAdapter(ModelAdapter):
         """``(num_graphs, num_classes)`` logits for one packed minibatch."""
         raise NotImplementedError
 
+    # -- tape-compiled fast path --------------------------------------------
+
+    def _trace_batch(self, pack: GraphBatch) -> Tape:
+        """Record this adapter's packed forward (compiled adapters only)."""
+        raise NotImplementedError
+
+    def _tape_bindings(self, pack: GraphBatch) -> Dict[str, object]:
+        raise NotImplementedError
+
+    def _batch_logits_compiled(self, pack: GraphBatch) -> Tensor:
+        """Tape-executed logits whose backward runs the mechanical VJP sweep.
+
+        The returned Tensor is a graph *leaf* carrying a backward hook: when
+        the loss backpropagates into it, :meth:`repro.runtime.tape.Tape.backward`
+        replays the recorded program in reverse and accumulates parameter
+        gradients — replacing the hand-written autograd closures.
+        """
+        key = (pack.num_graphs, self.module.training)
+        tape = self._tapes.get(key)
+        if tape is None:
+            tape = self._trace_batch(pack)
+            self._tapes[key] = tape
+        values, residuals = tape.forward_values(self._tape_bindings(pack))
+        out = values[tape.output]
+
+        def backward(grad: np.ndarray) -> None:
+            tape.backward(grad, values, residuals)
+
+        return Tensor(
+            np.array(out), requires_grad=True, _parents=(), _backward=backward
+        )
+
+    def _packed_logits(self, pack: GraphBatch) -> Tensor:
+        if self.compiled and self.supports_compiled_training:
+            return self._batch_logits_compiled(pack)
+        return self._batch_logits(pack)
+
     def loss_and_correct_batched(self, batch, temperature):
         if not self.supports_batched_training:
             return self.loss_and_correct(batch, temperature)
-        logits = self._batch_logits(self._pack(batch))
+        logits = self._packed_logits(self._pack(batch))
         labels = np.array([s.label for s in batch], dtype=np.int64)
         loss = softmax_cross_entropy_batch(
             logits, labels, temperature, reduction="sum"
@@ -164,7 +213,7 @@ class _PerGraphAdapter(ModelAdapter):
             if self.supports_batched_training:
                 for start in range(0, len(samples), 32):
                     chunk = samples[start : start + 32]
-                    logits = self._batch_logits(self._pack(chunk))
+                    logits = self._packed_logits(self._pack(chunk))
                     out[start : start + len(chunk)] = np.argmax(
                         logits.data, axis=1
                     )
@@ -180,6 +229,7 @@ class MVGNNAdapter(_PerGraphAdapter):
 
     name = "MV-GNN"
     supports_batched_training = True
+    supports_compiled_training = True
 
     def __init__(self, config: MVGNNConfig, rng: RngLike = None) -> None:
         super().__init__()
@@ -197,12 +247,27 @@ class MVGNNAdapter(_PerGraphAdapter):
             pack.x_semantic, pack.x_structural, pack.adj_norm, pack.sizes
         )
 
+    def _trace_batch(self, pack: GraphBatch) -> Tape:
+        return trace_mvgnn_forward(
+            self.model, pack.x_semantic, pack.x_structural,
+            pack.adj_norm, pack.sizes,
+        )
+
+    def _tape_bindings(self, pack: GraphBatch) -> Dict[str, object]:
+        return {
+            "x_semantic": pack.x_semantic,
+            "x_structural": pack.x_structural,
+            "adj_norm": pack.adj_norm,
+            "sizes": pack.sizes,
+        }
+
 
 class DGCNNAdapter(_PerGraphAdapter):
     """Node-feature-view DGCNN alone (full semantic features)."""
 
     name = "DGCNN"
     supports_batched_training = True
+    supports_compiled_training = True
 
     def __init__(self, config: DGCNNConfig, rng: RngLike = None) -> None:
         super().__init__()
@@ -219,6 +284,18 @@ class DGCNNAdapter(_PerGraphAdapter):
         return self.model.forward_batch(
             pack.x_semantic, pack.adj_norm, pack.sizes
         )
+
+    def _trace_batch(self, pack: GraphBatch) -> Tape:
+        return trace_dgcnn_forward(
+            self.model, pack.x_semantic, pack.adj_norm, pack.sizes
+        )
+
+    def _tape_bindings(self, pack: GraphBatch) -> Dict[str, object]:
+        return {
+            "x": pack.x_semantic,
+            "adj_norm": pack.adj_norm,
+            "sizes": pack.sizes,
+        }
 
 
 class StaticGNNAdapter(DGCNNAdapter):

@@ -35,6 +35,11 @@ class TrainConfig:
     batched: bool = True              # pack minibatches (one forward/backward
                                       # per minibatch); False = per-sample
                                       # reference path
+    compiled: bool = True             # trace-compile the packed forward into
+                                      # a repro.runtime.tape program whose
+                                      # backward is derived mechanically;
+                                      # False = hand-written autograd (only
+                                      # meaningful when batched is on)
 
     def __post_init__(self) -> None:
         if self.epochs < 1:

@@ -65,6 +65,10 @@ def train_model(
     optimizer = Adam(
         adapter.module.parameters(), lr=config.lr, clip=config.grad_clip
     )
+    # opt the adapter into the tape-compiled packed path (no-op for
+    # adapters without one, and for the per-sample reference path)
+    if hasattr(adapter, "compiled"):
+        adapter.compiled = bool(config.batched and config.compiled)
     step_loss = (
         adapter.loss_and_correct_batched
         if config.batched

@@ -25,7 +25,7 @@ class TestRegistry:
         expected = {
             "IR001", "IR002", "IR003",
             "PEG001", "PEG002", "PEG003", "PEG004", "PEG005",
-            "GR001", "GR002", "GR003", "GR004",
+            "GR001", "GR002", "GR003", "GR004", "GR005",
             "DS001", "DS002", "DS003", "DS004", "DS005",
         }
         assert expected <= ids

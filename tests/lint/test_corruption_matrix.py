@@ -27,6 +27,7 @@ from repro.lint.runner import (
     lint_peg,
     lint_program,
     lint_samples,
+    lint_tape_consistency,
 )
 from repro.lint.static_dep import StaticVerdict, static_loop_verdicts
 from repro.peg.builder import build_peg
@@ -435,3 +436,53 @@ class TestDatasetCorruptions:
         )
         assert "DS005" not in fired(report)
         assert report.stats["crossval"]["skipped"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# GR005: tape-compiled vs interpreted forward
+# ---------------------------------------------------------------------------
+
+
+class TestTapeConsistency:
+    def test_clean_samples_silent(self, mixed_samples):
+        report = lint_tape_consistency(mixed_samples)
+        assert "GR005" not in fired(report)
+        assert report.stats["tape_consistency"]["graphs"] == len(
+            list(mixed_samples)
+        )
+
+    def test_empty_input_silent(self):
+        report = lint_tape_consistency([])
+        assert not report.findings
+        assert report.stats["tape_consistency"]["graphs"] == 0
+
+    def test_injected_drift_fires(self, mixed_samples, monkeypatch):
+        from repro.runtime.engine import Engine
+
+        original = Engine._forward_compiled
+
+        def skewed(self, batch):
+            return original(self, batch) + 1e-3
+
+        monkeypatch.setattr(Engine, "_forward_compiled", skewed)
+        report = lint_tape_consistency(mixed_samples)
+        gr5 = [f for f in report.findings if f.rule_id == "GR005"]
+        assert len(gr5) == 1
+        assert gr5[0].details["max_drift"] > 0.0
+
+    def test_injected_nan_fires(self, mixed_samples, monkeypatch):
+        from repro.runtime.engine import Engine
+
+        original = Engine._forward_compiled
+
+        def poisoned(self, batch):
+            out = np.array(original(self, batch))
+            out[0, 0] = np.nan
+            return out
+
+        monkeypatch.setattr(Engine, "_forward_compiled", poisoned)
+        report = lint_tape_consistency(mixed_samples)
+        assert any(
+            f.rule_id == "GR005" and "NaN" in f.message
+            for f in report.findings
+        )

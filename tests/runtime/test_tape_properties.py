@@ -1,0 +1,218 @@
+"""Property wall for the tape interpreter (hypothesis).
+
+Random primitive-op programs are recorded through the real tracer, then:
+
+* ``unfuse_plan(build_plan(tape))`` must round-trip the op list exactly;
+* the fused executor (cold and warm buffers) must match the unfused
+  reference interpretation and the eager :class:`~repro.nn.tensor.Tensor`
+  path byte-for-byte;
+* reused buffers must never alias a value a caller still holds (a
+  write-canary copy of every returned array survives later runs);
+* the mechanical :meth:`Tape.backward` must reproduce the eager autograd
+  parameter gradients.
+
+Depth scales with the hypothesis profile (``ci`` in tier-1,
+``REPRO_HYPOTHESIS_PROFILE=nightly`` for the deep sweep).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.layers import Parameter
+from repro.nn.tensor import Tensor, no_grad
+from repro.runtime.tape import (
+    TapeExecutor,
+    build_plan,
+    record_tape,
+    unfuse_plan,
+)
+
+# -- random-program generation ----------------------------------------------
+
+#: op vocabulary: (name, needs_param).  Shapes stay rank-2 throughout so a
+#: drawn program is valid regardless of order; "matmul"/"add_bias" introduce
+#: Parameter operands (exercising param slots + fusable bias links),
+#: "self_add"/"fork" make the producer multi-use (fusion must refuse),
+#: "slice"/"double_transpose" insert non-fresh view ops (chain breakers).
+_UNARY = ("tanh", "relu", "sigmoid", "neg", "exp", "log", "pow2")
+_SCALAR = ("add_s", "rsub_s", "mul_s", "div_s", "radd_s", "rmul_s")
+_STRUCT = ("matmul", "add_bias", "self_add", "fork", "slice",
+           "double_transpose", "sum_keep", "max_keep")
+
+
+@st.composite
+def programs(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    m = draw(st.integers(min_value=1, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    n_ops = draw(st.integers(min_value=1, max_value=12))
+    ops = []
+    width = m
+    for _ in range(n_ops):
+        kind = draw(st.sampled_from(_UNARY + _SCALAR + _STRUCT))
+        if kind == "matmul":
+            new_width = draw(st.integers(min_value=1, max_value=4))
+            ops.append((kind, new_width))
+            width = new_width
+        elif kind in _SCALAR:
+            ops.append((kind, draw(st.sampled_from((0.5, 2.0, -1.5, 3.0)))))
+        elif kind == "add_bias":
+            ops.append((kind, width))
+        elif kind in ("sum_keep", "max_keep"):
+            ops.append((kind, None))
+            width = 1
+        else:
+            ops.append((kind, None))
+    return n, m, seed, ops
+
+
+def _materialize(n, m, seed, ops):
+    """(fn, x, params) — fn applies the drawn ops to any Tensor-like x."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, m))
+    params = {}
+    tensors = []
+    for pos, (kind, arg) in enumerate(ops):
+        if kind == "matmul":
+            w = Parameter(rng.normal(size=(_width_before(ops, pos, m), arg)))
+            params[f"w{pos}"] = w
+            tensors.append(w)
+        elif kind == "add_bias":
+            b = Parameter(rng.normal(size=(arg,)))
+            params[f"b{pos}"] = b
+            tensors.append(b)
+        else:
+            tensors.append(None)
+
+    def fn(x):
+        t = x
+        for pos, (kind, arg) in enumerate(ops):
+            if kind == "pow2":
+                t = t ** 2.0
+            elif kind == "neg":
+                t = -t
+            elif kind in _UNARY:
+                t = getattr(t, kind)()
+            elif kind == "add_s":
+                t = t + arg
+            elif kind == "radd_s":
+                t = arg + t
+            elif kind == "rsub_s":
+                t = arg - t
+            elif kind == "mul_s":
+                t = t * arg
+            elif kind == "rmul_s":
+                t = arg * t
+            elif kind == "div_s":
+                t = t / arg
+            elif kind == "matmul":
+                t = t @ tensors[pos]
+            elif kind == "add_bias":
+                t = t + tensors[pos]
+            elif kind == "self_add":
+                t = t + t
+            elif kind == "fork":
+                t = (t * 2.0) + (t * 3.0)
+            elif kind == "slice":
+                t = t[0:, 0:]
+            elif kind == "double_transpose":
+                t = t.transpose().transpose()
+            elif kind == "sum_keep":
+                t = t.sum(axis=1, keepdims=True)
+            elif kind == "max_keep":
+                t = t.max(axis=1, keepdims=True)
+            else:  # pragma: no cover - vocabulary drift guard
+                raise AssertionError(kind)
+        return t
+
+    return fn, x, params
+
+
+def _width_before(ops, pos, m):
+    width = m
+    for kind, arg in ops[:pos]:
+        if kind == "matmul":
+            width = arg
+        elif kind in ("sum_keep", "max_keep"):
+            width = 1
+    return width
+
+
+def _record(fn, x, params):
+    return record_tape(fn, arrays={"x": x}, objects={}, params=params)
+
+
+# -- properties --------------------------------------------------------------
+
+
+@given(programs())
+def test_fuse_unfuse_round_trip(program):
+    fn, x, params = _materialize(*program)
+    tape = _record(fn, x, params)
+    flat = unfuse_plan(build_plan(tape))
+    assert len(flat) == len(tape.ops)
+    assert all(a is b for a, b in zip(flat, tape.ops))
+
+
+@given(programs())
+def test_fused_matches_unfused_and_eager(program):
+    fn, x, params = _materialize(*program)
+    with no_grad():
+        eager = fn(Tensor(x)).data
+    tape = _record(fn, x, params)
+    bindings = {"x": x}
+    unfused = tape.execute(bindings)
+    executor = TapeExecutor(tape)
+    buffers = executor.new_buffers()
+    np.testing.assert_array_equal(unfused, eager)
+    np.testing.assert_array_equal(executor.run(bindings, buffers), eager)
+    np.testing.assert_array_equal(executor.run(bindings, buffers), eager)
+    np.testing.assert_array_equal(executor.run(bindings, None), eager)
+
+
+@given(programs(), st.integers(min_value=0, max_value=2**31 - 1))
+def test_buffer_reuse_never_aliases_live_results(program, reseed):
+    """Write-canary: every returned array must survive later runs on the
+    same buffer pool, and must not share memory with any pooled buffer."""
+    fn, x, params = _materialize(*program)
+    tape = _record(fn, x, params)
+    executor = TapeExecutor(tape)
+    buffers = executor.new_buffers()
+    other = np.random.default_rng(reseed).normal(size=x.shape)
+
+    live = executor.run({"x": x}, buffers)
+    canary = live.copy()
+    for buf in buffers:
+        assert buf is None or not np.shares_memory(live, buf)
+    rerun = executor.run({"x": other}, buffers)
+    np.testing.assert_array_equal(live, canary)
+    np.testing.assert_array_equal(rerun, tape.execute({"x": other}))
+    np.testing.assert_array_equal(live, tape.execute({"x": x}))
+
+
+@settings(deadline=None)
+@given(programs())
+def test_mechanical_backward_matches_eager_autograd(program):
+    fn, x, params = _materialize(*program)
+    if not params:
+        return  # nothing differentiable to compare
+    tape = _record(fn, x, params)
+
+    # eager reference: sum() the output and backpropagate
+    for p in params.values():
+        p.grad = None
+    fn(Tensor(x)).sum().backward()
+    eager_grads = {name: np.array(p.grad) for name, p in params.items()}
+
+    # tape path: same seed gradient through the mechanical VJP sweep
+    for p in params.values():
+        p.grad = None
+    values, residuals = tape.forward_values({"x": x})
+    out = values[tape.output]
+    tape.backward(np.ones_like(out), values, residuals)
+    for name, p in params.items():
+        assert p.grad is not None, name
+        np.testing.assert_allclose(
+            p.grad, eager_grads[name], rtol=0.0, atol=1e-6, err_msg=name
+        )

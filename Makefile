@@ -4,9 +4,9 @@ export PYTHONPATH := src
 # coverage floor (%) for the training fast path and batched runtime
 COV_FLOOR ?= 85
 
-.PHONY: test test-fast test-nightly test-cov test-tape bench bench-runtime \
-	bench-train bench-assembly bench-serve bench-serve-fleet serve-fleet \
-	serve-smoke docs-check lint-dataset
+.PHONY: test test-fast test-nightly test-cov test-tape test-quantize bench \
+	bench-runtime bench-train bench-assembly bench-serve bench-serve-fleet \
+	bench-quantized serve-fleet serve-smoke docs-check lint-dataset
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -39,6 +39,15 @@ test-tape:
 		tests/runtime/test_tape_properties.py \
 		tests/runtime/test_tape_golden.py -q
 
+# Quantized fast-tier wall: differential accuracy wall across the
+# architecture/batch-shape matrix, int8-grid hypothesis properties, and
+# the serve-layer precision tiering (see docs/RUNTIME.md).
+test-quantize:
+	REPRO_HYPOTHESIS_PROFILE=ci $(PYTHON) -m pytest \
+		tests/runtime/test_quantized_differential.py \
+		tests/nn/test_quantize_properties.py \
+		tests/serve/test_precision.py -q
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
 
@@ -69,6 +78,16 @@ ifdef QUICK
 	$(PYTHON) benchmarks/bench_serve_latency.py --fleet --quick
 else
 	$(PYTHON) benchmarks/bench_serve_latency.py --fleet
+endif
+
+# Fast-vs-exact inference throughput at batch 32 over a realistic-size
+# pool, with the differential accuracy gate.  The >= 1.3x speedup floor
+# only gates full runs; QUICK=1 runs the small ungated CI variant.
+bench-quantized:
+ifdef QUICK
+	$(PYTHON) benchmarks/bench_quantized_inference.py --quick
+else
+	$(PYTHON) benchmarks/bench_quantized_inference.py
 endif
 
 # Run a local 4-worker serving fleet (supervisor + sharded engine

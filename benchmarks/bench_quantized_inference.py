@@ -1,0 +1,243 @@
+"""Quantized fast-tier inference throughput and the differential gate.
+
+Times ``Engine(precision="fast")`` (int8-grid float32 tape,
+:mod:`repro.runtime.qtape`) against the exact float64 tape at the
+production batch size over a realistic-size graph pool, and checks the
+accuracy side of the trade on the tiny dataset's generated split with a
+trained model.  Three clauses:
+
+* throughput — fast >= ``QUANTIZED_SPEEDUP_FLOOR`` (1.3x) over exact at
+  batch 32 (gated in full runs; printed in ``--quick``);
+* exactness — the fast-capable engine's ``exact`` tier stays
+  byte-identical to a plain compiled engine;
+* accuracy — generated-set accuracy of the fast tier within 0.5 points
+  of the float path, with bounded per-sample logit drift.
+
+Results are appended to ``benchmark_results/results_quantized.txt``.
+The speedup is graph-size dependent (float32 GEMM bandwidth + folded
+scales only pay off once the contractions dominate), so the pool uses
+realistic 16-64 node graphs, not the tiny unit-test shapes.
+"""
+
+import argparse
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.models.dgcnn import DGCNNConfig
+from repro.models.mvgnn import MVGNN, MVGNNConfig
+from repro.runtime import Engine, GraphInput
+
+from benchmarks.common import banner, emit
+
+POOL_SIZE = 192
+GRAPH_SIZES = (16, 24, 32, 40, 48, 56, 64)
+BATCH_SIZE = 32
+SEM_FEATURES = 32
+WALK_TYPES = 6
+REPS = 5
+
+#: full-run gate: fast tier must beat exact by this factor at batch 32
+QUANTIZED_SPEEDUP_FLOOR = 1.3
+
+#: generated-set accuracy gap budget: 0.5 points
+ACCURACY_GAP = 0.005
+
+
+def _pool_and_model(rng_seed: int = 0):
+    """Realistic-size synthetic pool + a matching MV-GNN."""
+    rng = np.random.default_rng(rng_seed)
+    pool = []
+    for pos in range(POOL_SIZE):
+        n = GRAPH_SIZES[pos % len(GRAPH_SIZES)]
+        adjacency = (rng.random((n, n)) < 0.25).astype(float)
+        adjacency = np.maximum(adjacency, adjacency.T)
+        np.fill_diagonal(adjacency, 0.0)
+        pool.append(GraphInput(
+            x_semantic=rng.normal(size=(n, SEM_FEATURES)),
+            x_structural=rng.dirichlet(np.ones(WALK_TYPES), size=n),
+            adjacency=adjacency,
+            graph_id=f"bench{pos}",
+        ))
+    config = MVGNNConfig(
+        semantic_features=SEM_FEATURES,
+        walk_types=WALK_TYPES,
+        view_features=32,
+        node_view=DGCNNConfig(in_features=SEM_FEATURES, sortpool_k=10),
+        struct_view=DGCNNConfig(in_features=32, sortpool_k=10),
+    )
+    model = MVGNN(config, rng=0)
+    model.eval()
+    return pool, model
+
+
+def _best_of(fn, reps=REPS):
+    times = []
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def measure_throughput(quick=False):
+    """Fast-vs-exact wall clock at batch 32 over the realistic pool."""
+    pool, model = _pool_and_model()
+    reps = 2 if quick else REPS
+    exact = Engine(model, batch_size=BATCH_SIZE, compile=True)
+    fast = Engine(
+        model, batch_size=BATCH_SIZE, compile=True, precision="fast"
+    )
+    fast.calibrate(pool[: BATCH_SIZE])
+
+    exact_logits = exact.logits_many(pool)  # also records the tapes
+    fast_logits = fast.logits_many(pool)
+    # the fast-capable engine's exact tier must be byte-identical to the
+    # plain compiled engine — the tiering never perturbs correctness
+    exact_unchanged = bool(np.array_equal(
+        fast.logits_many(pool, precision="exact"), exact_logits
+    ))
+    max_drift = float(np.max(np.abs(
+        fast_logits.astype(np.float64) - exact_logits
+    )))
+
+    exact_time = _best_of(lambda: exact.predict_many(pool), reps)
+    fast_time = _best_of(lambda: fast.predict_many(pool), reps)
+    return {
+        "pool": len(pool),
+        "batch_size": BATCH_SIZE,
+        "exact_time": exact_time,
+        "fast_time": fast_time,
+        "exact_rate": len(pool) / exact_time,
+        "fast_rate": len(pool) / fast_time,
+        "speedup": exact_time / fast_time,
+        "exact_unchanged": exact_unchanged,
+        "max_drift": max_drift,
+    }
+
+
+def measure_accuracy(quick=False):
+    """Generated-set accuracy, fast vs float, with a trained model."""
+    from repro.dataset.assemble import DatasetConfig, assemble_dataset
+    from repro.train import MVGNNAdapter, TrainConfig, train_model
+
+    data = assemble_dataset(DatasetConfig.tiny(seed=7))
+    sem_dim = data.train[0].x_semantic.shape[1]
+    walk_dim = data.train[0].x_structural.shape[1]
+    config = MVGNNConfig(
+        semantic_features=sem_dim,
+        walk_types=walk_dim,
+        view_features=16,
+        node_view=DGCNNConfig(in_features=sem_dim, sortpool_k=6),
+        struct_view=DGCNNConfig(in_features=16, sortpool_k=6),
+    )
+    adapter = MVGNNAdapter(config, rng=0)
+    train_model(
+        adapter, data.train,
+        TrainConfig(
+            epochs=2 if quick else 6, lr=2e-3, batch_size=16,
+            sortpool_k=6, seed=0,
+        ),
+    )
+    engine = Engine(adapter.model, compile=True, batch_size=BATCH_SIZE)
+    engine.calibrate(list(data.train), batch_size=BATCH_SIZE)
+    generated = list(data.generated)
+    labels = np.array([s.label for s in generated])
+    exact_acc = float(np.mean(
+        engine.predict_many(generated, precision="exact") == labels
+    ))
+    fast_acc = float(np.mean(
+        engine.predict_many(generated, precision="fast") == labels
+    ))
+    return {
+        "generated": len(generated),
+        "exact_acc": exact_acc,
+        "fast_acc": fast_acc,
+        "gap": abs(fast_acc - exact_acc),
+    }
+
+
+def _report(result, accuracy, out) -> None:
+    out("=" * 72)
+    out(f"Quantized fast tier vs exact tape "
+        f"(bench_quantized_inference, batch={result['batch_size']}, "
+        f"{result['pool']} graphs of {GRAPH_SIZES[0]}-{GRAPH_SIZES[-1]} "
+        f"nodes)")
+    out("=" * 72)
+    out(f"{'tier':<24}{'wall s':>9}{'graphs/sec':>12}{'speedup':>9}")
+    out(f"{'exact (float64)':<24}{result['exact_time']:>9.3f}"
+        f"{result['exact_rate']:>12.0f}{1.0:>8.1f}x")
+    out(f"{'fast (int8 grid)':<24}{result['fast_time']:>9.3f}"
+        f"{result['fast_rate']:>12.0f}{result['speedup']:>8.2f}x")
+    out(f"exact tier byte-identical: {result['exact_unchanged']} "
+        f"(fast max abs logit drift {result['max_drift']:.3e})")
+    out(f"generated set ({accuracy['generated']} samples): "
+        f"exact {accuracy['exact_acc']:.4f}, "
+        f"fast {accuracy['fast_acc']:.4f}, "
+        f"gap {accuracy['gap']:.4f} (budget {ACCURACY_GAP})")
+
+
+def test_quantized_inference_differential(benchmark):
+    """CI entry: quick differential + one timed fast-tier configuration."""
+    result = measure_throughput(quick=True)
+    accuracy = measure_accuracy(quick=True)
+    banner("Quantized fast tier vs exact tape (batch=32)")
+    _report(result, accuracy, emit)
+    assert result["exact_unchanged"], (
+        "fast-capable engine's exact tier drifted from the plain tape"
+    )
+    assert accuracy["gap"] <= ACCURACY_GAP, (
+        f"generated-set accuracy gap {accuracy['gap']:.4f} > {ACCURACY_GAP}"
+    )
+    pool, model = _pool_and_model()
+    engine = Engine(
+        model, batch_size=BATCH_SIZE, compile=True, precision="fast"
+    )
+    engine.calibrate(pool[: BATCH_SIZE])
+    predictions = benchmark(lambda: engine.predict_many(pool))
+    assert predictions.shape == (len(pool),)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="fewer timing reps and epochs; verify exactness and the "
+             "accuracy gap but do not gate the speedup floor",
+    )
+    args = parser.parse_args(argv)
+
+    result = measure_throughput(quick=args.quick)
+    accuracy = measure_accuracy(quick=args.quick)
+    results_dir = Path(__file__).resolve().parent.parent / "benchmark_results"
+    results_dir.mkdir(exist_ok=True)
+    out_path = results_dir / "results_quantized.txt"
+    with open(out_path, "a") as fh:
+        def record(line: str) -> None:
+            fh.write(line + "\n")
+            print(line)
+
+        _report(result, accuracy, record)
+        if not result["exact_unchanged"]:
+            record("FAIL: exact tier drifted on the fast-capable engine")
+            return 1
+        if accuracy["gap"] > ACCURACY_GAP:
+            record(f"FAIL: accuracy gap {accuracy['gap']:.4f} beyond "
+                   f"the {ACCURACY_GAP} budget")
+            return 1
+        if args.quick:
+            record(f"quick mode: speedup {result['speedup']:.2f}x "
+                   f"(floor not gated)")
+            return 0
+        if result["speedup"] < QUANTIZED_SPEEDUP_FLOOR:
+            record(f"FAIL: speedup {result['speedup']:.2f}x below the "
+                   f"{QUANTIZED_SPEEDUP_FLOOR}x floor")
+            return 1
+        record(f"PASS: speedup {result['speedup']:.2f}x "
+               f">= {QUANTIZED_SPEEDUP_FLOOR}x floor")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -85,14 +85,17 @@ def _cmd_table2(_args) -> int:
 
 
 def _build_app_engine(
-    spec, batch_size: int, epochs: int, seed: int = 0, compile: bool = True
+    spec, batch_size: int, epochs: int, seed: int = 0, compile: bool = True,
+    precision: str = "exact", calibration=None,
 ):
     """(engine, loop samples) for one application via the batched runtime.
 
     Extracts the app's loop samples once and optionally trains a small
     MV-GNN on them (the labels are the app's authored annotations).  Shared
-    by ``classify --batch`` (one-shot predictions) and ``serve`` (the
-    long-lived service's model + example pool).
+    by ``classify --batch`` (one-shot predictions), ``serve`` (the
+    long-lived service's model + example pool), and ``calibrate`` (the
+    int8 scale recording pass).  ``precision``/``calibration`` configure
+    the engine's default execution tier (see docs/RUNTIME.md).
     """
     from repro.dataset.extraction import extract_loop_samples
     from repro.dataset.types import LoopDataset
@@ -146,17 +149,23 @@ def _build_app_engine(
     engine = Engine(
         adapter.model, inst2vec=inst2vec, walk_space=walk_space,
         batch_size=batch_size, compile=compile,
+        precision=precision, calibration=calibration,
     )
     return engine, samples
 
 
 def _batched_gnn_predictions(
-    spec, batch_size: int, epochs: int, seed: int = 0, compile: bool = True
+    spec, batch_size: int, epochs: int, seed: int = 0, compile: bool = True,
+    precision: str = "exact",
 ):
     """(loop_id -> MV-GNN label, engine) via the batched runtime."""
     engine, samples = _build_app_engine(
-        spec, batch_size, epochs, seed, compile=compile
+        spec, batch_size, epochs, seed, compile=compile, precision=precision
     )
+    if precision == "fast" and engine.compile:
+        # record per-layer scales from the app's own loops so the fast
+        # tier runs calibrated rather than on dynamic per-call scales
+        engine.calibrate(samples)
     predicted = engine.predict_many(samples)
     return (
         {s.loop_id: int(p) for s, p in zip(samples, predicted)},
@@ -229,9 +238,21 @@ def _cmd_serve(args) -> int:
     spec = build_app(args.app)
     print(f"building engine for {args.app} ({spec.suite}): "
           f"{spec.loop_count} loops, {args.epochs} training epochs")
+    calibration = None
+    if args.calibration:
+        from repro.nn.serialize import load_calibration
+
+        calibration = load_calibration(args.calibration)
+        if calibration is None:
+            print(f"warning: {args.calibration} carries no calibration "
+                  "arrays; fast tier will use dynamic scales", file=sys.stderr)
+        else:
+            print(f"calibration: {calibration.summary()} "
+                  f"(from {args.calibration})")
     engine, samples = _build_app_engine(
         spec, batch_size=args.max_batch_size, epochs=args.epochs,
         seed=args.seed, compile=not args.no_compile,
+        precision=args.precision, calibration=calibration,
     )
     config = ServeConfig(
         max_batch_size=args.max_batch_size,
@@ -241,6 +262,8 @@ def _cmd_serve(args) -> int:
         host=args.host,
         port=args.port,
         fleet_workers=args.workers,
+        default_precision=args.precision,
+        downgrade_queue_depth=args.downgrade_queue_depth,
     )
     if args.workers > 1:
         service = FleetService(engine, config, examples=samples)
@@ -253,7 +276,35 @@ def _cmd_serve(args) -> int:
           f"max_wait_ms={config.max_wait_ms}, "
           f"queue_depth={config.max_queue_depth}, "
           f"deadline_ms={config.default_deadline_ms}", flush=True)
+    downgrade = config.effective_downgrade_depth
+    print(f"precision: default={config.default_precision}, "
+          f"downgrade-before-shed at queue depth "
+          f"{downgrade if downgrade is not None else 'off'}", flush=True)
     return asyncio.run(serve_forever(service, config))
+
+
+def _cmd_calibrate(args) -> int:
+    """``repro calibrate``: record int8 scales and save them with weights."""
+    _install_sigterm_handler()
+    from repro.nn.serialize import save_params
+
+    spec = build_app(args.app)
+    print(f"building engine for {args.app} ({spec.suite}): "
+          f"{spec.loop_count} loops, {args.epochs} training epochs")
+    engine, samples = _build_app_engine(
+        spec, batch_size=args.batch_size, epochs=args.epochs, seed=args.seed,
+    )
+    # held-out shard: the tail fraction never influences the scales the
+    # bulk was trained on; tiny apps fall back to the whole pool
+    split = int(len(samples) * (1.0 - args.holdout))
+    holdout = samples[split:] or samples
+    print(f"calibrating on {len(holdout)} held-out sample(s) "
+          f"(of {len(samples)})")
+    calibration = engine.calibrate(holdout, batch_size=args.batch_size)
+    print(f"recorded: {calibration.summary()}")
+    save_params(engine.model, args.output, calibration=calibration)
+    print(f"saved weights + calibration to {args.output}")
+    return 0
 
 
 def _cmd_train(args) -> int:
@@ -381,6 +432,7 @@ def _cmd_lint(args) -> int:
         lint_ir,
         lint_peg,
         lint_program,
+        lint_quantized_consistency,
         lint_tape_consistency,
         render_json,
         render_text,
@@ -472,6 +524,13 @@ def _cmd_lint(args) -> int:
     note(f"  tape: compiled forward matched against interpreted on "
          f"{tape_stats.get('graphs', 0)} sample(s)")
 
+    # -- GR006: quantized (fast-tier) vs float forward over real samples --
+    report.extend(lint_quantized_consistency(pool, lint_cfg))
+    quant_stats = report.stats.get("quantized_consistency", {})
+    note(f"  quantize: fast-tier forward matched against float on "
+         f"{quant_stats.get('graphs', 0)} sample(s) "
+         f"({quant_stats.get('verdict_flips', 0)} verdict flip(s))")
+
     if args.json:
         print(render_json(report))
     else:
@@ -488,7 +547,7 @@ def _cmd_classify(args) -> int:
     if args.batch:
         gnn_votes, engine = _batched_gnn_predictions(
             spec, batch_size=args.batch_size, epochs=args.epochs,
-            compile=not args.no_compile,
+            compile=not args.no_compile, precision=args.precision,
         )
     header = (
         f"{'loop':<22}{'label':>6}{'oracle':>8}{'pattern':>12}"
@@ -595,6 +654,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-compile", action="store_true",
         help="disable the trace-compiled forward; use the layer-by-layer "
              "interpreted path (with --batch)",
+    )
+    classify.add_argument(
+        "--precision", choices=["exact", "fast"], default="exact",
+        help="execution tier for the MV-GNN column (with --batch): exact = "
+             "float64 tape, fast = calibrated int8-grid float32 tape",
     )
     classify.set_defaults(fn=_cmd_classify)
 
@@ -757,8 +821,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve with the interpreted forward instead of the "
              "trace-compiled tape (workers then skip tape warm-up)",
     )
+    serve.add_argument(
+        "--precision", choices=["exact", "fast"], default="exact",
+        help="default execution tier for unpinned requests; clients "
+             "override per request with ?precision=exact|fast",
+    )
+    serve.add_argument(
+        "--downgrade-queue-depth", type=int, default=None, metavar="N",
+        help="degrade-before-shed threshold: unpinned requests arriving "
+             "past this queue depth are served at the fast tier "
+             "(default: queue-depth/2; 0 disables downgrading)",
+    )
+    serve.add_argument(
+        "--calibration", default=None, metavar="NPZ",
+        help="checkpoint from `repro calibrate` whose int8 scales the fast "
+             "tier uses (must match the served architecture); without it "
+             "fast tapes use dynamic per-call scales",
+    )
     serve.add_argument("--seed", type=int, default=0)
     serve.set_defaults(fn=_cmd_serve)
+
+    calibrate = sub.add_parser(
+        "calibrate",
+        help="record per-layer int8 scales from a held-out shard and save "
+             "them alongside the weights (see docs/RUNTIME.md)",
+    )
+    calibrate.add_argument("--app", required=True, choices=app_names())
+    calibrate.add_argument(
+        "--epochs", type=int, default=8,
+        help="MV-GNN training epochs before the calibration pass",
+    )
+    calibrate.add_argument(
+        "--batch-size", type=int, default=32,
+        help="graphs packed per calibration forward pass",
+    )
+    calibrate.add_argument(
+        "--holdout", type=float, default=0.25,
+        help="tail fraction of the sample pool reserved for calibration",
+    )
+    calibrate.add_argument(
+        "--output", "-o", required=True, metavar="NPZ",
+        help="npz path for the weights + calibration "
+             "(load with repro.nn.serialize.load_params/load_calibration)",
+    )
+    calibrate.add_argument("--seed", type=int, default=0)
+    calibrate.set_defaults(fn=_cmd_calibrate)
 
     suggest = sub.add_parser(
         "suggest", help="OpenMP suggestions for one program"

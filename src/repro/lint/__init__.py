@@ -50,6 +50,7 @@ from repro.lint.runner import (
     lint_ir,
     lint_peg,
     lint_program,
+    lint_quantized_consistency,
     lint_samples,
     lint_tape_consistency,
 )
@@ -81,6 +82,7 @@ __all__ = [
     "lint_ir",
     "lint_peg",
     "lint_program",
+    "lint_quantized_consistency",
     "lint_samples",
     "lint_tape_consistency",
     "render_json",

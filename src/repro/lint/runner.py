@@ -94,6 +94,23 @@ def lint_tape_consistency(
     return report
 
 
+def lint_quantized_consistency(
+    samples: Iterable[LoopSample],
+    config: Optional[LintConfig] = None,
+    max_graphs: Optional[int] = None,
+    calibration=None,
+) -> LintReport:
+    """GR006: the quantized fast-tier forward must stay within the int8
+    error budget of the float forward on real samples (NaN, drift beyond
+    tolerance, confident verdict flips).  ``calibration`` overrides the
+    self-recorded scales — the corruption tests inject a poisoned one."""
+    report = LintReport(config)
+    report.stats["quantized_consistency"] = tape_rules.check_quantized_consistency(
+        report, samples, max_graphs=max_graphs, calibration=calibration
+    )
+    return report
+
+
 def lint_dataset(
     dataset: LoopDataset,
     config: Optional[LintConfig] = None,

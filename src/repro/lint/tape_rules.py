@@ -1,12 +1,21 @@
-"""GR005: tape-compiled vs interpreted forward consistency.
+"""GR005/GR006: runtime forward-path consistency over real samples.
 
 The trace-compiled runtime (:mod:`repro.runtime.tape`) promises outputs
-byte-identical to the layer-by-layer interpreted forward.  This rule drives
+byte-identical to the layer-by-layer interpreted forward; GR005 drives
 both paths over real dataset samples with a deterministic probe model and
 emits a finding on any NaN, shape drift, or value drift between them — the
 runtime analogue of the GR001–GR004 raw-array checks, run as part of
 ``repro lint`` so dataset validation also exercises the compiled path the
 serving fleet uses.
+
+GR006 extends the wall to the quantized ``fast`` tier
+(:mod:`repro.runtime.qtape`): the int8-grid float32 tape may drift from
+the float path, but only within tolerance — NaN/Inf, shape drift, drift
+beyond the quantization error budget, or a *confident* verdict flip
+(argmax change on a sample the float path classified with real margin)
+each raise a finding.  A poisoned calibration scale (wrong units, stale
+checkpoint) saturates or zeroes activations and trips these checks — the
+seeded-corruption matrix pins that.
 
 Heavy dependencies (models, the runtime engine) are imported lazily so the
 lint framework itself stays importable without the model stack.
@@ -14,7 +23,7 @@ lint framework itself stays importable without the model stack.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -25,12 +34,52 @@ GR005 = rule(
     "tape-compiled forward must match the interpreted forward exactly",
 )
 
+GR006 = rule(
+    "GR006", "graph", Severity.ERROR,
+    "quantized fast-tier forward must stay within tolerance of the float "
+    "forward (finite, bounded drift, no confident verdict flips)",
+)
+
 #: deterministic probe-model seed — findings must be reproducible run-to-run
 _PROBE_SEED = 0
 
 #: graphs compared per lint run; the tape is shape-specialized per batch
 #: size, so a handful of ragged samples covers the interesting classes
 _DEFAULT_MAX_GRAPHS = 8
+
+#: GR006 drift budget: absolute floor plus a fraction of the float logits'
+#: dynamic range — int8 symmetric quantization of three contraction sites
+#: lands orders of magnitude below this; a poisoned scale lands far above
+_GR006_DRIFT_ATOL = 0.1
+_GR006_DRIFT_RTOL = 0.05
+
+#: float-path margin above which an argmax flip counts as *confident* —
+#: flips inside the margin band are the tier trade-off, not corruption
+_GR006_FLIP_MARGIN = 0.05
+
+
+def _probe_model(picked: List):
+    """The deterministic probe MV-GNN GR005/GR006 share, sized to ``picked``.
+
+    Identical construction across calls (fixed seed, dims read from the
+    samples) — what lets a calibration from :func:`probe_calibration` drive
+    a later :func:`check_quantized_consistency` pass over the same data.
+    """
+    from repro.models.dgcnn import DGCNNConfig
+    from repro.models.mvgnn import MVGNN, MVGNNConfig
+
+    sem_dim = int(np.asarray(picked[0].x_semantic).shape[1])
+    walk_dim = int(np.asarray(picked[0].x_structural).shape[1])
+    config = MVGNNConfig(
+        semantic_features=sem_dim,
+        walk_types=walk_dim,
+        view_features=16,
+        node_view=DGCNNConfig(sortpool_k=6),
+        struct_view=DGCNNConfig(sortpool_k=6),
+    )
+    model = MVGNN(config, rng=_PROBE_SEED)
+    model.eval()
+    return model
 
 
 def check_tape_consistency(
@@ -47,8 +96,6 @@ def check_tape_consistency(
     matrices.  Returns the number of graphs compared (0 when there is
     nothing to check).
     """
-    from repro.models.dgcnn import DGCNNConfig
-    from repro.models.mvgnn import MVGNN, MVGNNConfig
     from repro.runtime.engine import Engine
     from repro.runtime.features import FeatureCache
 
@@ -56,18 +103,7 @@ def check_tape_consistency(
     picked = [s for _, s in zip(range(limit), samples)]
     if not picked:
         return 0
-
-    sem_dim = int(np.asarray(picked[0].x_semantic).shape[1])
-    walk_dim = int(np.asarray(picked[0].x_structural).shape[1])
-    config = MVGNNConfig(
-        semantic_features=sem_dim,
-        walk_types=walk_dim,
-        view_features=16,
-        node_view=DGCNNConfig(sortpool_k=6),
-        struct_view=DGCNNConfig(sortpool_k=6),
-    )
-    model = MVGNN(config, rng=_PROBE_SEED)
-    model.eval()
+    model = _probe_model(picked)
 
     # one shared cache: the compiled path's hoisted D̃⁻¹Ã blocks feed the
     # interpreted engine too, so the comparison also covers the hoisting
@@ -113,3 +149,125 @@ def check_tape_consistency(
             {"graphs": [int(r) for r in rows[:16]], "max_drift": max_drift},
         )
     return len(picked)
+
+
+def probe_calibration(samples: Iterable, max_graphs: Optional[int] = None):
+    """Record the probe model's :class:`Calibration` over ``samples``.
+
+    The scales :func:`check_quantized_consistency` derives itself when no
+    calibration is injected — exposed so the corruption-matrix tests can
+    take a genuine calibration, poison one scale, and prove GR006 fires.
+    """
+    from repro.runtime.engine import Engine
+
+    limit = _DEFAULT_MAX_GRAPHS if max_graphs is None else max_graphs
+    picked = [s for _, s in zip(range(limit), samples)]
+    if not picked:
+        raise ValueError("probe_calibration needs at least one sample")
+    engine = Engine(_probe_model(picked), compile=True)
+    return engine.calibrate(picked)
+
+
+def check_quantized_consistency(
+    report: LintReport,
+    samples: Iterable,
+    where: str = "dataset",
+    max_graphs: Optional[int] = None,
+    calibration=None,
+) -> Dict[str, object]:
+    """Run GR006 over ``samples``, emitting into ``report``.
+
+    Classifies up to ``max_graphs`` samples through the probe model's
+    exact (float64 tape) and fast (calibrated int8-grid float32 tape)
+    paths and compares the logit matrices against the quantization error
+    budget.  ``calibration`` overrides the self-recorded scales (the
+    corruption tests inject a poisoned one).  Returns the stats dict the
+    lint runner records (graphs compared, max drift, verdict flips).
+    """
+    from repro.runtime.engine import Engine
+    from repro.runtime.features import FeatureCache
+
+    limit = _DEFAULT_MAX_GRAPHS if max_graphs is None else max_graphs
+    picked = [s for _, s in zip(range(limit), samples)]
+    stats: Dict[str, object] = {
+        "graphs": 0, "max_drift": 0.0, "verdict_flips": 0,
+    }
+    if not picked:
+        return stats
+    model = _probe_model(picked)
+
+    cache = FeatureCache()
+    engine = Engine(model, cache=cache, compile=True)
+    if calibration is None:
+        calibration = engine.calibrate(picked)
+    engine.calibration = calibration
+    engine.reset_fast_tapes()
+
+    exact = engine.logits_many(picked, precision="exact")
+    fast = engine.logits_many(picked, precision="fast")
+    stats["graphs"] = len(picked)
+
+    if fast.shape != exact.shape:
+        report.emit(
+            GR006, where,
+            f"fast-tier logits shape {fast.shape} != float {exact.shape}",
+            {
+                "fast_shape": list(fast.shape),
+                "exact_shape": list(exact.shape),
+            },
+        )
+        return stats
+
+    bad_nan = int(np.sum(~np.isfinite(fast)))
+    if bad_nan:
+        report.emit(
+            GR006, where,
+            f"fast-tier logits contain {bad_nan} NaN/Inf values "
+            f"(float path has {int(np.sum(~np.isfinite(exact)))})",
+            {"count": bad_nan},
+        )
+
+    drift = np.abs(fast.astype(np.float64) - exact)
+    finite = drift[np.isfinite(drift)]
+    max_drift = float(finite.max()) if finite.size else float("inf")
+    stats["max_drift"] = max_drift
+    scale = float(np.max(np.abs(exact))) if exact.size else 0.0
+    budget = _GR006_DRIFT_ATOL + _GR006_DRIFT_RTOL * scale
+    if not np.isfinite(max_drift) or max_drift > budget:
+        rows = np.where(
+            ~np.all(np.nan_to_num(drift, nan=np.inf) <= budget, axis=1)
+        )[0]
+        report.emit(
+            GR006, where,
+            f"fast-tier logits drift beyond the quantization budget on "
+            f"{rows.size} of {len(picked)} graphs "
+            f"(max abs drift {max_drift:.3e}, budget {budget:.3e})",
+            {
+                "graphs": [int(r) for r in rows[:16]],
+                "max_drift": max_drift,
+                "budget": budget,
+            },
+        )
+
+    # margin-aware verdict flips: an argmax change where the float path
+    # was confidently decided is corruption, not quantization noise
+    exact_verdicts = np.argmax(exact, axis=1)
+    fast_verdicts = np.argmax(np.nan_to_num(fast, nan=-np.inf), axis=1)
+    sorted_logits = np.sort(exact, axis=1)
+    margins = sorted_logits[:, -1] - sorted_logits[:, -2]
+    flips = np.where(
+        (exact_verdicts != fast_verdicts) & (margins > _GR006_FLIP_MARGIN)
+    )[0]
+    stats["verdict_flips"] = int(flips.size)
+    if flips.size:
+        report.emit(
+            GR006, where,
+            f"fast tier flips the verdict on {flips.size} of {len(picked)} "
+            f"graphs the float path classified with margin > "
+            f"{_GR006_FLIP_MARGIN:g}",
+            {
+                "graphs": [int(r) for r in flips[:16]],
+                "margins": [float(margins[r]) for r in flips[:16]],
+            },
+        )
+    return stats

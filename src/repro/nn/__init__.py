@@ -41,7 +41,16 @@ from repro.nn.layers import (
 from repro.nn.rnn import LSTM
 from repro.nn.optim import SGD, Adam
 from repro.nn.init import glorot_uniform, zeros_init
-from repro.nn.serialize import save_params, load_params
+from repro.nn.quantize import (
+    PRECISIONS,
+    Calibration,
+    dequantize,
+    fake_quantize,
+    int8_matmul,
+    quantize,
+    symmetric_scale,
+)
+from repro.nn.serialize import save_params, load_params, load_calibration
 
 __all__ = [
     "Tensor", "as_tensor", "concat", "stack", "no_grad",
@@ -54,5 +63,8 @@ __all__ = [
     "LSTM",
     "SGD", "Adam",
     "glorot_uniform", "zeros_init",
-    "save_params", "load_params",
+    "save_params", "load_params", "load_calibration",
+    "PRECISIONS", "Calibration",
+    "symmetric_scale", "quantize", "dequantize", "fake_quantize",
+    "int8_matmul",
 ]

@@ -507,6 +507,116 @@ _register(Primitive(
 ))
 
 
+# -- quantized inference primitives (precision="fast") -----------------------
+#
+# Int8 counterparts of the hot ops, emitted by
+# :func:`repro.runtime.qtape.quantize_tape` when an Engine replays a tape at
+# precision="fast".  They use *simulated* quantization: operands are snapped
+# onto the symmetric int8 grid (round-tripped through quantize/dequantize)
+# but kept in the tape's float32 dtype, so the heavy contraction stays a
+# BLAS GEMM — numerically identical to dequantized-int8 arithmetic (every
+# grid point is exactly representable in float32), at float speed.  The
+# ``act_scale`` attr carries the calibrated activation scale; ``None`` falls
+# back to a dynamic per-call abs-max scale.  Inference-only: their VJPs
+# raise, and the tracer never emits them — only tape rewriting does.
+
+
+def _quantized_vjp(g, ins, out, res, attrs, needed):
+    raise ModelError(
+        "quantized primitives are inference-only and have no VJP; "
+        "train and backprop through the exact (float) tape"
+    )
+
+
+def _grid_snap(x: np.ndarray, scale) -> np.ndarray:
+    """Fresh copy of ``x`` snapped to the int8 grid, in ``x``'s dtype.
+
+    With a calibrated ``scale`` the grid saturates at +/-127 (that is what
+    a recorded scale *means*: activations past the calibration-time peak
+    clip).  A dynamic scale (``scale=None``) is this call's abs-max / 127,
+    so no value can land past the grid edge and the clip pass is skipped.
+    """
+    if scale is None:
+        from repro.nn.quantize import symmetric_scale
+
+        s = x.dtype.type(symmetric_scale(x))
+        snapped = x / s
+        np.rint(snapped, out=snapped)
+        snapped *= s
+        return snapped
+    s = x.dtype.type(scale)
+    snapped = x / s
+    np.rint(snapped, out=snapped)
+    np.clip(snapped, -127, 127, out=snapped)
+    snapped *= s
+    return snapped
+
+
+def _qmatmul_fwd(ins: Arrays, attrs: Attrs, out) -> np.ndarray:
+    a, w = ins  # w arrives pre-quantized (round-tripped) from the tape
+    scale = attrs.get("act_scale")
+    if scale is not None and attrs.get("folded"):
+        # calibrated + scale folded into the baked weight (w = w_q * s):
+        # the activation stays in int8 *units*, saving the rescale pass —
+        # this is exactly the (a_q @ w_q) * s_a * s_w int8-GEMM algebra
+        s = a.dtype.type(scale)
+        aq = a / s
+        np.rint(aq, out=aq)
+        np.clip(aq, -127, 127, out=aq)
+    else:
+        aq = _grid_snap(a, scale)
+    if out is not None and aq.ndim == 2 and w.ndim == 2:
+        return np.matmul(aq, w, out=out)
+    return _finish(aq @ w, out) if out is not None else aq @ w
+
+
+_register(Primitive(
+    "qmatmul", _qmatmul_fwd, _quantized_vjp, out_shape=_matmul_shape,
+))
+
+
+def _qadj_matmul_fwd(ins: Arrays, attrs: Attrs, out) -> np.ndarray:
+    matrix, h = ins
+    hq = _grid_snap(h, attrs.get("act_scale"))
+    return _finish(np.asarray(matrix @ hq), out)
+
+
+_register(Primitive("qadj_matmul", _qadj_matmul_fwd, _quantized_vjp))
+
+
+def _qsegment_sort_pool_fwd(ins: Arrays, attrs: Attrs, out) -> np.ndarray:
+    x, sizes = ins
+    pooled = _segment_sort_pool_apply(
+        x, _sort_pool_indices(x, sizes, attrs["k"]), out
+    )
+    # snap the pooled activations in place (the buffer is op-owned)
+    scale = attrs.get("act_scale")
+    if scale is None:
+        from repro.nn.quantize import symmetric_scale
+
+        s = pooled.dtype.type(symmetric_scale(pooled))
+        pooled /= s
+        np.rint(pooled, out=pooled)
+        pooled *= s
+        return pooled
+    s = pooled.dtype.type(scale)
+    pooled /= s
+    np.rint(pooled, out=pooled)
+    np.clip(pooled, -127, 127, out=pooled)
+    pooled *= s
+    return pooled
+
+
+_register(Primitive(
+    "qsegment_sort_pool",
+    _qsegment_sort_pool_fwd,
+    _quantized_vjp,
+    out_shape=lambda ins, attrs: (
+        len(ins[1]) * int(attrs["k"]),
+    ) + ins[0].shape[1:],
+))
+
+
 def get_primitive(name: str) -> Primitive:
     prim = PRIMITIVES.get(name)
     if prim is None:

@@ -1,0 +1,242 @@
+"""Symmetric int8 post-training quantization for the inference fast path.
+
+The precision-tiered runtime (``Engine(precision="fast")``, see
+docs/RUNTIME.md) trades bits for throughput: weights and the activations
+feeding the hot primitives are snapped to a symmetric int8 grid before the
+heavy matmuls.  This module holds the numeric core everything else builds
+on:
+
+* the grid itself — :func:`symmetric_scale`, :func:`quantize`,
+  :func:`dequantize`, :func:`fake_quantize`;
+* the exact integer reference — :func:`int8_matmul`, an int8 x int8 ->
+  int32 matmul with an explicit accumulator no-overflow bound (the
+  hypothesis property wall in ``tests/nn/test_quantize_properties.py``
+  exercises it);
+* :class:`Calibration` — per-layer activation/weight scales recorded from
+  a held-out shard, persisted next to checkpoints by
+  :mod:`repro.nn.serialize` under the reserved ``__quantize__/`` npz key
+  prefix.
+
+The *executing* fast path deliberately does NOT materialize int8 tensors:
+numpy integer matmuls bypass BLAS and are slower than float GEMM.  Instead
+the quantized primitives (``qmatmul`` et al. in
+:mod:`repro.nn.primitives`) run float32 GEMMs whose operands have been
+round-tripped through the int8 grid — numerically identical to
+dequantized-int8 arithmetic (every grid point is exactly representable in
+float32: magnitudes are ``k * scale`` with ``|k| <= 127``), but at BLAS
+speed.  :func:`int8_matmul` exists so tests can pin that equivalence and
+the accumulator bound independently of the fast path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+
+__all__ = [
+    "PRECISIONS",
+    "QMAX",
+    "INT8_MATMUL_MAX_K",
+    "CALIBRATION_PREFIX",
+    "symmetric_scale",
+    "quantize",
+    "dequantize",
+    "fake_quantize",
+    "int8_matmul",
+    "Calibration",
+    "calibration_to_arrays",
+    "calibration_from_arrays",
+]
+
+#: The two engine execution tiers (see docs/RUNTIME.md).
+PRECISIONS: Tuple[str, ...] = ("exact", "fast")
+
+#: Largest representable magnitude on the symmetric int8 grid.  -128 is
+#: excluded so the grid is symmetric (negating a quantized value never
+#: overflows).
+QMAX = 127
+
+#: Inner-dimension bound below which an int8 x int8 matmul cannot overflow
+#: an int32 accumulator: K * 127 * 127 <= 2**31 - 1.
+INT8_MATMUL_MAX_K = (2**31 - 1) // (QMAX * QMAX)
+
+
+def symmetric_scale(x: np.ndarray) -> float:
+    """Per-tensor symmetric scale: ``max|x| / 127`` (1.0 for all-zero).
+
+    The 1.0 floor keeps all-zero (or empty) tensors quantizable without a
+    divide-by-zero; zero is exactly representable at any scale, so the
+    choice does not affect round-trips.
+    """
+    x = np.asarray(x)
+    peak = float(np.max(np.abs(x))) if x.size else 0.0
+    if not np.isfinite(peak) or peak == 0.0:
+        return 1.0
+    return peak / QMAX
+
+
+def scale_from_max(peak: float) -> float:
+    """Scale for a recorded absolute maximum (1.0 floor, as above)."""
+    peak = float(peak)
+    if not np.isfinite(peak) or peak <= 0.0:
+        return 1.0
+    return peak / QMAX
+
+
+def quantize(x: np.ndarray, scale: float) -> np.ndarray:
+    """Snap ``x`` onto the int8 grid: ``clip(round(x / scale), -127, 127)``.
+
+    Round-to-nearest-even (numpy ``rint``), saturating at the symmetric
+    grid edges.  Returns int8.
+    """
+    if scale <= 0.0 or not np.isfinite(scale):
+        raise ModelError(f"quantization scale must be positive, got {scale}")
+    q = np.rint(np.asarray(x, dtype=np.float64) / scale)
+    return np.clip(q, -QMAX, QMAX).astype(np.int8)
+
+
+def dequantize(q: np.ndarray, scale: float) -> np.ndarray:
+    """Map int8 grid points back to float64: ``q * scale``."""
+    return np.asarray(q, dtype=np.float64) * scale
+
+
+def fake_quantize(x: np.ndarray, scale: float) -> np.ndarray:
+    """Round-trip ``x`` through the int8 grid, staying in ``x``'s dtype.
+
+    ``fake_quantize(x, s) == dequantize(quantize(x, s), s)`` exactly (for
+    float32/float64 inputs; every grid point ``k * s`` with ``|k| <= 127``
+    is representable).  This is the fast path's quantizer: no int8 tensor
+    is materialized, so the subsequent matmul stays a BLAS float GEMM.
+    """
+    if scale <= 0.0 or not np.isfinite(scale):
+        raise ModelError(f"quantization scale must be positive, got {scale}")
+    x = np.asarray(x)
+    out = x / x.dtype.type(scale)
+    np.rint(out, out=out)
+    np.clip(out, -QMAX, QMAX, out=out)
+    out *= x.dtype.type(scale)
+    return out
+
+
+def int8_matmul(a_q: np.ndarray, b_q: np.ndarray) -> np.ndarray:
+    """Exact int8 x int8 -> int32 matmul (reference, not the hot path).
+
+    Validates the accumulator no-overflow precondition: with entries in
+    [-127, 127], an inner dimension of at most :data:`INT8_MATMUL_MAX_K`
+    guarantees every partial sum fits int32.  The property suite compares
+    this against an int64 ground truth for random shapes/values.
+    """
+    a_q = np.asarray(a_q)
+    b_q = np.asarray(b_q)
+    if a_q.dtype != np.int8 or b_q.dtype != np.int8:
+        raise ModelError(
+            f"int8_matmul expects int8 operands, got "
+            f"{a_q.dtype} @ {b_q.dtype}"
+        )
+    if a_q.ndim != 2 or b_q.ndim != 2 or a_q.shape[1] != b_q.shape[0]:
+        raise ModelError(
+            f"int8_matmul shape mismatch: {a_q.shape} @ {b_q.shape}"
+        )
+    k = a_q.shape[1]
+    if k > INT8_MATMUL_MAX_K:
+        raise ModelError(
+            f"int8_matmul inner dimension {k} exceeds the int32 "
+            f"accumulator bound {INT8_MATMUL_MAX_K}"
+        )
+    return np.matmul(a_q.astype(np.int32), b_q.astype(np.int32))
+
+
+# -- calibration -------------------------------------------------------------
+
+#: Reserved npz key prefix for calibration arrays saved next to model
+#: weights (``nn.serialize`` skips it when loading parameters).
+CALIBRATION_PREFIX = "__quantize__/"
+
+#: Bumped when the calibration encoding changes incompatibly.
+CALIBRATION_VERSION = 1
+
+
+@dataclass
+class Calibration:
+    """Per-layer int8 scales recorded from a held-out shard.
+
+    ``act_scales`` maps *tape op position* -> activation scale for the
+    quantizable op at that position (the forward op sequence depends only
+    on the model architecture, not the batch size, so one position key
+    serves every batch-shape class).  ``param_scales`` maps parameter
+    *name* -> weight scale.  ``prim_names`` pins the op sequence the
+    scales were recorded against; :func:`repro.runtime.qtape.quantize_tape`
+    refuses a calibration whose sequence does not match the tape.
+    """
+
+    prim_names: Tuple[str, ...] = ()
+    act_scales: Dict[int, float] = field(default_factory=dict)
+    param_scales: Dict[str, float] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.act_scales)} activation scale(s), "
+            f"{len(self.param_scales)} weight scale(s) over "
+            f"{len(self.prim_names)} tape op(s)"
+        )
+
+
+def calibration_to_arrays(cal: Calibration) -> Dict[str, np.ndarray]:
+    """Flatten a :class:`Calibration` into npz-storable arrays.
+
+    Keys carry the :data:`CALIBRATION_PREFIX` so the checkpoint loader can
+    tell them apart from parameter arrays.  Only plain numeric/unicode
+    dtypes are used — the archives load with ``allow_pickle=False``.
+    """
+    positions = sorted(cal.act_scales)
+    names = sorted(cal.param_scales)
+    p = CALIBRATION_PREFIX
+    return {
+        p + "version": np.array(CALIBRATION_VERSION, dtype=np.int64),
+        p + "prim_names": np.array(list(cal.prim_names), dtype=np.str_),
+        p + "act_positions": np.array(positions, dtype=np.int64),
+        p + "act_scales": np.array(
+            [cal.act_scales[i] for i in positions], dtype=np.float64
+        ),
+        p + "param_names": np.array(names, dtype=np.str_),
+        p + "param_scales": np.array(
+            [cal.param_scales[n] for n in names], dtype=np.float64
+        ),
+    }
+
+
+def calibration_from_arrays(
+    arrays: Mapping[str, np.ndarray]
+) -> Calibration:
+    """Inverse of :func:`calibration_to_arrays`."""
+    p = CALIBRATION_PREFIX
+    required = (
+        "version", "prim_names", "act_positions", "act_scales",
+        "param_names", "param_scales",
+    )
+    missing = [k for k in required if p + k not in arrays]
+    if missing:
+        raise ModelError(
+            f"calibration archive missing keys: {sorted(missing)}"
+        )
+    version = int(arrays[p + "version"])
+    if version != CALIBRATION_VERSION:
+        raise ModelError(
+            f"calibration version {version} unsupported "
+            f"(expected {CALIBRATION_VERSION})"
+        )
+    positions = np.asarray(arrays[p + "act_positions"], dtype=np.int64)
+    act_values = np.asarray(arrays[p + "act_scales"], dtype=np.float64)
+    names = [str(n) for n in arrays[p + "param_names"]]
+    param_values = np.asarray(arrays[p + "param_scales"], dtype=np.float64)
+    if len(positions) != len(act_values) or len(names) != len(param_values):
+        raise ModelError("calibration archive arrays are inconsistent")
+    return Calibration(
+        prim_names=tuple(str(n) for n in arrays[p + "prim_names"]),
+        act_scales={int(i): float(s) for i, s in zip(positions, act_values)},
+        param_scales={n: float(s) for n, s in zip(names, param_values)},
+    )

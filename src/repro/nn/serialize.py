@@ -1,17 +1,43 @@
-"""Parameter persistence for trained models (npz checkpoints)."""
+"""Parameter persistence for trained models (npz checkpoints).
+
+A checkpoint may also carry the int8 :class:`~repro.nn.quantize.Calibration`
+for the fast inference tier: :func:`save_params` stores its scales under the
+reserved ``__quantize__/`` key prefix (ignored by :func:`load_params`'s
+parameter-name reconciliation), and :func:`load_calibration` reads them
+back.  One file therefore holds everything a serving worker needs to run
+either precision tier.
+"""
 
 from __future__ import annotations
 
 import os
+from typing import Optional
+
 import numpy as np
 
 from repro.errors import ModelError
 from repro.nn.layers import Module
+from repro.nn.quantize import (
+    CALIBRATION_PREFIX,
+    Calibration,
+    calibration_from_arrays,
+    calibration_to_arrays,
+)
 
 
-def save_params(module: Module, path: os.PathLike) -> None:
-    """Save all named parameters of ``module`` to an npz file."""
+def save_params(
+    module: Module,
+    path: os.PathLike,
+    calibration: Optional[Calibration] = None,
+) -> None:
+    """Save all named parameters of ``module`` to an npz file.
+
+    With ``calibration``, the int8 scales ride along in the same archive
+    under the reserved ``__quantize__/`` prefix.
+    """
     arrays = {name: p.data for name, p in module.named_parameters().items()}
+    if calibration is not None:
+        arrays.update(calibration_to_arrays(calibration))
     np.savez(path, **arrays)
 
 
@@ -19,8 +45,12 @@ def load_params(module: Module, path: os.PathLike) -> None:
     """Load parameters saved by :func:`save_params` into ``module`` in place."""
     with np.load(path) as archive:
         named = module.named_parameters()
-        missing = set(named) - set(archive.files)
-        extra = set(archive.files) - set(named)
+        stored = {
+            name for name in archive.files
+            if not name.startswith(CALIBRATION_PREFIX)
+        }
+        missing = set(named) - stored
+        extra = stored - set(named)
         if missing or extra:
             raise ModelError(
                 f"checkpoint mismatch: missing={sorted(missing)} "
@@ -34,3 +64,16 @@ def load_params(module: Module, path: os.PathLike) -> None:
                     f"vs model {param.data.shape}"
                 )
             param.data[...] = data
+
+
+def load_calibration(path: os.PathLike) -> Optional[Calibration]:
+    """Calibration stored alongside a checkpoint, or None if absent."""
+    with np.load(path) as archive:
+        arrays = {
+            name: archive[name]
+            for name in archive.files
+            if name.startswith(CALIBRATION_PREFIX)
+        }
+    if not arrays:
+        return None
+    return calibration_from_arrays(arrays)

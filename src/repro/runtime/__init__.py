@@ -18,6 +18,11 @@ from repro.runtime.features import (
     embedder_fingerprint,
     subpeg_adjacency,
 )
+from repro.runtime.qtape import (
+    QuantizedTape,
+    quantize_tape,
+    record_activation_maxima,
+)
 from repro.runtime.tape import (
     Tape,
     TapeExecutor,
@@ -34,12 +39,15 @@ __all__ = [
     "FeatureCache",
     "GraphBatch",
     "GraphInput",
+    "QuantizedTape",
     "Tape",
     "TapeExecutor",
     "TapeOp",
     "embedder_fingerprint",
     "format_tape",
     "iter_chunks",
+    "quantize_tape",
+    "record_activation_maxima",
     "record_tape",
     "subpeg_adjacency",
     "trace_dgcnn_forward",

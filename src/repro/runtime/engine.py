@@ -26,10 +26,16 @@ from repro.embeddings.anonwalk import AnonymousWalkSpace
 from repro.embeddings.inst2vec import Inst2Vec
 from repro.errors import EngineError
 from repro.models.mvgnn import MVGNN
+from repro.nn.quantize import PRECISIONS, Calibration, symmetric_scale
 from repro.nn.tensor import no_grad
 from repro.peg.graph import PEG
 from repro.runtime.batch import GraphBatch, iter_chunks
 from repro.runtime.features import FeatureCache, subpeg_adjacency
+from repro.runtime.qtape import (
+    calibration_from_maxima,
+    quantize_tape,
+    record_activation_maxima,
+)
 from repro.runtime.tape import TapeExecutor, trace_mvgnn_forward
 
 @dataclass(frozen=True)
@@ -62,6 +68,7 @@ class EngineStats:
     cache_hits: int = 0
     cache_misses: int = 0
     compiled_batches: int = 0
+    fast_batches: int = 0
 
     @property
     def graphs_per_sec(self) -> float:
@@ -102,6 +109,21 @@ class Engine:
         to the interpreted path (differentially tested), just faster.
         ``compile=False`` is the escape hatch that keeps the layer-by-layer
         reference path.
+    precision:
+        Default execution tier: ``"exact"`` (the default) replays the
+        float64 tape byte-identically to the interpreted path; ``"fast"``
+        replays an int8-grid float32 rewrite of the same tape
+        (:mod:`repro.runtime.qtape`) — verdict-preserving within the
+        tolerances the differential wall pins, at higher throughput.
+        Either tier can also be selected per call on
+        :meth:`logits_many` / :meth:`predict_many`.  ``"fast"`` without
+        ``compile`` falls back to the exact interpreted forward (the tier
+        is a tape rewrite; there is no tape to rewrite).
+    calibration:
+        Optional :class:`~repro.nn.quantize.Calibration` with per-layer
+        int8 scales for the fast tier (from :meth:`calibrate` or
+        :func:`repro.nn.serialize.load_calibration`).  Without one, fast
+        tapes use dynamic per-call activation scales.
     """
 
     def __init__(
@@ -114,9 +136,15 @@ class Engine:
         gamma: int = 30,
         walk_seed: int = 0,
         compile: bool = True,
+        precision: str = "exact",
+        calibration: Optional[Calibration] = None,
     ) -> None:
         if batch_size <= 0:
             raise EngineError(f"batch_size must be positive, got {batch_size}")
+        if precision not in PRECISIONS:
+            raise EngineError(
+                f"precision must be one of {PRECISIONS}, got {precision!r}"
+            )
         self.model = model
         self.inst2vec = inst2vec
         self.walk_space = walk_space
@@ -125,11 +153,16 @@ class Engine:
         self.gamma = gamma
         self.walk_seed = walk_seed
         self.compile = bool(compile)
+        self.precision = precision
+        self.calibration = calibration
         self.stats = EngineStats()
         # One recorded tape per batch-shape class (keyed by graph count);
-        # output buffers are per-thread so concurrent predict_many calls
-        # never share scratch memory.
+        # the fast tier keeps its quantized rewrites in a sibling cache
+        # (together: one tape per (batch-shape, precision)).  Output
+        # buffers are per-thread so concurrent predict_many calls never
+        # share scratch memory.
         self._tapes: dict = {}
+        self._fast_tapes: dict = {}
         self._tape_lock = threading.Lock()
         self._tls = threading.local()
         # Serializes stats mutation and the model's eval/train mode flips so
@@ -188,13 +221,17 @@ class Engine:
     # -- prediction ----------------------------------------------------------
 
     def logits_many(
-        self, loops: Sequence[LoopInput], batch_size: Optional[int] = None
+        self,
+        loops: Sequence[LoopInput],
+        batch_size: Optional[int] = None,
+        precision: Optional[str] = None,
     ) -> np.ndarray:
         """``(len(loops), num_classes)`` logits, batched forward passes.
 
         Output row ``i`` corresponds to ``loops[i]`` regardless of batch
         boundaries, and equals the per-graph ``model.forward`` logits to
-        floating-point tolerance.
+        floating-point tolerance (exactly, at ``precision="exact"``).
+        ``precision`` overrides the engine default for this call.
         """
         loops = list(loops)
         if not loops:
@@ -202,6 +239,12 @@ class Engine:
         size = batch_size if batch_size is not None else self.batch_size
         if size <= 0:
             raise EngineError(f"batch_size must be positive, got {size}")
+        tier = self.precision if precision is None else precision
+        if tier not in PRECISIONS:
+            raise EngineError(
+                f"precision must be one of {PRECISIONS}, got {tier!r}"
+            )
+        fast = tier == "fast" and self.compile
         started = time.perf_counter()
 
         self._enter_eval()
@@ -213,7 +256,12 @@ class Engine:
                 start = 0
                 for chunk in iter_chunks(loops, size):
                     batch = self._batch_for(chunk, start)
-                    if self.compile:
+                    if fast:
+                        rows.append(self._forward_compiled(batch, "fast"))
+                        compiled += 1
+                    elif self.compile:
+                        # exact keeps the 1-arg call shape: test harnesses
+                        # wrap _forward_compiled(self, batch) to inject skew
                         rows.append(self._forward_compiled(batch))
                         compiled += 1
                     else:
@@ -233,6 +281,8 @@ class Engine:
         with self._state_lock:
             self.stats.batches += batches
             self.stats.compiled_batches += compiled
+            if fast:
+                self.stats.fast_batches += compiled
             self.stats.graphs += len(loops)
             self.stats.seconds += elapsed
             # Concurrent callers' cache hits/misses cannot be attributed
@@ -263,14 +313,47 @@ class Engine:
                     self._tapes[key] = executor
         return executor
 
-    def _forward_compiled(self, batch: GraphBatch) -> np.ndarray:
-        executor = self._executor_for(batch)
+    def _fast_executor_for(self, batch: GraphBatch) -> TapeExecutor:
+        """Quantized rewrite of the batch-shape class's exact tape."""
+        key = batch.num_graphs
+        executor = self._fast_tapes.get(key)
+        if executor is None:
+            exact = self._executor_for(batch)  # trace (or reuse) the source
+            with self._tape_lock:
+                executor = self._fast_tapes.get(key)
+                if executor is None:
+                    executor = TapeExecutor(
+                        quantize_tape(exact.tape, self.calibration)
+                    )
+                    self._fast_tapes[key] = executor
+        return executor
+
+    def reset_fast_tapes(self) -> None:
+        """Drop quantized tapes (and their baked weights).
+
+        Fast tapes bake int8-round-tripped copies of the weights, so they
+        go stale when weights change in place — the fleet worker calls
+        this after a hot reload; :meth:`calibrate` calls it after
+        recording new scales.  Exact tapes read parameters live and are
+        unaffected.
+        """
+        with self._tape_lock:
+            self._fast_tapes.clear()
+
+    def _forward_compiled(
+        self, batch: GraphBatch, precision: str = "exact"
+    ) -> np.ndarray:
+        if precision == "fast":
+            executor = self._fast_executor_for(batch)
+        else:
+            executor = self._executor_for(batch)
         pools = getattr(self._tls, "buffers", None)
         if pools is None:
             pools = self._tls.buffers = {}
-        buffers = pools.get(batch.num_graphs)
+        key = (precision, batch.num_graphs)
+        buffers = pools.get(key)
         if buffers is None:
-            buffers = pools[batch.num_graphs] = executor.new_buffers()
+            buffers = pools[key] = executor.new_buffers()
         return executor.run(
             {
                 "x_semantic": batch.x_semantic,
@@ -287,7 +370,8 @@ class Engine:
         Traces (and buffer-allocates) the shape classes an engine serves
         most — a full ``batch_size`` pack and a single-graph pack — by
         classifying a synthetic two-node graph; the serving fleet calls
-        this from worker startup.  Returns the number of tapes built.
+        this from worker startup.  Returns the number of batch-shape
+        classes warmed (fast-default engines warm both tiers per class).
         """
         if not self.compile:
             return 0
@@ -299,18 +383,98 @@ class Engine:
             graph_id="tape-warmup",
         )
         sizes = sorted(set(batch_sizes or ()) | {1, self.batch_size})
+        # a fast-default engine warms both tiers (its fast tapes rewrite
+        # the exact ones, and explicit ?precision=exact requests still
+        # land on the float tape); an exact-default engine warms exact only
+        tiers = ("exact",) if self.precision == "exact" else ("exact", "fast")
         graphs = 0
-        for size in sizes:
-            self.predict_many([graph] * size, batch_size=size)
-            graphs += size
+        fast_batches = 0
+        for tier in tiers:
+            for size in sizes:
+                self.predict_many([graph] * size, batch_size=size,
+                                  precision=tier)
+                graphs += size
+                fast_batches += tier == "fast"
         # synthetic warm-up packs are not served inputs: back their
         # accounting out so the ledger stays exact (graphs counts every
         # real input once).  Each warm size runs as one compiled batch.
         with self._state_lock:
             self.stats.graphs -= graphs
-            self.stats.batches -= len(sizes)
-            self.stats.compiled_batches -= len(sizes)
+            self.stats.batches -= len(sizes) * len(tiers)
+            self.stats.compiled_batches -= len(sizes) * len(tiers)
+            self.stats.fast_batches -= fast_batches
         return len(sizes)
+
+    def calibrate(
+        self,
+        loops: Sequence[LoopInput],
+        batch_size: Optional[int] = None,
+    ) -> Calibration:
+        """Record per-layer int8 scales from a held-out shard of loops.
+
+        Runs the exact tape over ``loops`` tracking the absolute maximum
+        of every quantizable activation (keyed by op position — the op
+        sequence is batch-size-invariant, so the scales serve every
+        batch-shape class), derives weight scales from the live
+        parameters, installs the result as this engine's calibration
+        (dropping any cached fast tapes), and returns it.  Persist it next
+        to a checkpoint with
+        ``repro.nn.serialize.save_params(model, path, calibration=cal)``.
+        """
+        loops = list(loops)
+        if not loops:
+            raise EngineError("calibration needs at least one loop")
+        if not self.compile:
+            raise EngineError(
+                "calibration requires a compiled engine (compile=True)"
+            )
+        size = batch_size if batch_size is not None else self.batch_size
+        if size <= 0:
+            raise EngineError(f"batch_size must be positive, got {size}")
+        maxima: dict = {}
+        prim_names = None
+        tape = None
+        self._enter_eval()
+        try:
+            with no_grad():
+                start = 0
+                for chunk in iter_chunks(loops, size):
+                    batch = self._batch_for(chunk, start)
+                    tape = self._executor_for(batch).tape
+                    names = tuple(op.prim for op in tape.ops)
+                    if prim_names is None:
+                        prim_names = names
+                    elif names != prim_names:
+                        raise EngineError(
+                            "calibration batches traced different op "
+                            "sequences; cannot key scales by position"
+                        )
+                    record_activation_maxima(
+                        tape,
+                        {
+                            "x_semantic": batch.x_semantic,
+                            "x_structural": batch.x_structural,
+                            "adj_norm": batch.adj_norm,
+                            "sizes": batch.sizes,
+                        },
+                        maxima,
+                    )
+                    start += len(chunk)
+        finally:
+            self._exit_eval()
+        param_scales = {
+            tape.param_slots[op.inputs[1]]: symmetric_scale(
+                tape.params[op.inputs[1]].data
+            )
+            for op in tape.ops
+            if op.prim == "matmul" and op.inputs[1] in tape.params
+        }
+        calibration = calibration_from_maxima(
+            prim_names, maxima, param_scales
+        )
+        self.calibration = calibration
+        self.reset_fast_tapes()
+        return calibration
 
     def _enter_eval(self) -> None:
         """First concurrent call flips the model to eval; the rest ride it."""
@@ -329,7 +493,10 @@ class Engine:
                 self._restore_training = False
 
     def predict_many(
-        self, loops: Sequence[LoopInput], batch_size: Optional[int] = None
+        self,
+        loops: Sequence[LoopInput],
+        batch_size: Optional[int] = None,
+        precision: Optional[str] = None,
     ) -> np.ndarray:
         """Predicted labels for many loops: ``(len(loops),)`` int64.
 
@@ -337,9 +504,12 @@ class Engine:
         raw loop sub-PEGs (features extracted through the cache); the two
         kinds may be mixed in one call.  Identical to running
         ``argmax(model.forward(...))`` per loop, but packs ``batch_size``
-        graphs per numpy-level pass.
+        graphs per numpy-level pass.  ``precision`` overrides the engine's
+        default execution tier for this call.
         """
-        logits = self.logits_many(loops, batch_size=batch_size)
+        logits = self.logits_many(
+            loops, batch_size=batch_size, precision=precision
+        )
         return np.argmax(logits, axis=1).astype(np.int64)
 
     def predict(self, loop: LoopInput) -> int:

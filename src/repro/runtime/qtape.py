@@ -1,0 +1,255 @@
+"""Quantized tape rewriting: the ``precision="fast"`` execution tier.
+
+:func:`quantize_tape` takes an exact float tape recorded by
+:mod:`repro.runtime.tape` and rewrites the hot contractions onto the
+symmetric int8 grid (:mod:`repro.nn.quantize`):
+
+* ``matmul`` against a parameter (every Dense layer) becomes ``qmatmul``
+  with the weight *baked* — round-tripped through int8 and cached as
+  float32 — and the activation snapped to the grid at a calibrated scale;
+* ``adj_matmul`` becomes ``qadj_matmul`` (node features snapped before the
+  neighborhood aggregation);
+* ``segment_sort_pool`` becomes ``qsegment_sort_pool`` (pooled activations
+  snapped on the way out).
+
+Everything else replays unchanged, but the whole tape executes in float32
+(:class:`QuantizedTape` carries ``dtype = float32``; the
+:class:`~repro.runtime.tape.TapeExecutor` allocates its scratch buffers in
+the tape's dtype).  The rewrite never touches the source tape, so an
+Engine can hold both tiers side by side and the ``exact`` tier stays
+byte-identical to PR 7's compiled path.
+
+Activation scales come from a :class:`~repro.nn.quantize.Calibration`
+recorded by :func:`record_activation_maxima` /
+:meth:`repro.runtime.engine.Engine.calibrate` over a held-out shard and
+are keyed by *op position*: the traced op sequence depends only on the
+model architecture (PR 7's cross-node-count tape-reuse tests pin this),
+so one calibration serves every batch-shape class.  Ops without a
+recorded scale fall back to a dynamic per-call abs-max scale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import EngineError
+from repro.nn.primitives import get_primitive
+from repro.nn.quantize import (
+    Calibration,
+    fake_quantize,
+    scale_from_max,
+    symmetric_scale,
+)
+from repro.runtime.tape import Tape, TapeOp
+
+__all__ = [
+    "QuantizedTape",
+    "quantize_tape",
+    "record_activation_maxima",
+    "quantizable_positions",
+]
+
+#: float prim -> quantized replacement
+_Q_PRIMS = {
+    "matmul": "qmatmul",
+    "adj_matmul": "qadj_matmul",
+    "segment_sort_pool": "qsegment_sort_pool",
+}
+
+
+def _watched_input(tape: Tape, op: TapeOp) -> Optional[int]:
+    """Slot whose value sets the op's activation scale (None = not
+    quantizable, or scale is taken from the op's *output*)."""
+    if op.prim == "matmul":
+        # only weight matmuls quantize: the rhs must be a live parameter
+        if op.inputs[1] in tape.params:
+            return op.inputs[0]
+        return None
+    if op.prim == "adj_matmul":
+        return op.inputs[1]
+    return None
+
+
+def quantizable_positions(tape: Tape) -> List[int]:
+    """Op positions :func:`quantize_tape` would rewrite, in tape order."""
+    positions = []
+    for pos, op in enumerate(tape.ops):
+        if op.prim == "segment_sort_pool":
+            positions.append(pos)
+        elif _watched_input(tape, op) is not None:
+            positions.append(pos)
+    return positions
+
+
+def record_activation_maxima(
+    tape: Tape,
+    bindings: Dict[str, object],
+    maxima: Optional[Dict[int, float]] = None,
+) -> Dict[int, float]:
+    """One calibration pass: abs-max of each quantizable op's activation.
+
+    Executes the float tape unfused and folds per-position maxima into
+    ``maxima`` (keyed by op position), so repeated calls over the batches
+    of a held-out shard aggregate into one running maximum per site.
+    """
+    if maxima is None:
+        maxima = {}
+    values = tape.seed_values(bindings)
+    for pos, op in enumerate(tape.ops):
+        prim = get_primitive(op.prim)
+        ins = tuple(values[s] for s in op.inputs)
+        values[op.out] = prim.forward(ins, op.attrs)
+        if op.prim == "segment_sort_pool":
+            watched = np.asarray(values[op.out])
+        else:
+            slot = _watched_input(tape, op)
+            if slot is None:
+                continue
+            watched = np.asarray(values[slot])
+        peak = float(np.max(np.abs(watched))) if watched.size else 0.0
+        if np.isfinite(peak):
+            maxima[pos] = max(peak, maxima.get(pos, 0.0))
+    return maxima
+
+
+class QuantizedTape(Tape):
+    """A float tape rewritten for int8-grid float32 execution.
+
+    Structure (slots, inputs, output) mirrors the source tape one-to-one;
+    only the hot ops are substituted.  ``seed_values`` feeds the executor
+    float32 throughout: consts are pre-cast, weight params are served from
+    a per-slot cache of int8-round-tripped float32 arrays (recomputed from
+    the live parameter after :meth:`refresh_params`, e.g. on hot weight
+    reload), and runtime inputs are cast on the way in.
+    """
+
+    dtype = np.float32
+
+    def __init__(
+        self, source: Tape, calibration: Optional[Calibration] = None
+    ) -> None:
+        super().__init__()
+        names = tuple(op.prim for op in source.ops)
+        if calibration is not None and calibration.prim_names:
+            if tuple(calibration.prim_names) != names:
+                raise EngineError(
+                    "calibration does not match this tape: recorded against "
+                    f"{len(calibration.prim_names)} op(s), tape has "
+                    f"{len(names)} — recalibrate with `repro calibrate`"
+                )
+        self.calibration = calibration
+        self.input_slots = dict(source.input_slots)
+        self.array_inputs = set(source.array_inputs)
+        self.param_slots = dict(source.param_slots)
+        self.params = dict(source.params)
+        self.consts = {
+            slot: np.asarray(data, dtype=np.float32)
+            for slot, data in source.consts.items()
+        }
+        self.output = source.output
+        self.num_slots = source.num_slots
+        act_scales = calibration.act_scales if calibration is not None else {}
+        param_scales = (
+            calibration.param_scales if calibration is not None else {}
+        )
+        # slots whose params are weight-quantized (rhs of a qmatmul);
+        # _weight_fold carries a calibrated activation scale folded into
+        # the baked weight (only when the slot feeds exactly one qmatmul,
+        # so the fold is unambiguous) — the qmatmul then skips its
+        # activation rescale pass (see primitives._qmatmul_fwd)
+        self._weight_slots: set = set()
+        self._weight_scales: Dict[int, float] = {}
+        self._weight_fold: Dict[int, float] = {}
+        self._param_cache: Dict[int, np.ndarray] = {}
+        weight_uses: Dict[int, int] = {}
+        for op in source.ops:
+            if op.prim == "matmul" and op.inputs[1] in source.params:
+                slot = op.inputs[1]
+                weight_uses[slot] = weight_uses.get(slot, 0) + 1
+        for pos, op in enumerate(source.ops):
+            replacement = _Q_PRIMS.get(op.prim)
+            watched = _watched_input(source, op)
+            if replacement is None or (
+                op.prim != "segment_sort_pool" and watched is None
+            ):
+                self.ops.append(op)  # replayed as-is (executor casts inputs)
+                continue
+            attrs = dict(op.attrs)
+            act_scale = act_scales.get(pos)
+            attrs["act_scale"] = act_scale  # None -> dynamic per-call
+            if op.prim == "matmul":
+                w_slot = op.inputs[1]
+                self._weight_slots.add(w_slot)
+                name = source.param_slots[w_slot]
+                scale = param_scales.get(name)
+                self._weight_scales[w_slot] = (
+                    float(scale) if scale is not None
+                    else symmetric_scale(self.params[w_slot].data)
+                )
+                if act_scale is not None and weight_uses[w_slot] == 1:
+                    attrs["folded"] = True
+                    self._weight_fold[w_slot] = float(act_scale)
+            self.ops.append(TapeOp(
+                prim=replacement,
+                inputs=op.inputs,
+                out=op.out,
+                attrs=attrs,
+                shape=op.shape,
+            ))
+
+    def refresh_params(self) -> None:
+        """Drop baked float32 params so the next run re-reads live weights."""
+        self._param_cache.clear()
+
+    def _param_value(self, slot: int) -> np.ndarray:
+        cached = self._param_cache.get(slot)
+        if cached is None:
+            data = np.asarray(self.params[slot].data, dtype=np.float32)
+            if slot in self._weight_slots:
+                data = fake_quantize(data, self._weight_scales[slot])
+                fold = self._weight_fold.get(slot)
+                if fold is not None:
+                    data = data * np.float32(fold)
+            cached = self._param_cache[slot] = data
+        return cached
+
+    def seed_values(self, bindings: Dict[str, object]) -> List[object]:
+        values: List[object] = [None] * self.num_slots
+        for slot, data in self.consts.items():
+            values[slot] = data
+        for slot in self.params:
+            values[slot] = self._param_value(slot)
+        for name, slot in self.input_slots.items():
+            if name not in bindings:
+                raise EngineError(f"tape execution missing input {name!r}")
+            value = bindings[name]
+            if name in self.array_inputs:
+                value = np.asarray(value, dtype=np.float32)
+            elif hasattr(value, "astype"):
+                # object inputs with a dtype (the adjacency block) ride the
+                # float32 pipeline too; plain sequences (sizes) pass through
+                value = value.astype(np.float32)
+            values[slot] = value
+        return values
+
+
+def quantize_tape(
+    tape: Tape, calibration: Optional[Calibration] = None
+) -> QuantizedTape:
+    """Rewrite an exact tape for the ``fast`` tier (source is untouched)."""
+    return QuantizedTape(tape, calibration)
+
+
+def calibration_from_maxima(
+    prim_names, maxima: Dict[int, float], param_scales: Dict[str, float]
+) -> Calibration:
+    """Package recorded maxima into a :class:`Calibration`."""
+    return Calibration(
+        prim_names=tuple(prim_names),
+        act_scales={
+            pos: scale_from_max(peak) for pos, peak in sorted(maxima.items())
+        },
+        param_scales=dict(param_scales),
+    )

@@ -603,6 +603,9 @@ class TapeExecutor:
 
     def __init__(self, tape: Tape) -> None:
         self.tape = tape
+        # scratch buffers take the tape's execution dtype: float64 for the
+        # exact tier, float32 for quantized tapes (see repro.runtime.qtape)
+        self.dtype = np.dtype(getattr(tape, "dtype", np.float64))
         self.plan = build_plan(tape)
         flat = unfuse_plan(self.plan)
         if len(flat) != len(tape.ops) or any(
@@ -629,7 +632,7 @@ class TapeExecutor:
                 shape = prim.out_shape(ins, op.attrs)
                 buf = buffers[pos]
                 if buf is None or buf.shape != tuple(shape):
-                    buf = np.empty(shape, dtype=np.float64)
+                    buf = np.empty(shape, dtype=self.dtype)
                     buffers[pos] = buf
                 out = buf
             value = prim.forward(ins, op.attrs, out=out)

@@ -38,7 +38,7 @@ from repro.serve.metrics import (
     ServeMetrics,
     bind_engine_stats,
 )
-from repro.serve.service import InferenceService
+from repro.serve.service import InferenceService, resolve_precision
 from repro.serve.supervisor import Supervisor, WorkerHandle, WorkerPayload
 
 __all__ = [
@@ -61,5 +61,6 @@ __all__ = [
     "WorkerPayload",
     "bind_engine_stats",
     "content_shard",
+    "resolve_precision",
     "serve_forever",
 ]

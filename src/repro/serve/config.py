@@ -68,6 +68,20 @@ class ServeConfig:
         killed, and the batch retried (counts against ``worker_retries``).
     health_interval_s:
         Supervisor health-check poll period for dead-worker detection.
+    default_precision:
+        Execution tier for requests that do not pin one via
+        ``?precision=``: ``"exact"`` (float64 tape, byte-identical to the
+        reference forward) or ``"fast"`` (int8-grid float32 tape).  See
+        docs/RUNTIME.md.
+    downgrade_queue_depth:
+        Degrade-before-shed threshold: when a request *without* an
+        explicit precision arrives and its queue already holds at least
+        this many entries, it is served at ``"fast"`` instead of the
+        default tier (counted in ``serve_precision_downgrades_total``) —
+        trading bits for latency *before* admission control starts
+        returning 429/504.  ``None`` (the default) auto-derives
+        ``max_queue_depth // 2``; ``0`` disables downgrading.  Requests
+        that pin ``?precision=exact`` are never downgraded.
     """
 
     max_batch_size: int = 32
@@ -86,6 +100,9 @@ class ServeConfig:
     worker_start_timeout_s: float = 60.0
     worker_request_timeout_s: float = 120.0
     health_interval_s: float = 0.1
+    # -- precision tiering (see docs/RUNTIME.md, docs/SERVING.md) -----------
+    default_precision: str = "exact"
+    downgrade_queue_depth: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.max_batch_size <= 0:
@@ -132,6 +149,24 @@ class ServeConfig:
         if self.health_interval_s <= 0:
             raise ConfigError(
                 f"health_interval_s must be positive, got {self.health_interval_s}")
+        if self.default_precision not in ("exact", "fast"):
+            raise ConfigError(
+                "default_precision must be 'exact' or 'fast', "
+                f"got {self.default_precision!r}")
+        if (self.downgrade_queue_depth is not None
+                and self.downgrade_queue_depth < 0):
+            raise ConfigError(
+                "downgrade_queue_depth must be >= 0 or None, "
+                f"got {self.downgrade_queue_depth}")
+
+    @property
+    def effective_downgrade_depth(self) -> Optional[int]:
+        """The resolved degrade-before-shed threshold (None = disabled)."""
+        if self.downgrade_queue_depth is None:
+            return max(1, self.max_queue_depth // 2)
+        if self.downgrade_queue_depth == 0:
+            return None
+        return self.downgrade_queue_depth
 
     def with_updates(self, **changes) -> "ServeConfig":
         """A copy with ``changes`` applied (validation re-runs)."""

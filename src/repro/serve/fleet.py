@@ -14,11 +14,17 @@ that surface the work fans out:
   its feature arrays (:func:`content_shard`) — the same graph always lands
   on the same worker, so every worker's FeatureCache stays hot on exactly
   its shard of the keyspace;
-* each shard owns a :class:`~repro.serve.batcher.MicroBatcher` whose
-  predict_fn is :meth:`~repro.serve.supervisor.Supervisor.predict` — the
-  single-process batching policy (size-or-window coalescing, admission
-  control, deadlines) applies per shard, and worker death mid-batch is
-  retried invisibly;
+* each (shard × precision tier) owns a
+  :class:`~repro.serve.batcher.MicroBatcher` whose predict_fn is
+  :meth:`~repro.serve.supervisor.Supervisor.predict` — the single-process
+  batching policy (size-or-window coalescing, admission control,
+  deadlines) applies per shard, ``exact`` and ``fast`` requests never
+  coalesce into one tape, and worker death mid-batch is retried
+  invisibly;
+* the degrade-before-shed policy of
+  :func:`~repro.serve.service.resolve_precision` watches the fleet-wide
+  default-tier queue depth: an unpinned request arriving past the
+  threshold is served ``fast`` instead of queueing toward 429/504;
 * rolling restart and hot weight reload are one
   :meth:`reload` call away (the ``POST /admin/reload`` route), blue-green
   per slot with zero dropped requests.
@@ -29,7 +35,7 @@ from __future__ import annotations
 import asyncio
 import hashlib
 import time
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -39,7 +45,7 @@ from repro.serve import wire
 from repro.serve.batcher import USE_DEFAULT, MicroBatcher
 from repro.serve.config import ServeConfig
 from repro.serve.metrics import FleetMetrics, MetricsRegistry, ServeMetrics
-from repro.serve.service import _status_for
+from repro.serve.service import _status_for, resolve_precision
 from repro.serve.supervisor import Supervisor, WorkerPayload
 
 
@@ -95,17 +101,21 @@ class FleetService:
             WorkerPayload.from_engine(engine), self.config,
             metrics=self.fleet_metrics,
         )
-        # one micro-batcher per shard; the shared ServeMetrics aggregates
-        # admission/latency across shards while FleetMetrics splits routing
-        self.batchers: List[MicroBatcher] = [
-            MicroBatcher(
-                self._shard_predict_fn(slot), self.config,
+        # one micro-batcher per (shard, tier); the shared ServeMetrics
+        # aggregates admission/latency across shards while FleetMetrics
+        # splits routing — and mixed-precision batches can never coalesce
+        self.batchers: Dict[Tuple[int, str], MicroBatcher] = {
+            (slot, tier): MicroBatcher(
+                self._shard_predict_fn(slot, tier), self.config,
                 metrics=self.metrics,
             )
             for slot in range(self.n_workers)
-        ]
+            for tier in wire.PRECISIONS
+        }
         self.metrics.bind_queue_depth(
-            lambda: float(sum(b.queue_depth for b in self.batchers))
+            lambda: float(sum(
+                b.queue_depth for b in self.batchers.values()
+            ))
         )
         for shard in range(self.n_workers):
             self.fleet_metrics.shard_requests(shard)  # pre-register at zero
@@ -114,9 +124,9 @@ class FleetService:
         self._started_at: Optional[float] = None
         self._admin_lock = asyncio.Lock()
 
-    def _shard_predict_fn(self, slot: int):
+    def _shard_predict_fn(self, slot: int, precision: str):
         def predict(items: Sequence[Any]) -> List[int]:
-            return self.supervisor.predict(slot, items)
+            return self.supervisor.predict(slot, items, precision=precision)
         return predict
 
     # -- lifecycle -----------------------------------------------------------
@@ -125,12 +135,12 @@ class FleetService:
         loop = asyncio.get_running_loop()
         # spawning + warm pings block; keep the event loop responsive
         await loop.run_in_executor(None, self.supervisor.start)
-        for batcher in self.batchers:
+        for batcher in self.batchers.values():
             await batcher.start()
         self._started_at = time.monotonic()
 
     async def stop(self) -> None:
-        for batcher in self.batchers:
+        for batcher in self.batchers.values():
             await batcher.stop()
         loop = asyncio.get_running_loop()
         await loop.run_in_executor(None, self.supervisor.stop)
@@ -138,45 +148,86 @@ class FleetService:
     @property
     def running(self) -> bool:
         return self.supervisor.running and all(
-            batcher.running for batcher in self.batchers
+            batcher.running for batcher in self.batchers.values()
         )
 
     # -- routing -------------------------------------------------------------
 
-    async def submit_graph(self, graph: GraphInput,
-                           deadline_ms: Any = USE_DEFAULT) -> int:
+    def _resolve(self, requested: Optional[str]) -> str:
+        """Effective tier for one request, metrics recorded.
+
+        The degrade-before-shed signal is the fleet-wide default-tier
+        queue depth (sum across shards) — per-shard depths swing with
+        routing luck; the aggregate is the pressure that precedes shedding.
+        """
+        default_depth = sum(
+            self.batchers[(slot, self.config.default_precision)].queue_depth
+            for slot in range(self.n_workers)
+        )
+        tier, downgraded = resolve_precision(
+            requested, self.config, default_depth
+        )
+        self.metrics.precision_requests(tier).inc()
+        if downgraded:
+            self.metrics.downgrades.inc()
+        return tier
+
+    async def _submit(self, graph: GraphInput, tier: str,
+                      deadline_ms: Any) -> int:
+        """Route one graph to its content shard at a resolved tier."""
+        shard = content_shard(graph, self.n_workers)
+        self.fleet_metrics.shard_requests(shard).inc()
+        return await self.batchers[(shard, tier)].submit(
+            graph, deadline_ms=deadline_ms
+        )
+
+    async def submit_graph(
+        self,
+        graph: GraphInput,
+        deadline_ms: Any = USE_DEFAULT,
+        precision: Optional[str] = None,
+    ) -> int:
         """Route one decoded graph to its content shard and await the label.
 
         The entry point shared by the HTTP endpoints and the fleet
         benchmark's load generators (which skip JSON entirely).
+        ``precision`` is the request's pinned tier (``None`` applies the
+        default tier + downgrade policy).
         """
-        shard = content_shard(graph, self.n_workers)
-        self.fleet_metrics.shard_requests(shard).inc()
-        return await self.batchers[shard].submit(graph, deadline_ms=deadline_ms)
+        return await self._submit(graph, self._resolve(precision), deadline_ms)
 
     # -- endpoints (same shapes as InferenceService) -------------------------
 
-    async def classify(self, payload: Any) -> Dict[str, Any]:
+    async def classify(
+        self, payload: Any, precision: Optional[str] = None
+    ) -> Dict[str, Any]:
         if not isinstance(payload, Mapping):
             raise WireError(
                 f"request: expected a JSON object, got {type(payload).__name__}"
             )
+        if precision is None:
+            precision = wire.decode_precision(payload.get("precision"))
         deadline_ms = wire.decode_deadline_ms(payload, default=USE_DEFAULT)
         graph = wire.decode_loop(payload)  # 400/422 here, pre-routing
-        label = await self.submit_graph(graph, deadline_ms=deadline_ms)
-        return {"id": graph.graph_id, "label": label}
+        tier = self._resolve(precision)
+        label = await self._submit(graph, tier, deadline_ms)
+        return {"id": graph.graph_id, "label": label, "precision": tier}
 
-    async def classify_batch(self, payload: Any) -> Dict[str, Any]:
+    async def classify_batch(
+        self, payload: Any, precision: Optional[str] = None
+    ) -> Dict[str, Any]:
         if not isinstance(payload, Mapping):
             raise WireError(
                 f"request: expected a JSON object, got {type(payload).__name__}"
             )
+        if precision is None:
+            precision = wire.decode_precision(payload.get("precision"))
         deadline_ms = wire.decode_deadline_ms(payload, default=USE_DEFAULT)
         graphs = wire.decode_batch(payload)  # all-or-nothing, pre-routing
+        tier = self._resolve(precision)  # one tier per request
 
         outcomes = await asyncio.gather(
-            *(self.submit_graph(graph, deadline_ms=deadline_ms)
-              for graph in graphs),
+            *(self._submit(graph, tier, deadline_ms) for graph in graphs),
             return_exceptions=True,
         )
         results: List[Dict[str, Any]] = []
@@ -191,7 +242,7 @@ class FleetService:
                 raise outcome
             else:
                 results.append({"id": graph.graph_id, "label": outcome})
-        return {"results": results}
+        return {"results": results, "precision": tier}
 
     def example_payload(self) -> Dict[str, Any]:
         if not self._examples:
@@ -210,9 +261,12 @@ class FleetService:
             "model": type(self.engine.model).__name__,
             "mode": "fleet",
             "uptime_s": round(uptime, 3),
-            "queue_depth": sum(b.queue_depth for b in self.batchers),
+            "queue_depth": sum(
+                b.queue_depth for b in self.batchers.values()
+            ),
             "max_batch_size": self.config.max_batch_size,
             "max_wait_ms": self.config.max_wait_ms,
+            "default_precision": self.config.default_precision,
             "requests_total": int(self.metrics.requests.value),
             "responses_total": int(self.metrics.responses.value),
             "fleet_size": self.n_workers,

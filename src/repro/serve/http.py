@@ -11,14 +11,19 @@ Routes
 ------
 
 ==========================  =====================================================
-``POST /v1/classify``       one loop object -> ``{"id", "label"}``
-``POST /v1/classify_batch`` ``{"loops": [...]}`` -> ``{"results": [...]}``
+``POST /v1/classify``       one loop object -> ``{"id", "label", "precision"}``
+``POST /v1/classify_batch`` ``{"loops": [...]}`` -> ``{"results", "precision"}``
 ``GET  /v1/example``        a valid classify payload from the example pool
 ``GET  /healthz``           liveness + config summary (+ per-worker status)
 ``GET  /metrics``           Prometheus text exposition
 ``POST /admin/reload``      fleet mode: rolling hot weight reload (409 else)
 ``POST /admin/restart``     fleet mode: rolling worker restart (409 else)
 ==========================  =====================================================
+
+Both classify routes accept ``?precision=exact|fast`` to pin the execution
+tier (a ``"precision"`` body field works too; the query parameter wins).
+Unpinned requests get the server's default tier, subject to the
+degrade-before-shed policy — see docs/SERVING.md.
 
 The ``service`` behind the front end is either the single-process
 :class:`~repro.serve.service.InferenceService` or the multi-process
@@ -66,6 +71,20 @@ _REASONS = {
     500: "Internal Server Error",
     504: "Gateway Timeout",
 }
+
+
+def _query_precision(query: str) -> Optional[str]:
+    """The ``?precision=`` pin from a raw query string (None = unpinned).
+
+    Raises :class:`WireError` (-> 400) on an unknown tier, inside the
+    routing try block like every other wire-level failure.
+    """
+    if not query:
+        return None
+    from urllib.parse import parse_qsl
+
+    params = dict(parse_qsl(query, keep_blank_values=True))
+    return wire.decode_precision(params.get("precision"), where="query")
 
 
 class HttpServer:
@@ -185,7 +204,7 @@ class HttpServer:
         self, method: str, path: str, body: bytes
     ) -> Tuple[int, Any, str, Dict[str, str]]:
         """-> (status, payload, content-type, extra headers)."""
-        path = path.split("?", 1)[0]
+        path, _, query = path.partition("?")
         try:
             if path == "/healthz":
                 if method != "GET":
@@ -205,13 +224,17 @@ class HttpServer:
             if path == "/v1/classify":
                 if method != "POST":
                     return 405, {"error": "use POST"}, "application/json", {}
-                result = await self.service.classify(wire.parse_json(body))
+                result = await self.service.classify(
+                    wire.parse_json(body),
+                    precision=_query_precision(query),
+                )
                 return 200, result, "application/json", {}
             if path == "/v1/classify_batch":
                 if method != "POST":
                     return 405, {"error": "use POST"}, "application/json", {}
                 result = await self.service.classify_batch(
-                    wire.parse_json(body)
+                    wire.parse_json(body),
+                    precision=_query_precision(query),
                 )
                 return 200, result, "application/json", {}
             if path in ("/admin/reload", "/admin/restart"):

@@ -404,6 +404,20 @@ class ServeMetrics:
             "serve_queue_depth", "Requests currently queued")
         self.inflight_batches = r.gauge(
             "serve_inflight_batches", "Micro-batches currently in the engine")
+        self.downgrades = r.counter(
+            "serve_precision_downgrades_total",
+            "Requests downgraded to the fast tier by queue pressure")
+        # pre-register both tier series at zero so dashboards see the
+        # family before the first request of either precision lands
+        for tier in ("exact", "fast"):
+            self.precision_requests(tier)
+
+    def precision_requests(self, precision: str) -> Counter:
+        """Per-tier admitted-request counter (label: effective precision)."""
+        return self.registry.counter(
+            "serve_precision_requests_total",
+            "Classification requests per effective execution tier",
+            labels={"precision": str(precision)})
 
     def bind_queue_depth(self, fn: Callable[[], float]) -> None:
         """Make queue depth a pull gauge over the live queue."""

@@ -3,18 +3,29 @@
 :class:`InferenceService` is the transport-independent core of
 ``repro.serve`` — the HTTP front end (:mod:`repro.serve.http`), the load
 generator (``benchmarks/bench_serve_latency.py``), and the tests all speak
-to this layer.  It owns an :class:`~repro.runtime.engine.Engine`, runs every
-admitted request through one shared :class:`~repro.serve.batcher.MicroBatcher`
-(so single and batch endpoints coalesce into the same engine batches), and
-exports both its own and the engine's statistics through one
+to this layer.  It owns an :class:`~repro.runtime.engine.Engine` and runs
+every admitted request through one :class:`~repro.serve.batcher.MicroBatcher`
+*per execution tier* — single and batch endpoints coalesce into the same
+engine batches, but ``exact`` and ``fast`` requests are never coalesced
+into one tape (they execute different tapes with different numerics, and a
+mixed batch would silently cross-contaminate the tiers).  Both its own and
+the engine's statistics export through one
 :class:`~repro.serve.metrics.MetricsRegistry`.
+
+Precision policy (shared with the fleet via :func:`resolve_precision`):
+a request that pins ``?precision=exact|fast`` gets exactly that tier —
+pinned ``exact`` is *never* downgraded.  A request with no preference gets
+``config.default_precision``, unless the queue it would join already holds
+``config.effective_downgrade_depth`` entries — then it degrades to
+``fast`` (before admission control starts shedding with 429/504), counted
+in ``serve_precision_downgrades_total``.
 """
 
 from __future__ import annotations
 
 import asyncio
 import time
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ServeError, WireError
 from repro.runtime.engine import Engine
@@ -22,6 +33,28 @@ from repro.serve import wire
 from repro.serve.batcher import USE_DEFAULT, MicroBatcher
 from repro.serve.config import ServeConfig
 from repro.serve.metrics import MetricsRegistry, ServeMetrics, bind_engine_stats
+
+
+def resolve_precision(
+    requested: Optional[str], config: ServeConfig, queue_depth: int
+) -> Tuple[str, bool]:
+    """(effective tier, downgraded?) for one admitted request.
+
+    ``requested`` is the client's pinned tier (``None`` = no preference).
+    ``queue_depth`` is the current depth of the queue the request would
+    join at the default tier — the degrade-before-shed signal.
+    """
+    if requested is not None:
+        return requested, False  # pinned: exact is never downgraded
+    default = config.default_precision
+    threshold = config.effective_downgrade_depth
+    if (
+        default != "fast"
+        and threshold is not None
+        and queue_depth >= threshold
+    ):
+        return "fast", True
+    return default, False
 
 
 class InferenceService:
@@ -33,7 +66,7 @@ class InferenceService:
         The (thread-safe) batched inference engine; its ``predict_many``
         runs inside the batcher's thread executor.
     config:
-        Batching / admission / HTTP knobs.
+        Batching / admission / HTTP / precision knobs.
     registry:
         Metrics destination, shared with the front end; fresh when omitted.
     examples:
@@ -53,66 +86,124 @@ class InferenceService:
         self.config = config if config is not None else ServeConfig()
         self.metrics = ServeMetrics(registry)
         bind_engine_stats(self.metrics.registry, engine)
-        self.batcher = MicroBatcher(
-            self._predict, self.config, metrics=self.metrics
+        # one batcher per tier: mixed-precision batches must never coalesce
+        self.batchers: Dict[str, MicroBatcher] = {
+            tier: MicroBatcher(
+                self._predict_fn(tier), self.config, metrics=self.metrics
+            )
+            for tier in wire.PRECISIONS
+        }
+        # the default-tier batcher doubles as the legacy single-batcher
+        # attribute (benchmarks and older tests reach for it)
+        self.batcher = self.batchers[self.config.default_precision]
+        # each MicroBatcher bound the shared depth gauge in its ctor
+        # (last one wins); re-bind it to the sum across tiers
+        self.metrics.bind_queue_depth(
+            lambda: sum(b.queue_depth for b in self.batchers.values())
         )
         self._examples = list(examples) if examples else []
         self._example_cursor = 0
         self._started_at: Optional[float] = None
 
-    def _predict(self, items: Sequence[Any]) -> List[int]:
-        """Executor-side hop into the engine; plain ints for JSON encoding."""
-        return [int(label) for label in
-                self.engine.predict_many(items, batch_size=len(items))]
+    def _predict_fn(self, precision: str):
+        """Executor-side hop into the engine at one pinned tier.
+
+        The engine-default tier calls ``predict_many`` with its legacy
+        2-arg signature so test harnesses that wrap it (queue-gating,
+        fault injection) keep working unchanged.
+        """
+
+        def predict(items: Sequence[Any]) -> List[int]:
+            if precision == getattr(self.engine, "precision", "exact"):
+                labels = self.engine.predict_many(
+                    items, batch_size=len(items)
+                )
+            else:
+                labels = self.engine.predict_many(
+                    items, batch_size=len(items), precision=precision
+                )
+            return [int(label) for label in labels]
+
+        return predict
 
     # -- lifecycle -----------------------------------------------------------
 
     async def start(self) -> None:
-        await self.batcher.start()
+        for batcher in self.batchers.values():
+            await batcher.start()
         self._started_at = time.monotonic()
 
     async def stop(self) -> None:
-        await self.batcher.stop()
+        for batcher in self.batchers.values():
+            await batcher.stop()
 
     @property
     def running(self) -> bool:
-        return self.batcher.running
+        return all(b.running for b in self.batchers.values())
+
+    # -- precision routing ---------------------------------------------------
+
+    def _resolve(self, requested: Optional[str]) -> str:
+        """Effective tier for one request, metrics recorded."""
+        default_depth = self.batchers[self.config.default_precision].queue_depth
+        tier, downgraded = resolve_precision(
+            requested, self.config, default_depth
+        )
+        self.metrics.precision_requests(tier).inc()
+        if downgraded:
+            self.metrics.downgrades.inc()
+        return tier
 
     # -- endpoints -----------------------------------------------------------
 
-    async def classify(self, payload: Any) -> Dict[str, Any]:
-        """One loop object -> ``{"id", "label"}``.
+    async def classify(
+        self, payload: Any, precision: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """One loop object -> ``{"id", "label", "precision"}``.
 
-        Raises WireError / QueueFullError / DeadlineExceededError /
-        ServeError; the transport maps them to status codes.
+        ``precision`` is the transport-level pin (the ``?precision=``
+        query parameter); a ``"precision"`` field in the body works too
+        (the query parameter wins).  Raises WireError / QueueFullError /
+        DeadlineExceededError / ServeError; the transport maps them to
+        status codes.
         """
         if not isinstance(payload, Mapping):
             raise WireError(
                 f"request: expected a JSON object, got {type(payload).__name__}"
             )
+        if precision is None:
+            precision = wire.decode_precision(payload.get("precision"))
         deadline_ms = wire.decode_deadline_ms(payload, default=USE_DEFAULT)
         graph = wire.decode_loop(payload)
-        label = await self.batcher.submit(graph, deadline_ms=deadline_ms)
-        return {"id": graph.graph_id, "label": label}
+        tier = self._resolve(precision)
+        label = await self.batchers[tier].submit(graph, deadline_ms=deadline_ms)
+        return {"id": graph.graph_id, "label": label, "precision": tier}
 
-    async def classify_batch(self, payload: Any) -> Dict[str, Any]:
+    async def classify_batch(
+        self, payload: Any, precision: Optional[str] = None
+    ) -> Dict[str, Any]:
         """``{"loops": [...]}`` -> per-loop results, individually batched.
 
-        Each loop is submitted to the same micro-batcher as single
+        Each loop is submitted to the same micro-batchers as single
         requests, so one large client batch and many small clients coalesce
-        identically.  Per-item failures (shed, deadline) are reported
+        identically (within one execution tier; the whole request resolves
+        to one tier).  Per-item failures (shed, deadline) are reported
         in-place rather than failing the whole request:
-        ``{"results": [{"id", "label"} | {"id", "error", "status"}]}``.
+        ``{"results": [...], "precision": tier}``.
         """
         if not isinstance(payload, Mapping):
             raise WireError(
                 f"request: expected a JSON object, got {type(payload).__name__}"
             )
+        if precision is None:
+            precision = wire.decode_precision(payload.get("precision"))
         deadline_ms = wire.decode_deadline_ms(payload, default=USE_DEFAULT)
         graphs = wire.decode_batch(payload)
+        tier = self._resolve(precision)
+        batcher = self.batchers[tier]
 
         async def one(graph) -> Dict[str, Any]:
-            label = await self.batcher.submit(graph, deadline_ms=deadline_ms)
+            label = await batcher.submit(graph, deadline_ms=deadline_ms)
             return {"id": graph.graph_id, "label": label}
 
         outcomes = await asyncio.gather(
@@ -130,7 +221,7 @@ class InferenceService:
                 })
             elif isinstance(outcome, BaseException):
                 raise outcome
-        return {"results": results}
+        return {"results": results, "precision": tier}
 
     def example_payload(self) -> Dict[str, Any]:
         """A valid classify request built from the example pool (rotating)."""
@@ -149,9 +240,12 @@ class InferenceService:
             "status": "ok" if self.running else "stopped",
             "model": type(self.engine.model).__name__,
             "uptime_s": round(uptime, 3),
-            "queue_depth": self.batcher.queue_depth,
+            "queue_depth": sum(
+                b.queue_depth for b in self.batchers.values()
+            ),
             "max_batch_size": self.config.max_batch_size,
             "max_wait_ms": self.config.max_wait_ms,
+            "default_precision": self.config.default_precision,
             "requests_total": int(self.metrics.requests.value),
             "responses_total": int(self.metrics.responses.value),
         }

@@ -69,6 +69,8 @@ class WorkerPayload:
     gamma: int = 30
     walk_seed: int = 0
     compile: bool = True
+    precision: str = "exact"
+    calibration: Any = None  # Optional[repro.nn.quantize.Calibration]
 
     @classmethod
     def from_engine(cls, engine) -> "WorkerPayload":
@@ -80,6 +82,8 @@ class WorkerPayload:
             gamma=engine.gamma,
             walk_seed=engine.walk_seed,
             compile=getattr(engine, "compile", True),
+            precision=getattr(engine, "precision", "exact"),
+            calibration=getattr(engine, "calibration", None),
         )
 
     def build_engine(self):
@@ -93,6 +97,8 @@ class WorkerPayload:
             gamma=self.gamma,
             walk_seed=self.walk_seed,
             compile=self.compile,
+            precision=self.precision,
+            calibration=self.calibration,
         )
 
 
@@ -171,10 +177,18 @@ def worker_main(conn, slot: int, generation: int, payload: WorkerPayload) -> Non
             continue
         try:
             if kind == wire.IPC_PREDICT:
+                # payload is a plain item list (legacy) or a dict
+                # {"items": [...], "precision": "fast"} (precision-tiered)
+                if isinstance(body, dict):
+                    items = body["items"]
+                    precision = body.get("precision")
+                else:
+                    items, precision = body, None
                 labels = [
                     int(label)
                     for label in engine.predict_many(
-                        body, batch_size=max(1, len(body))
+                        items, batch_size=max(1, len(items)),
+                        precision=precision,
                     )
                 ]
                 reply = wire.make_frame(wire.IPC_OK, req_id, labels)
@@ -182,6 +196,8 @@ def worker_main(conn, slot: int, generation: int, payload: WorkerPayload) -> Non
                 reply = wire.make_frame(wire.IPC_OK, req_id, info())
             elif kind == wire.IPC_RELOAD:
                 _apply_weights(engine.model, body)
+                # baked int8 weights in fast tapes are now stale
+                engine.reset_fast_tapes()
                 reply = wire.make_frame(wire.IPC_OK, req_id, info())
             elif kind == wire.IPC_STATS:
                 stats = engine.stats
@@ -515,14 +531,21 @@ class Supervisor:
             raise ServeError(f"worker slot {slot} is being replaced")
         return handle
 
-    def predict(self, slot: int, items: Sequence[Any]) -> List[int]:
+    def predict(self, slot: int, items: Sequence[Any],
+                precision: Optional[str] = None) -> List[int]:
         """Classify ``items`` on the slot's worker, surviving worker death.
 
         The fleet's predict_fn: runs inside a shard batcher's executor
         thread.  A batch lost to a dying/hung worker is re-sent to the
         slot's replacement up to ``worker_retries`` times — the client
-        never sees a single worker crash.
+        never sees a single worker crash.  ``precision`` pins the worker's
+        execution tier for this batch (None = the worker engine's default);
+        the legacy plain-list frame is kept for unpinned batches.
         """
+        if precision is None:
+            payload: Any = list(items)
+        else:
+            payload = {"items": list(items), "precision": precision}
         attempts = self.config.worker_retries + 1
         last_error: Optional[WorkerExitedError] = None
         for attempt in range(attempts):
@@ -535,7 +558,7 @@ class Supervisor:
                 continue
             try:
                 return handle.request(
-                    wire.IPC_PREDICT, list(items),
+                    wire.IPC_PREDICT, payload,
                     timeout=self.config.worker_request_timeout_s,
                 )
             except WorkerExitedError as exc:

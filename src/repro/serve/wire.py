@@ -141,6 +141,26 @@ def decode_deadline_ms(
     return float(value)
 
 
+#: Wire-accepted execution tiers (mirrors repro.nn.quantize.PRECISIONS).
+PRECISIONS = ("exact", "fast")
+
+
+def decode_precision(value: Any, where: str = "request") -> Optional[str]:
+    """Validate a requested execution tier (query param or body field).
+
+    ``None`` (absent) means "no preference": the service applies its
+    configured default tier and the degrade-before-shed policy.
+    """
+    if value is None:
+        return None
+    if value not in PRECISIONS:
+        raise WireError(
+            f"{where}: precision must be one of {list(PRECISIONS)}, "
+            f"got {value!r}"
+        )
+    return str(value)
+
+
 def decode_batch(obj: Any) -> List[GraphInput]:
     """A classify_batch payload ``{"loops": [...]}`` -> GraphInputs."""
     if not isinstance(obj, Mapping):
@@ -197,6 +217,8 @@ def sample_to_wire(sample) -> Dict[str, Any]:
 # kind            payload (request)        payload (reply)
 # ==============  =======================  ================================
 # ``predict``     list of engine inputs    list of int labels
+#                 or {"items": [...],
+#                     "precision": "fast"}
 # ``ping``        None                     worker info dict (pid, shard...)
 # ``reload``      {name: ndarray} params   worker info dict
 # ``stats``       None                     EngineStats dict

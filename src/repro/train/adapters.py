@@ -75,6 +75,22 @@ class ModelAdapter:
         """Predicted labels without recording gradients."""
         raise NotImplementedError
 
+    def calibrate(self, samples: Sequence[LoopSample], batch_size: int = 32):
+        """Per-layer int8 scale calibration from a held-out shard.
+
+        Drives :meth:`repro.runtime.engine.Engine.calibrate` over this
+        adapter's module and returns the recorded
+        :class:`~repro.nn.quantize.Calibration` — persist it next to the
+        weights with ``save_params(adapter.module, path, calibration=cal)``
+        so serving engines can load both together.  Only engine-compatible
+        modules (the MVGNN family) have a fast tier; for other adapters
+        the engine's tracer raises.
+        """
+        from repro.runtime.engine import Engine
+
+        engine = Engine(self.module, batch_size=batch_size, compile=True)
+        return engine.calibrate(list(samples), batch_size=batch_size)
+
 
 @dataclass
 class _PreparedGraph:

@@ -149,6 +149,34 @@ def test_make_targets_exist(doc):
     )
 
 
+RULE_ID = re.compile(r"\b(?:IR|PEG|GR|DS)\d{3}\b")
+
+
+def test_lint_rule_catalog_is_complete():
+    """docs/LINT.md documents every registered lint rule, and no doc
+    anywhere mentions a rule ID the analyzer does not register — so
+    adding GR007 without a catalog row, or dropping a rule while its row
+    lingers, fails docs-check."""
+    from repro.lint import all_rules
+
+    registered = {r.rule_id for r in all_rules()}
+    catalog = (REPO_ROOT / "docs" / "LINT.md").read_text()
+    rows = {
+        match for match in RULE_ID.findall(catalog)
+        if f"| {match} |" in catalog
+    }
+    undocumented = sorted(registered - rows)
+    assert not undocumented, (
+        f"registered lint rules missing a docs/LINT.md catalog row: "
+        f"{undocumented}"
+    )
+    for doc in DOC_FILES:
+        ghost = sorted(set(RULE_ID.findall(doc.read_text())) - registered)
+        assert not ghost, (
+            f"{doc.name} mentions unregistered lint rule IDs: {ghost}"
+        )
+
+
 @pytest.mark.parametrize("doc", DOC_FILES, ids=_doc_ids())
 def test_relative_markdown_links_resolve(doc):
     text = doc.read_text()

@@ -26,6 +26,7 @@ from repro.lint.runner import (
     lint_ir,
     lint_peg,
     lint_program,
+    lint_quantized_consistency,
     lint_samples,
     lint_tape_consistency,
 )
@@ -486,3 +487,61 @@ class TestTapeConsistency:
             f.rule_id == "GR005" and "NaN" in f.message
             for f in report.findings
         )
+
+
+# ---------------------------------------------------------------------------
+# GR006: quantized fast-tier vs float forward
+# ---------------------------------------------------------------------------
+
+
+class TestQuantizedConsistency:
+    def test_clean_samples_silent(self, mixed_samples):
+        report = lint_quantized_consistency(mixed_samples)
+        assert "GR006" not in fired(report)
+        stats = report.stats["quantized_consistency"]
+        assert stats["graphs"] == len(list(mixed_samples))
+        assert stats["verdict_flips"] == 0
+        assert 0.0 <= stats["max_drift"] < 0.1
+
+    def test_empty_input_silent(self):
+        report = lint_quantized_consistency([])
+        assert not report.findings
+        assert report.stats["quantized_consistency"]["graphs"] == 0
+
+    def test_poisoned_activation_scale_fires(self, mixed_samples):
+        """The corruption class GR006 exists for: a calibration whose scale
+        is in the wrong units (stale checkpoint, bad merge) saturates or
+        flattens activations — drift explodes past the budget."""
+        from repro.lint.tape_rules import probe_calibration
+
+        calibration = probe_calibration(mixed_samples)
+        poisoned = copy.deepcopy(calibration)
+        position = max(poisoned.act_scales)  # late op: hits the logits hard
+        poisoned.act_scales[position] *= 1e4
+        report = lint_quantized_consistency(
+            mixed_samples, calibration=poisoned
+        )
+        gr6 = [f for f in report.findings if f.rule_id == "GR006"]
+        assert gr6, "poisoned scale went undetected"
+        assert any("budget" in f.message for f in gr6)
+        stats = report.stats["quantized_consistency"]
+        assert stats["max_drift"] > 0.1
+        # ...and the genuine calibration it was forged from stays silent
+        clean = lint_quantized_consistency(
+            mixed_samples, calibration=calibration
+        )
+        assert "GR006" not in fired(clean)
+
+    def test_degenerate_scale_fires(self, mixed_samples):
+        from repro.lint.tape_rules import probe_calibration
+
+        calibration = probe_calibration(mixed_samples)
+        poisoned = copy.deepcopy(calibration)
+        # a near-zero scale clips every activation to ~0: the fast logits
+        # collapse and drift explodes past the budget
+        for position in poisoned.act_scales:
+            poisoned.act_scales[position] *= 1e-12
+        report = lint_quantized_consistency(
+            mixed_samples, calibration=poisoned
+        )
+        assert "GR006" in fired(report)

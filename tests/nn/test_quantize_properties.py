@@ -1,0 +1,251 @@
+"""Property wall for the symmetric int8 quantization core.
+
+Hypothesis-driven invariants over :mod:`repro.nn.quantize` — the numeric
+bedrock under the engine's ``fast`` tier:
+
+* round-trip error of ``fake_quantize`` is bounded by half a grid step
+  (for in-range values) and by saturation for out-of-range ones;
+* ``symmetric_scale`` is monotone in the tensor's absolute maximum;
+* zeros survive quantization exactly at any scale;
+* ``int8_matmul`` equals an int64 ground truth with no int32 overflow for
+  every shape within the accumulator bound, and refuses shapes beyond it;
+* ``fake_quantize`` equals ``dequantize(quantize(.))`` — the fast path's
+  no-int8-tensor trick is numerically honest.
+
+The ``ci`` / ``nightly`` hypothesis profiles come from ``tests/conftest.py``
+(``REPRO_HYPOTHESIS_PROFILE``).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import ModelError
+from repro.nn.quantize import (
+    INT8_MATMUL_MAX_K,
+    QMAX,
+    Calibration,
+    calibration_from_arrays,
+    calibration_to_arrays,
+    dequantize,
+    fake_quantize,
+    int8_matmul,
+    quantize,
+    scale_from_max,
+    symmetric_scale,
+)
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False,
+    width=32,
+)
+
+tensors = hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(min_dims=1, max_dims=3, min_side=0, max_side=8),
+    elements=finite_floats,
+)
+
+scales = st.floats(min_value=1e-6, max_value=1e6, allow_nan=False)
+
+
+class TestRoundTrip:
+    @given(x=tensors, scale=scales)
+    def test_round_trip_error_bounded(self, x, scale):
+        """|fake_quantize(x, s) - clip(x)| <= s/2 elementwise, where clip
+        saturates x at the grid edges ±127·s."""
+        out = fake_quantize(x, scale)
+        clipped = np.clip(x, -QMAX * scale, QMAX * scale)
+        assert np.all(np.abs(out - clipped) <= scale / 2 + 1e-12 * scale)
+
+    @given(x=tensors, scale=scales)
+    def test_fake_quantize_equals_dequant_quant(self, x, scale):
+        """The no-int8-tensor shortcut is exactly the honest round trip."""
+        honest = dequantize(quantize(x, scale), scale)
+        np.testing.assert_array_equal(fake_quantize(x, scale), honest)
+
+    @given(x=tensors, scale=scales)
+    def test_idempotent(self, x, scale):
+        """Grid points are fixed points: quantizing twice changes nothing."""
+        once = fake_quantize(x, scale)
+        np.testing.assert_array_equal(fake_quantize(once, scale), once)
+
+    @given(x=tensors)
+    def test_self_scaled_round_trip(self, x):
+        """With the tensor's own symmetric scale nothing saturates, so the
+        round-trip error is at most half a grid step everywhere."""
+        scale = symmetric_scale(x)
+        out = fake_quantize(x, scale)
+        assert np.all(np.abs(out - x) <= scale / 2 + 1e-12 * scale)
+
+    @given(x=tensors, scale=scales)
+    def test_output_on_grid(self, x, scale):
+        """Every output is k·scale with integer |k| <= 127."""
+        out = fake_quantize(x, scale)
+        k = out / scale
+        np.testing.assert_allclose(k, np.rint(k), atol=1e-6)
+        assert np.all(np.abs(k) <= QMAX + 1e-6)
+
+
+class TestScales:
+    @given(x=tensors, factor=st.floats(min_value=1.0, max_value=1e3))
+    def test_scale_monotone_in_abs_max(self, x, factor):
+        """Scaling a tensor up never shrinks its symmetric scale."""
+        assert symmetric_scale(x * factor) >= symmetric_scale(x)
+
+    @given(
+        lo=st.floats(min_value=1e-6, max_value=1e6),
+        hi=st.floats(min_value=1e-6, max_value=1e6),
+    )
+    def test_scale_from_max_monotone(self, lo, hi):
+        if lo > hi:
+            lo, hi = hi, lo
+        assert scale_from_max(lo) <= scale_from_max(hi)
+
+    @given(x=tensors)
+    def test_scale_covers_peak(self, x):
+        """127 grid steps always reach the tensor's absolute maximum —
+        symmetric_scale never saturates its own tensor."""
+        scale = symmetric_scale(x)
+        peak = float(np.max(np.abs(x))) if x.size else 0.0
+        assert QMAX * scale >= peak - 1e-9 * max(peak, 1.0)
+
+    def test_degenerate_scales_floor_to_one(self):
+        assert symmetric_scale(np.zeros(5)) == 1.0
+        assert symmetric_scale(np.zeros((0, 3))) == 1.0
+        assert scale_from_max(0.0) == 1.0
+        assert scale_from_max(float("nan")) == 1.0
+        assert scale_from_max(float("inf")) == 1.0
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_bad_scales_rejected(self, bad):
+        with pytest.raises(ModelError, match="scale must be positive"):
+            quantize(np.ones(3), bad)
+        with pytest.raises(ModelError, match="scale must be positive"):
+            fake_quantize(np.ones(3), bad)
+
+
+class TestZeroPreservation:
+    @given(scale=scales)
+    def test_zero_is_exact_at_any_scale(self, scale):
+        z = np.zeros((3, 4))
+        assert np.all(quantize(z, scale) == 0)
+        np.testing.assert_array_equal(fake_quantize(z, scale), z)
+
+    @given(x=tensors, scale=scales)
+    def test_zeros_stay_zero_inside_tensors(self, x, scale):
+        """Padding zeros (ragged batches!) must survive quantization."""
+        x = x.copy()
+        flat = x.reshape(-1)
+        if flat.size:
+            flat[:: max(1, flat.size // 3)] = 0.0
+        out = fake_quantize(x, scale)
+        assert np.all(out[x == 0.0] == 0.0)
+
+
+int8_operands = st.integers(min_value=1, max_value=6).flatmap(
+    lambda k: st.tuples(
+        hnp.arrays(
+            dtype=np.int8,
+            shape=st.tuples(
+                st.integers(min_value=1, max_value=5), st.just(k)
+            ),
+            elements=st.integers(min_value=-QMAX, max_value=QMAX),
+        ),
+        hnp.arrays(
+            dtype=np.int8,
+            shape=st.tuples(
+                st.just(k), st.integers(min_value=1, max_value=5)
+            ),
+            elements=st.integers(min_value=-QMAX, max_value=QMAX),
+        ),
+    )
+)
+
+
+class TestInt8Matmul:
+    @given(ops=int8_operands)
+    def test_matches_int64_reference_no_overflow(self, ops):
+        a_q, b_q = ops
+        out = int8_matmul(a_q, b_q)
+        assert out.dtype == np.int32
+        reference = np.matmul(
+            a_q.astype(np.int64), b_q.astype(np.int64)
+        )
+        np.testing.assert_array_equal(out.astype(np.int64), reference)
+
+    def test_worst_case_inner_dim_fits_int32(self):
+        """K = INT8_MATMUL_MAX_K with saturated entries is exactly the
+        accumulator's worst case — and it must not wrap."""
+        k = INT8_MATMUL_MAX_K
+        a_q = np.full((1, k), QMAX, dtype=np.int8)
+        b_q = np.full((k, 1), QMAX, dtype=np.int8)
+        out = int8_matmul(a_q, b_q)
+        assert out[0, 0] == k * QMAX * QMAX
+        assert out[0, 0] <= np.iinfo(np.int32).max
+
+    def test_inner_dim_beyond_bound_rejected(self):
+        k = INT8_MATMUL_MAX_K + 1
+        a_q = np.zeros((1, k), dtype=np.int8)
+        b_q = np.zeros((k, 1), dtype=np.int8)
+        with pytest.raises(ModelError, match="accumulator bound"):
+            int8_matmul(a_q, b_q)
+
+    def test_non_int8_rejected(self):
+        with pytest.raises(ModelError, match="int8 operands"):
+            int8_matmul(np.ones((2, 2)), np.ones((2, 2), dtype=np.int8))
+
+    def test_shape_mismatch_rejected(self):
+        a_q = np.zeros((2, 3), dtype=np.int8)
+        b_q = np.zeros((4, 2), dtype=np.int8)
+        with pytest.raises(ModelError, match="shape mismatch"):
+            int8_matmul(a_q, b_q)
+
+    @given(
+        x=hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(
+                st.integers(min_value=1, max_value=4),
+                st.integers(min_value=1, max_value=4),
+            ),
+            elements=finite_floats,
+        ),
+        w=hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(
+                st.integers(min_value=1, max_value=4),
+                st.integers(min_value=1, max_value=4),
+            ),
+            elements=finite_floats,
+        ),
+    )
+    @settings(deadline=None)
+    def test_float_gemm_equals_dequantized_int8(self, x, w):
+        """The fast path's central identity: a float64 GEMM over
+        fake-quantized operands == dequantize(int8_matmul(quantized))."""
+        if x.shape[1] != w.shape[0]:
+            w = w[: x.shape[1], :] if w.shape[0] > x.shape[1] else np.resize(
+                w, (x.shape[1], w.shape[1])
+            )
+        sx, sw = symmetric_scale(x), symmetric_scale(w)
+        float_gemm = fake_quantize(x, sx) @ fake_quantize(w, sw)
+        integer = int8_matmul(quantize(x, sx), quantize(w, sw))
+        np.testing.assert_allclose(
+            float_gemm, integer.astype(np.float64) * (sx * sw),
+            rtol=1e-12, atol=1e-12,
+        )
+
+
+class TestCalibrationRoundTrip:
+    def test_arrays_round_trip(self):
+        cal = Calibration(
+            prim_names=("matmul", "relu", "adj_matmul"),
+            act_scales={0: 0.5, 2: 1.25},
+            param_scales={"dense.w": 0.03125},
+        )
+        back = calibration_from_arrays(calibration_to_arrays(cal))
+        assert back.prim_names == cal.prim_names
+        assert back.act_scales == cal.act_scales
+        assert back.param_scales == cal.param_scales

@@ -237,6 +237,92 @@ class TestChaos:
             supervisor.stop()
 
 
+class TestFleetPrecision:
+    """The precision tier crosses the IPC boundary intact."""
+
+    def test_fast_labels_match_direct_engine(self, rng):
+        # calibrated scales are static (keyed by op position), so fast
+        # labels are batch-composition-invariant — required for comparing
+        # the fleet's micro-batches against one direct batch; uncalibrated
+        # dynamic scales depend on what else shares the batch
+        engine = tiny_engine()
+        graphs = make_graphs(rng, 16)
+        engine.calibrate(graphs)
+        direct = [
+            int(l) for l in
+            engine.predict_many(graphs, batch_size=16, precision="fast")
+        ]
+
+        async def body(service):
+            return await asyncio.gather(
+                *(service.submit_graph(g, precision="fast") for g in graphs)
+            )
+
+        labels = run(with_fleet(engine, fleet_config(), body))
+        assert labels == direct
+
+    def test_classify_echoes_tier_and_counts_it(self, rng):
+        engine = tiny_engine()
+        graph = random_graph(rng, 6, graph_id="p0")
+        payload = {
+            "id": "p0",
+            "x_semantic": graph.x_semantic.tolist(),
+            "x_structural": graph.x_structural.tolist(),
+            "adjacency": graph.adjacency.tolist(),
+        }
+
+        async def body(service):
+            default = await service.classify(dict(payload))
+            pinned = await service.classify(dict(payload), precision="fast")
+            via_body = await service.classify(
+                {**payload, "precision": "fast"}
+            )
+            fast_count = service.metrics.precision_requests("fast").value
+            return default, pinned, via_body, fast_count
+
+        default, pinned, via_body, fast_count = run(
+            with_fleet(engine, fleet_config(2), body)
+        )
+        assert default["precision"] == "exact"
+        assert pinned["precision"] == "fast"
+        assert via_body["precision"] == "fast"
+        assert fast_count == 2
+
+    def test_sigkill_under_fast_load_loses_no_requests(self, rng):
+        """The chaos clause, fast tier: kill a worker mid-load while every
+        request is pinned ``fast`` — zero failed requests, zero wrong
+        labels, and the respawned worker keeps serving the tier."""
+        engine = tiny_engine()
+        graphs = make_graphs(rng, 24)
+        engine.calibrate(graphs)  # static scales: batch-invariant labels
+        direct = [
+            int(l) for l in
+            engine.predict_many(graphs, batch_size=24, precision="fast")
+        ]
+
+        async def body(service):
+            async def submit_wave():
+                return await asyncio.gather(*(
+                    service.submit_graph(g, precision="fast")
+                    for g in graphs
+                ))
+
+            first = await submit_wave()  # warm: all workers have served
+            victim = service.supervisor.handle_for(0)
+            os.kill(victim.process.pid, signal.SIGKILL)
+            waves = [await submit_wave() for _ in range(3)]
+            restarts = service.fleet_metrics.worker_restarts(0).value
+            return first, waves, restarts
+
+        first, waves, restarts = run(
+            with_fleet(engine, fleet_config(2), body)
+        )
+        assert first == direct
+        for wave in waves:
+            assert wave == direct  # zero failed, zero wrong
+        assert restarts >= 1
+
+
 class TestRollingOps:
     def test_rolling_restart_swaps_every_worker(self, rng):
         engine = tiny_engine()

@@ -223,9 +223,11 @@ class TestErrorMapping:
 
         monkeypatch.setattr(engine, "predict_many", gated_predict)
         payloads = random_payloads(rng, (3, 4, 2))
+        # downgrade_queue_depth=0 disables degrade-before-shed: this test
+        # exercises the pure admission-control path (429), not the tiering
         config = config_on_free_port(
             max_batch_size=1, max_wait_ms=0, max_queue_depth=1,
-            retry_after_s=0.5,
+            retry_after_s=0.5, downgrade_queue_depth=0,
         )
 
         async def body(port, service):

@@ -4,9 +4,10 @@ export PYTHONPATH := src
 # coverage floor (%) for the training fast path and batched runtime
 COV_FLOOR ?= 85
 
-.PHONY: test test-fast test-nightly test-cov test-tape test-quantize bench \
-	bench-runtime bench-train bench-assembly bench-serve bench-serve-fleet \
-	bench-quantized serve-fleet serve-smoke docs-check lint-dataset
+.PHONY: test test-fast test-nightly test-cov test-tape test-quantize \
+	test-advisor bench bench-runtime bench-train bench-assembly \
+	bench-serve bench-serve-fleet bench-quantized bench-advisor \
+	serve-fleet serve-smoke docs-check lint-dataset
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -48,6 +49,13 @@ test-quantize:
 		tests/nn/test_quantize_properties.py \
 		tests/serve/test_precision.py -q
 
+# Advisor wall: plan schema + clause ordering, transform round-trips,
+# scheduler determinism, the sequential-vs-interleaved differential
+# suite, the planted-race refutation, AD001, and /v1/advise
+# (see docs/ADVISOR.md).
+test-advisor:
+	REPRO_HYPOTHESIS_PROFILE=ci $(PYTHON) -m pytest tests/advisor/ -q
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
 
@@ -88,6 +96,16 @@ ifdef QUICK
 	$(PYTHON) benchmarks/bench_quantized_inference.py --quick
 else
 	$(PYTHON) benchmarks/bench_quantized_inference.py
+endif
+
+# Advisor pipeline: plan building + simulated-interleaving validation
+# over the tiny roster, gated on the known-answer self-check (a planted
+# race the scheduler must refute).  QUICK=1 runs T=2 with one seed.
+bench-advisor:
+ifdef QUICK
+	$(PYTHON) benchmarks/bench_advisor.py --quick
+else
+	$(PYTHON) benchmarks/bench_advisor.py
 endif
 
 # Run a local 4-worker serving fleet (supervisor + sharded engine

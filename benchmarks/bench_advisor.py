@@ -1,0 +1,109 @@
+"""Advisor pipeline benchmark: plan building + interleaving validation.
+
+Times the three stages of :mod:`repro.advisor` over the tiny benchmark
+roster (EP, IS, fib, nqueens) — plan construction (profile + verdict
+fusion), AST transformation, and simulated-interleaving validation — and
+gates on the known-answer self-check: the scheduler must *validate* the
+reduction and privatization demo kernels and *refute* the planted racy
+plan.  A validator that never refutes anything proves nothing, so the
+refutation is a hard gate in both modes.
+
+A Table-IV-style per-app report (loops / advised / validated / refuted)
+is appended to ``benchmark_results/results_advisor.txt``.
+
+``--quick`` runs T=2 with a single adversarial seed (the CI budget);
+the full run sweeps T in {2, 4} with three seeds.
+"""
+
+import argparse
+import time
+from pathlib import Path
+
+from repro.advisor import advise_app, render_table, self_check
+from repro.benchsuite import build_app
+
+TINY_APPS = ("EP", "IS", "fib", "nqueens")
+
+FULL_THREADS = (2, 4)
+FULL_SEEDS = (0, 1, 2)
+QUICK_THREADS = (2,)
+QUICK_SEEDS = (0,)
+
+
+def run(quick: bool, record) -> int:
+    threads = QUICK_THREADS if quick else FULL_THREADS
+    seeds = QUICK_SEEDS if quick else FULL_SEEDS
+    mode = "quick" if quick else "full"
+    record(f"== advisor benchmark ({mode}: T={list(threads)}, "
+           f"seeds={list(seeds)}) ==")
+
+    advices = []
+    build_s = validate_s = 0.0
+    for name in TINY_APPS:
+        spec = build_app(name)
+        t0 = time.perf_counter()
+        unvalidated = advise_app(spec, threads=threads, seeds=seeds,
+                                 validate=False)
+        t1 = time.perf_counter()
+        advice = advise_app(spec, threads=threads, seeds=seeds)
+        t2 = time.perf_counter()
+        build_s += t1 - t0
+        validate_s += (t2 - t1) - (t1 - t0)
+        assert unvalidated.loops == advice.loops
+        advices.append(advice)
+
+    for line in render_table(advices).splitlines():
+        record(line)
+
+    total_loops = sum(a.loops for a in advices)
+    total_validated = sum(a.validated for a in advices)
+    record(f"plan building: {build_s:.2f}s for {total_loops} loops "
+           f"({total_loops / max(build_s, 1e-9):.0f} loops/s)")
+    record(f"validation overhead: {max(validate_s, 0.0):.2f}s "
+           f"({total_validated} plans execution-validated)")
+
+    t0 = time.perf_counter()
+    check = self_check(threads=threads, seeds=seeds)
+    check_s = time.perf_counter() - t0
+    for line in check.details:
+        record(f"self-check: {line}")
+    record(f"self-check wall time: {check_s:.2f}s")
+
+    failures = []
+    if not check.reduction_validated:
+        failures.append("reduction demo not validated")
+    if not check.privatization_validated:
+        failures.append("privatization demo not validated")
+    if not check.racy_refuted:
+        failures.append("planted racy plan not refuted")
+    if total_validated < 1:
+        failures.append("no benchmark loop was execution-validated")
+    for failure in failures:
+        record(f"FAIL: {failure}")
+    if not failures:
+        record(f"PASS: {total_validated}/{total_loops} loops validated, "
+               "known-answer probes all correct")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="T=2 with one adversarial seed (CI budget); gates still apply",
+    )
+    args = parser.parse_args(argv)
+
+    results_dir = Path(__file__).resolve().parent.parent / "benchmark_results"
+    results_dir.mkdir(exist_ok=True)
+    out_path = results_dir / "results_advisor.txt"
+    with open(out_path, "a") as fh:
+        def record(line: str) -> None:
+            fh.write(line + "\n")
+            print(line)
+
+        return run(args.quick, record)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,8 +19,14 @@ from repro.analysis.patterns import (
 )
 from repro.analysis.suggestions import (
     Suggestion,
+    clause_strings,
+    render_pragma,
     suggest_parallelization,
     render_report,
+)
+from repro.analysis.candidates import (
+    CandidateLoop,
+    iter_parallel_candidate_loops,
 )
 
 __all__ = [
@@ -31,5 +37,7 @@ __all__ = [
     "LoopFeatures", "attach_node_features", "loop_features", "FEATURE_NAMES",
     "ParallelPattern", "PatternResult", "classify_pattern",
     "classify_all_patterns",
-    "Suggestion", "suggest_parallelization", "render_report",
+    "Suggestion", "clause_strings", "render_pragma",
+    "suggest_parallelization", "render_report",
+    "CandidateLoop", "iter_parallel_candidate_loops",
 ]

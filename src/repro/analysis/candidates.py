@@ -1,0 +1,70 @@
+"""Shared enumeration of parallelization-candidate loops.
+
+Every consumer that walks a MiniC program looking for ``For`` loops to
+analyze — pattern classification (:mod:`repro.analysis.patterns`), pragma
+suggestion (:mod:`repro.analysis.suggestions`), the static dependence
+prover behind lint DS005 (:mod:`repro.lint.static_dep`), and the
+execution-validated advisor (:mod:`repro.advisor`) — must agree on which
+loops exist and which induction variables enclose each of them.  Before
+this module each walked the AST with its own recursion; a divergence
+(e.g. one walker forgetting loops under ``If`` arms) would silently give
+two layers different loop universes.  Now they all iterate one generator.
+
+Candidates are yielded in pre-order (outer loops before their children),
+per function in program declaration order — the same order loop ids are
+allocated by the builder, so reports keyed by candidate order are stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Tuple
+
+from repro.ir import ast_nodes as ast
+
+
+@dataclass(frozen=True)
+class CandidateLoop:
+    """One ``For`` loop eligible for parallelization analysis.
+
+    ``enclosing`` lists the induction variables of the loops *around* this
+    one (outermost first) — loop-invariant symbols during one execution of
+    the candidate, which the static prover and the advisor's kernel
+    harness both need.
+    """
+
+    function: str
+    loop: ast.For
+    enclosing: Tuple[str, ...]
+
+    @property
+    def loop_id(self) -> str:
+        return self.loop.loop_id  # callers filter anonymous loops upstream
+
+
+def iter_parallel_candidate_loops(
+    program: ast.Program,
+) -> Iterator[CandidateLoop]:
+    """Yield every ``For`` loop of ``program`` that carries a ``loop_id``.
+
+    Loops without an id cannot be matched to samples, oracle results, or
+    stored plans, so they are skipped (their *children* are still visited;
+    an anonymous wrapper must not hide labeled inner loops).
+    """
+    for fn in program.functions.values():
+        yield from _walk(fn.name, fn.body, ())
+
+
+def _walk(
+    fn_name: str, body: Sequence[ast.Stmt], enclosing: Tuple[str, ...]
+) -> Iterator[CandidateLoop]:
+    for stmt in body:
+        if isinstance(stmt, ast.For):
+            if stmt.loop_id is not None:
+                yield CandidateLoop(fn_name, stmt, enclosing)
+            yield from _walk(fn_name, stmt.body, enclosing + (stmt.var,))
+        elif isinstance(stmt, ast.While):
+            yield from _walk(fn_name, stmt.body, enclosing)
+        elif isinstance(stmt, ast.If):
+            yield from _walk(fn_name, stmt.then_body, enclosing)
+            yield from _walk(fn_name, stmt.else_body, enclosing)

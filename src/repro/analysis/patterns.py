@@ -192,11 +192,11 @@ def classify_all_patterns(
     program: Program, ir_program: IRProgram, report: ProfileReport
 ) -> Dict[str, PatternResult]:
     """Pattern classification for every For loop of ``program``."""
-    out: Dict[str, PatternResult] = {}
-    for fn in program.functions.values():
-        for stmt in ast.walk_stmts(fn.body):
-            if isinstance(stmt, ast.For) and stmt.loop_id is not None:
-                out[stmt.loop_id] = classify_pattern(
-                    program, ir_program, report, stmt.loop_id
-                )
-    return out
+    from repro.analysis.candidates import iter_parallel_candidate_loops
+
+    return {
+        cand.loop_id: classify_pattern(
+            program, ir_program, report, cand.loop_id
+        )
+        for cand in iter_parallel_candidate_loops(program)
+    }

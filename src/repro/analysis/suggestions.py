@@ -44,6 +44,46 @@ def _bare(scoped: str) -> str:
     return scoped.split("::", 1)[-1]
 
 
+def clause_strings(
+    ir_program: IRProgram, loop_id: str, oracle
+) -> List[str]:
+    """Deterministically ordered OpenMP clauses for one parallel loop.
+
+    Ordering contract (advisor plan goldens and pragma output depend on
+    it): every ``reduction(op: var)`` clause first, sorted by bare
+    accumulator name, then at most one ``private(...)`` clause whose
+    variable list is sorted and deduplicated.  Shared between
+    :func:`suggest_for_loop` and :func:`repro.advisor.plan.build_advice_plans`
+    so the CLI suggestion text and the advisor's rendered pragma can never
+    drift apart.
+    """
+    clauses: List[str] = []
+    if oracle.reductions:
+        loop_info = ir_program.all_loops()[loop_id]
+        fn = ir_program.function(loop_info.function)
+        reductions = find_reductions(fn, loop_id)
+        for scoped in sorted(oracle.reductions, key=_bare):
+            info = reductions.get(scoped)
+            operator = info.operator if info else "+"
+            clauses.append(f"reduction({operator}: {_bare(scoped)})")
+    private = sorted({
+        _bare(scoped)
+        for scoped in oracle.privatized
+        if not _is_inner_induction(ir_program, loop_id, _bare(scoped))
+    })
+    if private:
+        clauses.append(f"private({', '.join(private)})")
+    return clauses
+
+
+def render_pragma(clauses: List[str]) -> str:
+    """``#pragma omp parallel for`` plus the (already ordered) clauses."""
+    pragma = "#pragma omp parallel for"
+    if clauses:
+        pragma += " " + " ".join(clauses)
+    return pragma
+
+
 def suggest_for_loop(
     program: Program,
     ir_program: IRProgram,
@@ -67,26 +107,7 @@ def suggest_for_loop(
             rationale=rationale,
         )
 
-    clauses: List[str] = []
-    if oracle.reductions:
-        fn = ir_program.function(loop_info.function)
-        reductions = find_reductions(fn, result.loop_id)
-        for scoped in oracle.reductions:
-            info = reductions.get(scoped)
-            operator = info.operator if info else "+"
-            operator = {"min": "min", "max": "max"}.get(operator, operator)
-            clauses.append(f"reduction({operator}: {_bare(scoped)})")
-    private = [
-        _bare(scoped)
-        for scoped in oracle.privatized
-        if not _is_inner_induction(ir_program, result.loop_id, _bare(scoped))
-    ]
-    if private:
-        clauses.append(f"private({', '.join(sorted(private))})")
-
-    pragma = "#pragma omp parallel for"
-    if clauses:
-        pragma += " " + " ".join(clauses)
+    pragma = render_pragma(clause_strings(ir_program, result.loop_id, oracle))
     rationale = f"{result.pattern.value}: {'; '.join(result.evidence[:1])}"
     return Suggestion(
         loop_id=result.loop_id,

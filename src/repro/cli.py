@@ -49,6 +49,15 @@ Commands
     OpenMP pragma suggestions.
 ``patterns --app NAME``
     Summarize the parallel-pattern distribution of an application.
+``advise [--app NAME | --tiny]``
+    Run the execution-validated parallelization advisor
+    (:mod:`repro.advisor`): fuse MV-GNN verdicts with the static prover
+    and the dynamic oracle into per-loop advice plans, transform each
+    advised loop into explicit thread chunks, and prove or refute the
+    plan under simulated adversarial interleavings.  Prints a
+    Table-IV-style per-app summary (advised / validated / refuted) plus
+    the known-answer self-check (a planted race the scheduler must
+    refute).  Exit 1 when the self-check fails.  See docs/ADVISOR.md.
 
 Long-running commands (``serve``, ``train``, ``dataset``) map SIGTERM and
 Ctrl-C to a clean shutdown with exit code 130 instead of a traceback.
@@ -222,6 +231,29 @@ def _cmd_serve_reload(args) -> int:
     return 0
 
 
+def _build_advisor_plan_index(spec, samples, engine):
+    """Wire-form advice plans for a served app, keyed by loop AND sample id.
+
+    ``/v1/advise`` looks plans up by the request's graph id; clients send
+    either a loop id (CLI-shaped requests) or a sample id (payloads from
+    ``GET /v1/example``), so the index carries both keys.  Validation runs
+    at T=2 with the default adversarial seeds — the cheap configuration;
+    operators wanting the full sweep run ``repro advise`` offline.
+    """
+    from repro.advisor import advise_app
+
+    verdicts = {
+        s.loop_id: int(p) for s, p in zip(samples, engine.predict_many(samples))
+    }
+    advice = advise_app(spec, verdicts, threads=(2,))
+    index = {lid: plan.to_wire() for lid, plan in advice.plans.items()}
+    for sample in samples:
+        plan = advice.plans.get(sample.loop_id)
+        if plan is not None:
+            index[sample.sample_id] = plan.to_wire()
+    return index
+
+
 def _cmd_serve(args) -> int:
     import asyncio
 
@@ -265,13 +297,26 @@ def _cmd_serve(args) -> int:
         default_precision=args.precision,
         downgrade_queue_depth=args.downgrade_queue_depth,
     )
+    advisor_plans = None
+    if not args.no_advisor:
+        advisor_plans = _build_advisor_plan_index(spec, samples, engine)
+        validated = sum(
+            1 for p in advisor_plans.values()
+            if p.get("validation", {}).get("status") == "validated"
+        )
+        print(f"advisor: {len(advisor_plans)} plan index entries, "
+              f"{validated} execution-validated (POST /v1/advise)", flush=True)
     if args.workers > 1:
-        service = FleetService(engine, config, examples=samples)
+        service = FleetService(
+            engine, config, examples=samples, advisor_plans=advisor_plans
+        )
         print(f"fleet: {args.workers} engine worker processes, "
               f"content-hash shard routing, "
               f"retries={config.worker_retries}", flush=True)
     else:
-        service = InferenceService(engine, config, examples=samples)
+        service = InferenceService(
+            engine, config, examples=samples, advisor_plans=advisor_plans
+        )
     print(f"micro-batcher: max_batch_size={config.max_batch_size}, "
           f"max_wait_ms={config.max_wait_ms}, "
           f"queue_depth={config.max_queue_depth}, "
@@ -621,6 +666,69 @@ def _cmd_patterns(args) -> int:
     return 0
 
 
+#: the tiny (CI/smoke) advisor roster, mirroring DatasetConfig.tiny
+_ADVISE_TINY_APPS = ("EP", "IS", "fib", "nqueens")
+
+
+def _parse_int_list(text: str, flag: str) -> tuple:
+    try:
+        values = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise ReproError(f"{flag} expects comma-separated integers: {text!r}")
+    if not values:
+        raise ReproError(f"{flag} must name at least one value")
+    return values
+
+
+def _cmd_advise(args) -> int:
+    import json as json_mod
+
+    from repro.advisor import advise_app, render_table, self_check
+
+    threads = _parse_int_list(args.threads, "--threads")
+    seeds = _parse_int_list(args.seeds, "--seeds")
+    apps = list(_ADVISE_TINY_APPS) if args.tiny else [args.app]
+
+    advices = []
+    for name in apps:
+        spec = build_app(name)
+        verdicts = None
+        if not args.no_model:
+            verdicts, _ = _batched_gnn_predictions(
+                spec, args.batch_size, args.epochs, seed=args.seed,
+                compile=not args.no_compile,
+            )
+        advices.append(advise_app(
+            spec, verdicts,
+            threads=threads, seeds=seeds, max_ulp=args.max_ulp,
+        ))
+
+    check = self_check(threads=threads, seeds=seeds, max_ulp=args.max_ulp)
+
+    if args.json:
+        payload = {
+            "apps": {
+                a.app: {lid: p.to_wire() for lid, p in a.plans.items()}
+                for a in advices
+            },
+            "self_check": {
+                "passed": check.passed,
+                "reduction_validated": check.reduction_validated,
+                "privatization_validated": check.privatization_validated,
+                "racy_refuted": check.racy_refuted,
+                "details": list(check.details),
+            },
+        }
+        print(json_mod.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_table(advices))
+        print()
+        print("self-check:", "PASS" if check.passed else "FAIL")
+        for line in check.details:
+            print(f"  {line}")
+    return 0 if check.passed else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -833,6 +941,11 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: queue-depth/2; 0 disables downgrading)",
     )
     serve.add_argument(
+        "--no-advisor", action="store_true",
+        help="skip building the advice-plan index at startup; "
+             "POST /v1/advise then answers 409",
+    )
+    serve.add_argument(
         "--calibration", default=None, metavar="NPZ",
         help="checkpoint from `repro calibrate` whose int8 scales the fast "
              "tier uses (must match the served architecture); without it "
@@ -879,6 +992,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     patterns.add_argument("--app", required=True, choices=app_names())
     patterns.set_defaults(fn=_cmd_patterns)
+
+    advise = sub.add_parser(
+        "advise",
+        help="execution-validated parallelization advice "
+             "(see docs/ADVISOR.md)",
+    )
+    advise_target = advise.add_mutually_exclusive_group(required=True)
+    advise_target.add_argument(
+        "--app", choices=app_names(),
+        help="advise one application",
+    )
+    advise_target.add_argument(
+        "--tiny", action="store_true",
+        help="advise the tiny (CI/smoke) roster: EP, IS, fib, nqueens",
+    )
+    advise.add_argument(
+        "--threads", default="2,4", metavar="T1,T2",
+        help="logical thread counts to validate under (comma-separated)",
+    )
+    advise.add_argument(
+        "--seeds", default="0,1,2", metavar="S1,S2",
+        help="adversarial-schedule seeds (comma-separated); the "
+             "systematic round-robin schedule always runs too",
+    )
+    advise.add_argument(
+        "--max-ulp", type=float, default=4.0,
+        help="tolerance in float64 ulps for reassociated reduction "
+             "live-outs (everything else must match bitwise)",
+    )
+    advise.add_argument(
+        "--epochs", type=int, default=6,
+        help="MV-GNN training epochs per app before prediction "
+             "(0 = untrained demo weights)",
+    )
+    advise.add_argument(
+        "--batch-size", type=int, default=32,
+        help="graphs packed per forward pass for the model verdicts",
+    )
+    advise.add_argument(
+        "--no-model", action="store_true",
+        help="skip the MV-GNN; plans fuse only the prover and the oracle",
+    )
+    advise.add_argument(
+        "--no-compile", action="store_true",
+        help="disable the trace-compiled forward for the model verdicts",
+    )
+    advise.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable advice plans (sorted keys; "
+             "byte-identical to the /v1/advise wire form)",
+    )
+    advise.add_argument("--seed", type=int, default=0)
+    advise.set_defaults(fn=_cmd_advise)
     return parser
 
 

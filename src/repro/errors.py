@@ -55,6 +55,10 @@ class EngineError(ReproError):
     """Batched inference runtime failure (bad input kind, missing extractor)."""
 
 
+class AdvisorError(ReproError):
+    """Advice-plan construction, transformation, or validation failure."""
+
+
 class ServeError(ReproError):
     """Inference-service failure (batcher shutdown, internal error)."""
 

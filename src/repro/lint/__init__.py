@@ -15,6 +15,10 @@ Three rule layers (see docs/LINT.md for the catalog):
   input arrays) — dangling dependence endpoints, hierarchy cycles,
   self-dependence sanity, feature NaN/Inf/range checks, SortPooling size
   expectations, adjacency shape/symmetry/binarity.
+* **Advisor rules** (``AD0xx``) — stored advice plans
+  (:mod:`repro.advisor`) re-checked against a fresh static-prover run:
+  ``AD001`` flags prover-backed plans whose embedded verdict a fresh
+  ``static_dep`` pass no longer supports.
 * **Dataset rules** (``DS0xx``) — duplicate samples via
   :meth:`~repro.dataset.types.LoopSample.fingerprint`, class-balance
   drift, per-sample structural integrity, and the label
@@ -45,6 +49,7 @@ from repro.lint.core import (
     rule,
 )
 from repro.lint.runner import (
+    lint_advice_plans,
     lint_dataset,
     lint_graph_arrays,
     lint_ir,
@@ -61,6 +66,7 @@ from repro.lint.static_dep import (
 )
 
 # rule modules register themselves on import
+from repro.lint import advisor_rules as _advisor_rules  # noqa: F401
 from repro.lint import dataset_rules as _dataset_rules  # noqa: F401
 from repro.lint import graph_rules as _graph_rules  # noqa: F401
 from repro.lint import ir_rules as _ir_rules  # noqa: F401
@@ -77,6 +83,7 @@ __all__ = [
     "all_rules",
     "analyze_loop_static",
     "get_rule",
+    "lint_advice_plans",
     "lint_dataset",
     "lint_graph_arrays",
     "lint_ir",

@@ -1,0 +1,111 @@
+"""AD001: stored advice plans must agree with a fresh prover run.
+
+Advice plans are durable artifacts — the serving layer hands them out
+from an index built at startup, and operators may persist them between
+runs.  A plan whose confidence tier leans on the static prover
+(``prover_confirmed`` / ``prover_refuted``) embeds the prover's verdict
+at build time; if the program has since changed (or the stored plan was
+tampered with), that embedded verdict can silently contradict what
+``static_dep`` proves *today*.  AD001 re-runs the prover over the plan's
+program and flags every prover-backed plan whose stored verdict drifted,
+plus plans naming loops the program no longer has.
+
+Model-only plans are not judged — the prover had no opinion when they
+were built and still may not; drift there is expected, not corruption.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Union
+
+from repro.errors import AdvisorError
+from repro.lint.core import LintReport, Severity, rule
+
+AD001 = rule(
+    "AD001", "advisor", Severity.ERROR,
+    "stored prover-backed advice plans must match a fresh static_dep run",
+)
+
+#: tiers whose stored verdict embeds prover evidence (judged by AD001)
+_PROVER_TIERS = ("prover_confirmed", "prover_refuted")
+
+#: stored tier -> the fresh static verdict that tier asserts
+_TIER_EXPECTS = {
+    "prover_confirmed": "provably_parallel",
+    "prover_refuted": "provably_serial",
+}
+
+
+def _as_plan(obj: Any):
+    """Accept :class:`AdvicePlan` objects or their wire dicts."""
+    from repro.advisor.plan import AdvicePlan, plan_from_wire
+
+    if isinstance(obj, AdvicePlan):
+        return obj
+    return plan_from_wire(obj)
+
+
+def check_advice_plans(
+    report: LintReport,
+    plans: Mapping[str, Any],
+    programs: Mapping[str, Any],
+) -> int:
+    """AD001 over ``plans`` (loop_id -> plan/wire dict); returns #judged.
+
+    ``programs`` maps program names to their MiniC ASTs; plans whose
+    program is absent are skipped (lint judges what it can reproduce).
+    """
+    from repro.lint.static_dep import static_loop_verdicts
+
+    fresh: dict = {}
+    judged = 0
+    for key, obj in plans.items():
+        try:
+            plan = _as_plan(obj)
+        except AdvisorError as exc:
+            report.emit(
+                AD001, where=str(key),
+                message=f"stored plan is malformed: {exc}",
+            )
+            continue
+        if plan.tier not in _PROVER_TIERS:
+            continue
+        program = programs.get(plan.program)
+        if program is None:
+            continue
+        if plan.program not in fresh:
+            fresh[plan.program] = {
+                loop_id: analysis.verdict.value
+                for loop_id, analysis in
+                static_loop_verdicts(program).items()
+            }
+        judged += 1
+        verdicts = fresh[plan.program]
+        current = verdicts.get(plan.loop_id)
+        if current is None:
+            report.emit(
+                AD001, where=plan.loop_id,
+                message=(
+                    f"plan tier {plan.tier!r} names a loop the program "
+                    f"{plan.program!r} no longer has"
+                ),
+                details={"tier": plan.tier, "program": plan.program},
+            )
+            continue
+        expected = _TIER_EXPECTS[plan.tier]
+        if current != expected:
+            report.emit(
+                AD001, where=plan.loop_id,
+                message=(
+                    f"plan tier {plan.tier!r} asserts the prover said "
+                    f"{expected!r}, but a fresh static_dep run says "
+                    f"{current!r}"
+                ),
+                details={
+                    "tier": plan.tier,
+                    "stored_verdict": plan.static_verdict,
+                    "fresh_verdict": current,
+                    "program": plan.program,
+                },
+            )
+    return judged

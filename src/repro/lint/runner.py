@@ -15,7 +15,14 @@ import numpy as np
 from repro.dataset.types import LoopDataset, LoopSample
 from repro.ir import ast_nodes as ast
 from repro.ir.linear import IRProgram
-from repro.lint import dataset_rules, graph_rules, ir_rules, peg_rules, tape_rules
+from repro.lint import (
+    advisor_rules,
+    dataset_rules,
+    graph_rules,
+    ir_rules,
+    peg_rules,
+    tape_rules,
+)
 from repro.lint.core import LintConfig, LintReport
 from repro.peg.graph import PEG
 
@@ -108,6 +115,23 @@ def lint_quantized_consistency(
     report.stats["quantized_consistency"] = tape_rules.check_quantized_consistency(
         report, samples, max_graphs=max_graphs, calibration=calibration
     )
+    return report
+
+
+def lint_advice_plans(
+    plans: Mapping[str, object],
+    programs: Mapping[str, ast.Program],
+    config: Optional[LintConfig] = None,
+) -> LintReport:
+    """AD001: stored advice plans versus a fresh static-prover run.
+
+    ``plans`` maps loop ids to :class:`~repro.advisor.plan.AdvicePlan`
+    objects or their wire dicts (the ``/v1/advise`` index format);
+    ``programs`` maps program names to their MiniC ASTs.
+    """
+    report = LintReport(config)
+    judged = advisor_rules.check_advice_plans(report, plans, programs)
+    report.stats["advice_plans"] = {"judged": judged, "stored": len(plans)}
     return report
 
 

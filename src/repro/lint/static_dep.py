@@ -497,26 +497,15 @@ def static_loop_verdicts(program: ast.Program) -> Dict[str, StaticLoopAnalysis]:
     """Analyze every ``For`` loop of ``program``, keyed by ``loop_id``.
 
     Loops without a ``loop_id`` are skipped (they cannot be matched to
-    samples or oracle results).
+    samples or oracle results).  Candidate enumeration — including the
+    enclosing-induction-variable context — is shared with the pattern
+    classifier and the advisor via
+    :func:`repro.analysis.candidates.iter_parallel_candidate_loops`, so
+    DS005 and the layers above it always agree on the loop universe.
     """
-    out: Dict[str, StaticLoopAnalysis] = {}
-    for fn in program.functions.values():
-        _walk(fn.body, (), out)
-    return out
+    from repro.analysis.candidates import iter_parallel_candidate_loops
 
-
-def _walk(
-    body: Sequence[ast.Stmt],
-    enclosing: Tuple[str, ...],
-    out: Dict[str, StaticLoopAnalysis],
-) -> None:
-    for stmt in body:
-        if isinstance(stmt, ast.For):
-            if stmt.loop_id is not None:
-                out[stmt.loop_id] = analyze_loop_static(stmt, enclosing)
-            _walk(stmt.body, enclosing + (stmt.var,), out)
-        elif isinstance(stmt, ast.While):
-            _walk(stmt.body, enclosing, out)
-        elif isinstance(stmt, ast.If):
-            _walk(stmt.then_body, enclosing, out)
-            _walk(stmt.else_body, enclosing, out)
+    return {
+        cand.loop_id: analyze_loop_static(cand.loop, cand.enclosing)
+        for cand in iter_parallel_candidate_loops(program)
+    }

@@ -91,8 +91,14 @@ class FleetService:
         config: Optional[ServeConfig] = None,
         registry: Optional[MetricsRegistry] = None,
         examples: Optional[Sequence[Any]] = None,
+        advisor_plans: Optional[Mapping[str, Any]] = None,
     ) -> None:
         self.engine = engine
+        # wire-form advice plans keyed by loop id / sample id; None means
+        # the advisor endpoint is not enabled on this fleet (409)
+        self.advisor_plans = (
+            dict(advisor_plans) if advisor_plans is not None else None
+        )
         self.config = config if config is not None else ServeConfig()
         self.n_workers = self.config.fleet_workers
         self.metrics = ServeMetrics(registry)
@@ -212,6 +218,36 @@ class FleetService:
         tier = self._resolve(precision)
         label = await self._submit(graph, tier, deadline_ms)
         return {"id": graph.graph_id, "label": label, "precision": tier}
+
+    async def advise(
+        self, payload: Any, precision: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """Classify one loop and attach its stored advice plan.
+
+        Same shape as :meth:`InferenceService.advise`; the inference runs
+        through the fleet's content-shard routing like any classify.
+        """
+        if not isinstance(payload, Mapping):
+            raise WireError(
+                f"request: expected a JSON object, got {type(payload).__name__}"
+            )
+        if precision is None:
+            precision = wire.decode_precision(payload.get("precision"))
+        deadline_ms = wire.decode_deadline_ms(payload, default=USE_DEFAULT)
+        graph = wire.decode_loop(payload)  # 400/422 here, pre-routing
+        tier = self._resolve(precision)
+        self.metrics.advise_requests.inc()
+        label = await self._submit(graph, tier, deadline_ms)
+        plans = self.advisor_plans or {}
+        plan = plans.get(graph.graph_id)
+        if plan is not None and (
+            plan.get("validation", {}).get("status") == "validated"
+        ):
+            self.metrics.advise_validated.inc()
+        return {
+            "id": graph.graph_id, "label": label,
+            "precision": tier, "plan": plan,
+        }
 
     async def classify_batch(
         self, payload: Any, precision: Optional[str] = None

@@ -12,6 +12,8 @@ Routes
 
 ==========================  =====================================================
 ``POST /v1/classify``       one loop object -> ``{"id", "label", "precision"}``
+``POST /v1/advise``         classify + the stored advice plan (409 when the
+                            server has no plan index; see docs/ADVISOR.md)
 ``POST /v1/classify_batch`` ``{"loops": [...]}`` -> ``{"results", "precision"}``
 ``GET  /v1/example``        a valid classify payload from the example pool
 ``GET  /healthz``           liveness + config summary (+ per-worker status)
@@ -225,6 +227,22 @@ class HttpServer:
                 if method != "POST":
                     return 405, {"error": "use POST"}, "application/json", {}
                 result = await self.service.classify(
+                    wire.parse_json(body),
+                    precision=_query_precision(query),
+                )
+                return 200, result, "application/json", {}
+            if path == "/v1/advise":
+                if method != "POST":
+                    return 405, {"error": "use POST"}, "application/json", {}
+                if getattr(self.service, "advisor_plans", None) is None:
+                    return (
+                        409,
+                        {"error": "advisor not enabled: start the server "
+                                  "with an advice-plan index (repro serve "
+                                  "builds one unless --no-advisor)"},
+                        "application/json", {},
+                    )
+                result = await self.service.advise(
                     wire.parse_json(body),
                     precision=_query_precision(query),
                 )

@@ -407,6 +407,12 @@ class ServeMetrics:
         self.downgrades = r.counter(
             "serve_precision_downgrades_total",
             "Requests downgraded to the fast tier by queue pressure")
+        self.advise_requests = r.counter(
+            "serve_advise_requests_total",
+            "Advice requests admitted (POST /v1/advise)")
+        self.advise_validated = r.counter(
+            "serve_advise_validated_total",
+            "Advice responses whose plan was execution-validated")
         # pre-register both tier series at zero so dashboards see the
         # family before the first request of either precision lands
         for tier in ("exact", "fast"):

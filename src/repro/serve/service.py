@@ -81,8 +81,14 @@ class InferenceService:
         config: Optional[ServeConfig] = None,
         registry: Optional[MetricsRegistry] = None,
         examples: Optional[Sequence[Any]] = None,
+        advisor_plans: Optional[Mapping[str, Any]] = None,
     ) -> None:
         self.engine = engine
+        # wire-form advice plans keyed by loop id / sample id; None means
+        # the advisor endpoint is not enabled on this server (409)
+        self.advisor_plans = (
+            dict(advisor_plans) if advisor_plans is not None else None
+        )
         self.config = config if config is not None else ServeConfig()
         self.metrics = ServeMetrics(registry)
         bind_engine_stats(self.metrics.registry, engine)
@@ -178,6 +184,38 @@ class InferenceService:
         tier = self._resolve(precision)
         label = await self.batchers[tier].submit(graph, deadline_ms=deadline_ms)
         return {"id": graph.graph_id, "label": label, "precision": tier}
+
+    async def advise(
+        self, payload: Any, precision: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """One loop object -> its classification plus the stored advice plan.
+
+        Same decode/admission path as :meth:`classify` (identical 400/422
+        gate and precision resolution); the response adds a ``"plan"``
+        field carrying the wire-form :class:`~repro.advisor.plan.AdvicePlan`
+        for the loop, or ``None`` when no plan is stored under its id.
+        """
+        if not isinstance(payload, Mapping):
+            raise WireError(
+                f"request: expected a JSON object, got {type(payload).__name__}"
+            )
+        if precision is None:
+            precision = wire.decode_precision(payload.get("precision"))
+        deadline_ms = wire.decode_deadline_ms(payload, default=USE_DEFAULT)
+        graph = wire.decode_loop(payload)
+        tier = self._resolve(precision)
+        self.metrics.advise_requests.inc()
+        label = await self.batchers[tier].submit(graph, deadline_ms=deadline_ms)
+        plans = self.advisor_plans or {}
+        plan = plans.get(graph.graph_id)
+        if plan is not None and (
+            plan.get("validation", {}).get("status") == "validated"
+        ):
+            self.metrics.advise_validated.inc()
+        return {
+            "id": graph.graph_id, "label": label,
+            "precision": tier, "plan": plan,
+        }
 
     async def classify_batch(
         self, payload: Any, precision: Optional[str] = None

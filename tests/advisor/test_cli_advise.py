@@ -1,0 +1,69 @@
+"""`repro advise` CLI: report format, --json output, flag validation."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, argv):
+    code = main(argv)
+    out = capsys.readouterr().out
+    return code, out
+
+
+@pytest.mark.slow
+class TestAdviseTiny:
+    def test_table_report_and_self_check(self, capsys):
+        code, out = run_cli(
+            capsys,
+            ["advise", "--tiny", "--no-model",
+             "--threads", "2", "--seeds", "0"],
+        )
+        assert code == 0
+        # Table-IV-style report: one row per app plus the total row
+        for app in ("EP", "IS", "fib", "nqueens", "total"):
+            assert app in out
+        for column in ("loops", "advised", "validated", "refuted"):
+            assert column in out
+        assert "self-check: PASS" in out
+
+    def test_json_output_parses_with_plans(self, capsys):
+        code, out = run_cli(
+            capsys,
+            ["advise", "--app", "fib", "--no-model", "--json",
+             "--threads", "2", "--seeds", "0"],
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert set(payload) == {"apps", "self_check"}
+        plans = payload["apps"]["fib"]
+        assert plans, "fib should yield at least one plan"
+        for plan in plans.values():
+            assert {"loop_id", "advised", "tier", "validation"} <= set(plan)
+        assert payload["self_check"]["passed"] is True
+        # deterministic serialization: sorted keys throughout
+        assert out == json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+class TestFlagValidation:
+    def test_bad_threads_rejected(self, capsys):
+        code = main(["advise", "--app", "fib", "--no-model",
+                     "--threads", "two"])
+        assert code == 2
+
+    def test_empty_seeds_rejected(self, capsys):
+        code = main(["advise", "--app", "fib", "--no-model",
+                     "--seeds", ","])
+        assert code == 2
+
+    def test_app_and_tiny_mutually_exclusive(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["advise", "--app", "fib", "--tiny"])
+        assert excinfo.value.code == 2
+
+    def test_one_of_app_or_tiny_required(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["advise"])
+        assert excinfo.value.code == 2

@@ -1,0 +1,139 @@
+"""AdvicePlan construction: tier fusion, clause ordering, wire round-trip."""
+
+import pytest
+
+from repro.analysis import clause_strings, render_pragma
+from repro.analysis.oracle import classify_loop
+from repro.advisor import (
+    TIER_MODEL_ONLY,
+    TIER_PROVER_CONFIRMED,
+    TIER_PROVER_REFUTED,
+    VALIDATION_PENDING,
+    VALIDATION_REFUTED,
+    build_advice_plans,
+    plan_from_wire,
+)
+from repro.advisor.plan import ValidationRecord
+from repro.errors import AdvisorError
+from repro.lint.static_dep import StaticVerdict, static_loop_verdicts
+
+from tests.helpers import (
+    build_mixed_program,
+    build_reduction_program,
+    build_sequential_program,
+    profile,
+)
+
+
+@pytest.fixture(scope="module")
+def mixed():
+    program = build_mixed_program()
+    ir, report = profile(program)
+    return program, ir, report
+
+
+class TestTierFusion:
+    def test_prover_confirmed_tier(self, mixed):
+        program, ir, report = mixed
+        plans = build_advice_plans(program, ir, report)
+        statics = static_loop_verdicts(program)
+        for loop_id, plan in plans.items():
+            if statics[loop_id].verdict is StaticVerdict.PROVABLY_PARALLEL:
+                assert plan.tier == TIER_PROVER_CONFIRMED
+
+    def test_prover_refuted_never_advised(self):
+        program = build_sequential_program()
+        ir, report = profile(program)
+        plans = build_advice_plans(program, ir, report)
+        statics = static_loop_verdicts(program)
+        refuted = [
+            plans[lid] for lid, analysis in statics.items()
+            if analysis.verdict is StaticVerdict.PROVABLY_SERIAL
+        ]
+        assert refuted, "sequential program should have a provably-serial loop"
+        for plan in refuted:
+            assert plan.tier == TIER_PROVER_REFUTED
+            assert not plan.advised
+            assert plan.pragma is None
+
+    def test_model_verdict_overrides_oracle_when_supplied(self, mixed):
+        program, ir, report = mixed
+        plans = build_advice_plans(program, ir, report)
+        advised = next(
+            lid for lid, p in plans.items()
+            if p.advised and p.tier == TIER_MODEL_ONLY
+        )
+        # model says serial on a loop the prover could not confirm:
+        # the fused verdict must not advise it
+        overridden = build_advice_plans(
+            program, ir, report, model_verdicts={advised: 0}
+        )
+        assert not overridden[advised].advised
+
+    def test_every_loop_gets_a_plan(self, mixed):
+        program, ir, report = mixed
+        plans = build_advice_plans(program, ir, report)
+        assert set(plans) == set(ir.all_loops())
+
+
+class TestClauses:
+    def test_pragma_matches_shared_clause_renderer(self, mixed):
+        program, ir, report = mixed
+        plans = build_advice_plans(program, ir, report)
+        for loop_id, plan in plans.items():
+            if not plan.advised:
+                continue
+            oracle = classify_loop(ir, report, loop_id)
+            assert plan.pragma == render_pragma(
+                clause_strings(ir, loop_id, oracle)
+            )
+
+    def test_clause_order_reductions_before_private(self):
+        program = build_reduction_program()
+        ir, report = profile(program)
+        plans = build_advice_plans(program, ir, report)
+        plan = plans["red:main:L1"]
+        kinds = [c.kind for c in plan.clauses]
+        assert kinds[0] == "parallel_for"
+        assert kinds.count("reduction") >= 1
+        # reduction clauses precede private clauses
+        if "private" in kinds:
+            assert kinds.index("private") > max(
+                i for i, k in enumerate(kinds) if k == "reduction"
+            )
+
+    def test_clause_provenance_recorded(self):
+        program = build_reduction_program()
+        ir, report = profile(program)
+        plan = build_advice_plans(program, ir, report)["red:main:L1"]
+        red = next(c for c in plan.clauses if c.kind == "reduction")
+        assert "analysis:reduction" in red.provenance
+        pf = next(c for c in plan.clauses if c.kind == "parallel_for")
+        assert any(p.startswith(("model:", "oracle:")) for p in pf.provenance)
+
+
+class TestWire:
+    def test_round_trip_identity(self, mixed):
+        program, ir, report = mixed
+        for plan in build_advice_plans(program, ir, report).values():
+            assert plan_from_wire(plan.to_wire()) == plan
+
+    def test_malformed_wire_raises(self):
+        with pytest.raises(AdvisorError):
+            plan_from_wire({"loop_id": "x"})
+        with pytest.raises(AdvisorError):
+            plan_from_wire("not a mapping")
+
+    def test_refuted_validation_downgrades(self, mixed):
+        program, ir, report = mixed
+        plan = next(
+            p for p in build_advice_plans(program, ir, report).values()
+            if p.advised
+        )
+        assert plan.validation.status == VALIDATION_PENDING
+        downgraded = plan.with_validation(
+            ValidationRecord(status=VALIDATION_REFUTED, detail="diverged")
+        )
+        assert not downgraded.advised
+        assert downgraded.pragma is None
+        assert downgraded.validation.status == VALIDATION_REFUTED

@@ -1,0 +1,128 @@
+"""Simulated interleaving: determinism, adversarial seeding, race visibility."""
+
+import pytest
+
+from repro.advisor import (
+    SCHEDULE_ADVERSARIAL,
+    SCHEDULE_ROUNDROBIN,
+    ScheduleSpec,
+    apply_plan,
+    build_advice_plans,
+    run_interleaved,
+)
+from repro.advisor.driver import build_racy_demo
+from repro.advisor.scheduler import eval_expr
+from repro.errors import AdvisorError
+from repro.ir import ast_nodes as ast
+
+from tests.helpers import build_reduction_program, profile, run_and_state
+
+
+@pytest.fixture(scope="module")
+def reduction_transformed():
+    program = build_reduction_program()
+    ir, report = profile(program)
+    plan = build_advice_plans(program, ir, report)["red:main:L1"]
+    assert plan.advised
+    return apply_plan(program, plan, 4)
+
+
+class TestScheduleSpec:
+    def test_adversarial_requires_seed(self):
+        with pytest.raises(AdvisorError):
+            ScheduleSpec(SCHEDULE_ADVERSARIAL)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(AdvisorError):
+            ScheduleSpec("random")
+
+    def test_labels(self):
+        assert ScheduleSpec(SCHEDULE_ROUNDROBIN).label == "roundrobin"
+        assert ScheduleSpec(SCHEDULE_ADVERSARIAL, seed=7).label == "adversarial:7"
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace_and_state(self, reduction_transformed):
+        spec = ScheduleSpec(SCHEDULE_ADVERSARIAL, seed=3)
+        a = run_interleaved(reduction_transformed, spec)
+        b = run_interleaved(reduction_transformed, spec)
+        assert a.trace == b.trace
+        assert a.scalars == b.scalars
+        assert {k: list(v) for k, v in a.arrays.items()} == {
+            k: list(v) for k, v in b.arrays.items()
+        }
+
+    def test_different_seed_different_trace(self, reduction_transformed):
+        a = run_interleaved(
+            reduction_transformed, ScheduleSpec(SCHEDULE_ADVERSARIAL, seed=0)
+        )
+        b = run_interleaved(
+            reduction_transformed, ScheduleSpec(SCHEDULE_ADVERSARIAL, seed=1)
+        )
+        # the interleaving order differs even though the result agrees
+        assert a.trace != b.trace
+
+    def test_roundrobin_is_deterministic(self, reduction_transformed):
+        spec = ScheduleSpec(SCHEDULE_ROUNDROBIN)
+        a = run_interleaved(reduction_transformed, spec)
+        b = run_interleaved(reduction_transformed, spec)
+        assert a.trace == b.trace
+        assert a.scalars == b.scalars
+
+    def test_trace_names_all_chunks(self, reduction_transformed):
+        run = run_interleaved(
+            reduction_transformed, ScheduleSpec(SCHEDULE_ADVERSARIAL, seed=0)
+        )
+        assert set(run.trace) == {0, 1, 2, 3}
+
+
+class TestCorrectnessUnderSchedules:
+    def test_privatized_reduction_matches_sequential(self, reduction_transformed):
+        _, ref_arrays = run_and_state(build_reduction_program())
+        for spec in (
+            ScheduleSpec(SCHEDULE_ROUNDROBIN),
+            ScheduleSpec(SCHEDULE_ADVERSARIAL, seed=0),
+            ScheduleSpec(SCHEDULE_ADVERSARIAL, seed=1),
+        ):
+            run = run_interleaved(reduction_transformed, spec)
+            got = {k: tuple(v) for k, v in run.arrays.items()}
+            assert got == ref_arrays, spec.label
+
+    def test_unprivatized_racy_plan_diverges(self):
+        # the planted race: `t` is shared because the plan omits private(t);
+        # round-robin at every shared store interleaves the two writes
+        program, bad_plan = build_racy_demo()
+        result = apply_plan(program, bad_plan, 2)
+        _, ref_arrays = run_and_state(program)
+        run = run_interleaved(result, ScheduleSpec(SCHEDULE_ROUNDROBIN))
+        got = {k: tuple(v) for k, v in run.arrays.items()}
+        assert got != ref_arrays
+
+
+class TestEvalExpr:
+    def test_scalar_default_and_side_effect(self):
+        scalars = {}
+        assert eval_expr(ast.Var("x"), scalars, {}) == 0.0
+        assert scalars["x"] == 0.0
+
+    def test_intrinsic_clamps(self):
+        call = ast.CallExpr("sqrt", (ast.Const(-4.0),))
+        assert eval_expr(call, {}, {}) == 0.0
+
+    def test_load_bounds_checked(self):
+        with pytest.raises(AdvisorError):
+            eval_expr(ast.Load("a", ast.Const(5.0)), {}, {"a": [0.0, 1.0]})
+
+    def test_binop_semantics_match_interpreter(self):
+        cases = [
+            (ast.BinOp("%", ast.Const(-7.0), ast.Const(3.0)), -7.0 % 3.0),
+            (ast.BinOp("<", ast.Const(1.0), ast.Const(2.0)), 1.0),
+            (ast.BinOp("min", ast.Const(3.0), ast.Const(1.0)), 1.0),
+            (ast.BinOp("&&", ast.Const(2.0), ast.Const(0.0)), 0.0),
+        ]
+        for expr, want in cases:
+            assert eval_expr(expr, {}, {}) == want
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(AdvisorError):
+            eval_expr(ast.BinOp("/", ast.Const(1.0), ast.Const(0.0)), {}, {})

@@ -1,0 +1,162 @@
+"""POST /v1/advise: routing, the shared admission gate, metrics, and
+byte-identity between the CLI plan index and the HTTP response."""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.advisor import advise_program
+from repro.serve import HttpServer, InferenceService, ServeConfig
+
+from tests.advisor.test_validate import plans_for  # noqa: F401 (reuse helper)
+from tests.helpers import build_reduction_program
+from tests.serve.helpers import graph_payload, random_graph, tiny_engine
+from tests.serve.test_http import config_on_free_port, http_request
+
+
+def plan_index_and_payload(rng_seed=0):
+    """A validated wire-form plan keyed by a payload's graph id."""
+    program = build_reduction_program()
+    plans = advise_program(program, threads=(2,), seeds=(0,))
+    plan = plans["red:main:L1"]
+    assert plan.validation.status == "validated", plan.validation.detail
+    rng = np.random.default_rng(rng_seed)
+    graph = random_graph(rng, 6, graph_id="red:main:L1")
+    return {plan.loop_id: plan.to_wire()}, graph_payload(graph), plan
+
+
+async def with_advise_server(config, body, advisor_plans=None):
+    service = InferenceService(
+        tiny_engine(), config, advisor_plans=advisor_plans
+    )
+    server = HttpServer(service)
+    await service.start()
+    port = await server.start()
+    try:
+        return await body(port, service)
+    finally:
+        await server.stop()
+        await service.stop()
+
+
+class TestServiceAdvise:
+    def test_known_loop_returns_plan_and_counts(self):
+        index, payload, plan = plan_index_and_payload()
+
+        async def body():
+            service = InferenceService(
+                tiny_engine(), config_on_free_port(), advisor_plans=index
+            )
+            await service.start()
+            try:
+                response = await service.advise(payload)
+            finally:
+                await service.stop()
+            return response, service
+
+        response, service = asyncio.run(body())
+        assert response["id"] == "red:main:L1"
+        assert response["label"] in (0, 1)
+        assert response["plan"] == plan.to_wire()
+        assert service.metrics.advise_requests.value == 1
+        assert service.metrics.advise_validated.value == 1
+
+    def test_unknown_loop_returns_null_plan(self):
+        index, payload, _ = plan_index_and_payload()
+        payload = dict(payload, id="not-in-the-index")
+
+        async def body():
+            service = InferenceService(
+                tiny_engine(), config_on_free_port(), advisor_plans=index
+            )
+            await service.start()
+            try:
+                return await service.advise(payload), service
+            finally:
+                await service.stop()
+
+        response, service = asyncio.run(body())
+        assert response["plan"] is None
+        assert service.metrics.advise_requests.value == 1
+        assert service.metrics.advise_validated.value == 0
+
+
+class TestHttpRoute:
+    def test_advise_round_trip_and_metrics(self):
+        index, payload, _ = plan_index_and_payload()
+
+        async def body(port, service):
+            status, _, raw = await http_request(
+                port, "POST", "/v1/advise", body=payload
+            )
+            assert status == 200
+            response = json.loads(raw)
+            assert response["plan"]["loop_id"] == "red:main:L1"
+            status, _, raw = await http_request(port, "GET", "/metrics")
+            assert status == 200
+            text = raw.decode()
+            assert "serve_advise_requests_total 1" in text
+            assert "serve_advise_validated_total 1" in text
+
+        asyncio.run(with_advise_server(
+            config_on_free_port(), body, advisor_plans=index
+        ))
+
+    def test_conflict_when_advisor_disabled(self):
+        _, payload, _ = plan_index_and_payload()
+
+        async def body(port, service):
+            status, _, raw = await http_request(
+                port, "POST", "/v1/advise", body=payload
+            )
+            assert status == 409
+            assert "advisor not enabled" in json.loads(raw)["error"]
+
+        asyncio.run(with_advise_server(config_on_free_port(), body))
+
+    def test_bad_request_and_unprocessable_gate(self):
+        index, payload, _ = plan_index_and_payload()
+
+        async def body(port, service):
+            # non-object payload -> 400 (WireError)
+            status, _, _ = await http_request(
+                port, "POST", "/v1/advise", body=[1, 2, 3]
+            )
+            assert status == 400
+            # structurally valid but inadmissible graph -> 422
+            bad = dict(payload)
+            bad["adjacency"] = [
+                [float("nan")] * len(row) for row in payload["adjacency"]
+            ]
+            status, _, _ = await http_request(
+                port, "POST", "/v1/advise", body=bad
+            )
+            assert status == 422
+            # wrong method -> 405
+            status, _, _ = await http_request(port, "GET", "/v1/advise")
+            assert status == 405
+
+        asyncio.run(with_advise_server(
+            config_on_free_port(), body, advisor_plans=index
+        ))
+
+    def test_plan_byte_identical_to_cli_index(self):
+        # acceptance: /v1/advise returns plans byte-identically to the
+        # CLI path (both serialize AdvicePlan.to_wire())
+        index, payload, plan = plan_index_and_payload()
+
+        async def body(port, service):
+            _, _, raw = await http_request(
+                port, "POST", "/v1/advise", body=payload
+            )
+            response = json.loads(raw)
+            assert (
+                json.dumps(response["plan"], sort_keys=True)
+                == json.dumps(plan.to_wire(), sort_keys=True)
+            )
+
+        asyncio.run(with_advise_server(
+            config_on_free_port(), body, advisor_plans=index
+        ))

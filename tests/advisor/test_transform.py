@@ -1,0 +1,175 @@
+"""AST transformation: chunking math, clone fidelity, sequential parity."""
+
+import pytest
+
+from repro.advisor import (
+    apply_plan,
+    build_advice_plans,
+    chunk_ranges,
+    clone_program,
+    concrete_bounds,
+    find_loop,
+)
+from repro.advisor.transform import clone_stmt, rename_expr, straight_line_reason
+from repro.errors import AdvisorError
+from repro.ir import ast_nodes as ast
+from repro.ir.lowering import lower_program
+from repro.ir.source_printer import program_to_source
+from repro.ir.verify import verify_program
+
+from tests.helpers import (
+    build_doall_program,
+    build_reduction_program,
+    profile,
+    run_and_state,
+)
+
+
+def advised_plan(program, loop_id):
+    ir, report = profile(program)
+    plan = build_advice_plans(program, ir, report)[loop_id]
+    assert plan.advised, plan.rationale
+    return plan
+
+
+class TestChunkRanges:
+    def test_even_split(self):
+        # each entry is (lo, hi, trip_count)
+        assert chunk_ranges(0, 12, 1, 4) == [
+            (0, 3, 3), (3, 6, 3), (6, 9, 3), (9, 12, 3)
+        ]
+
+    def test_uneven_split_balanced(self):
+        ranges = chunk_ranges(0, 10, 1, 4)
+        trips = [t for _, _, t in ranges]
+        assert sum(trips) == 10
+        assert max(trips) - min(trips) <= 1
+
+    def test_more_threads_than_trips_drops_empty_chunks(self):
+        ranges = chunk_ranges(0, 2, 1, 4)
+        assert len(ranges) == 2
+        assert all(t > 0 for _, _, t in ranges)
+
+    def test_strided(self):
+        ranges = chunk_ranges(0, 10, 3, 2)
+        # iterations 0, 3, 6, 9 split across two chunks
+        covered = [
+            i for lo, hi, _ in ranges for i in range(lo, hi, 3)
+        ]
+        assert covered == [0, 3, 6, 9]
+
+    def test_contiguous_coverage(self):
+        for hi in (1, 5, 12, 13):
+            for t in (1, 2, 4, 8):
+                ranges = chunk_ranges(0, hi, 1, t)
+                covered = [
+                    i for lo, chi, _ in ranges for i in range(lo, chi)
+                ]
+                assert covered == list(range(hi)), (hi, t)
+
+
+class TestCloning:
+    def test_rename_expr_leaves_arrays_alone(self):
+        expr = ast.BinOp(
+            "+", ast.Load("a", ast.Var("i")), ast.Var("i")
+        )
+        out = rename_expr(expr, {"i": "i__t0", "a": "SHOULD_NOT_APPLY"})
+        assert out.rhs.name == "i__t0"
+        assert out.lhs.array == "a"
+        assert out.lhs.index.name == "i__t0"
+
+    def test_clone_program_is_deep(self):
+        program = build_doall_program()
+        clone = clone_program(program)
+        _, loop = find_loop(clone, "doall:main:L0")
+        loop.body.append(ast.Assign("x", ast.Const(1.0), line=0))
+        _, original = find_loop(program, "doall:main:L0")
+        assert len(original.body) != len(loop.body)
+
+    def test_clone_stmt_renames_assign_targets(self):
+        stmt = ast.Assign("t", ast.Var("t"), line=1)
+        out = clone_stmt(stmt, {"t": "t__t1"})
+        assert out.name == "t__t1"
+        assert out.expr.name == "t__t1"
+
+
+class TestGuards:
+    def test_concrete_bounds(self):
+        program = build_doall_program()
+        _, loop = find_loop(program, "doall:main:L0")
+        assert concrete_bounds(loop) == (0, 12, 1)
+
+    def test_symbolic_bounds_rejected(self):
+        loop = ast.For(
+            var="i", lo=ast.Const(0.0), hi=ast.Var("n"), body=[],
+            loop_id="x:main:L0", line=1,
+        )
+        assert concrete_bounds(loop) is None
+
+    def test_straight_line_rejects_induction_write(self):
+        loop = ast.For(
+            var="i", lo=ast.Const(0.0), hi=ast.Const(4.0),
+            body=[ast.Assign("i", ast.Const(0.0), line=2)],
+            loop_id="x:main:L0", line=1,
+        )
+        assert straight_line_reason(loop) is not None
+
+    def test_apply_plan_rejects_bad_thread_count(self):
+        program = build_reduction_program()
+        plan = advised_plan(program, "red:main:L1")
+        with pytest.raises(AdvisorError):
+            apply_plan(program, plan, 0)
+
+
+class TestApplyPlan:
+    def test_chunk_loop_ids_and_renames(self):
+        program = build_reduction_program()
+        plan = advised_plan(program, "red:main:L1")
+        result = apply_plan(program, plan, 3)
+        assert [c.loop.loop_id for c in result.chunks] == [
+            "red:main:L1@t0", "red:main:L1@t1", "red:main:L1@t2"
+        ]
+        for k, chunk in enumerate(result.chunks):
+            assert chunk.loop.var == f"i__t{k}"
+            assert f"s__r{k}" in chunk.private_names
+
+    def test_transformed_program_lowers_and_verifies(self):
+        program = build_reduction_program()
+        plan = advised_plan(program, "red:main:L1")
+        result = apply_plan(program, plan, 4)
+        ir = lower_program(result.program)
+        verify_program(ir)
+
+    def test_round_trips_through_source_printer(self):
+        program = build_reduction_program()
+        plan = advised_plan(program, "red:main:L1")
+        result = apply_plan(program, plan, 2)
+        source = program_to_source(result.program)
+        assert "s__r0" in source and "s__r1" in source
+
+    @pytest.mark.parametrize("threads", [1, 2, 3, 4, 8])
+    def test_sequential_semantics_preserved(self, threads):
+        # the transformed program, run *sequentially*, must bitwise-match
+        # the original (merge order mirrors the sequential reduction order)
+        program = build_reduction_program()
+        plan = advised_plan(program, "red:main:L1")
+        result = apply_plan(program, plan, threads)
+        ref_rv, ref_arrays = run_and_state(program)
+        got_rv, got_arrays = run_and_state(result.program)
+        assert got_rv == ref_rv
+        assert got_arrays == ref_arrays
+
+    def test_doall_chunking_preserves_stores(self):
+        program = build_doall_program()
+        plan = advised_plan(program, "doall:main:L1")
+        result = apply_plan(program, plan, 4)
+        _, ref_arrays = run_and_state(program)
+        _, got_arrays = run_and_state(result.program)
+        assert got_arrays == ref_arrays
+
+    def test_original_program_untouched(self):
+        program = build_reduction_program()
+        before = program_to_source(program)
+        plan = advised_plan(program, "red:main:L1")
+        apply_plan(program, plan, 4)
+        assert program_to_source(program) == before

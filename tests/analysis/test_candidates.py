@@ -1,0 +1,103 @@
+"""iter_parallel_candidate_loops: one loop universe for every analysis
+layer, plus the deterministic clause-ordering contract."""
+
+from types import SimpleNamespace
+
+from repro.analysis import clause_strings, render_pragma
+from repro.analysis.candidates import iter_parallel_candidate_loops
+from repro.analysis.patterns import classify_all_patterns
+from repro.ir.builder import ProgramBuilder
+from repro.lint.static_dep import static_loop_verdicts
+
+from tests.helpers import build_mixed_program, build_reduction_program, profile
+
+
+def build_nested_program(size: int = 6):
+    """A 2-deep nest plus a loop hidden under an If arm."""
+    pb = ProgramBuilder("nested")
+    pb.array("a", size * size)
+    pb.array("b", size)
+    with pb.function("main") as fb:
+        with fb.loop("i", 0, size) as i:
+            with fb.loop("j", 0, size) as j:
+                fb.store("a", fb.add(fb.mul(i, size), j), fb.add(i, j))
+        with fb.if_block(fb.cmp(">", fb.load("a", 0), -1.0)):
+            with fb.loop("k", 0, size) as k:
+                fb.store("b", k, k)
+    return pb.build()
+
+
+class TestEnumeration:
+    def test_pre_order_and_enclosing(self):
+        program = build_nested_program()
+        candidates = list(iter_parallel_candidate_loops(program))
+        by_id = {c.loop_id: c for c in candidates}
+        ids = [c.loop_id for c in candidates]
+        # outer loop before its child, declaration order across siblings
+        assert ids == ["nested:main:L0", "nested:main:L1", "nested:main:L2"]
+        assert by_id["nested:main:L0"].enclosing == ()
+        assert by_id["nested:main:L1"].enclosing == ("i",)
+        # the loop under the If arm is found, with no phantom enclosers
+        assert by_id["nested:main:L2"].enclosing == ()
+        assert all(c.function == "main" for c in candidates)
+
+    def test_candidate_loop_accessors(self):
+        program = build_reduction_program()
+        candidates = list(iter_parallel_candidate_loops(program))
+        assert [c.loop_id for c in candidates] == [
+            "red:main:L0", "red:main:L1"
+        ]
+        assert all(c.loop.loop_id == c.loop_id for c in candidates)
+
+
+class TestSharedLoopUniverse:
+    def test_prover_and_patterns_agree_on_loop_ids(self):
+        # the point of the shared walker: every layer sees the same loops
+        for build in (build_mixed_program, build_nested_program):
+            program = build()
+            candidate_ids = {
+                c.loop_id for c in iter_parallel_candidate_loops(program)
+            }
+            assert set(static_loop_verdicts(program)) == candidate_ids
+            ir, report = profile(program)
+            assert set(classify_all_patterns(program, ir, report)) == (
+                candidate_ids
+            )
+
+
+class TestClauseOrdering:
+    def test_reduction_before_private_and_sorted(self):
+        ir, _ = profile(build_reduction_program())
+        oracle = SimpleNamespace(
+            reductions=["main::s", "main::q"],
+            privatized=["main::z", "main::t"],
+        )
+        clauses = clause_strings(ir, "red:main:L1", oracle)
+        # reductions first, sorted by bare name; one sorted private() last
+        assert clauses[0].startswith("reduction(")
+        assert "q)" in clauses[0]
+        assert clauses[1].startswith("reduction(")
+        assert "s)" in clauses[1]
+        assert clauses[-1] == "private(t, z)"
+
+    def test_private_deduplicated(self):
+        ir, _ = profile(build_reduction_program())
+        oracle = SimpleNamespace(
+            reductions=[], privatized=["main::t", "main::t"]
+        )
+        assert clause_strings(ir, "red:main:L1", oracle) == ["private(t)"]
+
+    def test_render_pragma(self):
+        assert render_pragma([]) == "#pragma omp parallel for"
+        assert render_pragma(["reduction(+: s)", "private(t)"]) == (
+            "#pragma omp parallel for reduction(+: s) private(t)"
+        )
+
+    def test_real_oracle_ordering_is_stable(self):
+        program = build_reduction_program()
+        ir, report = profile(program)
+        plans = classify_all_patterns(program, ir, report)
+        oracle = plans["red:main:L1"].oracle
+        first = clause_strings(ir, "red:main:L1", oracle)
+        assert first == clause_strings(ir, "red:main:L1", oracle)
+        assert any(c.startswith("reduction(+") for c in first)

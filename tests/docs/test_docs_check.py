@@ -149,7 +149,7 @@ def test_make_targets_exist(doc):
     )
 
 
-RULE_ID = re.compile(r"\b(?:IR|PEG|GR|DS)\d{3}\b")
+RULE_ID = re.compile(r"\b(?:IR|PEG|GR|DS|AD)\d{3}\b")
 
 
 def test_lint_rule_catalog_is_complete():

@@ -545,3 +545,100 @@ class TestQuantizedConsistency:
             mixed_samples, calibration=poisoned
         )
         assert "GR006" in fired(report)
+
+
+# ---------------------------------------------------------------------------
+# AD001: stored advice plans vs a fresh prover run
+# ---------------------------------------------------------------------------
+
+
+class TestAdvisorPlanCorruptions:
+    @pytest.fixture(scope="class")
+    def mixed_plans(self):
+        from repro.advisor import build_advice_plans
+
+        program = build_mixed_program()
+        ir, report = profile(program)
+        plans = build_advice_plans(program, ir, report)
+        return program, {lid: p.to_wire() for lid, p in plans.items()}
+
+    def test_fresh_plans_silent(self, mixed_plans):
+        from repro.lint.runner import lint_advice_plans
+
+        program, plans = mixed_plans
+        report = lint_advice_plans(plans, {program.name: program})
+        assert report.findings == []
+        stats = report.stats["advice_plans"]
+        assert stats["stored"] == len(plans)
+        assert stats["judged"] >= 1  # the prover-backed subset
+
+    def test_tampered_tier_fires(self, mixed_plans):
+        from repro.lint.runner import lint_advice_plans
+
+        program, plans = mixed_plans
+        poisoned = copy.deepcopy(plans)
+        confirmed = next(
+            lid for lid, p in poisoned.items()
+            if p["tier"] == "prover_confirmed"
+        )
+        # the corruption class: a plan claiming the prover refuted a loop
+        # it actually proved parallel (stale artifact, bad merge)
+        poisoned[confirmed]["tier"] = "prover_refuted"
+        report = lint_advice_plans(poisoned, {program.name: program})
+        ad1 = [f for f in report.findings if f.rule_id == "AD001"]
+        assert len(ad1) == 1
+        assert ad1[0].where == confirmed
+        assert ad1[0].details["fresh_verdict"] == "provably_parallel"
+
+    def test_renamed_loop_fires(self, mixed_plans):
+        from repro.lint.runner import lint_advice_plans
+
+        program, plans = mixed_plans
+        poisoned = copy.deepcopy(plans)
+        confirmed = next(
+            lid for lid, p in poisoned.items()
+            if p["tier"] == "prover_confirmed"
+        )
+        plan = poisoned.pop(confirmed)
+        plan["loop_id"] = "mixed:main:L99"
+        poisoned["mixed:main:L99"] = plan
+        report = lint_advice_plans(poisoned, {program.name: program})
+        assert any(
+            f.rule_id == "AD001" and "no longer has" in f.message
+            for f in report.findings
+        )
+
+    def test_malformed_plan_fires(self, mixed_plans):
+        from repro.lint.runner import lint_advice_plans
+
+        program, plans = mixed_plans
+        poisoned = dict(plans)
+        poisoned["junk"] = {"loop_id": "only-a-loop-id"}
+        report = lint_advice_plans(poisoned, {program.name: program})
+        assert any(
+            f.rule_id == "AD001" and "malformed" in f.message
+            for f in report.findings
+        )
+
+    def test_unknown_program_skipped(self, mixed_plans):
+        from repro.lint.runner import lint_advice_plans
+
+        _, plans = mixed_plans
+        # lint judges what it can reproduce: no program, no verdict
+        report = lint_advice_plans(plans, {})
+        assert report.findings == []
+        assert report.stats["advice_plans"]["judged"] == 0
+
+    def test_model_only_drift_not_judged(self, mixed_plans):
+        from repro.lint.runner import lint_advice_plans
+
+        program, plans = mixed_plans
+        poisoned = copy.deepcopy(plans)
+        model_only = [
+            lid for lid, p in poisoned.items() if p["tier"] == "model_only"
+        ]
+        assert model_only, "mixed program should have a model-only plan"
+        for lid in model_only:
+            poisoned[lid]["static_verdict"] = "provably_parallel"
+        report = lint_advice_plans(poisoned, {program.name: program})
+        assert "AD001" not in fired(report)

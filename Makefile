@@ -5,9 +5,10 @@ export PYTHONPATH := src
 COV_FLOOR ?= 85
 
 .PHONY: test test-fast test-nightly test-cov test-tape test-quantize \
-	test-advisor bench bench-runtime bench-train bench-assembly \
-	bench-serve bench-serve-fleet bench-quantized bench-advisor \
-	serve-fleet serve-smoke docs-check lint-dataset
+	test-advisor test-ranges bench bench-runtime bench-train \
+	bench-assembly bench-serve bench-serve-fleet bench-quantized \
+	bench-advisor bench-static serve-fleet serve-smoke docs-check \
+	lint-dataset
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -55,6 +56,15 @@ test-quantize:
 # (see docs/ADVISOR.md).
 test-advisor:
 	REPRO_HYPOTHESIS_PROFILE=ci $(PYTHON) -m pytest tests/advisor/ -q
+
+# Value-range wall: interval-domain unit tests, fixpoint/soundness
+# checks over the bundled apps, the range-sharpened prover suite, and
+# the IR004-IR006 corruption rows (see docs/LINT.md).
+test-ranges:
+	REPRO_HYPOTHESIS_PROFILE=ci $(PYTHON) -m pytest \
+		tests/analysis/test_ranges.py \
+		tests/lint/test_static_dep.py \
+		tests/lint/test_corruption_matrix.py -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
@@ -106,6 +116,17 @@ ifdef QUICK
 	$(PYTHON) benchmarks/bench_advisor.py --quick
 else
 	$(PYTHON) benchmarks/bench_advisor.py
+endif
+
+# Range-sharpened static prover vs the classic prover over the tiny
+# roster: the sharpened pass must settle strictly more loops, agree with
+# the dynamic oracle on every settled verdict, and pass the interpreter
+# soundness probe.  QUICK=1 runs one soundness seed per program.
+bench-static:
+ifdef QUICK
+	$(PYTHON) benchmarks/bench_static_analysis.py --quick
+else
+	$(PYTHON) benchmarks/bench_static_analysis.py
 endif
 
 # Run a local 4-worker serving fleet (supervisor + sharded engine

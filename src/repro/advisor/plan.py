@@ -257,6 +257,11 @@ def build_advice_plans(
             static.verdict if static is not None else StaticVerdict.UNKNOWN
         )
         static_reasons = tuple(static.reasons) if static is not None else ()
+        range_facts = tuple(static.range_facts) if static is not None else ()
+        # range-assisted verdicts name their evidence alongside the proof
+        static_reasons = static_reasons + tuple(
+            f"range: {fact}" for fact in range_facts
+        )
 
         model_label = (
             None if model_verdicts is None else model_verdicts.get(loop_id)
@@ -285,7 +290,8 @@ def build_advice_plans(
         pragma: Optional[str] = None
         if advised:
             clauses = _build_clauses(
-                ir_program, loop_id, oracle, verdict_source, tier
+                ir_program, loop_id, oracle, verdict_source, tier,
+                range_backed=bool(range_facts),
             )
             pragma = render_pragma(
                 clause_strings(ir_program, loop_id, oracle)
@@ -330,12 +336,15 @@ def _build_clauses(
     oracle,
     verdict_source: str,
     tier: str,
+    range_backed: bool = False,
 ) -> Tuple[Clause, ...]:
     """Clause objects in the same deterministic order as the rendered
     pragma (:func:`repro.analysis.suggestions.clause_strings`)."""
     base_prov = (verdict_source,)
     if tier == TIER_PROVER_CONFIRMED:
         base_prov = base_prov + ("prover:static_dep",)
+        if range_backed:
+            base_prov = base_prov + ("prover:ranges",)
     clauses: List[Clause] = [Clause("parallel_for", provenance=base_prov)]
 
     loop_info = ir_program.all_loops()[loop_id]

@@ -28,6 +28,14 @@ from repro.analysis.candidates import (
     CandidateLoop,
     iter_parallel_candidate_loops,
 )
+from repro.analysis.ranges import (
+    RANGE_ANALYSIS_VERSION,
+    Interval,
+    ProgramRanges,
+    analyze_program,
+    check_soundness,
+    harvest_enclosing_bounds,
+)
 
 __all__ = [
     "critical_path_length", "dependence_dag",
@@ -40,4 +48,6 @@ __all__ = [
     "Suggestion", "clause_strings", "render_pragma",
     "suggest_parallelization", "render_report",
     "CandidateLoop", "iter_parallel_candidate_loops",
+    "RANGE_ANALYSIS_VERSION", "Interval", "ProgramRanges",
+    "analyze_program", "check_soundness", "harvest_enclosing_bounds",
 ]

@@ -1,0 +1,999 @@
+"""Value-range abstract interpretation over LinearIR.
+
+Two cooperating layers:
+
+* **Interval domain** (:class:`Interval`): closed intervals with ±∞
+  endpoints, propagated through a worklist fixpoint over each function's
+  CFG with widening (after a block's input changes too many times) and a
+  narrowing pass (infinite bounds produced by widening are replaced by
+  recomputed finite ones).  Branch targets are refined through the
+  ``ldvar → cmp → condbr`` chain the lowering emits, so a loop body knows
+  ``v < hi`` and the exit knows ``v >= hi``.  Array *contents* are
+  summarized flow-insensitively program-wide: the deterministic ``[0, 1)``
+  initialization joined with every value any ``store`` may write, iterated
+  to its own fixpoint (functions communicate only through arrays, so this
+  outer iteration is the whole interprocedural story; callee results and
+  parameters are ⊤).
+
+* **Symbolic facts** (:class:`EnclosingBound`): relational constraints
+  harvested from enclosing ``For`` headers at the AST level — while a
+  loop body runs, each enclosing induction variable ``j`` satisfies
+  ``lo <= j < hi`` (and, when the loop was entered at all, ``hi > lo``).
+  The dependence prover's row-disjointness disproof for flattened-2D
+  ``v*N + j`` subscripts consumes these (``0 <= j < N`` implies rows
+  ``v*N`` cannot collide across iterations).
+
+Every transfer function mirrors the interpreter's concrete semantics
+(:mod:`repro.profiler.interpreter`): Euclidean ``%`` follows the divisor's
+sign, ``div``/``mod`` by zero raise (so their result intervals assume a
+nonzero divisor), comparisons and logic yield {0, 1}, the clamped
+intrinsics (``sqrt`` of a negative is 0, ``log`` of a non-positive is 0,
+``exp`` saturates at 700) clamp the same way, and a scalar read before
+any write yields 0.0.  :func:`check_soundness` enforces the mirror
+empirically: it re-executes the program under the interpreter with a
+probe attached and reports every observed value that escapes its
+inferred interval.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.ir import ast_nodes as ast
+from repro.ir.linear import (
+    BasicBlock,
+    Imm,
+    Instr,
+    IRFunction,
+    IRProgram,
+    Opcode,
+    Reg,
+)
+
+#: Version of the range analysis.  Cached artifacts that embed range-backed
+#: verdicts (dataset shards revalidated by lint) record this and are
+#: invalidated when the analyzer changes.
+RANGE_ANALYSIS_VERSION = 1
+
+_INF = math.inf
+
+#: input-change budget per block before widening kicks in
+_WIDEN_AFTER = 6
+
+#: narrowing sweeps after the ascending fixpoint stabilizes
+_NARROW_PASSES = 2
+
+#: rounds of the program-wide array-summary iteration before widening
+_ARRAY_ROUNDS = 4
+
+
+# ---------------------------------------------------------------------------
+# Interval domain
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[lo, hi]``; ``lo > hi`` encodes ⊥ (no value)."""
+
+    lo: float
+    hi: float
+
+    # -- lattice ---------------------------------------------------------
+
+    @property
+    def is_bottom(self) -> bool:
+        return self.lo > self.hi
+
+    @property
+    def is_top(self) -> bool:
+        return self.lo == -_INF and self.hi == _INF
+
+    def contains(self, value: float) -> bool:
+        return self.lo <= value <= self.hi
+
+    def join(self, other: "Interval") -> "Interval":
+        if self.is_bottom:
+            return other
+        if other.is_bottom:
+            return self
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def meet(self, other: "Interval") -> "Interval":
+        return Interval(max(self.lo, other.lo), min(self.hi, other.hi))
+
+    def leq(self, other: "Interval") -> bool:
+        if self.is_bottom:
+            return True
+        if other.is_bottom:
+            return False
+        return other.lo <= self.lo and self.hi <= other.hi
+
+    def widen(
+        self, new: "Interval", thresholds: Sequence[float] = ()
+    ) -> "Interval":
+        """Interval widening with thresholds: an unstable bound jumps to
+        the nearest program constant beyond it (±∞ when none is left).
+
+        Plain ±∞ widening loses outer-scope invariants inside nested
+        loops: a variable like ``n`` that only *passes through* an inner
+        loop gets widened there, and narrowing cannot descend because the
+        inner loop's feedback is already a fixpoint.  Landing on the
+        guard constant first keeps such variables finite.  ``thresholds``
+        must be sorted ascending; termination holds because each bound
+        can only step through the finite threshold list before ±∞.
+        """
+        if self.is_bottom:
+            return new
+        if new.is_bottom:
+            return self
+        lo, hi = self.lo, self.hi
+        if new.lo < lo:
+            lo = -_INF
+            for t in reversed(thresholds):
+                if t <= new.lo:
+                    lo = t
+                    break
+        if new.hi > hi:
+            hi = _INF
+            for t in thresholds:
+                if t >= new.hi:
+                    hi = t
+                    break
+        return Interval(lo, hi)
+
+    def narrow(self, new: "Interval") -> "Interval":
+        """Standard interval narrowing: only infinite bounds are refined."""
+        if self.is_bottom or new.is_bottom:
+            return self
+        return Interval(
+            new.lo if self.lo == -_INF else self.lo,
+            new.hi if self.hi == _INF else self.hi,
+        )
+
+    # -- helpers ---------------------------------------------------------
+
+    @property
+    def is_finite(self) -> bool:
+        return not self.is_bottom and math.isfinite(self.lo) and math.isfinite(self.hi)
+
+    def int_bounds(self) -> Optional[Tuple[int, int]]:
+        """Bounds of ``int(x)`` (C-style truncation toward zero) over the
+        interval, or None when unbounded/⊥.  Truncation is monotone, so
+        the truncated endpoints bound every truncated member."""
+        if not self.is_finite:
+            return None
+        return (math.trunc(self.lo), math.trunc(self.hi))
+
+    @property
+    def definitely_true(self) -> bool:
+        """Every member is truthy (0.0 not contained)."""
+        return not self.is_bottom and not self.contains(0.0)
+
+    @property
+    def definitely_false(self) -> bool:
+        return self.lo == 0.0 and self.hi == 0.0
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        if self.is_bottom:
+            return "⊥"
+        return f"[{self.lo:g}, {self.hi:g}]"
+
+
+TOP = Interval(-_INF, _INF)
+BOTTOM = Interval(_INF, -_INF)
+ZERO = Interval(0.0, 0.0)
+BOOL = Interval(0.0, 1.0)
+TRUE = Interval(1.0, 1.0)
+
+
+def _mul1(a: float, b: float) -> float:
+    # IEEE inf * 0 is nan; in interval arithmetic that product is 0
+    if a == 0.0 or b == 0.0:
+        return 0.0
+    return a * b
+
+
+def iv_add(a: Interval, b: Interval) -> Interval:
+    if a.is_bottom or b.is_bottom:
+        return BOTTOM
+    return Interval(a.lo + b.lo, a.hi + b.hi)
+
+
+def iv_sub(a: Interval, b: Interval) -> Interval:
+    if a.is_bottom or b.is_bottom:
+        return BOTTOM
+    return Interval(a.lo - b.hi, a.hi - b.lo)
+
+
+def iv_mul(a: Interval, b: Interval) -> Interval:
+    if a.is_bottom or b.is_bottom:
+        return BOTTOM
+    products = (
+        _mul1(a.lo, b.lo), _mul1(a.lo, b.hi),
+        _mul1(a.hi, b.lo), _mul1(a.hi, b.hi),
+    )
+    return Interval(min(products), max(products))
+
+
+def iv_neg(a: Interval) -> Interval:
+    if a.is_bottom:
+        return BOTTOM
+    return Interval(-a.hi, -a.lo)
+
+
+def iv_div(a: Interval, b: Interval) -> Interval:
+    """``a / b`` given the interpreter raises on a zero divisor — the
+    result interval assumes ``b != 0``."""
+    if a.is_bottom or b.is_bottom:
+        return BOTTOM
+    if b.contains(0.0):
+        # divisor may come arbitrarily close to zero on either side
+        if a.lo == 0.0 and a.hi == 0.0:
+            return ZERO
+        return TOP
+    quotients = (a.lo / b.lo, a.lo / b.hi, a.hi / b.lo, a.hi / b.hi)
+    return Interval(min(quotients), max(quotients))
+
+
+def iv_mod(a: Interval, b: Interval) -> Interval:
+    """Euclidean ``%``: the result carries the divisor's sign (Python
+    float semantics, which the interpreter uses verbatim)."""
+    if a.is_bottom or b.is_bottom:
+        return BOTTOM
+    if b.lo > 0.0:
+        if 0.0 <= a.lo and a.hi < b.lo:
+            return a  # x % d == x when 0 <= x < d for every divisor value
+        return Interval(0.0, b.hi)
+    if b.hi < 0.0:
+        return Interval(b.lo, 0.0)
+    return Interval(min(b.lo, 0.0), max(b.hi, 0.0))
+
+
+def iv_min(a: Interval, b: Interval) -> Interval:
+    if a.is_bottom or b.is_bottom:
+        return BOTTOM
+    return Interval(min(a.lo, b.lo), min(a.hi, b.hi))
+
+
+def iv_max(a: Interval, b: Interval) -> Interval:
+    if a.is_bottom or b.is_bottom:
+        return BOTTOM
+    return Interval(max(a.lo, b.lo), max(a.hi, b.hi))
+
+
+def iv_not(a: Interval) -> Interval:
+    if a.is_bottom:
+        return BOTTOM
+    if a.definitely_true:
+        return ZERO
+    if a.definitely_false:
+        return TRUE
+    return BOOL
+
+
+def iv_and(a: Interval, b: Interval) -> Interval:
+    if a.is_bottom or b.is_bottom:
+        return BOTTOM
+    if a.definitely_false or b.definitely_false:
+        return ZERO
+    if a.definitely_true and b.definitely_true:
+        return TRUE
+    return BOOL
+
+
+def iv_or(a: Interval, b: Interval) -> Interval:
+    if a.is_bottom or b.is_bottom:
+        return BOTTOM
+    if a.definitely_true or b.definitely_true:
+        return TRUE
+    if a.definitely_false and b.definitely_false:
+        return ZERO
+    return BOOL
+
+
+def iv_cmp(pred: str, a: Interval, b: Interval) -> Interval:
+    if a.is_bottom or b.is_bottom:
+        return BOTTOM
+    if pred == "lt":
+        if a.hi < b.lo:
+            return TRUE
+        if a.lo >= b.hi:
+            return ZERO
+    elif pred == "le":
+        if a.hi <= b.lo:
+            return TRUE
+        if a.lo > b.hi:
+            return ZERO
+    elif pred == "gt":
+        if a.lo > b.hi:
+            return TRUE
+        if a.hi <= b.lo:
+            return ZERO
+    elif pred == "ge":
+        if a.lo >= b.hi:
+            return TRUE
+        if a.hi < b.lo:
+            return ZERO
+    elif pred == "eq":
+        if a.hi < b.lo or b.hi < a.lo:
+            return ZERO
+        if a.lo == a.hi == b.lo == b.hi:
+            return TRUE
+    elif pred == "ne":
+        if a.hi < b.lo or b.hi < a.lo:
+            return TRUE
+        if a.lo == a.hi == b.lo == b.hi:
+            return ZERO
+    return BOOL
+
+
+def _iv_sqrt(a: Interval) -> Interval:
+    # sqrt(x) if x >= 0 else 0
+    hi = math.sqrt(a.hi) if a.hi > 0.0 else 0.0
+    lo = math.sqrt(a.lo) if a.lo > 0.0 else 0.0
+    return Interval(lo, hi)
+
+
+def _iv_exp(a: Interval) -> Interval:
+    return Interval(math.exp(min(a.lo, 700.0)), math.exp(min(a.hi, 700.0)))
+
+
+def _iv_log(a: Interval) -> Interval:
+    # log(x) if x > 0 else 0
+    if a.hi <= 0.0:
+        return ZERO
+    hi = math.log(a.hi)
+    if a.lo > 0.0:
+        lo = math.log(a.lo)
+    else:
+        lo = -_INF  # arbitrarily small positive members
+    if a.lo <= 0.0:  # the clamped-to-0 members
+        lo, hi = min(lo, 0.0), max(hi, 0.0)
+    return Interval(lo, hi)
+
+
+def _iv_floor(a: Interval) -> Interval:
+    lo = math.floor(a.lo) if math.isfinite(a.lo) else a.lo
+    hi = math.floor(a.hi) if math.isfinite(a.hi) else a.hi
+    return Interval(lo, hi)
+
+
+_UNIT = Interval(-1.0, 1.0)
+
+_INTRINSIC_TRANSFER = {
+    "sqrt": lambda args: _iv_sqrt(args[0]),
+    "exp": lambda args: _iv_exp(args[0]),
+    "log": lambda args: _iv_log(args[0]),
+    "sin": lambda args: _UNIT,
+    "cos": lambda args: _UNIT,
+    "fabs": lambda args: Interval(
+        0.0 if args[0].contains(0.0) else min(abs(args[0].lo), abs(args[0].hi)),
+        max(abs(args[0].lo), abs(args[0].hi)),
+    ),
+    "floor": lambda args: _iv_floor(args[0]),
+    "pow": lambda args: Interval(0.0, _INF),  # pow(|a|, b), clamped at 0
+}
+
+
+# ---------------------------------------------------------------------------
+# Per-instruction facts and per-function results
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class InstrFacts:
+    """Range facts attached to one instruction (by ``(fn, iid)``).
+
+    ``value`` is the scalar read/written (``ldvar``/``stvar``), the value
+    loaded/stored (``load``/``store``), or the call result; ``index`` is
+    the float subscript operand *before* truncation; ``divisor`` is the
+    second operand of ``div``/``mod``.  ``dead_edge`` marks a ``condbr``
+    with a provably one-sided condition (label of the never-taken target).
+    """
+
+    value: Optional[Interval] = None
+    index: Optional[Interval] = None
+    divisor: Optional[Interval] = None
+    dead_edge: Optional[str] = None
+
+
+@dataclass
+class FunctionRanges:
+    """Fixpoint results for one function."""
+
+    name: str
+    block_in: Dict[str, Dict[str, Interval]] = field(default_factory=dict)
+    facts: Dict[int, InstrFacts] = field(default_factory=dict)
+
+    def reachable(self, label: str) -> bool:
+        return label in self.block_in
+
+    def var_at(self, label: str, var: str) -> Optional[Interval]:
+        env = self.block_in.get(label)
+        if env is None:
+            return None
+        return env.get(var, ZERO)
+
+
+@dataclass(frozen=True)
+class EnclosingBound:
+    """Relational fact: while the body of loop ``loop_id`` executes,
+    ``lo_expr <= var < hi_expr`` (and the enclosing loop was entered, so
+    ``hi > lo`` held at least once)."""
+
+    var: str
+    lo: ast.Expr
+    hi: ast.Expr
+
+    @property
+    def lo_const(self) -> Optional[float]:
+        return self.lo.value if isinstance(self.lo, ast.Const) else None
+
+    @property
+    def hi_symbol(self) -> Optional[str]:
+        return self.hi.name if isinstance(self.hi, ast.Var) else None
+
+
+@dataclass
+class ProgramRanges:
+    """Program-level result: per-function ranges + array value summaries."""
+
+    program: IRProgram
+    functions: Dict[str, FunctionRanges]
+    arrays: Dict[str, Interval]
+
+    def fact(self, fn: str, iid: int) -> Optional[InstrFacts]:
+        franges = self.functions.get(fn)
+        return None if franges is None else franges.facts.get(iid)
+
+    def loop_var_interval(self, loop_id: str) -> Optional[Interval]:
+        """Interval of a loop's induction variable at body entry."""
+        for fn_name, fn in self.program.functions.items():
+            info = fn.loops.get(loop_id)
+            if info is None:
+                continue
+            franges = self.functions.get(fn_name)
+            if franges is None or not info.var:
+                return None
+            return franges.var_at(info.body_entry, info.var)
+        return None
+
+    def zero_trip_loops(self) -> List[str]:
+        """Loops whose header is reachable but whose body never is."""
+        out = []
+        for fn_name, fn in self.program.functions.items():
+            franges = self.functions.get(fn_name)
+            if franges is None:
+                continue
+            for loop_id, info in fn.loops.items():
+                if franges.reachable(info.header) and not franges.reachable(
+                    info.body_entry
+                ):
+                    out.append(loop_id)
+        return sorted(out)
+
+    def store_index_cells(
+        self, loop_id: str, line: int, array: str
+    ) -> Optional[Tuple[int, int]]:
+        """Truncated-integer cell bounds of the ``store`` lowered from the
+        AST ``Store`` at ``line`` inside ``loop_id``, joined over every
+        matching store instruction; None when any is unbounded."""
+        cells: Optional[Tuple[int, int]] = None
+        seen = False
+        for fn_name, fn in self.program.functions.items():
+            franges = self.functions.get(fn_name)
+            if franges is None:
+                continue
+            for block in fn.blocks:
+                for instr in block.instrs:
+                    if (
+                        instr.opcode is not Opcode.STORE
+                        or instr.loop_id != loop_id
+                        or instr.line != line
+                        or instr.operands[0] != array
+                    ):
+                        continue
+                    seen = True
+                    fact = franges.facts.get(instr.iid)
+                    if fact is None or fact.index is None:
+                        return None
+                    bounds = fact.index.int_bounds()
+                    if bounds is None:
+                        return None
+                    if cells is None:
+                        cells = bounds
+                    else:
+                        cells = (
+                            min(cells[0], bounds[0]), max(cells[1], bounds[1])
+                        )
+        return cells if seen else None
+
+
+# ---------------------------------------------------------------------------
+# Transfer function
+# ---------------------------------------------------------------------------
+
+_BIN_TRANSFER = {
+    Opcode.ADD: iv_add,
+    Opcode.SUB: iv_sub,
+    Opcode.MUL: iv_mul,
+    Opcode.DIV: iv_div,
+    Opcode.MOD: iv_mod,
+    Opcode.MIN: iv_min,
+    Opcode.MAX: iv_max,
+    Opcode.AND: iv_and,
+    Opcode.OR: iv_or,
+}
+
+_NEGATED_PRED = {
+    "lt": "ge", "le": "gt", "gt": "le", "ge": "lt", "eq": "ne", "ne": "eq",
+}
+
+
+class _CmpOrigin:
+    """Provenance of a ``cmp`` result inside one block transfer: the
+    predicate plus, for each operand, the variable it was loaded from (if
+    any, and not overwritten since) and its interval at compare time."""
+
+    __slots__ = ("pred", "lhs_var", "lhs_iv", "rhs_var", "rhs_iv")
+
+    def __init__(self, pred, lhs_var, lhs_iv, rhs_var, rhs_iv):
+        self.pred = pred
+        self.lhs_var = lhs_var
+        self.lhs_iv = lhs_iv
+        self.rhs_var = rhs_var
+        self.rhs_iv = rhs_iv
+
+
+def _refine(
+    env: Dict[str, Interval], origin: _CmpOrigin, taken: bool
+) -> Optional[Dict[str, Interval]]:
+    """Refine ``env`` along a ``condbr`` edge; None when the edge is
+    infeasible (a refined variable's interval became ⊥)."""
+    pred = origin.pred if taken else _NEGATED_PRED.get(origin.pred)
+    if pred is None:
+        return env
+    bounds: List[Tuple[Optional[str], Interval]] = []
+    a, b = origin.lhs_iv, origin.rhs_iv
+    if pred == "lt":      # lhs < rhs
+        bounds = [(origin.lhs_var, Interval(-_INF, b.hi)),
+                  (origin.rhs_var, Interval(a.lo, _INF))]
+    elif pred == "le":
+        bounds = [(origin.lhs_var, Interval(-_INF, b.hi)),
+                  (origin.rhs_var, Interval(a.lo, _INF))]
+    elif pred == "gt":    # lhs > rhs
+        bounds = [(origin.lhs_var, Interval(b.lo, _INF)),
+                  (origin.rhs_var, Interval(-_INF, a.hi))]
+    elif pred == "ge":
+        bounds = [(origin.lhs_var, Interval(b.lo, _INF)),
+                  (origin.rhs_var, Interval(-_INF, a.hi))]
+    elif pred == "eq":
+        bounds = [(origin.lhs_var, b), (origin.rhs_var, a)]
+    else:  # ne: no single-interval refinement
+        return env
+    for var, bound in bounds:
+        if var is None:
+            continue
+        current = env.get(var, ZERO)
+        refined = current.meet(bound)
+        if refined.is_bottom:
+            return None
+        if refined != current:
+            env = dict(env)
+            env[var] = refined
+    return env
+
+
+def _transfer_block(
+    fn: IRFunction,
+    block: BasicBlock,
+    env_in: Dict[str, Interval],
+    arrays_iv: Dict[str, Interval],
+    store_joins: Optional[Dict[str, Interval]] = None,
+    facts: Optional[Dict[int, InstrFacts]] = None,
+) -> Dict[str, Optional[Dict[str, Interval]]]:
+    """Abstractly execute ``block`` from ``env_in``.
+
+    Returns ``{successor_label: env_or_None}`` (None = provably-dead
+    edge).  When ``store_joins`` is given, joins every stored value into
+    it (the array-summary iteration); when ``facts`` is given, records
+    per-instruction :class:`InstrFacts` (the final reporting pass).
+    """
+    env = dict(env_in)
+    regs: Dict[str, Interval] = {}
+    var_origin: Dict[str, str] = {}        # reg -> var it was loaded from
+    cmp_origin: Dict[str, _CmpOrigin] = {}
+
+    def val(op) -> Interval:
+        if type(op) is Reg:
+            return regs.get(op.name, TOP)
+        return Interval(op.value, op.value)  # Imm
+
+    def note(iid: int, **kw) -> None:
+        if facts is None:
+            return
+        fact = facts.get(iid)
+        if fact is None:
+            fact = facts[iid] = InstrFacts()
+        for name, iv in kw.items():
+            old = getattr(fact, name)
+            if name == "dead_edge":
+                setattr(fact, name, iv)
+            else:
+                setattr(fact, name, iv if old is None else old.join(iv))
+
+    out: Dict[str, Optional[Dict[str, Interval]]] = {}
+    for instr in block.instrs:
+        op = instr.opcode
+        ops = instr.operands
+        if op is Opcode.CONST:
+            regs[instr.result.name] = Interval(ops[0].value, ops[0].value)
+        elif op is Opcode.LDVAR:
+            iv = env.get(ops[0], ZERO)
+            regs[instr.result.name] = iv
+            var_origin[instr.result.name] = ops[0]
+            note(instr.iid, value=iv)
+        elif op is Opcode.STVAR:
+            iv = val(ops[1])
+            env[ops[0]] = iv
+            # a later refinement through a cmp that read the old value
+            # must not constrain the new one
+            stale = [r for r, v in var_origin.items() if v == ops[0]]
+            for r in stale:
+                del var_origin[r]
+            for origin in cmp_origin.values():
+                if origin.lhs_var == ops[0]:
+                    origin.lhs_var = None
+                if origin.rhs_var == ops[0]:
+                    origin.rhs_var = None
+            note(instr.iid, value=iv)
+        elif op is Opcode.LOAD:
+            idx = val(ops[1])
+            loaded = arrays_iv.get(ops[0], TOP)
+            regs[instr.result.name] = loaded
+            note(instr.iid, index=idx, value=loaded)
+        elif op is Opcode.STORE:
+            idx = val(ops[1])
+            stored = val(ops[2])
+            if store_joins is not None:
+                store_joins[ops[0]] = store_joins.get(ops[0], BOTTOM).join(
+                    stored
+                )
+            note(instr.iid, index=idx, value=stored)
+        elif op is Opcode.NEG:
+            regs[instr.result.name] = iv_neg(val(ops[0]))
+        elif op is Opcode.NOT:
+            regs[instr.result.name] = iv_not(val(ops[0]))
+        elif op in _BIN_TRANSFER:
+            a, b = val(ops[0]), val(ops[1])
+            regs[instr.result.name] = _BIN_TRANSFER[op](a, b)
+            if op is Opcode.DIV or op is Opcode.MOD:
+                note(instr.iid, divisor=b)
+        elif op is Opcode.CMP:
+            a, b = val(ops[0]), val(ops[1])
+            pred = instr.meta.get("pred", "ne")
+            regs[instr.result.name] = iv_cmp(pred, a, b)
+            lhs_var = ops[0].name if type(ops[0]) is Reg else None
+            rhs_var = ops[1].name if type(ops[1]) is Reg else None
+            cmp_origin[instr.result.name] = _CmpOrigin(
+                pred,
+                var_origin.get(lhs_var) if lhs_var else None, a,
+                var_origin.get(rhs_var) if rhs_var else None, b,
+            )
+        elif op is Opcode.CALL:
+            transfer = _INTRINSIC_TRANSFER.get(ops[0])
+            args = [val(a) for a in ops[1:]]
+            iv = transfer(args) if transfer is not None else TOP
+            regs[instr.result.name] = iv
+            note(instr.iid, value=iv)
+        elif op is Opcode.CALLFN:
+            if instr.result is not None:
+                regs[instr.result.name] = TOP
+        elif op is Opcode.BR:
+            out[ops[0]] = env
+        elif op is Opcode.CONDBR:
+            cond = val(ops[0])
+            true_env: Optional[Dict[str, Interval]] = env
+            false_env: Optional[Dict[str, Interval]] = dict(env)
+            if cond.definitely_true:
+                false_env = None
+            elif cond.definitely_false:
+                true_env = None
+            origin = (
+                cmp_origin.get(ops[0].name) if type(ops[0]) is Reg else None
+            )
+            if origin is not None:
+                if true_env is not None:
+                    true_env = _refine(true_env, origin, True)
+                if false_env is not None:
+                    false_env = _refine(false_env, origin, False)
+            if true_env is None and false_env is not None:
+                note(instr.iid, dead_edge=ops[1])
+            elif false_env is None and true_env is not None:
+                note(instr.iid, dead_edge=ops[2])
+            out[ops[1]] = true_env
+            out[ops[2]] = false_env
+        elif op is Opcode.RET:
+            pass
+        # LOOPENTER / LOOPNEXT / LOOPEXIT: profiler bookkeeping, no effect
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fixpoint driver
+# ---------------------------------------------------------------------------
+
+
+def _join_env(
+    a: Dict[str, Interval], b: Dict[str, Interval]
+) -> Dict[str, Interval]:
+    out = dict(a)
+    for var, iv in b.items():
+        out[var] = out.get(var, ZERO).join(iv)
+    for var in a:
+        if var not in b:
+            out[var] = out[var].join(ZERO)
+    return out
+
+
+def _env_leq(a: Dict[str, Interval], b: Dict[str, Interval]) -> bool:
+    for var in set(a) | set(b):
+        if not a.get(var, ZERO).leq(b.get(var, ZERO)):
+            return False
+    return True
+
+
+def _widen_env(
+    old: Dict[str, Interval],
+    new: Dict[str, Interval],
+    thresholds: Sequence[float] = (),
+) -> Dict[str, Interval]:
+    out = {}
+    for var in set(old) | set(new):
+        out[var] = old.get(var, ZERO).widen(new.get(var, ZERO), thresholds)
+    return out
+
+
+def _fn_thresholds(fn: IRFunction) -> Tuple[float, ...]:
+    """Widening thresholds: every immediate constant in the function.
+    Guard constants are the ones that matter (a bound lands on them and
+    stabilizes); collecting all Imms is a cheap superset."""
+    vals: Set[float] = {0.0}
+    for block in fn.blocks:
+        for instr in block.instrs:
+            for op in instr.operands:
+                if type(op) is Imm and math.isfinite(op.value):
+                    vals.add(float(op.value))
+    return tuple(sorted(vals))
+
+
+def _narrow_env(
+    old: Dict[str, Interval], new: Dict[str, Interval]
+) -> Dict[str, Interval]:
+    out = {}
+    for var in set(old) | set(new):
+        out[var] = old.get(var, ZERO).narrow(new.get(var, ZERO))
+    return out
+
+
+def _analyze_function(
+    fn: IRFunction,
+    arrays_iv: Dict[str, Interval],
+    store_joins: Optional[Dict[str, Interval]] = None,
+    facts: Optional[Dict[int, InstrFacts]] = None,
+) -> Dict[str, Dict[str, Interval]]:
+    """Run the intra-procedural fixpoint; returns reachable block-input
+    envs.  Parameters are ⊤ (any caller), unread scalars are 0.0."""
+    entry_env: Dict[str, Interval] = {p: TOP for p in fn.params}
+    entry = fn.entry.label
+    thresholds = _fn_thresholds(fn)
+    block_in: Dict[str, Dict[str, Interval]] = {entry: entry_env}
+    changes: Dict[str, int] = {}
+    worklist = deque([entry])
+    queued = {entry}
+
+    while worklist:
+        label = worklist.popleft()
+        queued.discard(label)
+        outs = _transfer_block(
+            fn, fn.block(label), block_in[label], arrays_iv
+        )
+        for target, env_out in outs.items():
+            if env_out is None:
+                continue
+            old = block_in.get(target)
+            if old is None:
+                block_in[target] = dict(env_out)
+            else:
+                joined = _join_env(old, env_out)
+                if _env_leq(joined, old):
+                    continue
+                count = changes.get(target, 0) + 1
+                changes[target] = count
+                if count > _WIDEN_AFTER:
+                    joined = _widen_env(old, joined, thresholds)
+                block_in[target] = joined
+            if target not in queued:
+                queued.add(target)
+                worklist.append(target)
+
+    # narrowing: recompute each reachable block's input from its
+    # predecessors' refined edges, replacing only widened (infinite)
+    # bounds — each sweep keeps the state a post-fixpoint, so any number
+    # of sweeps is sound
+    labels = [b.label for b in fn.blocks if b.label in block_in]
+    for _ in range(_NARROW_PASSES):
+        edge_envs: Dict[str, List[Dict[str, Interval]]] = {}
+        for label in labels:
+            outs = _transfer_block(
+                fn, fn.block(label), block_in[label], arrays_iv
+            )
+            for target, env_out in outs.items():
+                if env_out is not None:
+                    edge_envs.setdefault(target, []).append(env_out)
+        changed = False
+        for label in labels:
+            incoming = edge_envs.get(label)
+            if label == entry:
+                incoming = (incoming or []) + [entry_env]
+            if not incoming:
+                continue  # kept reachable conservatively
+            recomputed = incoming[0]
+            for env in incoming[1:]:
+                recomputed = _join_env(recomputed, env)
+            narrowed = _narrow_env(block_in[label], recomputed)
+            if narrowed != block_in[label]:
+                block_in[label] = narrowed
+                changed = True
+        if not changed:
+            break
+
+    # reporting pass: record per-instruction facts / store joins over the
+    # stabilized states
+    if store_joins is not None or facts is not None:
+        for label in labels:
+            _transfer_block(
+                fn, fn.block(label), block_in[label], arrays_iv,
+                store_joins=store_joins, facts=facts,
+            )
+    return block_in
+
+
+def analyze_program(program: IRProgram) -> ProgramRanges:
+    """Run the engine over every function of ``program``.
+
+    Array value summaries are iterated to a program-level fixpoint: start
+    from the deterministic ``[0, 1)`` initialization, analyze every
+    function, join in everything any ``store`` may write, repeat (widening
+    after a few rounds bounds accumulator-style growth).
+    """
+    init = Interval(0.0, 1.0)
+    arrays_iv: Dict[str, Interval] = {name: init for name in program.arrays}
+    rounds = 0
+    while True:
+        store_joins: Dict[str, Interval] = {}
+        for fn in program.functions.values():
+            _analyze_function(fn, arrays_iv, store_joins=store_joins)
+        new_iv = {}
+        stable = True
+        for name in program.arrays:
+            joined = init.join(store_joins.get(name, BOTTOM))
+            if rounds >= _ARRAY_ROUNDS:
+                joined = arrays_iv[name].widen(joined)
+            else:
+                joined = arrays_iv[name].join(joined)
+            if joined != arrays_iv[name]:
+                stable = False
+            new_iv[name] = joined
+        arrays_iv = new_iv
+        rounds += 1
+        if stable:
+            break
+
+    functions: Dict[str, FunctionRanges] = {}
+    for fn_name, fn in program.functions.items():
+        franges = FunctionRanges(name=fn_name)
+        franges.block_in = _analyze_function(
+            fn, arrays_iv, facts=franges.facts
+        )
+        functions[fn_name] = franges
+    return ProgramRanges(
+        program=program, functions=functions, arrays=dict(arrays_iv)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Symbolic facts: enclosing-loop bounds at the AST level
+# ---------------------------------------------------------------------------
+
+
+def harvest_enclosing_bounds(
+    program: ast.Program,
+) -> Dict[str, Tuple[EnclosingBound, ...]]:
+    """For every labeled ``For`` loop, the bound facts of the loops
+    around it (outermost first): ``lo <= var < hi`` holds whenever the
+    inner loop's body executes.  Facts through ``While``/``If`` nesting
+    are kept — the enclosing ``For`` headers still bracket the body."""
+    out: Dict[str, Tuple[EnclosingBound, ...]] = {}
+
+    def walk(body: Sequence[ast.Stmt], chain: Tuple[EnclosingBound, ...]):
+        for stmt in body:
+            if isinstance(stmt, ast.For):
+                if stmt.loop_id is not None:
+                    out[stmt.loop_id] = chain
+                walk(
+                    stmt.body,
+                    chain + (EnclosingBound(stmt.var, stmt.lo, stmt.hi),),
+                )
+            elif isinstance(stmt, ast.While):
+                walk(stmt.body, chain)
+            elif isinstance(stmt, ast.If):
+                walk(stmt.then_body, chain)
+                walk(stmt.else_body, chain)
+
+    for fn in program.functions.values():
+        walk(fn.body, ())
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Soundness self-check: fuzzed interpreter runs vs. inferred intervals
+# ---------------------------------------------------------------------------
+
+
+def check_soundness(
+    program: IRProgram,
+    ranges: Optional[ProgramRanges] = None,
+    args_list: Sequence[Tuple[float, ...]] = ((),),
+    rng_seeds: Sequence[int] = (0, 1, 2),
+    max_steps: int = 2_000_000,
+) -> List[str]:
+    """Execute ``program`` under the interpreter with a probe attached
+    and return a violation message for every observed value that escapes
+    its inferred interval (empty list = sound on these runs).
+
+    Checked observations: scalar values at ``ldvar``/``stvar``, float
+    subscripts (pre-truncation) and loaded/stored values at
+    ``load``/``store``, intrinsic results, and ``div``/``mod`` divisors.
+    Runs that raise (out-of-bounds, zero divisor, step budget) are fine —
+    the intervals only claim to cover values the program *observes*.
+    """
+    from repro.errors import InterpreterError
+    from repro.profiler.interpreter import Interpreter
+
+    if ranges is None:
+        ranges = analyze_program(program)
+    violations: List[str] = []
+
+    def probe(fn_name: str, iid: int, kind: str, value: float) -> None:
+        fact = ranges.fact(fn_name, iid)
+        if fact is None:
+            violations.append(
+                f"{fn_name}:iid{iid}: executed but never analyzed "
+                f"(block unreachable per ranges)"
+            )
+            return
+        iv = getattr(fact, kind)
+        if iv is None or not iv.contains(value):
+            violations.append(
+                f"{fn_name}:iid{iid}: observed {kind}={value!r} outside "
+                f"inferred {iv}"
+            )
+
+    for args in args_list:
+        for seed in rng_seeds:
+            interp = Interpreter(
+                program, record=False, rng=seed, max_steps=max_steps,
+                probe=probe,
+            )
+            try:
+                interp.run(tuple(args))
+            except InterpreterError:
+                pass
+            if len(violations) > 50:
+                break
+    return violations

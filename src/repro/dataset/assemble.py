@@ -49,7 +49,8 @@ from repro.utils.cache import DiskCache, stable_hash
 from repro.utils.rng import ensure_rng, spawn_rngs, spawn_seeds
 
 #: bump when extraction/assembly semantics change; invalidates disk caches
-_PIPELINE_VERSION = 5
+#: (v6: range-sharpened static prover + IR004–IR006 range quarantine)
+_PIPELINE_VERSION = 6
 
 #: DatasetConfig knobs that tune the executor, not the dataset content —
 #: excluded from the cache key so serial and parallel builds share entries.
@@ -119,10 +120,15 @@ class DatasetConfig:
         return self.semantic_dim - len(FEATURE_NAMES)
 
     def cache_key(self) -> str:
+        from repro.analysis.ranges import RANGE_ANALYSIS_VERSION
+
         payload = asdict(self)
         for knob in _EXECUTOR_KNOBS:
             payload.pop(knob)
         payload["pipeline_version"] = _PIPELINE_VERSION
+        # range-backed DS005 verdicts and IR004–IR006 quarantine decisions
+        # are baked into shards: an engine change must invalidate them
+        payload["range_analysis_version"] = RANGE_ANALYSIS_VERSION
         return "dataset-" + stable_hash(payload)
 
     def shard_key(self, app_name: str) -> str:
@@ -352,6 +358,7 @@ def _assemble(config: DatasetConfig) -> AssembledData:
         drops_by_app: Dict[str, List[DropRecord]] = {}
         for drop in run.drops:
             drops_by_app.setdefault(drop.app, []).append(drop)
+        range_memo: Dict[str, Dict[str, str]] = {}
         for app in missing:
             app_tasks = tasks_by_app[app.name]
             app_drops = drops_by_app.get(app.name, [])
@@ -360,13 +367,16 @@ def _assemble(config: DatasetConfig) -> AssembledData:
             for task in app_tasks:
                 samples = per_task[task.index]
                 if config.lint:
-                    samples = _quarantine(samples, task, stats, app_drops)
+                    samples = _quarantine(
+                        samples, task, stats, app_drops, range_memo
+                    )
                 (benchmark_clean if task.labels is not None
                  else generated_clean).extend(samples)
             payload = {
                 "benchmark": benchmark_clean,
                 "generated": generated_clean,
                 "drops": app_drops,
+                "range_analysis_version": _range_version(),
             }
             shards[app.name] = payload
             if shard_cache is not None:
@@ -437,13 +447,41 @@ def _assemble(config: DatasetConfig) -> AssembledData:
     )
 
 
+def _range_error_loops(program, memo: Dict[str, Dict[str, str]]) -> Dict[str, str]:
+    """Loop ids condemned by the value-range rules (IR004–IR006 ERRORs)
+    for ``program``, mapped to the firing rule id.  Memoized per program
+    name: every pipeline/transform variant of a source program shares the
+    same loop ids, so one fixpoint run covers them all."""
+    key = program.name
+    if key not in memo:
+        condemned: Dict[str, str] = {}
+        try:
+            from repro.lint.core import LintReport
+            from repro.lint.ir_rules import check_ir_ranges
+
+            report = LintReport()
+            check_ir_ranges(report, lower_program(program))
+            for f in report.errors:
+                loop = f.details.get("loop")
+                if loop:
+                    condemned.setdefault(loop, f.rule_id)
+        except Exception:
+            condemned = {}  # unanalyzable program: extraction's problem
+        memo[key] = condemned
+    return memo[key]
+
+
 def _quarantine(
     samples: List[LoopSample],
     task: ExtractionTask,
     stats: AssemblyStats,
     drops: List[DropRecord],
+    range_memo: Optional[Dict[str, Dict[str, str]]] = None,
 ) -> List[LoopSample]:
-    """Drop samples with ERROR-level structural lint findings.
+    """Drop samples with ERROR-level structural lint findings, plus
+    samples from loops the value-range rules condemn (a provably
+    out-of-bounds access or zero divisor means the loop's dynamic
+    profile — and therefore its oracle label — is garbage).
 
     Each quarantined sample becomes a ``DropRecord`` with reason
     ``lint:<RULEID>`` so broken extractions surface in
@@ -452,8 +490,26 @@ def _quarantine(
     """
     from repro.lint.runner import lint_samples
 
+    condemned = (
+        _range_error_loops(task.program, range_memo)
+        if range_memo is not None
+        else {}
+    )
     clean: List[LoopSample] = []
     for sample in samples:
+        if sample.loop_id in condemned:
+            rule_id = condemned[sample.loop_id]
+            stats.lint_quarantined += 1
+            drops.append(DropRecord(
+                program_name=task.program.name,
+                app=task.app,
+                variant=task.variant,
+                reason=f"lint:{rule_id}",
+                attempts=0,
+                detail=f"loop {sample.loop_id} condemned by range rule "
+                       f"{rule_id}",
+            ))
+            continue
         report = lint_samples([sample])
         if not report.errors:
             clean.append(sample)
@@ -472,18 +528,29 @@ def _quarantine(
     return clean
 
 
+def _range_version() -> int:
+    from repro.analysis.ranges import RANGE_ANALYSIS_VERSION
+
+    return RANGE_ANALYSIS_VERSION
+
+
 def _shard_valid(payload) -> bool:
-    """A usable shard entry: well-shaped *and* structurally clean.
+    """A usable shard entry: well-shaped, current, *and* structurally clean.
 
     Cached shards are revalidated with the cheap structural lint rules
     before reuse — a shard written by an older/buggier extractor (or
     corrupted in a way that still unpickles) is treated as a miss and
-    recomputed rather than poisoning the dataset.
+    recomputed rather than poisoning the dataset.  Shards also record the
+    range-analysis version they were quarantined under; a stale version
+    means the IR004–IR006 decisions baked into the shard may no longer
+    hold, so the shard is rebuilt.
     """
     if not (
         isinstance(payload, dict)
         and {"benchmark", "generated", "drops"} <= set(payload)
     ):
+        return False
+    if payload.get("range_analysis_version") != _range_version():
         return False
     try:
         from repro.lint.runner import lint_samples

@@ -10,7 +10,11 @@ Three rule layers (see docs/LINT.md for the catalog):
 
 * **IR rules** (``IR0xx``) — LinearIR well-formedness beyond
   :mod:`repro.ir.verify`: unreachable blocks, loop-metadata consistency
-  across the loop pseudo-ops, degenerate loop bounds.
+  across the loop pseudo-ops, degenerate loop bounds, plus the
+  value-range rules (``IR004``–``IR006``) backed by the
+  abstract-interpretation engine in :mod:`repro.analysis.ranges`
+  (provable out-of-bounds subscripts, range-dead branches and stores,
+  zero divisors and zero-trip loops).
 * **Graph rules** (``PEG0xx`` on PEGs/sub-PEGs, ``GR0xx`` on raw model
   input arrays) — dangling dependence endpoints, hierarchy cycles,
   self-dependence sanity, feature NaN/Inf/range checks, SortPooling size
@@ -60,8 +64,10 @@ from repro.lint.runner import (
     lint_tape_consistency,
 )
 from repro.lint.static_dep import (
+    ProverContext,
     StaticVerdict,
     analyze_loop_static,
+    build_prover_context,
     static_loop_verdicts,
 )
 
@@ -77,11 +83,13 @@ __all__ = [
     "Finding",
     "LintConfig",
     "LintReport",
+    "ProverContext",
     "Rule",
     "Severity",
     "StaticVerdict",
     "all_rules",
     "analyze_loop_static",
+    "build_prover_context",
     "get_rule",
     "lint_advice_plans",
     "lint_dataset",

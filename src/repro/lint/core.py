@@ -114,6 +114,22 @@ class LintReport:
         self.findings: List[Finding] = []
         self.suppressed_count = 0
         self.stats: Dict[str, Any] = {}  # free-form, e.g. DS005 coverage
+        # per-rule instrumentation: {"checked": n, "fired": n, "wall_ms": x}
+        self.rule_stats: Dict[str, Dict[str, Any]] = {}
+
+    def _rule_entry(self, rule_id: str) -> Dict[str, Any]:
+        return self.rule_stats.setdefault(
+            rule_id, {"checked": 0, "fired": 0, "wall_ms": 0.0}
+        )
+
+    def note_rule(
+        self, rule_id: str, checked: int = 0, wall_ms: float = 0.0
+    ) -> None:
+        """Attribute ``checked`` artifact-units and wall time to a rule.
+        ``fired`` counts accumulate automatically in :meth:`emit`."""
+        entry = self._rule_entry(rule_id)
+        entry["checked"] += checked
+        entry["wall_ms"] += wall_ms
 
     def emit(
         self,
@@ -127,6 +143,7 @@ class LintReport:
         if self.config.suppressed(rule_obj.rule_id):
             self.suppressed_count += 1
             return None
+        self._rule_entry(rule_obj.rule_id)["fired"] += 1
         f = Finding(
             rule_id=rule_obj.rule_id,
             severity=severity if severity is not None else rule_obj.severity,
@@ -141,6 +158,11 @@ class LintReport:
         self.findings.extend(other.findings)
         self.suppressed_count += other.suppressed_count
         self.stats.update(other.stats)
+        for rule_id, entry in other.rule_stats.items():
+            mine = self._rule_entry(rule_id)
+            mine["checked"] += entry["checked"]
+            mine["fired"] += entry["fired"]
+            mine["wall_ms"] += entry["wall_ms"]
 
     def by_severity(self, severity: Severity) -> List[Finding]:
         return [f for f in self.findings if f.severity == severity]
@@ -196,11 +218,20 @@ def render_json(report: LintReport) -> str:
     order = sorted(
         report.findings, key=lambda f: (-int(f.severity), f.rule_id, f.where, f.message)
     )
+    stats = dict(report.stats)
+    stats["rules"] = {
+        rule_id: {
+            "checked": entry["checked"],
+            "fired": entry["fired"],
+            "wall_ms": round(entry["wall_ms"], 3),
+        }
+        for rule_id, entry in sorted(report.rule_stats.items())
+    }
     payload = {
         "findings": [f.to_dict() for f in order],
         "counts": report.counts(),
         "suppressed": report.suppressed_count,
-        "stats": report.stats,
+        "stats": stats,
         "ok": report.ok(),
         "exit_code": report.exit_code(),
     }

@@ -8,6 +8,7 @@ them into an HTTP 422 payload).  All entry points accept a shared
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Iterable, Mapping, Optional, Sequence
 
 import numpy as np
@@ -28,11 +29,17 @@ from repro.peg.graph import PEG
 
 
 def lint_ir(
-    program: IRProgram, config: Optional[LintConfig] = None
+    program: IRProgram,
+    config: Optional[LintConfig] = None,
+    ranges=None,
 ) -> LintReport:
-    """IR rules (IR001/IR002) over one lowered program."""
+    """IR rules over one lowered program: structural (IR001/IR002) plus
+    the value-range rules (IR004–IR006).  Pass a precomputed
+    :class:`~repro.analysis.ranges.ProgramRanges` to skip re-running the
+    fixpoint engine."""
     report = LintReport(config)
     ir_rules.check_ir_program(report, program)
+    ir_rules.check_ir_ranges(report, program, ranges=ranges)
     return report
 
 
@@ -130,7 +137,11 @@ def lint_advice_plans(
     ``programs`` maps program names to their MiniC ASTs.
     """
     report = LintReport(config)
+    t0 = time.perf_counter()
     judged = advisor_rules.check_advice_plans(report, plans, programs)
+    report.note_rule(
+        "AD001", checked=judged, wall_ms=(time.perf_counter() - t0) * 1e3
+    )
     report.stats["advice_plans"] = {"judged": judged, "stored": len(plans)}
     return report
 
@@ -145,8 +156,13 @@ def lint_dataset(
     report = LintReport(config)
     dataset_rules.check_dataset(report, dataset)
     if programs is not None:
+        t0 = time.perf_counter()
         counters = dataset_rules.cross_validate_labels(
             report, dataset.samples, programs
+        )
+        report.note_rule(
+            "DS005", checked=counters.get("judged", 0),
+            wall_ms=(time.perf_counter() - t0) * 1e3,
         )
         report.stats["crossval"] = counters
     return report

@@ -57,10 +57,17 @@ class Interpreter:
         record: bool = True,
         rng: RngLike = 0,
         max_steps: int = _DEFAULT_MAX_STEPS,
+        probe=None,
     ) -> None:
         self.program = program
         self.record = record
         self.max_steps = max_steps
+        # optional observation hook ``probe(fn_name, iid, kind, value)``
+        # with kind in {"value", "index", "divisor"} — the range-analysis
+        # soundness self-check (repro.analysis.ranges.check_soundness)
+        # attaches one to compare observed values against inferred
+        # intervals; None costs a single pointer test per memory op
+        self.probe = probe
         self.report = ProfileReport(program_name=program.name)
         self.shadow: Optional[ShadowMemory] = (
             ShadowMemory(self.report) if record else None
@@ -125,6 +132,7 @@ class Interpreter:
             exec_counts = self._exec[fn_name] = {}
         shadow = self.shadow
         record = self.record
+        probe = self.probe
         report = self.report
         arrays = self.arrays
         max_steps = self.max_steps
@@ -158,11 +166,15 @@ class Interpreter:
                         (fn_name, iid),
                         self._itervec,
                     )
+                if probe is not None:
+                    probe(fn_name, iid, "value", value)
                 registers[instr.result.name] = value
 
             elif op is Opcode.STVAR:
                 var = ops[0]
-                scalars[var] = self._value(registers, ops[1])
+                scalars[var] = value = self._value(registers, ops[1])
+                if probe is not None:
+                    probe(fn_name, iid, "value", value)
                 if record:
                     shadow.write(
                         self._scoped_sym(fn_name, var),
@@ -173,7 +185,8 @@ class Interpreter:
 
             elif op is Opcode.LOAD:
                 array_name = ops[0]
-                index = int(self._value(registers, ops[1]))
+                index_f = self._value(registers, ops[1])
+                index = int(index_f)
                 array = arrays[array_name]
                 if index < 0 or index >= len(array):
                     raise InterpreterError(
@@ -182,11 +195,15 @@ class Interpreter:
                     )
                 if record:
                     shadow.read(array_name, index, (fn_name, iid), self._itervec)
+                if probe is not None:
+                    probe(fn_name, iid, "index", index_f)
+                    probe(fn_name, iid, "value", array[index])
                 registers[instr.result.name] = array[index]
 
             elif op is Opcode.STORE:
                 array_name = ops[0]
-                index = int(self._value(registers, ops[1]))
+                index_f = self._value(registers, ops[1])
+                index = int(index_f)
                 array = arrays[array_name]
                 if index < 0 or index >= len(array):
                     raise InterpreterError(
@@ -196,6 +213,9 @@ class Interpreter:
                 array[index] = self._value(registers, ops[2])
                 if record:
                     shadow.write(array_name, index, (fn_name, iid), self._itervec)
+                if probe is not None:
+                    probe(fn_name, iid, "index", index_f)
+                    probe(fn_name, iid, "value", array[index])
 
             elif op is Opcode.ADD:
                 registers[instr.result.name] = self._value(
@@ -213,11 +233,15 @@ class Interpreter:
                 denom = self._value(registers, ops[1])
                 if denom == 0.0:
                     raise InterpreterError(f"division by zero at iid {iid} in {fn_name}")
+                if probe is not None:
+                    probe(fn_name, iid, "divisor", denom)
                 registers[instr.result.name] = self._value(registers, ops[0]) / denom
             elif op is Opcode.MOD:
                 denom = self._value(registers, ops[1])
                 if denom == 0.0:
                     raise InterpreterError(f"modulo by zero at iid {iid} in {fn_name}")
+                if probe is not None:
+                    probe(fn_name, iid, "divisor", denom)
                 # Euclidean semantics: result has the sign of the divisor, so
                 # x % positive stays a valid array index even for negative x
                 # (MiniC defines % this way; kernels rely on it for wrapping)
@@ -333,11 +357,14 @@ class Interpreter:
                     raise InterpreterError(f"unknown intrinsic {fn_name_i!r}")
                 values = [self._value(registers, a) for a in ops[1:]]
                 try:
-                    registers[instr.result.name] = float(intrinsic(*values))
+                    result_f = float(intrinsic(*values))
                 except (ValueError, OverflowError) as exc:
                     raise InterpreterError(
                         f"intrinsic {fn_name_i} failed on {values}: {exc}"
                     ) from exc
+                if probe is not None:
+                    probe(fn_name, iid, "value", result_f)
+                registers[instr.result.name] = result_f
 
             elif op is Opcode.CALLFN:
                 callee = self.program.function(ops[0])

@@ -56,8 +56,20 @@ class TestTierFusion:
             assert not plan.advised
             assert plan.pragma is None
 
-    def test_model_verdict_overrides_oracle_when_supplied(self, mixed):
-        program, ir, report = mixed
+    def test_model_verdict_overrides_oracle_when_supplied(self):
+        # a branchy loop: the prover abstains (tier stays model_only)
+        # even with range facts, but the dynamic oracle sees it parallel
+        from repro.ir.builder import ProgramBuilder
+
+        pb = ProgramBuilder("branchy")
+        pb.array("b", 12)
+        with pb.function("main") as fb:
+            with fb.loop("i", 0, 12) as i:
+                with fb.if_block(fb.cmp(">", fb.load("b", i), 4.0)):
+                    fb.store("b", i, 0.0)
+            fb.ret(0.0)
+        program = pb.build()
+        ir, report = profile(program)
         plans = build_advice_plans(program, ir, report)
         advised = next(
             lid for lid, p in plans.items()
@@ -101,6 +113,29 @@ class TestClauses:
             assert kinds.index("private") > max(
                 i for i, k in enumerate(kinds) if k == "reduction"
             )
+
+    def test_range_backed_confirmation_names_its_facts(self):
+        # symbolic trip count: only the value-range engine can bound it,
+        # so the confirmed plan must carry prover:ranges provenance and
+        # name the fact it leaned on
+        from repro.ir.builder import ProgramBuilder
+
+        pb = ProgramBuilder("rangeprov")
+        pb.array("a", 16)
+        with pb.function("main") as fb:
+            fb.assign("n", 8.0)
+            with fb.loop("j", 0, "n") as j:
+                fb.store("a", j, j)
+            fb.ret(0.0)
+        program = pb.build()
+        ir, report = profile(program)
+        plans = build_advice_plans(program, ir, report)
+        plan = next(
+            p for p in plans.values() if p.tier == TIER_PROVER_CONFIRMED
+        )
+        pf = next(c for c in plan.clauses if c.kind == "parallel_for")
+        assert "prover:ranges" in pf.provenance
+        assert any(r.startswith("range:") for r in plan.static_reasons)
 
     def test_clause_provenance_recorded(self):
         program = build_reduction_program()

@@ -172,6 +172,94 @@ class TestIRCorruptions:
         assert "IR003" in fired(report)
         assert report.warnings and not report.errors
 
+    # -- value-range rules (IR004-IR006) --------------------------------
+
+    def _range_ir(self, make):
+        from repro.ir import lower_program
+        from repro.ir.builder import ProgramBuilder
+
+        pb = ProgramBuilder("corrupt")
+        make(pb)
+        return lower_program(pb.build())
+
+    def test_ir004_provable_oob_subscript(self):
+        def make(pb):
+            pb.array("a", 4)
+            with pb.function("main") as fb:
+                with fb.loop("i", 0, 8) as i:
+                    fb.store("a", fb.add(i, 10.0), 0.0)
+                fb.ret(0.0)
+
+        report = lint_ir(self._range_ir(make))
+        assert "IR004" in fired(report)
+        assert report.errors
+
+    def test_ir004_silent_when_some_execution_in_bounds(self):
+        # [0, 7] straddles the size-4 bound: a *possible* OOB is the
+        # interpreter's trap to spring, not a static proof
+        def make(pb):
+            pb.array("a", 4)
+            with pb.function("main") as fb:
+                with fb.loop("i", 0, 8) as i:
+                    fb.store("a", i, 0.0)
+                fb.ret(0.0)
+
+        assert "IR004" not in fired(lint_ir(self._range_ir(make)))
+
+    def test_ir005_range_dead_store_errors(self):
+        def make(pb):
+            pb.array("a", 4)
+            with pb.function("main") as fb:
+                fb.assign("x", 1.0)
+                with fb.if_block(fb.cmp(">", "x", 5.0)):
+                    fb.store("a", 0.0, 9.0)
+                fb.ret(0.0)
+
+        report = lint_ir(self._range_ir(make))
+        assert "IR005" in fired(report)
+        assert report.errors
+
+    def test_ir005_dead_edge_without_store_warns(self):
+        def make(pb):
+            pb.array("a", 4)
+            with pb.function("main") as fb:
+                fb.assign("x", 1.0)
+                with fb.if_block(fb.cmp(">", "x", 5.0)):
+                    fb.assign("y", 2.0)
+                fb.ret(0.0)
+
+        report = lint_ir(self._range_ir(make))
+        assert "IR005" in fired(report)
+        assert report.warnings and not report.errors
+
+    def test_ir006_zero_divisor_errors(self):
+        def make(pb):
+            pb.array("a", 4)
+            with pb.function("main") as fb:
+                fb.assign("d", 0.0)
+                fb.assign("y", fb.div(1.0, "d"))
+                fb.store("a", 0.0, "y")
+                fb.ret(0.0)
+
+        report = lint_ir(self._range_ir(make))
+        assert "IR006" in fired(report)
+        assert report.errors
+
+    def test_ir006_zero_trip_loop_warns(self):
+        def make(pb):
+            pb.array("a", 4)
+            with pb.function("main") as fb:
+                with fb.loop("i", 5, 2) as i:
+                    fb.assign("x", i)
+                fb.ret(0.0)
+
+        report = lint_ir(self._range_ir(make))
+        ir6 = [f for f in report.findings if f.rule_id == "IR006"]
+        assert ir6 and any(
+            f.details.get("kind") == "zero_trip" for f in ir6
+        )
+        assert not report.errors
+
 
 # ---------------------------------------------------------------------------
 # PEG rules
@@ -556,8 +644,36 @@ class TestAdvisorPlanCorruptions:
     @pytest.fixture(scope="class")
     def mixed_plans(self):
         from repro.advisor import build_advice_plans
+        from repro.ir.builder import ProgramBuilder
 
-        program = build_mixed_program()
+        # build_mixed_program's loops plus one branchy loop the
+        # range-sharpened prover must still abstain on, so the roster
+        # keeps a model_only plan for the drift test
+        pb = ProgramBuilder("mixed")
+        pb.array("a", 12)
+        pb.array("b", 12)
+        with pb.function("main") as fb:
+            with fb.loop("i", 0, 12) as i:
+                fb.store("a", i, fb.add(i, 1.0))
+            with fb.loop("i", 1, 11) as i:
+                fb.store(
+                    "b", i,
+                    fb.add(fb.load("a", fb.sub(i, 1.0)),
+                           fb.load("a", fb.add(i, 1.0))),
+                )
+            with fb.loop("i", 1, 12) as i:
+                fb.store(
+                    "a", i,
+                    fb.add(fb.load("a", fb.sub(i, 1.0)), fb.load("b", i)),
+                )
+            fb.assign("s", 0.0)
+            with fb.loop("i", 0, 12) as i:
+                fb.assign("s", fb.add("s", fb.load("a", i)))
+            with fb.loop("i", 0, 12) as i:
+                with fb.if_block(fb.cmp(">", fb.load("b", i), 4.0)):
+                    fb.store("b", i, 0.0)
+            fb.ret("s")
+        program = pb.build()
         ir, report = profile(program)
         plans = build_advice_plans(program, ir, report)
         return program, {lid: p.to_wire() for lid, p in plans.items()}

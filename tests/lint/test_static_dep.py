@@ -47,11 +47,21 @@ class TestCanonicalPrograms:
         (analysis,) = table.values()
         assert "distance" in analysis.reason_text()
 
-    def test_reduction_is_unknown(self):
+    def test_reduction_confirmed_with_context(self):
         # s += a[i] is parallelizable *because* the oracle excuses
-        # recognized reductions; the prover cannot prove the reduction
-        # recognizer fires, so it must abstain in both directions.
+        # recognized reductions; with the prover context the IR-level
+        # recognizer (the oracle's own) proves the excuse fires.
         init, red = verdicts_in_order(build_reduction_program())
+        assert init is P and red is P
+
+    def test_reduction_is_unknown_without_context(self):
+        # without the context the prover cannot prove the recognizer
+        # fires, so it must abstain in both directions
+        table = static_loop_verdicts(
+            build_reduction_program(), use_ranges=False
+        )
+        program = build_reduction_program()
+        init, red = [table[lid].verdict for lid in loop_ids(program)]
         assert init is P and red is U
 
     def test_mixed_program(self):
@@ -61,7 +71,7 @@ class TestCanonicalPrograms:
         assert init is P
         assert stencil is P        # reads a[i-1], a[i+1]; a is read-only here
         assert recurrence is S     # a[i] = a[i-1] + ...: distance 1
-        assert reduction is U
+        assert reduction is P      # s += a[i]: recognized accumulator
 
 
 def _loop(body, lo=0.0, hi=8.0, step=1.0, var="i"):
@@ -226,6 +236,204 @@ class TestConservativeBailouts:
             ast.While(ast.Const(0), [ast.Assign("t", ast.Const(1))]),
         ])
         assert analyze_loop_static(loop).verdict is U
+
+    def test_noninteger_coefficient_abstains(self):
+        # a[0.5*i] hits half-integral cells; integer dependence tests
+        # (gcd, constant-distance) are meaningless and must not run
+        loop = _loop([
+            ast.Store("a", _idx(coeff=0.5, const=0),
+                      ast.Load("a", _idx(coeff=0.5, const=1))),
+        ])
+        assert analyze_loop_static(loop).verdict is U
+
+    def test_composite_term_abstains_without_context(self):
+        # a[i*n + j]: the i*n composite defeats the strict affine form;
+        # only the range-sharpened row-disjointness proof may touch it,
+        # and that requires a ProverContext
+        idx = ast.BinOp(
+            "+", ast.BinOp("*", ast.Var("i"), ast.Var("n")), ast.Var("j")
+        )
+        loop = _loop([ast.Store("a", idx, ast.Const(1.0))])
+        assert analyze_loop_static(loop).verdict is U
+
+    def test_header_reading_written_scalar_blocks_proof(self):
+        # for i in [0, n): n = n - 1 — the bound is re-evaluated each
+        # iteration and reads a scalar the body writes: a real carried
+        # RAW through the header that the event stream must expose
+        loop = ast.For(
+            var="i", lo=ast.Const(0), hi=ast.Var("n"),
+            body=[
+                ast.Assign("n", ast.BinOp("-", ast.Var("n"), ast.Const(1))),
+                ast.Store("a", ast.Var("i"), ast.Const(0.0)),
+            ],
+            step=ast.Const(1), loop_id="t:l",
+        )
+        assert analyze_loop_static(loop).verdict is not P
+
+
+class TestRangeSharpenedProofs:
+    """Verdicts only the ProverContext (ranges + reductions) can reach."""
+
+    def _context(self, program):
+        from repro.lint.static_dep import build_prover_context
+
+        ctx = build_prover_context(program)
+        assert ctx is not None
+        return ctx
+
+    def test_pigeonhole_refutes_histogram(self):
+        # hist[a[i] % 4] += 1 over 16 trips: at most 4 cells, so the
+        # range engine's pigeonhole proves a carried WAW
+        pb = ProgramBuilder("hist")
+        pb.array("a", 16)
+        pb.array("hist", 4)
+        with pb.function("main") as fb:
+            with fb.loop("i", 0, 16) as i:
+                fb.store("a", i, i)
+            with fb.loop("i", 0, 16) as i:
+                fb.assign("k", fb.mod(fb.load("a", i), 4.0))
+                fb.store("hist", "k", fb.add(fb.load("hist", "k"), 1.0))
+        program = pb.build()
+        table = static_loop_verdicts(program)
+        lids = loop_ids(program)
+        analysis = table[lids[1]]
+        assert analysis.verdict is S
+        assert "pigeonhole" in analysis.reason_text()
+        assert analysis.range_facts  # names the cell interval evidence
+
+    def test_pigeonhole_needs_fewer_cells_than_trips(self):
+        # same shape but 32 cells >= 16 trips: a permutation could avoid
+        # every collision, so the prover must stay UNKNOWN
+        pb = ProgramBuilder("perm")
+        pb.array("a", 16)
+        pb.array("out", 32)
+        with pb.function("main") as fb:
+            with fb.loop("i", 0, 16) as i:
+                fb.store("a", i, fb.mul(i, 2.0))
+            with fb.loop("i", 0, 16) as i:
+                fb.assign("k", fb.load("a", i))
+                fb.store("out", "k", i)
+        program = pb.build()
+        table = static_loop_verdicts(program)
+        assert table[loop_ids(program)[1]].verdict is U
+
+    def test_symbolic_bound_space_from_ranges(self):
+        # for j in [0, n) nested under for n in [1, 9): no concrete
+        # space, but the induction interval gives a sound superset space
+        # for the offset-vs-trips disproof (a[j] vs a[j+100])
+        pb = ProgramBuilder("symb")
+        pb.array("a", 128)
+        with pb.function("main") as fb:
+            with fb.loop("n", 1, 9) as n:
+                with fb.loop("j", 0, n) as j:
+                    fb.store("a", j, fb.load("a", fb.add(j, 100.0)))
+        program = pb.build()
+        table = static_loop_verdicts(program)
+        inner = table[loop_ids(program)[1]]
+        assert inner.verdict is P
+        assert any("range-backed" in f for f in inner.range_facts)
+        # without ranges the same loop is unprovable
+        base = static_loop_verdicts(program, use_ranges=False)
+        assert base[loop_ids(program)[1]].verdict is U
+
+    def test_row_disjointness_flattened_2d(self):
+        # inner loop over v with subscript v*n + j, where j is the
+        # ENCLOSING induction variable with header 0 <= j < n: distinct
+        # v iterations own distinct rows, so a[v*n + j] can never
+        # collide across them — the row-disjointness disproof
+        pb = ProgramBuilder("rows")
+        pb.array("a", 64)
+        with pb.function("main") as fb:
+            fb.assign("n", 8.0)
+            with fb.loop("j", 0, "n") as j:
+                with fb.loop("v", 0, 8) as v:
+                    idx = fb.add(fb.mul(v, "n"), j)
+                    fb.store("a", idx, fb.load("a", idx))
+        program = pb.build()
+        table = static_loop_verdicts(program)
+        inner = table[loop_ids(program)[1]]
+        assert inner.verdict is P
+        assert any("enclosing loop header" in f for f in inner.range_facts)
+        # the composite pattern is out of reach for the classic prover
+        base = static_loop_verdicts(program, use_ranges=False)
+        assert base[loop_ids(program)[1]].verdict is U
+
+    def test_row_disjointness_shifted_row_offsets(self):
+        # write a[v*n + j], read a[v*n]: rest delta is 1*j with
+        # 0 <= j < n = 1*n — still row-disjoint
+        pb = ProgramBuilder("rows2")
+        pb.array("a", 64)
+        with pb.function("main") as fb:
+            fb.assign("n", 8.0)
+            with fb.loop("j", 0, "n") as j:
+                with fb.loop("v", 0, 8) as v:
+                    fb.store(
+                        "a", fb.add(fb.mul(v, "n"), j),
+                        fb.load("a", fb.mul(v, "n")),
+                    )
+        program = pb.build()
+        table = static_loop_verdicts(program)
+        inner = table[loop_ids(program)[1]]
+        assert inner.verdict is P
+
+    def test_pure_callee_treated_like_intrinsic(self):
+        # helper(x) is straight-line scalar math: frame-local per
+        # activation, so calling it cannot carry a dependence
+        pb = ProgramBuilder("purecall")
+        pb.array("a", 8)
+        pb.array("b", 8)
+        with pb.function("helper", "x") as fb:
+            fb.assign("y", fb.mul("x", 2.0))
+            fb.ret("y")
+        with pb.function("main") as fb:
+            with fb.loop("i", 0, 8) as i:
+                fb.store("b", i, fb.call("helper", fb.load("a", i)))
+        program = pb.build()
+        table = static_loop_verdicts(program)
+        main_loops = [
+            lid for lid in table if lid.startswith("purecall:main")
+        ]
+        assert table[main_loops[0]].verdict is P
+        base = static_loop_verdicts(program, use_ranges=False)
+        assert base[main_loops[0]].verdict is U
+
+    def test_impure_callee_still_abstains(self):
+        # helper touches an array: not pure, the call must still bail
+        pb = ProgramBuilder("impure")
+        pb.array("a", 8)
+        pb.array("b", 8)
+        with pb.function("helper", "x") as fb:
+            fb.ret(fb.load("a", "x"))
+        with pb.function("main") as fb:
+            with fb.loop("i", 0, 8) as i:
+                fb.store("b", i, fb.call("helper", i))
+        program = pb.build()
+        table = static_loop_verdicts(program)
+        main_loops = [lid for lid in table if "main" in lid]
+        assert table[main_loops[0]].verdict is U
+
+    def test_nonreduction_read_first_scalar_refuted_with_context(self):
+        # t = t * a[i] + 1 is self-referencing but NOT a recognized
+        # reduction chain; the context licenses the definite blocker the
+        # classic prover had to abstain on
+        pb = ProgramBuilder("notred")
+        pb.array("a", 8)
+        with pb.function("main") as fb:
+            fb.assign("t", 1.0)
+            with fb.loop("i", 0, 8) as i:
+                fb.assign(
+                    "t",
+                    fb.add(fb.mul("t", fb.load("a", i)), 1.0),
+                )
+        program = pb.build()
+        table = static_loop_verdicts(program)
+        (analysis,) = [
+            a for lid, a in table.items() if "main" in lid
+        ]
+        assert analysis.verdict is S
+        base = static_loop_verdicts(program, use_ranges=False)
+        (base_a,) = [a for lid, a in base.items() if "main" in lid]
+        assert base_a.verdict is U
 
 
 class TestProgramWalk:
